@@ -1,0 +1,264 @@
+//! Centralized cut references: Stoer–Wagner (undirected global min cut),
+//! brute-force directed global min cut, and the min *dart-simple* directed
+//! dual cycle used to validate the distributed directed-global-min-cut
+//! algorithm.
+
+use crate::shortest_paths::Digraph;
+use duality_planar::{Dart, PlanarGraph, Weight, INF};
+
+/// Stoer–Wagner minimum cut of an undirected weighted graph given as a
+/// symmetric weight matrix (`w[u][v] == w[v][u]`, zero diagonal). Returns
+/// `(cut_weight, side)` where `side[v]` is true for one shore.
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than 2 vertices.
+pub fn stoer_wagner(w: &[Vec<Weight>]) -> (Weight, Vec<bool>) {
+    let n = w.len();
+    assert!(n >= 2, "min cut needs at least two vertices");
+    let mut w = w.to_vec();
+    // `members[i]` = original vertices merged into super-vertex i.
+    let mut members: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut best = (INF, Vec::new());
+    while active.len() > 1 {
+        // Maximum adjacency (minimum cut phase).
+        let mut in_a = vec![false; n];
+        let mut weight_to_a = vec![0 as Weight; n];
+        let mut order = Vec::with_capacity(active.len());
+        for _ in 0..active.len() {
+            let &next = active
+                .iter()
+                .filter(|&&v| !in_a[v])
+                .max_by_key(|&&v| weight_to_a[v])
+                .expect("active vertex remains");
+            in_a[next] = true;
+            order.push(next);
+            for &v in &active {
+                if !in_a[v] {
+                    weight_to_a[v] += w[next][v];
+                }
+            }
+        }
+        let t = *order.last().unwrap();
+        let s = order[order.len() - 2];
+        let cut_of_phase = weight_to_a[t];
+        if cut_of_phase < best.0 {
+            let mut side = vec![false; n];
+            for &v in &members[t] {
+                side[v] = true;
+            }
+            best = (cut_of_phase, side);
+        }
+        // Merge t into s.
+        let t_members = std::mem::take(&mut members[t]);
+        members[s].extend(t_members);
+        for &v in &active {
+            if v != s && v != t {
+                w[s][v] += w[t][v];
+                w[v][s] = w[s][v];
+            }
+        }
+        active.retain(|&v| v != t);
+    }
+    best
+}
+
+/// Brute-force directed global minimum cut: minimum over all bipartitions
+/// `(S, V∖S)` with `S ∋ 0` proper and nonempty... every nonempty proper `S`
+/// is considered (both orientations arise as `S` and its complement).
+/// Weight of a cut = total weight of arcs leaving `S`. Exponential; for
+/// validation on graphs with `n ≤ ~16`.
+pub fn brute_force_directed_min_cut(g: &Digraph) -> (Weight, Vec<bool>) {
+    let n = g.len();
+    assert!((2..=20).contains(&n), "brute force only for tiny graphs");
+    let mut best = (INF, Vec::new());
+    for mask in 1..(1u32 << n) - 1 {
+        let in_s = |v: usize| mask >> v & 1 == 1;
+        let mut weight = 0;
+        for u in 0..n {
+            if !in_s(u) {
+                continue;
+            }
+            for &(v, w) in &g.adj[u] {
+                if !in_s(v) {
+                    weight += w;
+                }
+            }
+        }
+        if weight < best.0 {
+            best = (weight, (0..n).map(in_s).collect());
+        }
+    }
+    best
+}
+
+/// Minimum-weight *dart-simple* directed cycle of the dual `G'*` (each dart
+/// `d` contributes the dual arc `face(d) → face(rev d)` with weight
+/// `weights[d]`), excluding the degenerate two-cycles `{d*, rev(d)*}`.
+///
+/// Computed by the per-dart formula proved in `duality-core::global_cut`:
+/// `min over darts d of w(d*) + dist(head(d*) → tail(d*))` in the dual with
+/// the single arc `rev(d)*` removed. By planar duality this equals the
+/// directed global minimum cut of `G` (paper, Theorem 1.5 / Section 7).
+///
+/// Requires non-negative weights. Bridges of `G` are dual *self-loops*,
+/// i.e. valid one-arc cycles (the cut isolating one side of the bridge), so
+/// trees have directed min cut 0 via their zero-weight reversal loops.
+/// Returns `None` only when `G` has no edges (no bipartition crosses).
+pub fn min_dart_simple_dual_cycle(g: &PlanarGraph, weights: &[Weight]) -> Option<Weight> {
+    assert_eq!(weights.len(), g.num_darts());
+    if g.num_edges() == 0 {
+        return None;
+    }
+    let mut best = INF;
+    for d in g.darts() {
+        let (from, to) = g.dual_arc(d);
+        // Shortest to → from path avoiding the single arc rev(d)* (which is
+        // the arc from `to` to `from` crossing rev(d)).
+        let mut dist = vec![INF; g.num_faces()];
+        dist[to.index()] = 0;
+        // Dijkstra over dual arcs with the exclusion.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse((0, to.index())));
+        while let Some(Reverse((du, u))) = heap.pop() {
+            if du > dist[u] {
+                continue;
+            }
+            for &dd in g.face_darts(duality_planar::FaceId(u as u32)) {
+                if dd == d.rev() {
+                    continue; // the excluded reversal arc
+                }
+                let v = g.face_of(dd.rev()).index();
+                let w = weights[dd.index()];
+                debug_assert!(w >= 0);
+                if du + w < dist[v] {
+                    dist[v] = du + w;
+                    heap.push(Reverse((du + w, v)));
+                }
+            }
+        }
+        if dist[from.index()] < INF {
+            best = best.min(weights[d.index()] + dist[from.index()]);
+        }
+    }
+    (best < INF).then_some(best)
+}
+
+/// The directed global min cut of a planar instance where forward darts
+/// carry `edge_weights[e]` and reversal darts weight 0, computed via
+/// [`min_dart_simple_dual_cycle`].
+pub fn planar_directed_min_cut_reference(
+    g: &PlanarGraph,
+    edge_weights: &[Weight],
+) -> Option<Weight> {
+    let mut dart_w = vec![0; g.num_darts()];
+    for (e, &w) in edge_weights.iter().enumerate() {
+        dart_w[Dart::forward(e).index()] = w;
+    }
+    min_dart_simple_dual_cycle(g, &dart_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duality_planar::gen;
+
+    #[test]
+    fn stoer_wagner_triangle() {
+        // Triangle with weights 1, 2, 3: min cut isolates the vertex with
+        // the two lightest incident edges.
+        let w = vec![vec![0, 1, 2], vec![1, 0, 3], vec![2, 3, 0]];
+        let (cut, side) = stoer_wagner(&w);
+        assert_eq!(cut, 3); // cut {0} with edges 1 + 2
+        let shore: Vec<usize> = (0..3).filter(|&v| side[v]).collect();
+        assert!(shore == vec![0] || shore == vec![1, 2]);
+    }
+
+    #[test]
+    fn stoer_wagner_two_clusters() {
+        // Two triangles of weight-10 edges joined by a weight-1 bridge.
+        let n = 6;
+        let mut w = vec![vec![0; n]; n];
+        for &(a, b) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            w[a][b] = 10;
+            w[b][a] = 10;
+        }
+        w[2][3] = 1;
+        w[3][2] = 1;
+        let (cut, side) = stoer_wagner(&w);
+        assert_eq!(cut, 1);
+        let s: Vec<usize> = (0..n).filter(|&v| side[v]).collect();
+        assert!(s == vec![0, 1, 2] || s == vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn brute_force_cut_on_directed_triangle() {
+        let mut g = Digraph::new(3);
+        g.add_arc(0, 1, 1);
+        g.add_arc(1, 2, 1);
+        g.add_arc(2, 0, 1);
+        // Every singleton S has exactly one leaving arc.
+        let (cut, _) = brute_force_directed_min_cut(&g);
+        assert_eq!(cut, 1);
+    }
+
+    #[test]
+    fn brute_force_cut_zero_when_not_strongly_connected() {
+        let mut g = Digraph::new(3);
+        g.add_arc(0, 1, 5);
+        g.add_arc(1, 2, 5);
+        let (cut, side) = brute_force_directed_min_cut(&g);
+        assert_eq!(cut, 0);
+        assert!(side.iter().any(|&b| b) && side.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn dual_cycle_equals_brute_force_on_small_planar() {
+        for seed in 0..5u64 {
+            let g = gen::diag_grid(3, 3, seed).unwrap();
+            let ew = gen::random_edge_weights(g.num_edges(), 1, 9, seed + 100);
+            // Brute force on the primal digraph (forward direction only).
+            let mut dg = Digraph::new(g.num_vertices());
+            for (e, &w) in ew.iter().enumerate() {
+                dg.add_arc(g.edge_tail(e), g.edge_head(e), w);
+            }
+            let (bf, _) = brute_force_directed_min_cut(&dg);
+            let dual = planar_directed_min_cut_reference(&g, &ew).unwrap();
+            assert_eq!(dual, bf, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dual_cycle_on_trees_is_zero() {
+        // A directed path is not strongly connected: some bipartition has
+        // no leaving arc, so the min directed cut is 0 (the reversal
+        // self-loop of any bridge).
+        let g = gen::path(5).unwrap();
+        let ew = vec![3; g.num_edges()];
+        assert_eq!(planar_directed_min_cut_reference(&g, &ew), Some(0));
+    }
+
+    #[test]
+    fn degenerate_pair_not_reported() {
+        // Triangle, all weights 1, both directions: the min directed cut is
+        // 1 (each singleton has 1 leaving forward arc... actually each
+        // vertex has one outgoing forward arc plus reversal darts of weight
+        // 0 are free). The degenerate pair {d, rev d} would claim weight 1
+        // as well here, so use asymmetric weights to discriminate:
+        let g = gen::cycle(3).unwrap();
+        let ew = vec![5, 7, 9];
+        // Cuts: the cycle is directed 0->1->2->0; singleton {0} leaves via
+        // edge (0,1) weight 5 only; {1}: 7; {2}: 9; {0,1}: 7; etc. Min = 5.
+        let got = planar_directed_min_cut_reference(&g, &ew).unwrap();
+        let mut dg = Digraph::new(3);
+        for (e, &w) in ew.iter().enumerate() {
+            dg.add_arc(g.edge_tail(e), g.edge_head(e), w);
+        }
+        let (bf, _) = brute_force_directed_min_cut(&dg);
+        assert_eq!(got, bf);
+        assert_eq!(got, 5);
+    }
+}

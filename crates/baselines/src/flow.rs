@@ -1,0 +1,225 @@
+//! Dinic's maximum-flow algorithm — the centralized ground truth for the
+//! distributed flow algorithms (works on arbitrary directed graphs, not
+//! just planar ones).
+
+use duality_planar::Weight;
+
+/// A directed flow network for Dinic's algorithm.
+///
+/// Arcs are added in antiparallel residual pairs; capacities are
+/// non-negative integers.
+///
+/// # Example
+///
+/// ```
+/// use duality_baselines::flow::Dinic;
+///
+/// let mut d = Dinic::new(4);
+/// d.add_arc(0, 1, 3);
+/// d.add_arc(0, 2, 2);
+/// d.add_arc(1, 3, 2);
+/// d.add_arc(2, 3, 3);
+/// d.add_arc(1, 2, 5);
+/// assert_eq!(d.max_flow(0, 3), 5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dinic {
+    n: usize,
+    /// `(to, cap)` per directed arc; arc `i ^ 1` is the residual of arc `i`.
+    arcs: Vec<(usize, Weight)>,
+    head: Vec<Vec<usize>>,
+}
+
+impl Dinic {
+    /// Creates an empty network on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Dinic {
+            n,
+            arcs: Vec::new(),
+            head: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds a directed arc `from → to` with capacity `cap ≥ 0`; the
+    /// residual reverse arc has capacity 0. Returns the arc index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap < 0` or an endpoint is out of range.
+    pub fn add_arc(&mut self, from: usize, to: usize, cap: Weight) -> usize {
+        assert!(cap >= 0, "capacities are non-negative");
+        assert!(from < self.n && to < self.n);
+        let id = self.arcs.len();
+        self.arcs.push((to, cap));
+        self.arcs.push((from, 0));
+        self.head[from].push(id);
+        self.head[to].push(id + 1);
+        id
+    }
+
+    /// Remaining capacity of arc `id`.
+    pub fn residual(&self, id: usize) -> Weight {
+        self.arcs[id].1
+    }
+
+    /// Flow currently pushed through arc `id` (capacity moved to the
+    /// residual arc).
+    pub fn flow_on(&self, id: usize, original_cap: Weight) -> Weight {
+        original_cap - self.arcs[id].1
+    }
+
+    /// Computes the maximum `s → t` flow, mutating residual capacities.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> Weight {
+        assert!(s < self.n && t < self.n && s != t);
+        let mut total = 0;
+        loop {
+            // BFS level graph.
+            let mut level = vec![usize::MAX; self.n];
+            level[s] = 0;
+            let mut q = std::collections::VecDeque::from([s]);
+            while let Some(u) = q.pop_front() {
+                for &a in &self.head[u] {
+                    let (to, cap) = self.arcs[a];
+                    if cap > 0 && level[to] == usize::MAX {
+                        level[to] = level[u] + 1;
+                        q.push_back(to);
+                    }
+                }
+            }
+            if level[t] == usize::MAX {
+                return total;
+            }
+            // DFS blocking flow.
+            let mut it = vec![0usize; self.n];
+            loop {
+                let pushed = self.dfs(s, t, Weight::MAX / 4, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, limit: Weight, level: &[usize], it: &mut [usize]) -> Weight {
+        if u == t {
+            return limit;
+        }
+        while it[u] < self.head[u].len() {
+            let a = self.head[u][it[u]];
+            let (to, cap) = self.arcs[a];
+            if cap > 0 && level[to] == level[u] + 1 {
+                let pushed = self.dfs(to, t, limit.min(cap), level, it);
+                if pushed > 0 {
+                    self.arcs[a].1 -= pushed;
+                    self.arcs[a ^ 1].1 += pushed;
+                    return pushed;
+                }
+            }
+            it[u] += 1;
+        }
+        0
+    }
+
+    /// Vertices reachable from `s` in the residual graph (the min-cut side
+    /// `S` after running [`Dinic::max_flow`]).
+    pub fn min_cut_side(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.n];
+        seen[s] = true;
+        let mut stack = vec![s];
+        while let Some(u) = stack.pop() {
+            for &a in &self.head[u] {
+                let (to, cap) = self.arcs[a];
+                if cap > 0 && !seen[to] {
+                    seen[to] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Max st-flow of a planar instance described by per-dart capacities:
+/// `caps[d]` is the capacity of dart `d` (the paper's `G'` with both darts
+/// present). Convenience wrapper used pervasively in tests.
+pub fn planar_max_flow_reference(
+    g: &duality_planar::PlanarGraph,
+    caps: &[Weight],
+    s: usize,
+    t: usize,
+) -> Weight {
+    let mut dinic = Dinic::new(g.num_vertices());
+    for e in 0..g.num_edges() {
+        let d = duality_planar::Dart::forward(e);
+        dinic.add_arc(g.tail(d), g.head(d), caps[d.index()]);
+        dinic.add_arc(g.head(d), g.tail(d), caps[d.rev().index()]);
+    }
+    dinic.max_flow(s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duality_planar::gen;
+
+    #[test]
+    fn single_edge() {
+        let mut d = Dinic::new(2);
+        d.add_arc(0, 1, 7);
+        assert_eq!(d.max_flow(0, 1), 7);
+    }
+
+    #[test]
+    fn bottleneck_path() {
+        let mut d = Dinic::new(4);
+        d.add_arc(0, 1, 9);
+        d.add_arc(1, 2, 2);
+        d.add_arc(2, 3, 9);
+        assert_eq!(d.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn disconnected_targets_zero_flow() {
+        let mut d = Dinic::new(3);
+        d.add_arc(0, 1, 4);
+        assert_eq!(d.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn min_cut_side_matches_flow_value() {
+        let mut d = Dinic::new(4);
+        let caps = [(0, 1, 3), (0, 2, 2), (1, 3, 2), (2, 3, 3), (1, 2, 5)];
+        let ids: Vec<usize> = caps.iter().map(|&(u, v, c)| d.add_arc(u, v, c)).collect();
+        let f = d.max_flow(0, 3);
+        let side = d.min_cut_side(0);
+        assert!(side[0] && !side[3]);
+        let cut: Weight = caps
+            .iter()
+            .zip(&ids)
+            .filter(|(&(u, v, _), _)| side[u] && !side[v])
+            .map(|(&(_, _, c), _)| c)
+            .sum();
+        assert_eq!(cut, f);
+    }
+
+    #[test]
+    fn grid_flow_is_monotone_in_capacity() {
+        let g = gen::grid(4, 4).unwrap();
+        let m = g.num_edges();
+        let lo = gen::random_directed_capacities(m, 1, 3, 5);
+        let hi: Vec<Weight> = lo.iter().map(|&c| c * 2).collect();
+        let a = planar_max_flow_reference(&g, &lo, 0, 15);
+        let b = planar_max_flow_reference(&g, &hi, 0, 15);
+        assert!(a > 0);
+        assert_eq!(b, 2 * a);
+    }
+
+    #[test]
+    fn undirected_grid_flow_bounded_by_degree() {
+        let g = gen::grid(5, 5).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 1, 1);
+        // Corner s has degree 2 with unit capacities: max flow is 2.
+        assert_eq!(planar_max_flow_reference(&g, &caps, 0, 24), 2);
+    }
+}

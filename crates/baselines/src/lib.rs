@@ -1,0 +1,12 @@
+//! Centralized reference algorithms used to validate the distributed
+//! pipeline, plus prior-work round-complexity formulas for comparison
+//! curves.
+//!
+//! Nothing in this crate charges CONGEST rounds: these are the ground-truth
+//! oracles the experiment harness and the test suites compare against.
+
+pub mod cuts;
+pub mod flow;
+pub mod girth;
+pub mod prior;
+pub mod shortest_paths;

@@ -1,0 +1,60 @@
+//! Round-complexity formulas of prior distributed max-flow work, used by
+//! the experiment harness to draw comparison curves (paper, Section 1).
+//!
+//! These are analytic bounds evaluated with unit constants — prior systems
+//! are not implemented, only their published complexity shapes (the paper
+//! itself compares at this level).
+
+/// de Vos (2023): exact max st-flow in directed planar graphs in
+/// `D · n^{1/2 + o(1)}` rounds. Evaluated as `D · √n · 2^{(log n)^{3/4}}`
+/// with unit constants (same `n^{o(1)}` shape as
+/// `CostModel::approx_sssp_minor_aggregation_rounds`).
+pub fn de_vos_planar_flow_rounds(n: usize, d: usize) -> u64 {
+    let subpoly = subpolynomial(n);
+    (d as f64 * (n as f64).sqrt() * subpoly).ceil() as u64
+}
+
+/// Ghaffari–Karrenbauer–Kuhn–Lenzen–Patt-Shamir (2015): `(1 + o(1))`-approx
+/// max flow in general undirected graphs in `(√n + D) · n^{o(1)}` rounds.
+pub fn gkklp_general_flow_rounds(n: usize, d: usize) -> u64 {
+    let subpoly = subpolynomial(n);
+    (((n as f64).sqrt() + d as f64) * subpoly).ceil() as u64
+}
+
+/// The generic `Õ(√n + D)` bound for exact global problems in general
+/// graphs (MST, min cut, …): `(√n + D) · log₂ n`.
+pub fn generic_sqrt_n_rounds(n: usize, d: usize) -> u64 {
+    (((n as f64).sqrt() + d as f64) * (n.max(2) as f64).log2()).ceil() as u64
+}
+
+fn subpolynomial(n: usize) -> f64 {
+    ((n.max(2) as f64).log2().powf(0.75)).exp2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn de_vos_grows_with_both_n_and_d() {
+        assert!(de_vos_planar_flow_rounds(1000, 20) < de_vos_planar_flow_rounds(4000, 20));
+        assert!(de_vos_planar_flow_rounds(1000, 20) < de_vos_planar_flow_rounds(1000, 40));
+    }
+
+    #[test]
+    fn gkklp_dominated_by_sqrt_n_at_low_diameter() {
+        let low_d = gkklp_general_flow_rounds(10_000, 10);
+        let high_d = gkklp_general_flow_rounds(10_000, 1_000);
+        assert!(low_d < high_d);
+        // At D = 10 the √n term dominates: doubling D barely moves it.
+        let d20 = gkklp_general_flow_rounds(10_000, 20);
+        assert!((d20 as f64) < 1.2 * low_d as f64);
+    }
+
+    #[test]
+    fn generic_bound_is_otilde() {
+        let r = generic_sqrt_n_rounds(1 << 14, 30);
+        assert!(r as f64 >= (1 << 7) as f64);
+        assert!((r as f64) < (1 << 14) as f64);
+    }
+}

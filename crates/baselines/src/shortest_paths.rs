@@ -1,0 +1,181 @@
+//! Generic shortest-path references on adjacency-list digraphs.
+
+use duality_planar::{Weight, INF};
+
+/// A bare adjacency-list digraph with integer arc weights.
+#[derive(Clone, Debug, Default)]
+pub struct Digraph {
+    /// `adj[u]` = `(v, w)` out-arcs.
+    pub adj: Vec<Vec<(usize, Weight)>>,
+}
+
+impl Digraph {
+    /// Creates a digraph on `n` vertices with no arcs.
+    pub fn new(n: usize) -> Self {
+        Digraph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds the arc `u → v` with weight `w`.
+    pub fn add_arc(&mut self, u: usize, v: usize, w: Weight) {
+        self.adj[u].push((v, w));
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the digraph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+}
+
+/// Bellman–Ford from `source`; supports negative weights. Returns `None` if
+/// a negative cycle is reachable from `source`.
+pub fn bellman_ford(g: &Digraph, source: usize) -> Option<Vec<Weight>> {
+    let n = g.len();
+    let mut dist = vec![INF; n];
+    dist[source] = 0;
+    for round in 0..=n {
+        let mut changed = false;
+        for u in 0..n {
+            if dist[u] >= INF {
+                continue;
+            }
+            for &(v, w) in &g.adj[u] {
+                if dist[u] + w < dist[v] {
+                    dist[v] = dist[u] + w;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Some(dist);
+        }
+        if round == n {
+            return None;
+        }
+    }
+    Some(dist)
+}
+
+/// Dijkstra from `source`; requires non-negative weights.
+///
+/// # Panics
+///
+/// Debug-asserts non-negative weights.
+pub fn dijkstra(g: &Digraph, source: usize) -> Vec<Weight> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.len();
+    let mut dist = vec![INF; n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((du, u))) = heap.pop() {
+        if du > dist[u] {
+            continue;
+        }
+        for &(v, w) in &g.adj[u] {
+            debug_assert!(w >= 0);
+            if du + w < dist[v] {
+                dist[v] = du + w;
+                heap.push(Reverse((du + w, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs shortest paths by Floyd–Warshall (small graphs; negative
+/// weights allowed). Returns `None` if any negative cycle exists.
+pub fn floyd_warshall(g: &Digraph) -> Option<Vec<Vec<Weight>>> {
+    let n = g.len();
+    let mut d = vec![vec![INF; n]; n];
+    for (u, row) in d.iter_mut().enumerate() {
+        row[u] = 0;
+    }
+    for u in 0..n {
+        for &(v, w) in &g.adj[u] {
+            if w < d[u][v] {
+                d[u][v] = w;
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if d[i][k] >= INF {
+                continue;
+            }
+            for j in 0..n {
+                if d[k][j] < INF && d[i][k] + d[k][j] < d[i][j] {
+                    d[i][j] = d[i][k] + d[k][j];
+                }
+            }
+        }
+    }
+    if (0..n).any(|i| d[i][i] < 0) {
+        return None;
+    }
+    Some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Digraph {
+        let mut g = Digraph::new(4);
+        g.add_arc(0, 1, 1);
+        g.add_arc(0, 2, 4);
+        g.add_arc(1, 2, 1);
+        g.add_arc(1, 3, 6);
+        g.add_arc(2, 3, 1);
+        g
+    }
+
+    #[test]
+    fn dijkstra_matches_bellman_ford() {
+        let g = diamond();
+        assert_eq!(dijkstra(&g, 0), bellman_ford(&g, 0).unwrap());
+        assert_eq!(dijkstra(&g, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bellman_ford_with_negative_arcs() {
+        let mut g = diamond();
+        g.add_arc(3, 1, -1); // lightest cycle through it: 1 -> 2 -> 3 -> 1 = 1
+        let d = bellman_ford(&g, 0).unwrap();
+        assert_eq!(d[3], 3);
+        g.add_arc(3, 1, -3); // now 1 -> 2 -> 3 -> 1 has weight -1
+        assert!(bellman_ford(&g, 0).is_none());
+    }
+
+    #[test]
+    fn unreachable_stays_inf() {
+        let mut g = Digraph::new(3);
+        g.add_arc(0, 1, 1);
+        let d = bellman_ford(&g, 0).unwrap();
+        assert!(d[2] >= INF);
+    }
+
+    #[test]
+    fn floyd_warshall_matches_per_source() {
+        let g = diamond();
+        let all = floyd_warshall(&g).unwrap();
+        for s in 0..4 {
+            assert_eq!(all[s], dijkstra(&g, s));
+        }
+    }
+
+    #[test]
+    fn floyd_warshall_detects_negative_cycle() {
+        let mut g = Digraph::new(2);
+        g.add_arc(0, 1, 1);
+        g.add_arc(1, 0, -2);
+        assert!(floyd_warshall(&g).is_none());
+    }
+}

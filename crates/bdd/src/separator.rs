@@ -1,0 +1,370 @@
+//! Cycle-separator search inside one bag: Lipton–Tarjan fundamental cycles
+//! over a fan-triangulated bag, via interdigitating trees.
+//!
+//! Given a connected bag (an edge subset of the embedded graph `G`) and a
+//! BFS spanning tree of it, every *non-tree* edge of the fan-triangulated
+//! bag — a real non-tree edge of the bag, or a virtual fan diagonal drawn
+//! inside a bag face — closes a fundamental cycle with the tree: two tree
+//! paths plus the closing edge, exactly the separator shape `S_X` the paper
+//! analyses (a virtual closing edge is the paper's `e_X ∉ E(G)`).
+//!
+//! The duals of the non-tree edges form a spanning tree of the triangulated
+//! bag's dual (the interdigitating-trees theorem), so the two sides of each
+//! candidate's fundamental cycle are the two components of that co-tree
+//! minus the candidate arc; subtree sizes give all balances in linear time.
+
+use duality_planar::{Dart, PlanarGraph};
+
+/// One face of the bag subgraph: its boundary walk (orbit of the restricted
+/// face permutation).
+#[derive(Clone, Debug)]
+pub struct SubFace {
+    /// Boundary darts, in walk order.
+    pub walk: Vec<Dart>,
+}
+
+/// Computes the faces of the bag subgraph consisting of `edges`
+/// (`edge_in(e)` must agree with membership in `edges`).
+///
+/// Every dart of every bag edge lies on exactly one sub-face; sub-faces
+/// whose darts all belong to one face of `G` are whole faces of `G`
+/// (Section 5.1), the rest cover face-parts and holes.
+pub fn subgraph_faces(
+    g: &PlanarGraph,
+    edges: &[usize],
+    edge_in: &dyn Fn(usize) -> bool,
+) -> Vec<SubFace> {
+    let mut seen: std::collections::HashSet<Dart> = std::collections::HashSet::new();
+    let mut faces = Vec::new();
+    for &e in edges {
+        for d0 in [Dart::forward(e), Dart::backward(e)] {
+            if seen.contains(&d0) {
+                continue;
+            }
+            let mut walk = Vec::new();
+            let mut d = d0;
+            loop {
+                seen.insert(d);
+                walk.push(d);
+                d = g.phi_restricted(d, edge_in);
+                if d == d0 {
+                    break;
+                }
+            }
+            faces.push(SubFace { walk });
+        }
+    }
+    faces
+}
+
+/// The closing edge of a chosen fundamental cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Closing {
+    /// A real non-tree edge of the bag.
+    Real(usize),
+    /// A virtual fan diagonal: `(subface index, walk position i)` joining
+    /// the fan anchor `tail(walk[0])` to `tail(walk[i])`.
+    Virtual {
+        /// Index into the `subgraph_faces` result.
+        subface: usize,
+        /// Walk position of the far endpoint.
+        position: usize,
+    },
+}
+
+/// Result of the separator search.
+#[derive(Clone, Debug)]
+pub struct CycleSeparator {
+    /// The closing edge (real ⇒ `e_X ∈ E(G)`, virtual ⇒ the paper's
+    /// critical-face case).
+    pub closing: Closing,
+    /// Endpoints `(u, v)` of the closing edge.
+    pub endpoints: (usize, usize),
+    /// Side (0/1) of every dart of the bag, keyed by dart index — the side
+    /// of the triangle containing the dart in the triangulated bag.
+    pub dart_side: std::collections::HashMap<Dart, u8>,
+    /// Number of triangles on each side.
+    pub side_triangles: [usize; 2],
+    /// Total triangles.
+    pub total_triangles: usize,
+}
+
+struct TriArc {
+    a: usize,
+    b: usize,
+    closing: Closing,
+    is_tree: bool,
+}
+
+/// Searches for the most balanced fundamental-cycle separator of the bag.
+///
+/// `in_tree(e)` marks the spanning-tree edges of the bag. Returns `None`
+/// when the triangulated bag has a single face (nothing to separate — the
+/// bag is a single edge).
+pub fn find_cycle_separator(
+    g: &PlanarGraph,
+    edges: &[usize],
+    edge_in: &dyn Fn(usize) -> bool,
+    in_tree: &dyn Fn(usize) -> bool,
+) -> Option<CycleSeparator> {
+    let faces = subgraph_faces(g, edges, edge_in);
+
+    // Triangle ids: sub-face `fi` with walk length k owns max(1, k-2)
+    // triangles starting at base[fi]; the dart at walk position i lies in
+    // triangle clamp(i, 1, k-2) - 1 of the fan (positions 0 and k-1 share
+    // the first and last triangle respectively).
+    let mut base = Vec::with_capacity(faces.len());
+    let mut total = 0usize;
+    for f in &faces {
+        base.push(total);
+        total += f.walk.len().saturating_sub(2).max(1);
+    }
+    if total <= 1 {
+        return None;
+    }
+    let tri_of = |fi: usize, i: usize| -> usize {
+        let k = faces[fi].walk.len();
+        if k <= 3 {
+            base[fi]
+        } else {
+            base[fi] + i.clamp(1, k - 2) - 1
+        }
+    };
+
+    // Where does each dart sit? (sub-face, walk position)
+    let mut pos_of: std::collections::HashMap<Dart, (usize, usize)> =
+        std::collections::HashMap::new();
+    for (fi, f) in faces.iter().enumerate() {
+        for (i, &d) in f.walk.iter().enumerate() {
+            pos_of.insert(d, (fi, i));
+        }
+    }
+
+    // Arcs of the triangulated dual.
+    let mut arcs = Vec::new();
+    for &e in edges {
+        let (fa, ia) = pos_of[&Dart::forward(e)];
+        let (fb, ib) = pos_of[&Dart::backward(e)];
+        arcs.push(TriArc {
+            a: tri_of(fa, ia),
+            b: tri_of(fb, ib),
+            closing: Closing::Real(e),
+            is_tree: in_tree(e),
+        });
+    }
+    for (fi, f) in faces.iter().enumerate() {
+        let k = f.walk.len();
+        if k < 4 {
+            continue;
+        }
+        for i in 2..=k - 2 {
+            arcs.push(TriArc {
+                a: tri_of(fi, i - 1),
+                b: tri_of(fi, i),
+                closing: Closing::Virtual {
+                    subface: fi,
+                    position: i,
+                },
+                is_tree: false,
+            });
+        }
+    }
+
+    // Co-tree: BFS over non-tree arcs. The interdigitating-trees theorem
+    // says they span all triangles.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); total];
+    for (ai, arc) in arcs.iter().enumerate() {
+        if !arc.is_tree {
+            adj[arc.a].push(ai);
+            adj[arc.b].push(ai);
+        }
+    }
+    let mut parent_arc: Vec<Option<usize>> = vec![None; total];
+    let mut order = Vec::with_capacity(total);
+    let mut visited = vec![false; total];
+    visited[0] = true;
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    while let Some(t) = queue.pop_front() {
+        order.push(t);
+        for &ai in &adj[t] {
+            let arc = &arcs[ai];
+            let other = if arc.a == t { arc.b } else { arc.a };
+            if !visited[other] {
+                visited[other] = true;
+                parent_arc[other] = Some(ai);
+                queue.push_back(other);
+            }
+        }
+    }
+    if visited.iter().any(|&v| !v) {
+        // Disconnected triangulated dual: cannot happen for connected bags;
+        // bail out so the caller turns the bag into a leaf.
+        return None;
+    }
+
+    // Subtree sizes in the rooted co-tree.
+    let mut size = vec![1usize; total];
+    for &t in order.iter().rev() {
+        if let Some(ai) = parent_arc[t] {
+            let arc = &arcs[ai];
+            let p = if arc.a == t { arc.b } else { arc.a };
+            size[p] += size[t];
+        }
+    }
+
+    // Best co-tree arc: minimize the larger side; prefer real closing edges
+    // on ties (they avoid face splitting — paper Case I of Lemma 5.3).
+    let mut best: Option<(usize, usize, usize)> = None; // (max_side, virtual?, tri with subtree)
+    let mut best_arc = usize::MAX;
+    for (t, &pa) in parent_arc.iter().enumerate() {
+        let Some(ai) = pa else { continue };
+        let s = size[t];
+        let mx = s.max(total - s);
+        let is_virtual = usize::from(matches!(arcs[ai].closing, Closing::Virtual { .. }));
+        let key = (mx, is_virtual, t);
+        if best.map_or(true, |b| key < b) {
+            best = Some(key);
+            best_arc = ai;
+        }
+    }
+    let (_, _, sub_root) = best?;
+    let chosen = &arcs[best_arc];
+
+    // Side assignment: triangles in the subtree under the chosen arc are
+    // side 1, the rest side 0.
+    let mut side = vec![0u8; total];
+    // Recompute subtree membership of `sub_root` by a BFS in the co-tree
+    // that never crosses the chosen arc.
+    let mut stack = vec![sub_root];
+    side[sub_root] = 1;
+    while let Some(t) = stack.pop() {
+        for &ai in &adj[t] {
+            if ai == best_arc {
+                continue;
+            }
+            let arc = &arcs[ai];
+            let other = if arc.a == t { arc.b } else { arc.a };
+            // Only descend along co-tree edges (parent links) to stay in the
+            // subtree.
+            if parent_arc[other] == Some(ai) && side[other] == 0 {
+                side[other] = 1;
+                stack.push(other);
+            }
+        }
+    }
+    let side1: usize = side.iter().map(|&s| s as usize).sum();
+
+    let endpoints = match chosen.closing {
+        Closing::Real(e) => (g.edge_tail(e), g.edge_head(e)),
+        Closing::Virtual { subface, position } => (
+            g.tail(faces[subface].walk[0]),
+            g.tail(faces[subface].walk[position]),
+        ),
+    };
+
+    let mut dart_side = std::collections::HashMap::new();
+    for (fi, f) in faces.iter().enumerate() {
+        for (i, &d) in f.walk.iter().enumerate() {
+            dart_side.insert(d, side[tri_of(fi, i)]);
+        }
+    }
+
+    Some(CycleSeparator {
+        closing: chosen.closing,
+        endpoints,
+        dart_side,
+        side_triangles: [total - side1, side1],
+        total_triangles: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duality_planar::gen;
+
+    fn all_edges(g: &PlanarGraph) -> Vec<usize> {
+        (0..g.num_edges()).collect()
+    }
+
+    #[test]
+    fn subgraph_faces_of_full_graph_match() {
+        let g = gen::diag_grid(4, 4, 1).unwrap();
+        let edges = all_edges(&g);
+        let faces = subgraph_faces(&g, &edges, &|_| true);
+        assert_eq!(faces.len(), g.num_faces());
+        let total: usize = faces.iter().map(|f| f.walk.len()).sum();
+        assert_eq!(total, g.num_darts());
+    }
+
+    #[test]
+    fn subgraph_faces_of_tree_is_single_walk() {
+        let g = gen::grid(4, 4).unwrap();
+        // Restrict to a spanning tree (BFS from 0).
+        let (parent, _) = g.bfs(0);
+        let tree: std::collections::HashSet<usize> =
+            parent.iter().flatten().map(|d| d.edge()).collect();
+        let edges: Vec<usize> = tree.iter().copied().collect();
+        let faces = subgraph_faces(&g, &edges, &|e| tree.contains(&e));
+        assert_eq!(faces.len(), 1, "a tree has one face");
+        assert_eq!(faces[0].walk.len(), 2 * edges.len());
+    }
+
+    fn bfs_tree_edges(g: &PlanarGraph) -> std::collections::HashSet<usize> {
+        let (parent, _) = g.bfs(0);
+        parent.iter().flatten().map(|d| d.edge()).collect()
+    }
+
+    #[test]
+    fn separator_is_balanced_on_grid() {
+        let g = gen::grid(8, 8).unwrap();
+        let edges = all_edges(&g);
+        let tree = bfs_tree_edges(&g);
+        let sep = find_cycle_separator(&g, &edges, &|_| true, &|e| tree.contains(&e)).unwrap();
+        let mx = sep.side_triangles[0].max(sep.side_triangles[1]);
+        assert!(
+            3 * mx <= 2 * sep.total_triangles + 3,
+            "Lipton–Tarjan balance: {:?} of {}",
+            sep.side_triangles,
+            sep.total_triangles
+        );
+    }
+
+    #[test]
+    fn separator_on_tree_uses_virtual_edge() {
+        let g = gen::path(8).unwrap();
+        let edges = all_edges(&g);
+        // All edges are tree edges.
+        let sep = find_cycle_separator(&g, &edges, &|_| true, &|_| true).unwrap();
+        assert!(matches!(sep.closing, Closing::Virtual { .. }));
+        let (u, v) = sep.endpoints;
+        assert_ne!(u, v);
+    }
+
+    #[test]
+    fn single_edge_bag_has_no_separator() {
+        let g = gen::path(2).unwrap();
+        let sep = find_cycle_separator(&g, &[0], &|e| e == 0, &|_| true);
+        assert!(sep.is_none());
+    }
+
+    #[test]
+    fn every_dart_gets_a_side() {
+        let g = gen::diag_grid(5, 5, 2).unwrap();
+        let edges = all_edges(&g);
+        let tree = bfs_tree_edges(&g);
+        let sep = find_cycle_separator(&g, &edges, &|_| true, &|e| tree.contains(&e)).unwrap();
+        assert_eq!(sep.dart_side.len(), g.num_darts());
+        assert!(sep.side_triangles[0] > 0 && sep.side_triangles[1] > 0);
+    }
+
+    #[test]
+    fn apollonian_separator_balance() {
+        let g = gen::apollonian(40, 7).unwrap();
+        let edges = all_edges(&g);
+        let tree = bfs_tree_edges(&g);
+        let sep = find_cycle_separator(&g, &edges, &|_| true, &|e| tree.contains(&e)).unwrap();
+        let mx = sep.side_triangles[0].max(sep.side_triangles[1]);
+        assert!(3 * mx <= 2 * sep.total_triangles + 3);
+    }
+}

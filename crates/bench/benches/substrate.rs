@@ -1,0 +1,49 @@
+//! Criterion benches for the substrates: embedding + faces, the
+//! face-disjoint graph `Ĝ`, and BDD construction (T4/T5 wall-clock
+//! counterparts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use duality_bdd::{Bdd, BddOptions};
+use duality_congest::{CostLedger, CostModel};
+use duality_overlay::FaceDisjointGraph;
+use duality_planar::gen;
+
+fn bench_embedding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedding");
+    for n in [16usize, 24, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &n, |b, &n| {
+            b.iter(|| gen::diag_grid(n, n, 3).unwrap().num_faces())
+        });
+    }
+    group.finish();
+}
+
+fn bench_face_disjoint_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("face_disjoint_graph");
+    for n in [16usize, 24, 32] {
+        let g = gen::diag_grid(n, n, 3).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &g, |b, g| {
+            b.iter(|| FaceDisjointGraph::new(g).num_face_cycles())
+        });
+    }
+    group.finish();
+}
+
+fn bench_bdd_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_build");
+    group.sample_size(10);
+    for n in [12usize, 16, 24] {
+        let g = gen::diag_grid(n, n, 3).unwrap();
+        let cm = CostModel::new(g.num_vertices(), g.diameter());
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &g, |b, g| {
+            b.iter(|| {
+                let mut ledger = CostLedger::new();
+                Bdd::build(g, &BddOptions::default(), &cm, &mut ledger).depth()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_embedding, bench_face_disjoint_graph, bench_bdd_build);
+criterion_main!(benches);

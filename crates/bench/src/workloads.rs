@@ -1,0 +1,82 @@
+//! Shared benchmark workloads (see `DESIGN.md` §4).
+
+use duality_planar::{gen, PlanarGraph};
+
+/// A named instance.
+pub struct Instance {
+    /// Description used in tables.
+    pub name: String,
+    /// The graph.
+    pub graph: PlanarGraph,
+}
+
+/// Square diagonal-grid family: separators are Θ(D) at every scale, which
+/// is the regime where the paper's `Õ(D²)` bound is tight — the main
+/// family for the rounds-vs-D figures (F1/F3/F4/F5/F6).
+pub fn square_sweep(sides: &[usize], seed: u64) -> Vec<Instance> {
+    sides
+        .iter()
+        .map(|&k| Instance {
+            name: format!("diag-grid {k}x{k}"),
+            graph: gen::diag_grid(k, k, seed).expect("grids embed"),
+        })
+        .collect()
+}
+
+/// Diagonal-grid family with roughly constant `n` and sweeping diameter.
+/// Skinny grids have *small* separators (`O(h)`), so this family probes the
+/// instance-adaptive behaviour below the worst case (F2).
+pub fn diameter_sweep(target_n: usize, seed: u64) -> Vec<Instance> {
+    let mut out = Vec::new();
+    for &h in &[2usize, 3, 4, 6, 10, 16, 24] {
+        let w = target_n / h;
+        if w < h {
+            continue; // keep the skinny orientation: w ≥ h
+        }
+        let graph = gen::diag_grid(w, h, seed).expect("grids embed");
+        out.push(Instance {
+            name: format!("diag-grid {w}x{h}"),
+            graph,
+        });
+    }
+    out.reverse(); // increasing diameter
+    out
+}
+
+/// Grid family with fixed height (≈ fixed diameter contribution) and
+/// growing `n` (F2).
+pub fn size_sweep(h: usize, widths: &[usize], seed: u64) -> Vec<Instance> {
+    widths
+        .iter()
+        .map(|&w| Instance {
+            name: format!("diag-grid {w}x{h}"),
+            graph: gen::diag_grid(w, h, seed).expect("grids embed"),
+        })
+        .collect()
+}
+
+/// The correctness suite (T1): mixed small/medium workloads.
+pub fn correctness_suite(seed: u64) -> Vec<Instance> {
+    vec![
+        Instance {
+            name: "grid 5x5".into(),
+            graph: gen::grid(5, 5).unwrap(),
+        },
+        Instance {
+            name: format!("diag-grid 6x5 (seed {seed})"),
+            graph: gen::diag_grid(6, 5, seed).unwrap(),
+        },
+        Instance {
+            name: "apollonian 40".into(),
+            graph: gen::apollonian(40, seed).unwrap(),
+        },
+        Instance {
+            name: "outerplanar 24".into(),
+            graph: gen::outerplanar(24, seed, true).unwrap(),
+        },
+        Instance {
+            name: "diag-grid 10x7".into(),
+            graph: gen::diag_grid(10, 7, seed + 1).unwrap(),
+        },
+    ]
+}

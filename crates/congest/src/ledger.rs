@@ -1,0 +1,121 @@
+//! The round ledger: accumulates charges with a per-phase breakdown.
+
+use crate::Rounds;
+use serde::{Deserialize, Serialize};
+
+/// Accumulates CONGEST round charges, grouped by phase label.
+///
+/// Algorithms thread a `&mut CostLedger` through their execution; every
+/// communication step charges rounds under a descriptive label, so the
+/// experiment harness can report both the total and the breakdown (e.g. how
+/// much of a max-flow run went into label broadcasts vs. BDD construction).
+///
+/// # Example
+///
+/// ```
+/// use duality_congest::CostLedger;
+///
+/// let mut ledger = CostLedger::new();
+/// ledger.charge("bfs", 31);
+/// ledger.charge("broadcast-labels", 120);
+/// ledger.charge("bfs", 31);
+/// assert_eq!(ledger.total(), 182);
+/// assert_eq!(ledger.phase_total("bfs"), 62);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CostLedger {
+    total: Rounds,
+    phases: Vec<(String, Rounds)>,
+}
+
+impl CostLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `rounds` under `phase`.
+    pub fn charge(&mut self, phase: &str, rounds: Rounds) {
+        self.total += rounds;
+        if let Some(entry) = self.phases.iter_mut().rev().find(|(p, _)| p == phase) {
+            entry.1 += rounds;
+        } else {
+            self.phases.push((phase.to_string(), rounds));
+        }
+    }
+
+    /// Total rounds charged so far.
+    pub fn total(&self) -> Rounds {
+        self.total
+    }
+
+    /// Total rounds charged under `phase` (0 if the phase never occurred).
+    pub fn phase_total(&self, phase: &str) -> Rounds {
+        self.phases
+            .iter()
+            .filter(|(p, _)| p == phase)
+            .map(|(_, r)| r)
+            .sum()
+    }
+
+    /// The phase breakdown, in first-charge order.
+    pub fn phases(&self) -> &[(String, Rounds)] {
+        &self.phases
+    }
+
+    /// Merges another ledger into this one (phase-wise).
+    pub fn absorb(&mut self, other: &CostLedger) {
+        for (phase, rounds) in &other.phases {
+            self.charge(phase, *rounds);
+        }
+    }
+}
+
+impl std::fmt::Display for CostLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "total rounds: {}", self.total)?;
+        for (phase, rounds) in &self.phases {
+            writeln!(f, "  {phase}: {rounds}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_phase() {
+        let mut l = CostLedger::new();
+        l.charge("a", 10);
+        l.charge("b", 5);
+        l.charge("a", 7);
+        assert_eq!(l.total(), 22);
+        assert_eq!(l.phase_total("a"), 17);
+        assert_eq!(l.phase_total("b"), 5);
+        assert_eq!(l.phase_total("missing"), 0);
+        assert_eq!(l.phases().len(), 2);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = CostLedger::new();
+        a.charge("x", 3);
+        let mut b = CostLedger::new();
+        b.charge("x", 4);
+        b.charge("y", 1);
+        a.absorb(&b);
+        assert_eq!(a.total(), 8);
+        assert_eq!(a.phase_total("x"), 7);
+    }
+
+    #[test]
+    fn display_contains_breakdown() {
+        let mut l = CostLedger::new();
+        l.charge("bfs", 12);
+        let s = l.to_string();
+        assert!(s.contains("total rounds: 12"));
+        assert!(s.contains("bfs: 12"));
+    }
+}

@@ -1,0 +1,30 @@
+//! CONGEST round accounting for the `duality` project.
+//!
+//! The paper's algorithms are analysed in the synchronous CONGEST model:
+//! every round, each vertex may send one `O(log n)`-bit message over each
+//! incident edge. This crate provides the **single place** where simulated
+//! algorithms charge rounds:
+//!
+//! * [`CostModel`] — every charging rule (pipelined broadcast, part-wise
+//!   aggregation via low-congestion shortcuts, minor-aggregation round
+//!   simulation, black-box bounds for substituted subroutines) is a method
+//!   here, so the accounting is auditable in one file;
+//! * [`CostLedger`] — accumulates rounds with a per-phase breakdown;
+//! * [`primitives`] — executable communication primitives (BFS trees,
+//!   pipelined broadcasts) that *measure* their own cost from the actual
+//!   tree depths and message counts.
+//!
+//! Charges are *measured* wherever the primitive is actually executed, and
+//! follow the paper's stated bound for black-box substitutions (see
+//! `DESIGN.md`, "Simulation fidelity and substitutions").
+
+pub mod ledger;
+pub mod model;
+pub mod primitives;
+pub mod runtime;
+
+pub use ledger::CostLedger;
+pub use model::CostModel;
+
+/// Number of rounds, the paper's complexity measure.
+pub type Rounds = u64;

@@ -1,0 +1,186 @@
+//! The cost model: every CONGEST round charge in the workspace is produced
+//! by a method of [`CostModel`].
+
+use crate::Rounds;
+use duality_planar::util::ceil_log2;
+use serde::{Deserialize, Serialize};
+
+/// Charging rules for a CONGEST network with `n` vertices and hop diameter
+/// `d`.
+///
+/// Two kinds of rules coexist (see `DESIGN.md` §3):
+///
+/// * **measured** rules take actually-executed quantities (tree depths,
+///   message counts) and apply the model's pipelining arithmetic;
+/// * **black-box** rules charge the paper's stated bound for subroutines the
+///   paper itself uses as black boxes (shortcut construction, the
+///   Ghaffari–Parter separator, the `n^{o(1)}` approximate-SSSP oracle).
+///
+/// # Example
+///
+/// ```
+/// use duality_congest::CostModel;
+///
+/// let cm = CostModel::new(100, 18);
+/// // Broadcasting 5 words over a tree of depth 18 is pipelined.
+/// assert_eq!(cm.broadcast(18, 5), 18 + 5);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Number of vertices of the communication network `G`.
+    pub n: usize,
+    /// Undirected unweighted (hop) diameter `D` of `G`.
+    pub d: usize,
+}
+
+impl CostModel {
+    /// Creates a cost model for an `n`-vertex network of hop diameter `d`.
+    pub fn new(n: usize, d: usize) -> Self {
+        CostModel { n, d }
+    }
+
+    /// `⌈log₂ n⌉` — the word size of the model; one word crosses one edge
+    /// per round.
+    pub fn log_n(&self) -> u64 {
+        ceil_log2(self.n)
+    }
+
+    /// Measured: growing a BFS tree of depth `depth` costs `depth + 1`
+    /// rounds (the root's wake-up round plus one frontier expansion per
+    /// level).
+    pub fn bfs(&self, depth: usize) -> Rounds {
+        depth as Rounds + 1
+    }
+
+    /// Measured: pipelined broadcast (or upcast) of `words` distinct
+    /// `O(log n)`-bit messages over a tree of depth `depth`:
+    /// `depth + words` rounds.
+    pub fn broadcast(&self, depth: usize, words: u64) -> Rounds {
+        depth as Rounds + words
+    }
+
+    /// Measured: one converge-cast + broadcast over a global BFS tree of
+    /// `G` (e.g. electing a vertex, taking a global min/max): `2(D+1)`.
+    pub fn global_aggregate(&self) -> Rounds {
+        2 * (self.d as Rounds + 1)
+    }
+
+    /// Black-box (paper, Corollary 4.6): one part-wise-aggregation task on a
+    /// planar graph via low-congestion shortcuts of quality `Õ(D)` costs
+    /// `O(D log n)` rounds; we charge `(D + 1) · ⌈log n⌉`.
+    pub fn part_wise_aggregation(&self) -> Rounds {
+        (self.d as Rounds + 1) * self.log_n()
+    }
+
+    /// Part-wise aggregation on the **dual** graph `G*` via the
+    /// face-disjoint graph `Ĝ` (paper, Lemma 4.9): `Ĝ` has diameter `≤ 3D`
+    /// and simulating a round of `Ĝ` costs 2 rounds on `G` (Properties 2–3
+    /// of `Ĝ`), so a PA task costs `2 · (3D + 1) · ⌈log n⌉`.
+    pub fn dual_part_wise_aggregation(&self) -> Rounds {
+        2 * (3 * self.d as Rounds + 1) * self.log_n()
+    }
+
+    /// Black-box (paper, Lemma 4.8 + Theorem 4.10): simulating one round of
+    /// a minor-aggregation algorithm on `G*` costs `Õ(D)` CONGEST rounds:
+    /// the contraction step is `O(log n)` PA tasks, consensus and
+    /// aggregation one PA task each.
+    pub fn dual_minor_aggregation_round(&self) -> Rounds {
+        (self.log_n() + 2) * self.dual_part_wise_aggregation()
+    }
+
+    /// Black-box (paper, Theorem 4.14): one round of the *extended* model
+    /// with `beta` virtual nodes costs `beta` basic rounds.
+    pub fn dual_extended_minor_aggregation_round(&self, beta: u64) -> Rounds {
+        beta.max(1) * self.dual_minor_aggregation_round()
+    }
+
+    /// Black-box (paper, Lemma 5.1): constructing one level of the Bounded
+    /// Diameter Decomposition (separator + child-bag identification) costs
+    /// `Õ(D)` rounds; we charge `(D + 1) · ⌈log n⌉` per level.
+    pub fn bdd_level(&self) -> Rounds {
+        (self.d as Rounds + 1) * self.log_n()
+    }
+
+    /// Black-box (Li–Parter, used by Theorem 6.1): exact *primal* SSSP /
+    /// reachability in planar graphs runs in `Õ(D²)` rounds; we charge
+    /// `(D + 1)² · ⌈log n⌉`.
+    pub fn li_parter_primal_sssp(&self) -> Rounds {
+        (self.d as Rounds + 1).pow(2) * self.log_n()
+    }
+
+    /// Black-box (paper, Theorem 4.16 / Ghaffari–Zuzic): the exact min-cut
+    /// minor-aggregation algorithm runs in `Õ(1)` minor-aggregation rounds;
+    /// we charge `⌈log n⌉³` of them (tree packing × 2-respecting search).
+    pub fn min_cut_minor_aggregation_rounds(&self) -> u64 {
+        self.log_n().pow(3)
+    }
+
+    /// Black-box (paper / Rozhoň et al. + Zuzic et al.): the
+    /// `(1+ε)`-approximate SSSP oracle runs in
+    /// `O(log n) · ε⁻² · 2^{O((log n log log n)^{3/4})}` minor-aggregation
+    /// rounds. With unit constants the `loglog` factor dwarfs `n` at
+    /// simulator scales, so we charge the standard simplified
+    /// `n^{o(1)} = 2^{(log n)^{3/4}}` shape (still subpolynomial and
+    /// `D`-independent, which is what the experiments probe); `eps_inverse`
+    /// is `1/ε` (use 1 for the exact-oracle substitution).
+    pub fn approx_sssp_minor_aggregation_rounds(&self, eps_inverse: u64) -> u64 {
+        let ln = self.log_n() as f64;
+        let subpoly = ln.powf(0.75).exp2();
+        (ln as u64).max(1) * eps_inverse * eps_inverse * subpoly.ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_rules_are_exact_arithmetic() {
+        let cm = CostModel::new(1024, 30);
+        assert_eq!(cm.log_n(), 10);
+        assert_eq!(cm.bfs(30), 31);
+        assert_eq!(cm.broadcast(30, 100), 130);
+        assert_eq!(cm.global_aggregate(), 62);
+    }
+
+    #[test]
+    fn pa_scales_linearly_in_d() {
+        let a = CostModel::new(1000, 10).part_wise_aggregation();
+        let b = CostModel::new(1000, 20).part_wise_aggregation();
+        assert!(b > a);
+        assert!(b <= 2 * a);
+        let da = CostModel::new(1000, 10).dual_part_wise_aggregation();
+        assert!(da > a, "dual PA pays the Ĝ simulation overhead");
+    }
+
+    #[test]
+    fn minor_agg_round_is_otilde_d() {
+        let cm = CostModel::new(4096, 50);
+        let r = cm.dual_minor_aggregation_round();
+        // Õ(D): between D and D·polylog.
+        assert!(r >= 50);
+        assert!(r <= 50 * cm.log_n().pow(3));
+        assert_eq!(
+            cm.dual_extended_minor_aggregation_round(3),
+            3 * cm.dual_minor_aggregation_round()
+        );
+        assert_eq!(
+            cm.dual_extended_minor_aggregation_round(0),
+            cm.dual_minor_aggregation_round(),
+            "zero virtual nodes still costs one basic round"
+        );
+    }
+
+    #[test]
+    fn approx_sssp_is_subpolynomial_but_superlogarithmic() {
+        let cm = CostModel::new(1 << 16, 40);
+        let r = cm.approx_sssp_minor_aggregation_rounds(1);
+        assert!(r > cm.log_n());
+        assert!((r as f64) < (cm.n as f64), "n^{{o(1)}} ≪ n at this scale");
+        // ε⁻² scaling.
+        assert_eq!(
+            cm.approx_sssp_minor_aggregation_rounds(4),
+            16 * cm.approx_sssp_minor_aggregation_rounds(1)
+        );
+    }
+}

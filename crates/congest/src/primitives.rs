@@ -1,0 +1,166 @@
+//! Executable communication primitives that measure their own round cost.
+//!
+//! These are the building blocks the simulated algorithms actually run:
+//! growing BFS trees, pipelined broadcasts of word lists, global
+//! aggregation, and undirected s–t dart paths. Each function takes the
+//! [`CostModel`] and a [`CostLedger`] and charges the measured cost.
+
+use crate::{CostLedger, CostModel};
+use duality_planar::{Dart, PlanarGraph};
+
+/// A BFS tree of (a subgraph of) the communication network.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    /// Root vertex.
+    pub root: usize,
+    /// `parent[v]` = dart entering `v` from its BFS parent (`None` at the
+    /// root and for unreachable vertices).
+    pub parent: Vec<Option<Dart>>,
+    /// Hop depth per vertex (`usize::MAX` if unreachable).
+    pub depth: Vec<usize>,
+    /// Maximum finite depth.
+    pub max_depth: usize,
+}
+
+impl BfsTree {
+    /// Vertices reachable from the root.
+    pub fn reached(&self) -> impl Iterator<Item = usize> + '_ {
+        self.depth
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d != usize::MAX)
+            .map(|(v, _)| v)
+    }
+}
+
+/// Grows a BFS tree from `root` over the edges where `edge_present` holds,
+/// charging `depth + 1` rounds under `phase`.
+pub fn bfs_tree(
+    g: &PlanarGraph,
+    root: usize,
+    edge_present: &dyn Fn(usize) -> bool,
+    cm: &CostModel,
+    ledger: &mut CostLedger,
+    phase: &str,
+) -> BfsTree {
+    let (parent, depth) = g.bfs_restricted(root, edge_present);
+    let max_depth = depth.iter().copied().filter(|&d| d != usize::MAX).max().unwrap_or(0);
+    ledger.charge(phase, cm.bfs(max_depth));
+    BfsTree {
+        root,
+        parent,
+        depth,
+        max_depth,
+    }
+}
+
+/// Charges the cost of pipelining `words` distinct `O(log n)`-bit messages
+/// over `tree` (broadcast or upcast): `depth + words` rounds.
+pub fn pipelined_broadcast(
+    tree: &BfsTree,
+    words: u64,
+    cm: &CostModel,
+    ledger: &mut CostLedger,
+    phase: &str,
+) {
+    ledger.charge(phase, cm.broadcast(tree.max_depth, words));
+}
+
+/// Global aggregation over a BFS tree of `G` (converge-cast + broadcast of a
+/// constant number of words): elects the minimum-ID vertex satisfying
+/// `pred`, or `None` if none does. Charges `2(D+1)` rounds.
+pub fn elect_min_vertex(
+    g: &PlanarGraph,
+    pred: &dyn Fn(usize) -> bool,
+    cm: &CostModel,
+    ledger: &mut CostLedger,
+    phase: &str,
+) -> Option<usize> {
+    ledger.charge(phase, cm.global_aggregate());
+    (0..g.num_vertices()).find(|&v| pred(v))
+}
+
+/// Finds an s→t path of darts over the *undirected* graph via BFS from `s`
+/// (paper, Section 6.1: the Miller–Naor path `P` "is a directed path of
+/// darts but does not need to be a directed path of edges"). Charges the
+/// BFS cost.
+///
+/// Returns the dart sequence from `s` to `t`, or `None` if unreachable
+/// (cannot happen on connected graphs).
+pub fn st_dart_path(
+    g: &PlanarGraph,
+    s: usize,
+    t: usize,
+    cm: &CostModel,
+    ledger: &mut CostLedger,
+    phase: &str,
+) -> Option<Vec<Dart>> {
+    let tree = bfs_tree(g, s, &|_| true, cm, ledger, phase);
+    if tree.depth[t] == usize::MAX {
+        return None;
+    }
+    let mut path = Vec::new();
+    let mut v = t;
+    while v != s {
+        let d = tree.parent[v].expect("reached vertices have parents");
+        path.push(d);
+        v = g.tail(d);
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duality_planar::gen;
+
+    #[test]
+    fn bfs_tree_charges_depth_plus_one() {
+        let g = gen::grid(5, 1).unwrap(); // path: depth from end = 4
+        let cm = CostModel::new(g.num_vertices(), g.diameter());
+        let mut ledger = CostLedger::new();
+        let tree = bfs_tree(&g, 0, &|_| true, &cm, &mut ledger, "bfs");
+        assert_eq!(tree.max_depth, 4);
+        assert_eq!(ledger.total(), 5);
+        assert_eq!(tree.reached().count(), 5);
+    }
+
+    #[test]
+    fn pipelined_broadcast_adds_words() {
+        let g = gen::grid(4, 4).unwrap();
+        let cm = CostModel::new(g.num_vertices(), g.diameter());
+        let mut ledger = CostLedger::new();
+        let tree = bfs_tree(&g, 0, &|_| true, &cm, &mut ledger, "bfs");
+        let before = ledger.total();
+        pipelined_broadcast(&tree, 10, &cm, &mut ledger, "bcast");
+        assert_eq!(ledger.total() - before, tree.max_depth as u64 + 10);
+    }
+
+    #[test]
+    fn st_dart_path_is_valid_walk() {
+        let g = gen::diag_grid(5, 4, 3).unwrap();
+        let cm = CostModel::new(g.num_vertices(), g.diameter());
+        let mut ledger = CostLedger::new();
+        let (s, t) = (0, g.num_vertices() - 1);
+        let path = st_dart_path(&g, s, t, &cm, &mut ledger, "path").unwrap();
+        assert_eq!(g.tail(path[0]), s);
+        assert_eq!(g.head(*path.last().unwrap()), t);
+        for w in path.windows(2) {
+            assert_eq!(g.head(w[0]), g.tail(w[1]));
+        }
+        assert!(ledger.total() > 0);
+    }
+
+    #[test]
+    fn elect_min_vertex_finds_first_match() {
+        let g = gen::grid(3, 3).unwrap();
+        let cm = CostModel::new(g.num_vertices(), g.diameter());
+        let mut ledger = CostLedger::new();
+        let v = elect_min_vertex(&g, &|v| v >= 4, &cm, &mut ledger, "elect");
+        assert_eq!(v, Some(4));
+        assert_eq!(ledger.total(), cm.global_aggregate());
+        let none = elect_min_vertex(&g, &|_| false, &cm, &mut ledger, "elect");
+        assert_eq!(none, None);
+    }
+}

@@ -1,0 +1,534 @@
+//! An *executable* synchronous CONGEST runtime.
+//!
+//! Most of the workspace charges rounds through [`crate::CostModel`]'s
+//! arithmetic; this module provides the ground truth that arithmetic is
+//! calibrated against: a real message-passing simulator in which vertex
+//! programs exchange `O(log n)`-bit messages over the edges of the network
+//! in synchronous rounds. The message width is enforced (a message is one
+//! `u64` word plus a small tag), and the runtime counts rounds and
+//! messages exactly.
+//!
+//! Provided programs — BFS tree growth, pipelined tree broadcast, and
+//! converge-cast aggregation — are executed here and compared against the
+//! corresponding [`crate::CostModel`] charges in the test-suite, closing
+//! the loop between "measured arithmetic" and "actually executed".
+
+use duality_planar::{Dart, PlanarGraph};
+
+/// One `O(log n)`-bit CONGEST message: a tag and a word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Small protocol tag (counts toward the `O(log n)` bits).
+    pub tag: u8,
+    /// Payload word.
+    pub word: u64,
+}
+
+/// A synchronous vertex program. Each round, every vertex sees the messages
+/// that arrived on its incident darts and emits at most one message per
+/// incident out-dart.
+pub trait VertexProgram {
+    /// Per-vertex mutable state.
+    type State: Clone;
+
+    /// Initial state of vertex `v`.
+    fn init(&self, v: usize, g: &PlanarGraph) -> Self::State;
+
+    /// One synchronous round: `inbox` holds `(arriving dart, message)`
+    /// pairs (the dart points *into* the vertex); returns messages to send
+    /// as `(outgoing dart, message)` pairs. Returning no messages from any
+    /// vertex for a full round terminates the run.
+    fn step(
+        &self,
+        v: usize,
+        state: &mut Self::State,
+        inbox: &[(Dart, Message)],
+        g: &PlanarGraph,
+        round: u64,
+    ) -> Vec<(Dart, Message)>;
+}
+
+/// Result of executing a program to quiescence.
+#[derive(Clone, Debug)]
+pub struct Execution<S> {
+    /// Final per-vertex states.
+    pub states: Vec<S>,
+    /// Number of synchronous rounds until quiescence.
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+}
+
+/// Runs `program` on the network until no messages are sent for a round
+/// (or `max_rounds` is hit, which panics — programs must terminate).
+///
+/// # Panics
+///
+/// Panics if a vertex emits two messages on the same dart in one round
+/// (the CONGEST bandwidth constraint) or the round limit is exceeded.
+pub fn run<P: VertexProgram>(g: &PlanarGraph, program: &P, max_rounds: u64) -> Execution<P::State> {
+    let n = g.num_vertices();
+    let mut states: Vec<P::State> = (0..n).map(|v| program.init(v, g)).collect();
+    let mut inboxes: Vec<Vec<(Dart, Message)>> = vec![Vec::new(); n];
+    let mut rounds = 0;
+    let mut messages = 0u64;
+    loop {
+        assert!(rounds < max_rounds, "program exceeded {max_rounds} rounds");
+        let mut outboxes: Vec<Vec<(Dart, Message)>> = vec![Vec::new(); n];
+        let mut any = false;
+        for v in 0..n {
+            let inbox = std::mem::take(&mut inboxes[v]);
+            let out = program.step(v, &mut states[v], &inbox, g, rounds);
+            if !out.is_empty() {
+                any = true;
+            }
+            // Bandwidth check: one message per dart per round.
+            let mut used: Vec<Dart> = out.iter().map(|&(d, _)| d).collect();
+            used.sort_unstable();
+            let before = used.len();
+            used.dedup();
+            assert_eq!(before, used.len(), "vertex {v} oversubscribed a dart");
+            for &(d, _) in &out {
+                assert_eq!(g.tail(d), v, "vertex {v} sent on a non-incident dart");
+            }
+            outboxes[v] = out;
+        }
+        if !any && rounds > 0 {
+            return Execution {
+                states,
+                rounds,
+                messages,
+            };
+        }
+        for v in 0..n {
+            for (d, m) in std::mem::take(&mut outboxes[v]) {
+                messages += 1;
+                inboxes[g.head(d)].push((d, m));
+            }
+        }
+        rounds += 1;
+    }
+}
+
+/// BFS tree growth from a root: the classic flooding program. Terminates
+/// in `depth + 1` rounds.
+pub struct BfsProgram {
+    /// The BFS root.
+    pub root: usize,
+}
+
+/// Per-vertex BFS state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsState {
+    /// Hop distance from the root (`u64::MAX` until reached).
+    pub depth: u64,
+    /// The dart the first wave arrived on (None at the root).
+    pub parent: Option<Dart>,
+    joined: bool,
+}
+
+impl VertexProgram for BfsProgram {
+    type State = BfsState;
+
+    fn init(&self, v: usize, _g: &PlanarGraph) -> BfsState {
+        BfsState {
+            depth: if v == self.root { 0 } else { u64::MAX },
+            parent: None,
+            joined: false,
+        }
+    }
+
+    fn step(
+        &self,
+        v: usize,
+        state: &mut BfsState,
+        inbox: &[(Dart, Message)],
+        g: &PlanarGraph,
+        _round: u64,
+    ) -> Vec<(Dart, Message)> {
+        if state.depth == u64::MAX {
+            if let Some(&(d, m)) = inbox.iter().min_by_key(|(d, _)| d.index()) {
+                state.depth = m.word + 1;
+                state.parent = Some(d);
+            } else {
+                return Vec::new();
+            }
+        }
+        if state.joined {
+            return Vec::new();
+        }
+        state.joined = true;
+        g.out_darts(v)
+            .iter()
+            .map(|&d| {
+                (
+                    d,
+                    Message {
+                        tag: 0,
+                        word: state.depth,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Pipelined broadcast of `k` words down a BFS tree: the root injects one
+/// word per round; every vertex forwards what it received last round to
+/// its tree children. Terminates in `depth + k` rounds — exactly the
+/// [`crate::CostModel::broadcast`] formula.
+pub struct PipelinedBroadcast<'a> {
+    /// The root of the (precomputed) tree.
+    pub root: usize,
+    /// Parent dart per vertex (dart pointing into the vertex).
+    pub parent: &'a [Option<Dart>],
+    /// The words to broadcast.
+    pub words: &'a [u64],
+}
+
+/// State: the words received so far.
+#[derive(Clone, Debug, Default)]
+pub struct BroadcastState {
+    /// Received words in order.
+    pub received: Vec<u64>,
+    sent: usize,
+}
+
+impl VertexProgram for PipelinedBroadcast<'_> {
+    type State = BroadcastState;
+
+    fn init(&self, v: usize, _g: &PlanarGraph) -> BroadcastState {
+        BroadcastState {
+            received: if v == self.root {
+                self.words.to_vec()
+            } else {
+                Vec::new()
+            },
+            sent: 0,
+        }
+    }
+
+    fn step(
+        &self,
+        v: usize,
+        state: &mut BroadcastState,
+        inbox: &[(Dart, Message)],
+        g: &PlanarGraph,
+        _round: u64,
+    ) -> Vec<(Dart, Message)> {
+        for &(_, m) in inbox {
+            state.received.push(m.word);
+        }
+        if state.sent >= state.received.len() {
+            return Vec::new();
+        }
+        let word = state.received[state.sent];
+        state.sent += 1;
+        // Send to tree children: neighbors whose parent dart comes from v.
+        g.out_darts(v)
+            .iter()
+            .filter(|&&d| self.parent[g.head(d)] == Some(d))
+            .map(|&d| (d, Message { tag: 1, word }))
+            .collect()
+    }
+}
+
+/// Converge-cast: every vertex holds a word; the root learns the
+/// `op`-aggregate over the tree in `depth + 1` rounds (`op` is encoded as
+/// min here — sufficient for calibration).
+pub struct ConvergeCastMin<'a> {
+    /// Parent dart per vertex.
+    pub parent: &'a [Option<Dart>],
+    /// Number of tree children per vertex.
+    pub children: &'a [usize],
+    /// Input word per vertex.
+    pub inputs: &'a [u64],
+}
+
+/// State: pending children + running minimum.
+#[derive(Clone, Debug)]
+pub struct ConvergeState {
+    /// Children yet to report.
+    pub waiting: usize,
+    /// Running minimum.
+    pub acc: u64,
+    done: bool,
+}
+
+impl VertexProgram for ConvergeCastMin<'_> {
+    type State = ConvergeState;
+
+    fn init(&self, v: usize, _g: &PlanarGraph) -> ConvergeState {
+        ConvergeState {
+            waiting: self.children[v],
+            acc: self.inputs[v],
+            done: false,
+        }
+    }
+
+    fn step(
+        &self,
+        v: usize,
+        state: &mut ConvergeState,
+        inbox: &[(Dart, Message)],
+        _g: &PlanarGraph,
+        _round: u64,
+    ) -> Vec<(Dart, Message)> {
+        for &(_, m) in inbox {
+            state.acc = state.acc.min(m.word);
+            state.waiting -= 1;
+        }
+        if state.done || state.waiting > 0 {
+            return Vec::new();
+        }
+        state.done = true;
+        match self.parent[v] {
+            Some(d) => vec![(
+                d.rev(),
+                Message {
+                    tag: 2,
+                    word: state.acc,
+                },
+            )],
+            None => Vec::new(), // the root holds the answer
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostModel;
+    use duality_planar::gen;
+
+    #[test]
+    fn bfs_program_matches_centralized_bfs() {
+        let g = gen::diag_grid(6, 5, 3).unwrap();
+        let exec = run(&g, &BfsProgram { root: 0 }, 1000);
+        let (_, depth) = g.bfs(0);
+        for v in 0..g.num_vertices() {
+            assert_eq!(exec.states[v].depth, depth[v] as u64, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn bfs_round_count_matches_cost_model() {
+        let g = gen::grid(7, 3).unwrap();
+        let exec = run(&g, &BfsProgram { root: 0 }, 1000);
+        let cm = CostModel::new(g.num_vertices(), g.diameter());
+        let ecc = g.eccentricity(0);
+        // The executed program needs depth+2 rounds (the final quiescence
+        // check costs one) — within one round of the charged formula.
+        assert!(exec.rounds >= cm.bfs(ecc));
+        assert!(exec.rounds <= cm.bfs(ecc) + 1);
+    }
+
+    #[test]
+    fn pipelined_broadcast_is_depth_plus_k() {
+        let g = gen::grid(8, 2).unwrap();
+        let (parent, depth) = g.bfs(0);
+        let words: Vec<u64> = (100..120).collect();
+        let prog = PipelinedBroadcast {
+            root: 0,
+            parent: &parent,
+            words: &words,
+        };
+        let exec = run(&g, &prog, 1000);
+        // Every vertex received every word, in order.
+        for v in 0..g.num_vertices() {
+            assert_eq!(exec.states[v].received, words, "vertex {v}");
+        }
+        let max_depth = *depth.iter().max().unwrap() as u64;
+        let cm = CostModel::new(g.num_vertices(), g.diameter());
+        let charged = cm.broadcast(max_depth as usize, words.len() as u64);
+        assert!(
+            exec.rounds <= charged + 2 && exec.rounds + 2 >= charged,
+            "executed {} vs charged {charged}",
+            exec.rounds
+        );
+    }
+
+    #[test]
+    fn converge_cast_finds_minimum() {
+        let g = gen::diag_grid(5, 4, 9).unwrap();
+        let (parent, _) = g.bfs(0);
+        let mut children = vec![0usize; g.num_vertices()];
+        for v in 0..g.num_vertices() {
+            if let Some(d) = parent[v] {
+                children[g.tail(d)] += 1;
+            }
+        }
+        let inputs: Vec<u64> = (0..g.num_vertices() as u64).map(|v| 1000 - v * 7 % 97).collect();
+        let prog = ConvergeCastMin {
+            parent: &parent,
+            children: &children,
+            inputs: &inputs,
+        };
+        let exec = run(&g, &prog, 1000);
+        assert_eq!(exec.states[0].acc, *inputs.iter().min().unwrap());
+    }
+
+    #[test]
+    fn bandwidth_violation_panics() {
+        struct Bad;
+        impl VertexProgram for Bad {
+            type State = ();
+            fn init(&self, _: usize, _: &PlanarGraph) {}
+            fn step(
+                &self,
+                v: usize,
+                _: &mut (),
+                _: &[(Dart, Message)],
+                g: &PlanarGraph,
+                round: u64,
+            ) -> Vec<(Dart, Message)> {
+                if v == 0 && round == 0 {
+                    let d = g.out_darts(0)[0];
+                    return vec![(d, Message { tag: 0, word: 1 }), (d, Message { tag: 0, word: 2 })];
+                }
+                Vec::new()
+            }
+        }
+        let g = gen::grid(2, 2).unwrap();
+        let result = std::panic::catch_unwind(|| run(&g, &Bad, 10));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn message_totals_are_counted() {
+        let g = gen::grid(3, 3).unwrap();
+        let exec = run(&g, &BfsProgram { root: 4 }, 100);
+        // Every vertex floods all incident darts exactly once.
+        assert_eq!(exec.messages, g.num_darts() as u64);
+    }
+}
+
+/// Subtree sums by leaf pruning: every vertex holds a word; upon
+/// completion each vertex knows the sum over its subtree of a given rooted
+/// tree. This is the primitive the paper's Hassin pipeline uses on the
+/// dual SSSP tree (Section 6.1, "tree ancestor sums" are computed from the
+/// same converge-cast); executed here as a real message-passing program in
+/// `O(tree depth)` rounds.
+pub struct SubtreeSumProgram<'a> {
+    /// Parent dart per vertex (dart pointing into the vertex; `None` at
+    /// the root).
+    pub parent: &'a [Option<Dart>],
+    /// Number of tree children per vertex.
+    pub children: &'a [usize],
+    /// Input word per vertex.
+    pub inputs: &'a [u64],
+}
+
+/// State of [`SubtreeSumProgram`].
+#[derive(Clone, Debug)]
+pub struct SubtreeSumState {
+    /// Children yet to report.
+    pub waiting: usize,
+    /// The subtree sum (final once `waiting == 0` and the report is sent).
+    pub sum: u64,
+    reported: bool,
+}
+
+impl VertexProgram for SubtreeSumProgram<'_> {
+    type State = SubtreeSumState;
+
+    fn init(&self, v: usize, _g: &PlanarGraph) -> SubtreeSumState {
+        SubtreeSumState {
+            waiting: self.children[v],
+            sum: self.inputs[v],
+            reported: false,
+        }
+    }
+
+    fn step(
+        &self,
+        v: usize,
+        state: &mut SubtreeSumState,
+        inbox: &[(Dart, Message)],
+        _g: &PlanarGraph,
+        _round: u64,
+    ) -> Vec<(Dart, Message)> {
+        for &(_, m) in inbox {
+            state.sum += m.word;
+            state.waiting -= 1;
+        }
+        if state.reported || state.waiting > 0 {
+            return Vec::new();
+        }
+        state.reported = true;
+        match self.parent[v] {
+            Some(d) => vec![(
+                d.rev(),
+                Message {
+                    tag: 3,
+                    word: state.sum,
+                },
+            )],
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod subtree_tests {
+    use super::*;
+    use duality_planar::gen;
+
+    #[test]
+    fn subtree_sums_match_recursive_reference() {
+        let g = gen::diag_grid(6, 4, 5).unwrap();
+        let (parent, _) = g.bfs(0);
+        let n = g.num_vertices();
+        let mut children = vec![0usize; n];
+        for v in 0..n {
+            if let Some(d) = parent[v] {
+                children[g.tail(d)] += 1;
+            }
+        }
+        let inputs: Vec<u64> = (0..n as u64).map(|v| v * 3 + 1).collect();
+        let prog = SubtreeSumProgram {
+            parent: &parent,
+            children: &children,
+            inputs: &inputs,
+        };
+        let exec = run(&g, &prog, 1000);
+        // Reference: accumulate bottom-up by depth.
+        let (_, depth) = g.bfs(0);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(depth[v]));
+        let mut want = inputs.clone();
+        for &v in &order {
+            if let Some(d) = parent[v] {
+                let w = want[v];
+                want[g.tail(d)] += w;
+            }
+        }
+        for v in 0..n {
+            assert_eq!(exec.states[v].sum, want[v], "vertex {v}");
+        }
+        // The root's sum is the global total.
+        assert_eq!(exec.states[0].sum, inputs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn subtree_sums_terminate_in_depth_rounds() {
+        let g = gen::grid(10, 2).unwrap();
+        let (parent, depth) = g.bfs(0);
+        let n = g.num_vertices();
+        let mut children = vec![0usize; n];
+        for v in 0..n {
+            if let Some(d) = parent[v] {
+                children[g.tail(d)] += 1;
+            }
+        }
+        let inputs = vec![1u64; n];
+        let prog = SubtreeSumProgram {
+            parent: &parent,
+            children: &children,
+            inputs: &inputs,
+        };
+        let exec = run(&g, &prog, 1000);
+        let max_depth = *depth.iter().max().unwrap() as u64;
+        assert!(exec.rounds <= max_depth + 2);
+    }
+}

@@ -1,0 +1,321 @@
+//! `(1−ε)`-approximate maximum st-flow in undirected *st-planar* graphs in
+//! `D·n^{o(1)}` rounds (paper, Theorem 1.3).
+//!
+//! Hassin's reduction: embed an artificial edge `e = (t, s)` inside a face
+//! containing both `s` and `t`, splitting it into faces `f₁, f₂`; then the
+//! max st-flow equals `dist(f₁, f₂)` in the dual of `G ∪ {e}` with lengths
+//! = capacities, and the shortest-path potentials give a flow assignment
+//! `flow(d) = δ(face(rev d)) − δ(face(d))`.
+//!
+//! The distributed SSSP oracle is `(1+ε)`-approximate, and the assignment
+//! needs the approximate distances to be *smooth* (satisfy the triangle
+//! inequality within `1+ε` — Rozhoň et al., simulated in the
+//! minor-aggregation model per Section 6.1). We realize a genuinely
+//! `(1+1/k)`-smooth oracle by rounding every capacity up to
+//! `c̃ = c + ⌊c/k⌋` and running the exact oracle on `c̃`: exact distances
+//! are 1-smooth w.r.t. `c̃`, hence `(1+1/k)`-smooth w.r.t. `c`. Flows are
+//! reported as exact rationals `numer/denom` with `denom = k+1`, making
+//! every feasibility check exact integer arithmetic. Zero-capacity edges
+//! are handled by the paper's contraction trick (executed for real in the
+//! minor-aggregation model).
+
+use duality_congest::{CostLedger, CostModel};
+use duality_minor_agg::{MaEdge, MinorAgg};
+use duality_planar::{dual::DualView, Dart, FaceId, PlanarGraph, Weight};
+
+/// Errors from the approximate flow pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StPlanarError {
+    /// `s` and `t` do not lie on a common face (the instance is not
+    /// st-planar), or endpoints are invalid.
+    NotStPlanar,
+    /// Capacities are not symmetric per edge (the instance must be
+    /// undirected) or negative.
+    NotUndirected,
+}
+
+impl std::fmt::Display for StPlanarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StPlanarError::NotStPlanar => write!(f, "s and t do not share a face"),
+            StPlanarError::NotUndirected => {
+                write!(f, "capacities must be symmetric and non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StPlanarError {}
+
+/// Result of the approximate st-planar max-flow: a rational flow
+/// `flow_numer[d] / denom` per dart.
+#[derive(Clone, Debug)]
+pub struct ApproxFlowResult {
+    /// Flow value numerator (value = `value_numer / denom`).
+    pub value_numer: Weight,
+    /// Common denominator (`k + 1` for approximation parameter `ε = 1/k`;
+    /// 1 in exact mode).
+    pub denom: Weight,
+    /// Per-dart flow numerators (antisymmetric).
+    pub flow_numer: Vec<Weight>,
+    /// The two dual faces created by the artificial edge.
+    pub f1: FaceId,
+    /// See [`ApproxFlowResult::f1`].
+    pub f2: FaceId,
+    /// CONGEST rounds charged.
+    pub ledger: CostLedger,
+}
+
+/// Computes a `(1 − 1/(k+1))`-approximate maximum st-flow of an undirected
+/// st-planar instance. `eps_inverse = k ≥ 1` selects the approximation
+/// (`ε = 1/k`); `k = 0` runs the exact-oracle substitution (`denom = 1`).
+///
+/// `caps` are per-dart capacities with `caps[2e] == caps[2e+1]`.
+///
+/// # Errors
+///
+/// [`StPlanarError::NotStPlanar`] if `s`, `t` share no face;
+/// [`StPlanarError::NotUndirected`] on asymmetric or negative capacities.
+///
+/// # Example
+///
+/// ```
+/// use duality_core::approx_flow::approx_max_st_flow;
+/// use duality_planar::gen;
+///
+/// let g = gen::grid(4, 4).unwrap();
+/// let caps = gen::random_undirected_capacities(g.num_edges(), 1, 5, 2);
+/// // Corners 0 and 12 both lie on the outer face.
+/// let r = approx_max_st_flow(&g, &caps, 0, 12, 0).unwrap();
+/// assert!(r.value_numer > 0);
+/// ```
+pub fn approx_max_st_flow(
+    g: &PlanarGraph,
+    caps: &[Weight],
+    s: usize,
+    t: usize,
+    eps_inverse: u64,
+) -> Result<ApproxFlowResult, StPlanarError> {
+    assert_eq!(caps.len(), g.num_darts());
+    if s == t || s >= g.num_vertices() || t >= g.num_vertices() {
+        return Err(StPlanarError::NotStPlanar);
+    }
+    for e in 0..g.num_edges() {
+        if caps[2 * e] != caps[2 * e + 1] || caps[2 * e] < 0 {
+            return Err(StPlanarError::NotUndirected);
+        }
+    }
+    let cm = CostModel::new(g.num_vertices(), g.diameter());
+    let mut ledger = CostLedger::new();
+
+    // Locate a common face of s and t (one PA on Ĝ — paper, Section 6.1).
+    ledger.charge("find-common-face", cm.dual_part_wise_aggregation());
+    let common = g.faces().find(|&f| {
+        let mut has_s = false;
+        let mut has_t = false;
+        for &d in g.face_darts(f) {
+            has_s |= g.tail(d) == s;
+            has_t |= g.tail(d) == t;
+        }
+        has_s && has_t
+    });
+    let Some(face) = common else {
+        return Err(StPlanarError::NotStPlanar);
+    };
+
+    // Augment: e = (t, s) inside that face.
+    let aug = g
+        .insert_edge_in_face(t, s, face)
+        .expect("both endpoints lie on the face");
+    let new_edge = g.num_edges();
+    let f1 = aug.face_of(Dart::forward(new_edge));
+    let f2 = aug.face_of(Dart::backward(new_edge));
+    debug_assert_ne!(f1, f2, "the artificial edge splits its face");
+
+    // Quantized capacities: c̃ = c + ⌊c/k⌋ (k = 0 ⇒ exact).
+    let k = eps_inverse as Weight;
+    // The (1+1/k)-smooth oracle's quantization — see `crate::smoothing`
+    // for the standalone, property-tested form.
+    let quantize = |c: Weight| if k > 0 { c + c / k } else { c };
+    let big: Weight = (0..g.num_edges()).map(|e| quantize(caps[2 * e])).sum::<Weight>() + 1;
+    let mut lengths = vec![0; aug.num_darts()];
+    for e in 0..g.num_edges() {
+        lengths[2 * e] = quantize(caps[2 * e]);
+        lengths[2 * e + 1] = quantize(caps[2 * e + 1]);
+    }
+    lengths[2 * new_edge] = big;
+    lengths[2 * new_edge + 1] = big;
+
+    // Minor-aggregation pipeline on (G ∪ {e})*: contract zero-weight dual
+    // edges, run the approximate-SSSP oracle (black box), smooth transform
+    // wrapper (O(log n) oracle calls — Rozhoň et al.), expand.
+    let ma_edges: Vec<MaEdge> = (0..aug.num_edges())
+        .map(|e| {
+            let d = Dart::forward(e);
+            MaEdge {
+                u: aug.face_of(d).index(),
+                v: aug.face_of(d.rev()).index(),
+                weight: lengths[d.index()],
+            }
+        })
+        .collect();
+    let mut ma = MinorAgg::new(aug.num_faces(), ma_edges);
+    ma.contract(|e| e.weight == 0);
+    let oracle = cm.approx_sssp_minor_aggregation_rounds(eps_inverse.max(1));
+    ma.add_black_box_rounds((2 * cm.log_n() + 1) * oracle);
+    // The artificial-edge reduction adds O(1) virtual nodes (f1, f2):
+    // extended-model simulation with β = 2.
+    ma.charge(2, &cm, &mut ledger, "approx-sssp");
+
+    // Oracle distances: exact Dijkstra on the quantized lengths (1-smooth
+    // w.r.t. c̃, hence (1+1/k)-smooth w.r.t. c).
+    let dual = DualView::new(&aug, &lengths, |_| true);
+    let (dist, _) = dual.dijkstra(f1);
+
+    // Assignment: numerators k·(δ(face(rev d)) − δ(face(d))) over
+    // denominator k+1; exact mode: denominator 1.
+    let (mult, denom) = if k > 0 { (k, k + 1) } else { (1, 1) };
+    let mut flow_numer = vec![0; g.num_darts()];
+    for d in g.darts() {
+        let (from, to) = aug.dual_arc(d);
+        flow_numer[d.index()] = mult * (dist[to.index()] - dist[from.index()]);
+    }
+    // Orient the flow from s to t.
+    let mut net_s: Weight = g
+        .out_darts(s)
+        .iter()
+        .map(|&d| flow_numer[d.index()])
+        .sum();
+    if net_s < 0 {
+        for x in flow_numer.iter_mut() {
+            *x = -*x;
+        }
+        net_s = -net_s;
+    }
+
+    Ok(ApproxFlowResult {
+        value_numer: net_s,
+        denom,
+        flow_numer,
+        f1,
+        f2,
+        ledger,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duality_baselines::flow::planar_max_flow_reference;
+    use duality_planar::gen;
+
+    /// Exact rational feasibility + approximation checks.
+    fn check(g: &PlanarGraph, caps: &[Weight], s: usize, t: usize, k: u64) -> ApproxFlowResult {
+        let r = approx_max_st_flow(g, caps, s, t, k).unwrap();
+        // Antisymmetry + scaled capacity.
+        for d in g.darts() {
+            assert_eq!(r.flow_numer[d.index()], -r.flow_numer[d.rev().index()]);
+            assert!(
+                r.flow_numer[d.index()] <= caps[d.index()] * r.denom,
+                "capacity at {d:?}: {} > {} * {}",
+                r.flow_numer[d.index()],
+                caps[d.index()],
+                r.denom
+            );
+        }
+        // Conservation everywhere except s, t.
+        for v in 0..g.num_vertices() {
+            let net: Weight = g.out_darts(v).iter().map(|&d| r.flow_numer[d.index()]).sum();
+            if v == s {
+                assert_eq!(net, r.value_numer);
+            } else if v == t {
+                assert_eq!(net, -r.value_numer);
+            } else {
+                assert_eq!(net, 0, "conservation at {v}");
+            }
+        }
+        // Approximation guarantee: value ∈ [maxflow·k/(k+1), maxflow].
+        let exact = planar_max_flow_reference(g, caps, s, t);
+        assert!(r.value_numer <= exact * r.denom, "value exceeds max flow");
+        if k == 0 {
+            assert_eq!(r.value_numer, exact, "exact mode matches Dinic");
+        } else {
+            let kk = k as Weight;
+            assert!(
+                r.value_numer * (kk + 1) >= exact * r.denom * kk,
+                "value {}/{} below (1-eps) * {exact}",
+                r.value_numer,
+                r.denom
+            );
+        }
+        r
+    }
+
+    #[test]
+    fn exact_mode_matches_dinic_on_grids() {
+        for seed in 0..4u64 {
+            let g = gen::grid(4, 4).unwrap();
+            let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, seed);
+            // 0 and 12 are both corners on the outer face.
+            check(&g, &caps, 0, 12, 0);
+        }
+    }
+
+    #[test]
+    fn approximate_mode_is_feasible_and_close() {
+        for k in [1u64, 2, 4, 10] {
+            let g = gen::grid(5, 4).unwrap();
+            let caps = gen::random_undirected_capacities(g.num_edges(), 1, 20, k);
+            check(&g, &caps, 0, 4, k); // both corners of the top row share the outer face
+        }
+    }
+
+    #[test]
+    fn adjacent_st_on_inner_face() {
+        let g = gen::grid(4, 4).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 6, 3);
+        // 5 and 6 are adjacent interior vertices sharing an inner face.
+        check(&g, &caps, 5, 6, 0);
+    }
+
+    #[test]
+    fn zero_capacities_handled() {
+        let g = gen::grid(4, 3).unwrap();
+        let mut caps = gen::random_undirected_capacities(g.num_edges(), 1, 5, 7);
+        // Zero out a few edges.
+        for e in [0usize, 3, 5] {
+            caps[2 * e] = 0;
+            caps[2 * e + 1] = 0;
+        }
+        check(&g, &caps, 0, 3, 2);
+    }
+
+    #[test]
+    fn non_st_planar_rejected() {
+        let g = gen::grid(5, 5).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 5, 1);
+        // Center (12) and corner (0) share no face in a 5x5 grid.
+        assert_eq!(
+            approx_max_st_flow(&g, &caps, 0, 12, 0).err(),
+            Some(StPlanarError::NotStPlanar)
+        );
+    }
+
+    #[test]
+    fn directed_capacities_rejected() {
+        let g = gen::grid(3, 3).unwrap();
+        let caps = gen::random_directed_capacities(g.num_edges(), 1, 5, 1);
+        assert_eq!(
+            approx_max_st_flow(&g, &caps, 0, 2, 0).err(),
+            Some(StPlanarError::NotUndirected)
+        );
+    }
+
+    #[test]
+    fn rounds_are_d_times_subpolynomial() {
+        let g = gen::grid(6, 6).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 5, 4);
+        let r = check(&g, &caps, 0, 5, 0);
+        assert!(r.ledger.phase_total("approx-sssp") > 0);
+    }
+}

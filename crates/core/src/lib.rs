@@ -1,0 +1,24 @@
+//! The paper's headline algorithms: maximum st-flow, minimum st-cut,
+//! directed global minimum cut, and weighted girth — all computed by
+//! distributed CONGEST algorithms on the planar network `G` that operate on
+//! its dual `G*`, with round charges accumulated in a
+//! [`duality_congest::CostLedger`].
+//!
+//! | module | result | paper | rounds |
+//! |---|---|---|---|
+//! | [`max_flow`] | exact directed max st-flow | Thm 1.2 | `Õ(D²)` |
+//! | [`approx_flow`] | `(1−ε)`-approx st-planar max flow | Thm 1.3 | `D·n^{o(1)}` |
+//! | [`st_cut`] | exact directed / approx st-planar min st-cut | Thm 6.1/6.2 | `Õ(D²)` / `D·n^{o(1)}` |
+//! | [`global_cut`] | directed global min cut | Thm 1.5 | `Õ(D²)` |
+//! | [`girth`] | weighted girth | Thm 1.7 | `Õ(D)` |
+//!
+//! [`verify`] provides the flow/cut validity checkers the test-suite and
+//! the experiment harness use.
+
+pub mod approx_flow;
+pub mod girth;
+pub mod global_cut;
+pub mod max_flow;
+pub mod smoothing;
+pub mod st_cut;
+pub mod verify;

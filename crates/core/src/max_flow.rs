@@ -1,0 +1,270 @@
+//! Exact maximum st-flow in directed planar graphs, `Õ(D²)` rounds
+//! (paper, Theorem 1.2).
+//!
+//! Miller–Naor reduction: a flow of value `λ` exists iff, after pushing `λ`
+//! units along an arbitrary s→t dart path `P` (subtracting `λ` from the
+//! capacity of every dart of `P` and adding it to their reversals), the
+//! dual graph with arc lengths equal to the residual dart capacities has no
+//! negative cycle. A binary search over `λ` with one dual-SSSP (distance
+//! labeling) per probe finds the maximum flow value, and the shortest-path
+//! potentials of the final feasible probe give the flow assignment:
+//! `flow(d) = dist(face(rev d)) − dist(face(d)) (+λ if d ∈ P, −λ if
+//! rev(d) ∈ P)`.
+
+use duality_congest::{primitives, CostLedger, CostModel};
+use duality_labeling::{DualSsspEngine, LabelingError};
+use duality_planar::{Dart, PlanarGraph, Weight};
+
+/// Options for [`max_st_flow`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxFlowOptions {
+    /// Leaf threshold override for the BDD (`None`: the `Θ(D)` default).
+    pub leaf_threshold: Option<usize>,
+}
+
+/// Result of the exact max-flow computation.
+#[derive(Clone, Debug)]
+pub struct MaxFlowResult {
+    /// The maximum flow value `λ*`.
+    pub value: Weight,
+    /// Net flow per dart: `flow[d] = -flow[rev d]`; a dart carries positive
+    /// flow when `flow[d] > 0`, bounded by its capacity.
+    pub flow: Vec<Weight>,
+    /// CONGEST rounds charged (per-phase breakdown).
+    pub ledger: CostLedger,
+    /// Number of dual-SSSP probes the binary search performed
+    /// (`O(log λ*)`).
+    pub probes: u32,
+}
+
+/// Errors from the flow algorithms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlowError {
+    /// `s == t`, or an endpoint is out of range.
+    BadEndpoints,
+    /// A capacity is negative.
+    NegativeCapacity {
+        /// The offending dart index.
+        dart: usize,
+    },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::BadEndpoints => write!(f, "invalid source/sink pair"),
+            FlowError::NegativeCapacity { dart } => {
+                write!(f, "negative capacity on dart {dart}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Computes the exact maximum st-flow of a directed planar instance.
+///
+/// `caps[d]` is the capacity of dart `d` (for a plain directed graph set
+/// the backward darts to 0; antiparallel edge pairs may both be positive).
+///
+/// # Errors
+///
+/// [`FlowError::BadEndpoints`] if `s == t` or out of range;
+/// [`FlowError::NegativeCapacity`] on a negative capacity.
+///
+/// # Example
+///
+/// ```
+/// use duality_core::max_flow::{max_st_flow, MaxFlowOptions};
+/// use duality_planar::gen;
+///
+/// let g = gen::grid(4, 4).unwrap();
+/// let caps = gen::random_directed_capacities(g.num_edges(), 1, 5, 3);
+/// let r = max_st_flow(&g, &caps, 0, 15, &MaxFlowOptions::default()).unwrap();
+/// assert!(r.value > 0);
+/// ```
+pub fn max_st_flow(
+    g: &PlanarGraph,
+    caps: &[Weight],
+    s: usize,
+    t: usize,
+    options: &MaxFlowOptions,
+) -> Result<MaxFlowResult, FlowError> {
+    if s == t || s >= g.num_vertices() || t >= g.num_vertices() {
+        return Err(FlowError::BadEndpoints);
+    }
+    assert_eq!(caps.len(), g.num_darts(), "one capacity per dart");
+    if let Some(d) = caps.iter().position(|&c| c < 0) {
+        return Err(FlowError::NegativeCapacity { dart: d });
+    }
+
+    let cm = CostModel::new(g.num_vertices(), g.diameter());
+    let mut ledger = CostLedger::new();
+    let engine = DualSsspEngine::new(g, &cm, options.leaf_threshold, &mut ledger);
+    let path =
+        primitives::st_dart_path(g, s, t, &cm, &mut ledger, "st-path").expect("connected graph");
+
+    // λ is bounded by the capacity leaving s.
+    let upper: Weight = g
+        .out_darts(s)
+        .iter()
+        .map(|&d| caps[d.index()])
+        .sum::<Weight>();
+
+    let mut probes = 0;
+    let mut feasible = |lambda: Weight, ledger: &mut CostLedger| -> bool {
+        probes += 1;
+        let lengths = residual_lengths(g, caps, &path, lambda);
+        match engine.labels(&lengths, ledger) {
+            Ok(_) => true,
+            Err(LabelingError::NegativeCycle { .. }) => false,
+        }
+    };
+
+    // Binary search for the largest feasible λ (λ = 0 is always feasible).
+    let mut lo: Weight = 0;
+    let mut hi: Weight = upper;
+    while lo < hi {
+        let mid = lo + (hi - lo + 1) / 2;
+        if feasible(mid, &mut ledger) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+        // Each vertex learns the current λ via a broadcast.
+        ledger.charge("lambda-broadcast", cm.global_aggregate());
+    }
+    let lambda = lo;
+
+    // Final labeling at λ*: potentials from an arbitrary face.
+    let lengths = residual_lengths(g, caps, &path, lambda);
+    let labels = engine
+        .labels(&lengths, &mut ledger)
+        .expect("λ* is feasible");
+    let source = duality_planar::FaceId(0);
+    let dist = labels.distances_from(source, &mut ledger);
+
+    let mut flow = vec![0; g.num_darts()];
+    let on_path = path_markers(g, &path);
+    for d in g.darts() {
+        let (from, to) = g.dual_arc(d);
+        let base = dist[to.index()].expect("dual of a connected graph is strongly connected")
+            - dist[from.index()].expect("reachable");
+        flow[d.index()] = base + lambda * on_path[d.index()];
+    }
+
+    Ok(MaxFlowResult {
+        value: lambda,
+        flow,
+        ledger,
+        probes,
+    })
+}
+
+/// Residual dual lengths after pushing `lambda` along `path`.
+fn residual_lengths(
+    g: &PlanarGraph,
+    caps: &[Weight],
+    path: &[Dart],
+    lambda: Weight,
+) -> Vec<Weight> {
+    let on_path = path_markers(g, path);
+    caps.iter()
+        .enumerate()
+        .map(|(i, &c)| c - lambda * on_path[i])
+        .collect()
+}
+
+/// `+1` for darts of the path, `-1` for their reversals, `0` otherwise.
+fn path_markers(g: &PlanarGraph, path: &[Dart]) -> Vec<Weight> {
+    let mut m = vec![0; g.num_darts()];
+    for &d in path {
+        m[d.index()] += 1;
+        m[d.rev().index()] -= 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use duality_baselines::flow::planar_max_flow_reference;
+    use duality_planar::gen;
+
+    fn check(g: &PlanarGraph, caps: &[Weight], s: usize, t: usize) -> MaxFlowResult {
+        let r = max_st_flow(g, caps, s, t, &MaxFlowOptions::default()).unwrap();
+        let want = planar_max_flow_reference(g, caps, s, t);
+        assert_eq!(r.value, want, "flow value vs Dinic");
+        verify::assert_valid_flow(g, caps, &r.flow, s, t, r.value);
+        r
+    }
+
+    #[test]
+    fn single_square_unit_caps() {
+        let g = gen::grid(2, 2).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 1, 0);
+        let r = check(&g, &caps, 0, 3);
+        assert_eq!(r.value, 2);
+    }
+
+    #[test]
+    fn directed_grids_match_dinic() {
+        for seed in 0..4u64 {
+            let g = gen::grid(4, 4).unwrap();
+            let caps = gen::random_directed_capacities(g.num_edges(), 0, 7, seed);
+            check(&g, &caps, 0, g.num_vertices() - 1);
+        }
+    }
+
+    #[test]
+    fn undirected_diag_grids_match_dinic() {
+        for seed in 0..3u64 {
+            let g = gen::diag_grid(4, 4, seed).unwrap();
+            let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, seed + 50);
+            check(&g, &caps, 0, g.num_vertices() - 1);
+        }
+    }
+
+    #[test]
+    fn asymmetric_dart_capacities() {
+        let g = gen::apollonian(14, 2).unwrap();
+        let caps = gen::random_directed_capacities(g.num_edges(), 1, 6, 9);
+        // s, t: outer triangle corners.
+        check(&g, &caps, 0, 1);
+    }
+
+    #[test]
+    fn zero_capacity_cut_gives_zero_flow() {
+        let g = gen::grid(3, 3).unwrap();
+        let caps = vec![0; g.num_darts()];
+        let r = check(&g, &caps, 0, 8);
+        assert_eq!(r.value, 0);
+    }
+
+    #[test]
+    fn bad_endpoints_rejected() {
+        let g = gen::grid(3, 3).unwrap();
+        let caps = vec![1; g.num_darts()];
+        assert_eq!(
+            max_st_flow(&g, &caps, 2, 2, &MaxFlowOptions::default()).err(),
+            Some(FlowError::BadEndpoints)
+        );
+        let mut caps2 = caps;
+        caps2[3] = -1;
+        assert_eq!(
+            max_st_flow(&g, &caps2, 0, 8, &MaxFlowOptions::default()).err(),
+            Some(FlowError::NegativeCapacity { dart: 3 })
+        );
+    }
+
+    #[test]
+    fn probe_count_is_logarithmic() {
+        let g = gen::grid(4, 4).unwrap();
+        let caps = gen::random_directed_capacities(g.num_edges(), 1, 100, 1);
+        let r = check(&g, &caps, 0, 15);
+        let upper: Weight = g.out_darts(0).iter().map(|&d| caps[d.index()]).sum();
+        assert!(u64::from(r.probes) <= 2 + (upper as u64).ilog2() as u64 + 1);
+        assert!(r.ledger.phase_total("labeling-broadcast") > 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Minimum st-cut: exact directed (`Õ(D²)`, paper Theorem 6.1) and
+//! approximate st-planar (`D·n^{o(1)}`, paper Theorem 6.2).
+//!
+//! * **Exact**: run the exact max-flow (Theorem 1.2), then find the
+//!   vertices reachable from `s` in the residual graph — the paper reduces
+//!   this reachability to a primal SSSP computation (Li–Parter, charged as
+//!   a black box) over the residual network with 0/∞ weights.
+//! * **Approximate** (Reif's duality): an st-separating cycle of the
+//!   augmented dual — the shortest `f₁ → f₂` path found by Hassin's
+//!   reduction closed up by the artificial edge's dual — is an st-cut in
+//!   the primal; its primal edges form a `(1+ε)`-approximate minimum
+//!   st-cut.
+
+use crate::approx_flow::StPlanarError;
+use crate::max_flow::{max_st_flow, FlowError, MaxFlowOptions};
+use duality_congest::{CostLedger, CostModel};
+use duality_planar::{dual::DualView, Dart, PlanarGraph, Weight};
+
+/// Result of a minimum st-cut computation.
+#[derive(Clone, Debug)]
+pub struct StCutResult {
+    /// The cut capacity.
+    pub value: Weight,
+    /// `side[v]` is `true` for the `s` shore of the bisection.
+    pub side: Vec<bool>,
+    /// The cut darts (from the `s` side to the `t` side, saturated).
+    pub cut_darts: Vec<Dart>,
+    /// CONGEST rounds charged.
+    pub ledger: CostLedger,
+}
+
+/// Computes the exact directed minimum st-cut (value, bisection and cut
+/// darts).
+///
+/// # Errors
+///
+/// Propagates [`FlowError`] from the underlying max-flow computation.
+pub fn exact_min_st_cut(
+    g: &PlanarGraph,
+    caps: &[Weight],
+    s: usize,
+    t: usize,
+    options: &MaxFlowOptions,
+) -> Result<StCutResult, FlowError> {
+    let flow = max_st_flow(g, caps, s, t, options)?;
+    let mut ledger = flow.ledger;
+    let cm = CostModel::new(g.num_vertices(), g.diameter());
+    // Residual reachability from s, via the primal SSSP black box of
+    // Li–Parter (paper, Theorem 6.1 reduces reachability to SSSP with
+    // 0/∞ weights on the residual multigraph).
+    ledger.charge("residual-reachability", cm.li_parter_primal_sssp());
+    let residual_ok: Vec<bool> = g
+        .darts()
+        .map(|d| caps[d.index()] - flow.flow[d.index()] > 0)
+        .collect();
+    let mut side = vec![false; g.num_vertices()];
+    side[s] = true;
+    let mut stack = vec![s];
+    while let Some(u) = stack.pop() {
+        for &d in g.out_darts(u) {
+            if residual_ok[d.index()] && !side[g.head(d)] {
+                side[g.head(d)] = true;
+                stack.push(g.head(d));
+            }
+        }
+    }
+    let cut_darts: Vec<Dart> = g
+        .darts()
+        .filter(|&d| side[g.tail(d)] && !side[g.head(d)])
+        .collect();
+    Ok(StCutResult {
+        value: flow.value,
+        side,
+        cut_darts,
+        ledger,
+    })
+}
+
+/// Computes a `(1+1/k)`-approximate minimum st-cut of an undirected
+/// st-planar instance (`eps_inverse = k`; `k = 0` exact oracle) via Reif's
+/// st-separating dual cycle. Returns the cut edges (undirected).
+///
+/// # Errors
+///
+/// Propagates [`StPlanarError`] from the Hassin setup.
+pub fn approx_min_st_cut(
+    g: &PlanarGraph,
+    caps: &[Weight],
+    s: usize,
+    t: usize,
+    eps_inverse: u64,
+) -> Result<(Weight, Vec<usize>, CostLedger), StPlanarError> {
+    // Reuse the Hassin pipeline for validation of the inputs and charging.
+    let approx = crate::approx_flow::approx_max_st_flow(g, caps, s, t, eps_inverse)?;
+    let mut ledger = approx.ledger;
+    let cm = CostModel::new(g.num_vertices(), g.diameter());
+
+    // Rebuild the augmented dual and extract the shortest f1 → f2 path
+    // under the quantized lengths (the distributed algorithm marks the
+    // already-computed SSSP tree path; one aggregation).
+    ledger.charge("reif-mark-cycle", cm.dual_part_wise_aggregation());
+    let face = g
+        .faces()
+        .find(|&f| {
+            let mut has_s = false;
+            let mut has_t = false;
+            for &d in g.face_darts(f) {
+                has_s |= g.tail(d) == s;
+                has_t |= g.tail(d) == t;
+            }
+            has_s && has_t
+        })
+        .expect("validated by the flow call");
+    let aug = g.insert_edge_in_face(t, s, face).expect("validated");
+    let new_edge = g.num_edges();
+    let k = eps_inverse as Weight;
+    // The (1+1/k)-smooth oracle's quantization — see `crate::smoothing`
+    // for the standalone, property-tested form.
+    let quantize = |c: Weight| if k > 0 { c + c / k } else { c };
+    let big: Weight = (0..g.num_edges()).map(|e| quantize(caps[2 * e])).sum::<Weight>() + 1;
+    let mut lengths = vec![0; aug.num_darts()];
+    for e in 0..g.num_edges() {
+        lengths[2 * e] = quantize(caps[2 * e]);
+        lengths[2 * e + 1] = quantize(caps[2 * e + 1]);
+    }
+    lengths[2 * new_edge] = big;
+    lengths[2 * new_edge + 1] = big;
+    let dual = DualView::new(&aug, &lengths, |_| true);
+    let (dist, parent) = dual.dijkstra(approx.f1);
+    debug_assert!(dist[approx.f2.index()] < big);
+
+    // Walk the parents back from f2; the path darts' primal edges are the
+    // cut.
+    let mut cut_edges = Vec::new();
+    let mut value = 0;
+    let mut cur = approx.f2;
+    while cur != approx.f1 {
+        let d = parent[cur.index()].expect("f2 reachable");
+        cut_edges.push(d.edge());
+        value += caps[d.index()]; // true (unquantized) capacity
+        cur = aug.face_of(d);
+    }
+    cut_edges.sort_unstable();
+    cut_edges.dedup();
+    Ok((value, cut_edges, ledger))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use duality_baselines::flow::planar_max_flow_reference;
+    use duality_planar::gen;
+
+    #[test]
+    fn exact_cut_equals_flow_on_directed_grids() {
+        for seed in 0..3u64 {
+            let g = gen::grid(4, 4).unwrap();
+            let caps = gen::random_directed_capacities(g.num_edges(), 1, 7, seed);
+            let r = exact_min_st_cut(&g, &caps, 0, 15, &MaxFlowOptions::default()).unwrap();
+            // Max-flow min-cut: the saturated darts' capacity equals the
+            // flow value.
+            let cut_cap: Weight = r.cut_darts.iter().map(|d| caps[d.index()]).sum();
+            assert_eq!(cut_cap, r.value);
+            assert!(r.side[0] && !r.side[15]);
+            assert_eq!(
+                verify::directed_cut_capacity(&g, &caps, &r.side),
+                r.value
+            );
+        }
+    }
+
+    #[test]
+    fn exact_cut_on_undirected_instance() {
+        let g = gen::diag_grid(4, 4, 5).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 5);
+        let r = exact_min_st_cut(&g, &caps, 0, 15, &MaxFlowOptions::default()).unwrap();
+        assert_eq!(r.value, planar_max_flow_reference(&g, &caps, 0, 15));
+        // Removing the cut edges separates t from s.
+        let edges: Vec<usize> = r.cut_darts.iter().map(|d| d.edge()).collect();
+        assert!(verify::cut_separates(&g, &edges, 0, 15));
+    }
+
+    #[test]
+    fn approx_cut_separates_and_is_close() {
+        for k in [0u64, 2, 5] {
+            let g = gen::grid(5, 4).unwrap();
+            let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, k + 2);
+            let (value, edges, _) = approx_min_st_cut(&g, &caps, 0, 4, k).unwrap();
+            assert!(verify::cut_separates(&g, &edges, 0, 4), "k = {k}");
+            let exact = planar_max_flow_reference(&g, &caps, 0, 4);
+            assert!(value >= exact, "a cut is never below the max flow");
+            let kk = k.max(1) as Weight;
+            assert!(
+                value * kk <= exact * (kk + 1),
+                "cut {value} vs (1+1/{kk}) * {exact}"
+            );
+            if k == 0 {
+                assert_eq!(value, exact);
+            }
+        }
+    }
+
+    #[test]
+    fn cut_value_zero_when_capacities_zero() {
+        let g = gen::grid(3, 3).unwrap();
+        let caps = vec![0; g.num_darts()];
+        let r = exact_min_st_cut(&g, &caps, 0, 8, &MaxFlowOptions::default()).unwrap();
+        assert_eq!(r.value, 0);
+        // The crossing darts all carry zero capacity.
+        assert_eq!(r.cut_darts.iter().map(|d| caps[d.index()]).sum::<Weight>(), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Flow and cut validity checkers, used by tests and the experiment
+//! harness to certify every distributed result against first principles.
+
+use duality_planar::{PlanarGraph, Weight};
+
+/// Asserts that `flow` is a feasible st-flow of value `value`:
+/// antisymmetric on dart pairs, capacity-respecting, conserving at every
+/// vertex other than `s`/`t`, with net outflow `value` at `s` and `-value`
+/// at `t`.
+///
+/// # Panics
+///
+/// Panics (with a diagnostic) on the first violated condition.
+pub fn assert_valid_flow(
+    g: &PlanarGraph,
+    caps: &[Weight],
+    flow: &[Weight],
+    s: usize,
+    t: usize,
+    value: Weight,
+) {
+    assert_eq!(flow.len(), g.num_darts());
+    for d in g.darts() {
+        assert_eq!(
+            flow[d.index()],
+            -flow[d.rev().index()],
+            "antisymmetry at {d:?}"
+        );
+        assert!(
+            flow[d.index()] <= caps[d.index()],
+            "capacity violated at {d:?}: flow {} > cap {}",
+            flow[d.index()],
+            caps[d.index()]
+        );
+    }
+    for v in 0..g.num_vertices() {
+        let net: Weight = g.out_darts(v).iter().map(|&d| flow[d.index()]).sum();
+        if v == s {
+            assert_eq!(net, value, "source outflow");
+        } else if v == t {
+            assert_eq!(net, -value, "sink inflow");
+        } else {
+            assert_eq!(net, 0, "conservation at vertex {v}");
+        }
+    }
+}
+
+/// Checks that `cut_edges` disconnects `t` from `s` when removed
+/// (undirected sense: both darts blocked).
+pub fn cut_separates(g: &PlanarGraph, cut_edges: &[usize], s: usize, t: usize) -> bool {
+    let cut: std::collections::HashSet<usize> = cut_edges.iter().copied().collect();
+    let (_, depth) = g.bfs_restricted(s, &|e| !cut.contains(&e));
+    depth[t] == usize::MAX
+}
+
+/// Checks that `cut_edges` is a *directed* cut: no dart with positive
+/// capacity leads from the `s`-side to the `t`-side other than the cut
+/// darts themselves; returns the total capacity crossing s-side → t-side.
+pub fn directed_cut_capacity(
+    g: &PlanarGraph,
+    caps: &[Weight],
+    side_s: &[bool],
+) -> Weight {
+    let mut total = 0;
+    for d in g.darts() {
+        if side_s[g.tail(d)] && !side_s[g.head(d)] {
+            total += caps[d.index()];
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duality_planar::gen;
+
+    #[test]
+    fn zero_flow_is_valid() {
+        let g = gen::grid(3, 3).unwrap();
+        let caps = vec![1; g.num_darts()];
+        let flow = vec![0; g.num_darts()];
+        assert_valid_flow(&g, &caps, &flow, 0, 8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "conservation")]
+    fn leaky_flow_panics() {
+        let g = gen::grid(2, 2).unwrap();
+        let caps = vec![5; g.num_darts()];
+        let mut flow = vec![0; g.num_darts()];
+        // Push on a single dart out of vertex 0 without continuing it.
+        let d = g.out_darts(0)[0];
+        flow[d.index()] = 1;
+        flow[d.rev().index()] = -1;
+        assert_valid_flow(&g, &caps, &flow, 0, 3, 1);
+    }
+
+    #[test]
+    fn cut_separation() {
+        let g = gen::grid(3, 1).unwrap(); // path 0-1-2
+        assert!(cut_separates(&g, &[0], 0, 2));
+        assert!(!cut_separates(&g, &[], 0, 2));
+    }
+
+    #[test]
+    fn directed_cut_capacity_counts_forward_darts() {
+        let g = gen::grid(2, 2).unwrap();
+        let caps = gen::random_directed_capacities(g.num_edges(), 2, 2, 0);
+        let side: Vec<bool> = (0..4).map(|v| v == 0).collect();
+        // Vertex 0 has two outgoing edges with forward capacity 2 each
+        // (whether the forward dart leaves 0 depends on edge orientation;
+        // grid edges are oriented away from the lower index, so both leave).
+        assert_eq!(directed_cut_capacity(&g, &caps, &side), 4);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests: every headline algorithm agrees with its
+//! centralized reference on randomized planar instances.
+
+use duality_baselines::cuts::planar_directed_min_cut_reference;
+use duality_baselines::flow::planar_max_flow_reference;
+use duality_baselines::girth::planar_weighted_girth;
+use duality_core::{approx_flow, girth, global_cut, max_flow, verify};
+use duality_planar::{gen, Weight};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Exact max flow equals Dinic and the assignment is feasible, for
+    /// random capacities (including zeros) on random triangulated grids.
+    #[test]
+    fn max_flow_matches_dinic(
+        w in 3usize..6,
+        h in 3usize..5,
+        seed in 0u64..10_000,
+        lo in 0i64..2,
+        hi in 3i64..15,
+    ) {
+        let g = gen::diag_grid(w, h, seed).unwrap();
+        let caps = gen::random_directed_capacities(g.num_edges(), lo, hi, seed + 1);
+        let (s, t) = (0, g.num_vertices() - 1);
+        let r = max_flow::max_st_flow(&g, &caps, s, t, &Default::default()).unwrap();
+        prop_assert_eq!(r.value, planar_max_flow_reference(&g, &caps, s, t));
+        verify::assert_valid_flow(&g, &caps, &r.flow, s, t, r.value);
+    }
+
+    /// Max flow with both darts capacitated (antiparallel pairs).
+    #[test]
+    fn max_flow_antiparallel(
+        n in 8usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let g = gen::apollonian(n, seed).unwrap();
+        let caps = gen::random_edge_weights(2 * g.num_edges(), 0, 9, seed + 2);
+        let (s, t) = (0, n - 1);
+        let r = max_flow::max_st_flow(&g, &caps, s, t, &Default::default()).unwrap();
+        prop_assert_eq!(r.value, planar_max_flow_reference(&g, &caps, s, t));
+        verify::assert_valid_flow(&g, &caps, &r.flow, s, t, r.value);
+    }
+
+    /// The approximate st-planar flow is always feasible (exact rational
+    /// arithmetic) and within its guarantee.
+    #[test]
+    fn approx_flow_feasible_and_tight(
+        w in 4usize..7,
+        h in 3usize..5,
+        seed in 0u64..10_000,
+        k in 1u64..10,
+    ) {
+        let g = gen::diag_grid(w, h, seed).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 0, 20, seed + 3);
+        let (s, t) = (0, w - 1); // two top corners share the outer face
+        let r = approx_flow::approx_max_st_flow(&g, &caps, s, t, k).unwrap();
+        for d in g.darts() {
+            prop_assert_eq!(r.flow_numer[d.index()], -r.flow_numer[d.rev().index()]);
+            prop_assert!(r.flow_numer[d.index()] <= caps[d.index()] * r.denom);
+        }
+        for v in 0..g.num_vertices() {
+            let net: Weight = g.out_darts(v).iter().map(|&d| r.flow_numer[d.index()]).sum();
+            if v == s {
+                prop_assert_eq!(net, r.value_numer);
+            } else if v == t {
+                prop_assert_eq!(net, -r.value_numer);
+            } else {
+                prop_assert_eq!(net, 0);
+            }
+        }
+        let exact = planar_max_flow_reference(&g, &caps, s, t);
+        let kk = k as Weight;
+        prop_assert!(r.value_numer <= exact * r.denom);
+        prop_assert!(r.value_numer * (kk + 1) >= exact * r.denom * kk);
+    }
+
+    /// Directed global min cut equals the centralized dual-cycle reference
+    /// and its bisection pays exactly the reported weight.
+    #[test]
+    fn global_cut_matches_reference(
+        w in 3usize..6,
+        h in 3usize..5,
+        seed in 0u64..10_000,
+        wmax in 1i64..20,
+    ) {
+        let g = gen::diag_grid(w, h, seed).unwrap();
+        let weights = gen::random_edge_weights(g.num_edges(), 0, wmax, seed + 5);
+        let r = global_cut::directed_global_min_cut(&g, &weights).unwrap();
+        prop_assert_eq!(Some(r.value), planar_directed_min_cut_reference(&g, &weights));
+        let mut caps = vec![0; g.num_darts()];
+        for (e, &x) in weights.iter().enumerate() {
+            caps[2 * e] = x;
+        }
+        prop_assert_eq!(verify::directed_cut_capacity(&g, &caps, &r.side), r.value);
+    }
+
+    /// Weighted girth equals the centralized reference and the certificate
+    /// cycle has exactly the reported weight.
+    #[test]
+    fn girth_matches_reference(
+        w in 3usize..7,
+        h in 3usize..6,
+        seed in 0u64..10_000,
+        wmax in 1i64..30,
+    ) {
+        let g = gen::diag_grid(w, h, seed).unwrap();
+        let weights = gen::random_edge_weights(g.num_edges(), 1, wmax, seed + 7);
+        let r = girth::weighted_girth(&g, &weights).unwrap();
+        prop_assert_eq!(Some(r.girth), planar_weighted_girth(&g, &weights));
+        let total: Weight = r.cycle_edges.iter().map(|&e| weights[e]).sum();
+        prop_assert_eq!(total, r.girth);
+    }
+
+    /// Flow value is monotone in capacities (a classic flow invariant the
+    /// whole pipeline must preserve).
+    #[test]
+    fn flow_monotone_in_capacity(
+        w in 3usize..5,
+        h in 3usize..5,
+        seed in 0u64..10_000,
+        bump in 1i64..5,
+    ) {
+        let g = gen::diag_grid(w, h, seed).unwrap();
+        let caps = gen::random_directed_capacities(g.num_edges(), 1, 9, seed);
+        let more: Vec<Weight> = caps.iter().map(|&c| if c > 0 { c + bump } else { c }).collect();
+        let (s, t) = (0, g.num_vertices() - 1);
+        let a = max_flow::max_st_flow(&g, &caps, s, t, &Default::default()).unwrap();
+        let b = max_flow::max_st_flow(&g, &more, s, t, &Default::default()).unwrap();
+        prop_assert!(b.value >= a.value);
+    }
+}

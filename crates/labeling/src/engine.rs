@@ -1,0 +1,639 @@
+//! The labeling engine: bottom-up label computation over the BDD.
+
+use duality_bdd::{dual_bags, Bdd, BddOptions, DualBag};
+use duality_congest::{CostLedger, CostModel};
+use duality_planar::{Dart, FaceId, PlanarGraph, Weight, INF};
+use std::collections::HashMap;
+
+/// Errors from the labeling algorithm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LabelingError {
+    /// A negative cycle exists in the (weighted) dual graph; it was
+    /// detected at the given bag (the leafmost bag containing it —
+    /// Lemma 5.19). The Miller–Naor flow search uses this signal.
+    NegativeCycle {
+        /// Bag where the cycle was detected.
+        bag: usize,
+    },
+}
+
+impl std::fmt::Display for LabelingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LabelingError::NegativeCycle { bag } => {
+                write!(f, "negative cycle in the dual graph (detected at bag {bag})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LabelingError {}
+
+/// Reusable dual-SSSP machinery: the BDD, dual bags and separators are
+/// built once per topology; [`DualSsspEngine::labels`] is then called once
+/// per weight assignment (the Miller–Naor binary search re-labels the same
+/// engine `O(log λ)` times).
+///
+/// # Example
+///
+/// ```
+/// use duality_labeling::DualSsspEngine;
+/// use duality_congest::{CostLedger, CostModel};
+/// use duality_planar::gen;
+///
+/// let g = gen::grid(6, 6).unwrap();
+/// let cm = CostModel::new(g.num_vertices(), g.diameter());
+/// let mut ledger = CostLedger::new();
+/// let engine = DualSsspEngine::new(&g, &cm, None, &mut ledger);
+/// let lengths = vec![1i64; g.num_darts()];
+/// let labels = engine.labels(&lengths, &mut ledger).unwrap();
+/// let f0 = duality_planar::FaceId(0);
+/// assert_eq!(labels.decode(f0, f0), Some(0));
+/// ```
+pub struct DualSsspEngine<'g> {
+    /// The communication graph.
+    pub graph: &'g PlanarGraph,
+    /// The decomposition.
+    pub bdd: Bdd<'g>,
+    /// Dual bag per bag id.
+    pub duals: Vec<DualBag>,
+    /// `F_X` per bag id (empty for leaves), as face ids.
+    pub fx: Vec<Vec<FaceId>>,
+    /// `F_X` face → index within `fx[bag]`.
+    fx_index: Vec<HashMap<FaceId, usize>>,
+    /// For non-leaf bags: which child (index into `children`) wholly
+    /// contains each non-`F_X` node.
+    child_of_node: Vec<HashMap<FaceId, usize>>,
+    /// `S_X` dual arcs per non-leaf bag: `(from_face, to_face, dart)`.
+    separator_arcs: Vec<Vec<(FaceId, FaceId, Dart)>>,
+    cm: CostModel,
+}
+
+impl<'g> DualSsspEngine<'g> {
+    /// Builds the engine: BDD construction (`Õ(D)` rounds per level,
+    /// charged), dual bags, separators and edge classification.
+    pub fn new(
+        g: &'g PlanarGraph,
+        cm: &CostModel,
+        leaf_threshold: Option<usize>,
+        ledger: &mut CostLedger,
+    ) -> Self {
+        let bdd = Bdd::build(
+            g,
+            &BddOptions {
+                leaf_threshold,
+                ..Default::default()
+            },
+            cm,
+            ledger,
+        );
+        let duals: Vec<DualBag> = bdd.bags.iter().map(|b| DualBag::of_bag(g, b)).collect();
+        let mut fx = vec![Vec::new(); bdd.bags.len()];
+        let mut fx_index = vec![HashMap::new(); bdd.bags.len()];
+        let mut child_of_node = vec![HashMap::new(); bdd.bags.len()];
+        let mut separator_arcs = vec![Vec::new(); bdd.bags.len()];
+        for bag in &bdd.bags {
+            if bag.is_leaf() {
+                continue;
+            }
+            let dual = &duals[bag.id];
+            let f = dual_bags::dual_separator(&bdd, bag, dual);
+            fx_index[bag.id] = f.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+            fx[bag.id] = f;
+            // Node → wholly-containing child; separator arcs.
+            let locus = dual_bags::classify_dual_edges(&bdd, bag);
+            for arc in &dual.arcs {
+                if locus[&arc.dart.edge()] == dual_bags::EdgeLocus::Separator {
+                    separator_arcs[bag.id].push((
+                        dual.nodes[arc.from],
+                        dual.nodes[arc.to],
+                        arc.dart,
+                    ));
+                }
+            }
+            for &node in &dual.nodes {
+                if fx_index[bag.id].contains_key(&node) {
+                    continue;
+                }
+                // A non-F_X node has all its edges in exactly one child; it
+                // is a node of that child's dual bag.
+                let ci = bag
+                    .children
+                    .iter()
+                    .position(|&c| duals[c].node_index.contains_key(&node))
+                    .expect("non-separator node lives in a child");
+                child_of_node[bag.id].insert(node, ci);
+            }
+        }
+        DualSsspEngine {
+            graph: g,
+            bdd,
+            duals,
+            fx,
+            fx_index,
+            child_of_node,
+            separator_arcs,
+            cm: *cm,
+        }
+    }
+
+    /// The cost model the engine charges against.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cm
+    }
+
+    /// The `S_X` dual arcs of a bag: `(from_face, to_face, dart)` per
+    /// separator-classified dual edge (empty for leaves).
+    pub fn separator_arcs(&self, bag: usize) -> &[(FaceId, FaceId, Dart)] {
+        &self.separator_arcs[bag]
+    }
+
+    /// Computes distance labels for the dual graph under the per-dart
+    /// lengths `lengths` (use `>= INF/2` to mark a dart as absent).
+    ///
+    /// Charges the measured broadcast schedule on `ledger`.
+    ///
+    /// # Errors
+    ///
+    /// [`LabelingError::NegativeCycle`] if the weighted dual contains a
+    /// negative cycle (the abort broadcast of `O(D)` rounds is charged).
+    pub fn labels(
+        &self,
+        lengths: &[Weight],
+        ledger: &mut CostLedger,
+    ) -> Result<DualLabels<'_, 'g>, LabelingError> {
+        assert_eq!(lengths.len(), self.graph.num_darts(), "one length per dart");
+        let nbags = self.bdd.bags.len();
+        let mut store = LabelStore {
+            to_fx: vec![HashMap::new(); nbags],
+            from_fx: vec![HashMap::new(); nbags],
+            leaf_apsp: vec![HashMap::new(); nbags],
+            label_words: vec![HashMap::new(); nbags],
+        };
+
+        // Bottom-up over levels; track the per-level maximum broadcast cost
+        // (bags of one level run in parallel; Property 7 bounds the overlap
+        // by a factor of 2).
+        for level in (0..self.bdd.depth()).rev() {
+            let mut level_cost: u64 = 0;
+            for &bid in &self.bdd.levels[level] {
+                let words = if self.bdd.bags[bid].is_leaf() {
+                    self.label_leaf(bid, lengths, &mut store).map_err(|e| {
+                        ledger.charge("neg-cycle-abort", self.cm.bfs(self.cm.d));
+                        e
+                    })?
+                } else {
+                    self.label_internal(bid, lengths, &mut store).map_err(|e| {
+                        ledger.charge("neg-cycle-abort", self.cm.bfs(self.cm.d));
+                        e
+                    })?
+                };
+                let cost = self.cm.broadcast(self.bdd.bags[bid].bfs_depth, words);
+                level_cost = level_cost.max(2 * cost);
+            }
+            ledger.charge("labeling-broadcast", level_cost);
+        }
+        Ok(DualLabels {
+            engine: self,
+            store,
+        })
+    }
+
+    /// Leaf bag: collect the whole dual bag, Floyd–Warshall APSP locally.
+    /// Returns the number of words broadcast (node ids + arcs).
+    fn label_leaf(
+        &self,
+        bid: usize,
+        lengths: &[Weight],
+        store: &mut LabelStore,
+    ) -> Result<u64, LabelingError> {
+        let dual = &self.duals[bid];
+        let n = dual.len();
+        let mut dist = vec![vec![INF; n]; n];
+        for (i, row) in dist.iter_mut().enumerate() {
+            row[i] = 0;
+        }
+        for arc in &dual.arcs {
+            let w = lengths[arc.dart.index()];
+            if w >= INF / 2 {
+                continue;
+            }
+            if w < dist[arc.from][arc.to] {
+                dist[arc.from][arc.to] = w;
+            }
+        }
+        floyd_warshall_in_place(&mut dist);
+        for i in 0..n {
+            if dist[i][i] < 0 {
+                return Err(LabelingError::NegativeCycle { bag: bid });
+            }
+        }
+        for (i, &f) in dual.nodes.iter().enumerate() {
+            let row: Vec<Weight> = (0..n).map(|j| dist[i][j]).collect();
+            let col: Vec<Weight> = (0..n).map(|j| dist[j][i]).collect();
+            store.label_words[bid].insert(f, 2 * n as u64 + 1);
+            store.leaf_apsp[bid].insert(f, (row, col));
+        }
+        Ok(self.bdd.bags[bid].edges.len() as u64 + 2 * dual.arcs.len() as u64)
+    }
+
+    /// Non-leaf bag: assemble the DDG from child labels + `S_X` dual arcs +
+    /// zero links, Floyd–Warshall on it, then derive every node's distances
+    /// to/from `F_X`. Returns the number of words broadcast.
+    fn label_internal(
+        &self,
+        bid: usize,
+        lengths: &[Weight],
+        store: &mut LabelStore,
+    ) -> Result<u64, LabelingError> {
+        let bag = &self.bdd.bags[bid];
+        let dual = &self.duals[bid];
+        let fx = &self.fx[bid];
+        let nf = fx.len();
+
+        // DDG nodes: one per (child, F_X face present in that child's
+        // dual); faces absent from every child get an orphan node.
+        let mut h_nodes: Vec<(usize, FaceId)> = Vec::new(); // (child or usize::MAX, face)
+        let mut h_of: HashMap<(usize, FaceId), usize> = HashMap::new();
+        let mut rep: HashMap<FaceId, usize> = HashMap::new(); // canonical H node per face
+        for &f in fx {
+            let mut found = false;
+            for (ci, &c) in bag.children.iter().enumerate() {
+                if self.duals[c].node_index.contains_key(&f) {
+                    let id = h_nodes.len();
+                    h_nodes.push((ci, f));
+                    h_of.insert((ci, f), id);
+                    rep.entry(f).or_insert(id);
+                    found = true;
+                }
+            }
+            if !found {
+                let id = h_nodes.len();
+                h_nodes.push((usize::MAX, f));
+                h_of.insert((usize::MAX, f), id);
+                rep.insert(f, id);
+            }
+        }
+        let hn = h_nodes.len();
+        let mut h = vec![vec![INF; hn]; hn];
+        for (i, row) in h.iter_mut().enumerate() {
+            row[i] = 0;
+        }
+        let relax = |m: &mut Vec<Vec<Weight>>, a: usize, b: usize, w: Weight| {
+            if w < m[a][b] {
+                m[a][b] = w;
+            }
+        };
+
+        // (a) Per-child cliques of label-decoded distances.
+        for (i, &(ci, f)) in h_nodes.iter().enumerate() {
+            if ci == usize::MAX {
+                continue;
+            }
+            let child = bag.children[ci];
+            for (j, &(cj, g)) in h_nodes.iter().enumerate() {
+                if cj != ci || i == j {
+                    continue;
+                }
+                let w = self.decode_at(child, f, g, store);
+                if w < INF / 2 {
+                    relax(&mut h, i, j, w);
+                }
+            }
+        }
+        // (b) S_X dual arcs.
+        for &(from, to, dart) in &self.separator_arcs[bid] {
+            let w = lengths[dart.index()];
+            if w >= INF / 2 {
+                continue;
+            }
+            relax(&mut h, rep[&from], rep[&to], w);
+        }
+        // (c) Zero links among the parts of the same face.
+        for &f in fx {
+            let parts: Vec<usize> = (0..bag.children.len())
+                .filter_map(|ci| h_of.get(&(ci, f)).copied())
+                .collect();
+            for &a in &parts {
+                for &b in &parts {
+                    if a != b {
+                        relax(&mut h, a, b, 0);
+                    }
+                }
+            }
+        }
+        // Wait — the S_X arcs must attach to *every* part, not only the
+        // representative; the zero links make attachment to one part
+        // equivalent, so `rep` suffices. Floyd–Warshall:
+        floyd_warshall_in_place(&mut h);
+        for i in 0..hn {
+            if h[i][i] < 0 {
+                return Err(LabelingError::NegativeCycle { bag: bid });
+            }
+        }
+
+        // Distances between F_X faces (via representatives; the zero links
+        // make every part equivalent).
+        let d_fx = |h: &Vec<Vec<Weight>>, f: FaceId, g: FaceId| -> Weight { h[rep[&f]][rep[&g]] };
+
+        // Labels for every node of X*.
+        for &node in &dual.nodes {
+            let (to, from) = if self.fx_index[bid].contains_key(&node) {
+                let to: Vec<Weight> = fx.iter().map(|&f| d_fx(&h, node, f)).collect();
+                let from: Vec<Weight> = fx.iter().map(|&f| d_fx(&h, f, node)).collect();
+                (to, from)
+            } else {
+                let ci = self.child_of_node[bid][&node];
+                let child = bag.children[ci];
+                // F_X parts living in this child.
+                let parts: Vec<(usize, FaceId)> = h_nodes
+                    .iter()
+                    .filter(|&&(c, _)| c == ci)
+                    .map(|&(_, f)| f)
+                    .map(|f| (h_of[&(ci, f)], f))
+                    .collect();
+                let mut to = vec![INF; nf];
+                let mut from = vec![INF; nf];
+                for (k, &f) in fx.iter().enumerate() {
+                    let mut best_to = INF;
+                    let mut best_from = INF;
+                    for &(hid, p) in &parts {
+                        let g2p = self.decode_at(child, node, p, store);
+                        if g2p < INF / 2 && h[hid][rep[&f]] < INF / 2 {
+                            best_to = best_to.min(g2p + h[hid][rep[&f]]);
+                        }
+                        let p2g = self.decode_at(child, p, node, store);
+                        if p2g < INF / 2 && h[rep[&f]][hid] < INF / 2 {
+                            best_from = best_from.min(h[rep[&f]][hid] + p2g);
+                        }
+                    }
+                    to[k] = best_to;
+                    from[k] = best_from;
+                }
+                (to, from)
+            };
+            let child_words: u64 = if let Some(&ci) = self.child_of_node[bid].get(&node) {
+                store.label_words[bag.children[ci]]
+                    .get(&node)
+                    .copied()
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            store.label_words[bid].insert(node, 2 * nf as u64 + 1 + child_words);
+            store.to_fx[bid].insert(node, to);
+            store.from_fx[bid].insert(node, from);
+        }
+
+        // Broadcast words: the S_X dual arcs plus, for every F_X face, the
+        // labels of all its parts computed in the children.
+        let mut words = 2 * self.separator_arcs[bid].len() as u64;
+        for &f in fx {
+            for &c in &bag.children {
+                if let Some(w) = store.label_words[c].get(&f) {
+                    words += w;
+                }
+            }
+        }
+        Ok(words)
+    }
+
+    /// Decodes `dist(f → h)` within bag `bid` from the labels stored so far
+    /// (both faces must be nodes of the bag's dual).
+    fn decode_at(&self, bid: usize, f: FaceId, h: FaceId, store: &LabelStore) -> Weight {
+        if f == h {
+            return 0;
+        }
+        if self.bdd.bags[bid].is_leaf() {
+            let (row, _) = &store.leaf_apsp[bid][&f];
+            let j = self.duals[bid].node_index[&h];
+            return row[j];
+        }
+        let to = &store.to_fx[bid][&f];
+        let from = &store.from_fx[bid][&h];
+        let mut best = INF;
+        for (a, b) in to.iter().zip(from) {
+            if *a < INF / 2 && *b < INF / 2 {
+                best = best.min(a + b);
+            }
+        }
+        // Both wholly inside the same child: the shortest path may avoid
+        // F_X entirely (Lemma 5.15's other case).
+        if let (Some(&cf), Some(&ch)) = (
+            self.child_of_node[bid].get(&f),
+            self.child_of_node[bid].get(&h),
+        ) {
+            if cf == ch {
+                best = best.min(self.decode_at(self.bdd.bags[bid].children[cf], f, h, store));
+            }
+        }
+        best
+    }
+}
+
+/// Per-bag label storage.
+struct LabelStore {
+    /// `to_fx[bag][node][k]` = `dist(node → fx[bag][k])` in `X*`.
+    to_fx: Vec<HashMap<FaceId, Vec<Weight>>>,
+    /// `from_fx[bag][node][k]` = `dist(fx[bag][k] → node)` in `X*`.
+    from_fx: Vec<HashMap<FaceId, Vec<Weight>>>,
+    /// Leaf bags: `(row, col)` of the APSP matrix per node.
+    leaf_apsp: Vec<HashMap<FaceId, (Vec<Weight>, Vec<Weight>)>>,
+    /// Label size in `O(log n)`-bit words per (bag, node) — the measured
+    /// quantity behind Lemma 5.17 (`Õ(D)` bits).
+    label_words: Vec<HashMap<FaceId, u64>>,
+}
+
+/// Computed distance labels for `G*` under one weight assignment.
+pub struct DualLabels<'e, 'g> {
+    engine: &'e DualSsspEngine<'g>,
+    store: LabelStore,
+}
+
+impl<'e, 'g> DualLabels<'e, 'g> {
+    /// The engine these labels were computed by.
+    pub fn engine(&self) -> &'e DualSsspEngine<'g> {
+        self.engine
+    }
+
+    /// Decodes the `G*` distance from face `f` to face `h` (labels only —
+    /// Lemma 5.16). `None` if `h` is unreachable from `f`.
+    pub fn decode(&self, f: FaceId, h: FaceId) -> Option<Weight> {
+        let d = self.engine.decode_at(0, f, h, &self.store);
+        (d < INF / 2).then_some(d)
+    }
+
+    /// Decodes the distance from `f` to `h` *within bag `bag`'s dual*
+    /// (both faces must be nodes of that dual bag). Used by the directed
+    /// global-min-cut recursion (Section 7), which runs its per-dart cycle
+    /// search on the same per-bag DDGs the labels were built from.
+    pub fn decode_in_bag(&self, bag: usize, f: FaceId, h: FaceId) -> Option<Weight> {
+        let d = self.engine.decode_at(bag, f, h, &self.store);
+        (d < INF / 2).then_some(d)
+    }
+
+    /// The label size of face `f` in `O(log n)`-bit words (Lemma 5.17:
+    /// `Õ(D)`).
+    pub fn label_words(&self, f: FaceId) -> u64 {
+        self.store.label_words[0].get(&f).copied().unwrap_or(0)
+    }
+
+    /// Distances from `source` to every face, by broadcasting the source
+    /// label (`D + |label|` rounds, charged) and decoding locally.
+    pub fn distances_from(&self, source: FaceId, ledger: &mut CostLedger) -> Vec<Option<Weight>> {
+        let cm = &self.engine.cm;
+        ledger.charge(
+            "sssp-label-broadcast",
+            cm.broadcast(cm.d, self.label_words(source)),
+        );
+        self.engine
+            .graph
+            .faces()
+            .map(|f| self.decode(source, f))
+            .collect()
+    }
+}
+
+fn floyd_warshall_in_place(d: &mut Vec<Vec<Weight>>) {
+    // When a negative cycle is present (the Miller–Naor infeasibility
+    // signal), Floyd–Warshall entries can compound geometrically downward;
+    // clamping at -INF keeps the arithmetic in range while preserving the
+    // negative diagonal that the caller checks.
+    let n = d.len();
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[i][k];
+            if dik >= INF / 2 {
+                continue;
+            }
+            for j in 0..n {
+                let cand = (dik + d[k][j]).max(-INF);
+                if d[k][j] < INF / 2 && cand < d[i][j] {
+                    d[i][j] = cand;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duality_planar::dual::DualView;
+    use duality_planar::gen;
+
+    fn check_against_reference(g: &PlanarGraph, lengths: &[Weight], threshold: Option<usize>) {
+        let cm = CostModel::new(g.num_vertices(), g.diameter());
+        let mut ledger = CostLedger::new();
+        let engine = DualSsspEngine::new(g, &cm, threshold, &mut ledger);
+        let labels = engine.labels(lengths, &mut ledger).expect("no negative cycle");
+        let view = DualView::new(g, lengths, |d| lengths[d.index()] < INF / 2);
+        for src in g.faces() {
+            let reference = view.bellman_ford(src).expect("no negative cycle");
+            for f in g.faces() {
+                let got = labels.decode(src, f);
+                let want = (reference[f.index()] < INF / 2).then_some(reference[f.index()]);
+                assert_eq!(got, want, "dist({src:?} → {f:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_bellman_ford_unit_weights() {
+        let g = gen::grid(5, 5).unwrap();
+        let lengths = vec![1; g.num_darts()];
+        check_against_reference(&g, &lengths, Some(6));
+    }
+
+    #[test]
+    fn labels_match_bellman_ford_random_weights() {
+        for seed in 0..4u64 {
+            let g = gen::diag_grid(5, 4, seed).unwrap();
+            let lengths: Vec<Weight> = (0..g.num_darts())
+                .map(|i| ((i as i64 * 31 + seed as i64 * 7) % 17) + 1)
+                .collect();
+            check_against_reference(&g, &lengths, Some(8));
+        }
+    }
+
+    #[test]
+    fn labels_match_with_negative_lengths() {
+        // Random weights, some negative, rejected if they create negative
+        // cycles (checked by the reference first).
+        for seed in 0..6u64 {
+            let g = gen::grid(4, 4).unwrap();
+            let lengths: Vec<Weight> = (0..g.num_darts())
+                .map(|i| ((i as i64 * 13 + seed as i64 * 5) % 9) - 1)
+                .collect();
+            let view = DualView::new(&g, &lengths, |_| true);
+            if view.bellman_ford(FaceId(0)).is_none() {
+                continue; // negative cycle: covered by the detection test
+            }
+            check_against_reference(&g, &lengths, Some(6));
+        }
+    }
+
+    #[test]
+    fn negative_cycle_detected() {
+        let g = gen::grid(4, 4).unwrap();
+        let lengths = vec![-1; g.num_darts()];
+        let cm = CostModel::new(g.num_vertices(), g.diameter());
+        let mut ledger = CostLedger::new();
+        let engine = DualSsspEngine::new(&g, &cm, Some(6), &mut ledger);
+        let err = engine.labels(&lengths, &mut ledger).err();
+        assert!(matches!(err, Some(LabelingError::NegativeCycle { .. })));
+    }
+
+    #[test]
+    fn absent_darts_are_ignored() {
+        let g = gen::grid(4, 3).unwrap();
+        // Keep only forward darts: the dual becomes a one-arc-per-edge
+        // digraph.
+        let lengths: Vec<Weight> = g
+            .darts()
+            .map(|d| if d.is_forward() { 2 } else { INF })
+            .collect();
+        check_against_reference(&g, &lengths, Some(6));
+    }
+
+    #[test]
+    fn label_sizes_are_otilde_d() {
+        let g = gen::grid(8, 8).unwrap();
+        let cm = CostModel::new(g.num_vertices(), g.diameter());
+        let mut ledger = CostLedger::new();
+        let engine = DualSsspEngine::new(&g, &cm, None, &mut ledger);
+        let labels = engine.labels(&vec![1; g.num_darts()], &mut ledger).unwrap();
+        let d = g.diameter() as u64;
+        let logn = (g.num_vertices() as f64).log2().ceil() as u64;
+        for f in g.faces() {
+            let w = labels.label_words(f);
+            assert!(w > 0);
+            assert!(
+                w <= 40 * d * logn * logn,
+                "label of {f:?} is {w} words (D = {d}, log n = {logn})"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_decomposition_still_correct() {
+        // Tiny threshold forces many levels.
+        let g = gen::diag_grid(6, 6, 3).unwrap();
+        let lengths: Vec<Weight> = (0..g.num_darts()).map(|i| (i as i64 % 7) + 1).collect();
+        check_against_reference(&g, &lengths, Some(4));
+    }
+
+    #[test]
+    fn rounds_charged_grow_with_levels() {
+        let g = gen::grid(8, 8).unwrap();
+        let cm = CostModel::new(g.num_vertices(), g.diameter());
+        let mut l1 = CostLedger::new();
+        let e1 = DualSsspEngine::new(&g, &cm, Some(1000), &mut l1); // single leaf
+        e1.labels(&vec![1; g.num_darts()], &mut l1).unwrap();
+        let mut l2 = CostLedger::new();
+        let e2 = DualSsspEngine::new(&g, &cm, Some(8), &mut l2); // deep
+        e2.labels(&vec![1; g.num_darts()], &mut l2).unwrap();
+        assert!(l2.phase_total("labeling-broadcast") > 0);
+        assert!(l1.phase_total("labeling-broadcast") > 0);
+    }
+}

@@ -1,0 +1,561 @@
+//! The minor-aggregation model (paper, Definitions 4.7 and 4.11) and the
+//! algorithms the paper runs in it on the dual graph.
+//!
+//! A minor-aggregation round consists of a *contraction* step (edges choose
+//! to merge their endpoints into super-nodes), a *consensus* step (each
+//! super-node aggregates a value over its members) and an *aggregation*
+//! step (each super-node aggregates over its incident edges). Simulating
+//! one round on the dual graph `G*` costs `Õ(D)` CONGEST rounds
+//! (Theorem 4.10); the extended model with `β` virtual nodes costs a factor
+//! `β` more (Theorem 4.14).
+//!
+//! [`MinorAgg`] executes algorithms in the model while counting
+//! minor-aggregation rounds; [`MinorAgg::charge`] converts the count into
+//! CONGEST rounds through the [`CostModel`]. In-model algorithms provided:
+//!
+//! * [`low_out_degree_orientation`] — the Barenboim–Elkin-style forest
+//!   decomposition of Lemma 4.15 (`Õ(α)` rounds);
+//! * [`deactivate_parallel_edges`] — turns the dual multigraph into a
+//!   simple graph, combining parallel weights with a caller-chosen operator
+//!   (sum for cuts, min for shortest paths);
+//! * [`boruvka_mst`] — Borůvka's MST via contractions (`O(log n)` rounds),
+//!   used for zero-weight-edge completion in the approximate flow pipeline;
+//! * [`mark_cut_edges`] — Lemma 4.17: marking the edges of a cut that
+//!   2-respects a spanning tree in `O(1)` rounds.
+
+use duality_congest::{CostLedger, CostModel};
+use duality_planar::util::DisjointSet;
+use duality_planar::Weight;
+use std::collections::HashMap;
+
+/// An edge of a minor-aggregation graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MaEdge {
+    /// One endpoint (a node id).
+    pub u: usize,
+    /// The other endpoint.
+    pub v: usize,
+    /// The edge weight.
+    pub weight: Weight,
+}
+
+/// A graph being operated on in the minor-aggregation model, with a round
+/// counter.
+///
+/// # Example
+///
+/// ```
+/// use duality_minor_agg::{MaEdge, MinorAgg};
+///
+/// let mut ma = MinorAgg::new(3, vec![
+///     MaEdge { u: 0, v: 1, weight: 5 },
+///     MaEdge { u: 1, v: 2, weight: 7 },
+/// ]);
+/// ma.contract(|e| e.weight == 5); // merge 0 and 1
+/// assert_eq!(ma.super_node(0), ma.super_node(1));
+/// assert_ne!(ma.super_node(0), ma.super_node(2));
+/// assert_eq!(ma.rounds(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MinorAgg {
+    n: usize,
+    edges: Vec<MaEdge>,
+    dsu: DisjointSet,
+    rounds: u64,
+}
+
+impl MinorAgg {
+    /// Creates a model instance over `n` nodes and the given edges.
+    pub fn new(n: usize, edges: Vec<MaEdge>) -> Self {
+        MinorAgg {
+            n,
+            edges,
+            dsu: DisjointSet::new(n),
+            rounds: 0,
+        }
+    }
+
+    /// Number of underlying (pre-contraction) nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The edge list.
+    pub fn edges(&self) -> &[MaEdge] {
+        &self.edges
+    }
+
+    /// Minor-aggregation rounds consumed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Adds extra rounds for steps executed as black boxes (e.g. the
+    /// Ghaffari–Zuzic min-cut, charged via
+    /// `CostModel::min_cut_minor_aggregation_rounds`).
+    pub fn add_black_box_rounds(&mut self, rounds: u64) {
+        self.rounds += rounds;
+    }
+
+    /// The super-node (contraction class representative) of node `v`.
+    pub fn super_node(&mut self, v: usize) -> usize {
+        self.dsu.find(v)
+    }
+
+    /// Contraction step (1 round): every edge for which `select` returns
+    /// `true` merges its endpoints.
+    pub fn contract(&mut self, select: impl Fn(&MaEdge) -> bool) {
+        self.rounds += 1;
+        for i in 0..self.edges.len() {
+            let e = self.edges[i];
+            if select(&e) {
+                self.dsu.union(e.u, e.v);
+            }
+        }
+    }
+
+    /// Consensus step (1 round): every super-node aggregates `init` over
+    /// its members with `op`; all members learn the result. Returns the
+    /// per-node view.
+    pub fn consensus<T: Clone>(
+        &mut self,
+        init: impl Fn(usize) -> T,
+        op: impl Fn(T, T) -> T,
+    ) -> Vec<T> {
+        self.rounds += 1;
+        let mut acc: HashMap<usize, T> = HashMap::new();
+        for v in 0..self.n {
+            let r = self.dsu.find(v);
+            let x = init(v);
+            acc.entry(r)
+                .and_modify(|a| *a = op(a.clone(), x.clone()))
+                .or_insert(x);
+        }
+        (0..self.n).map(|v| acc[&self.dsu.find(v)].clone()).collect()
+    }
+
+    /// Aggregation step (1 round): every super-node aggregates `value` over
+    /// its incident *non-internal* edges. `value(edge_index, own_super)`
+    /// may return `None` to contribute nothing. Returns the per-node view
+    /// (`None` for super-nodes with no contributing edges).
+    pub fn aggregate<T: Clone>(
+        &mut self,
+        value: impl Fn(usize, usize) -> Option<T>,
+        op: impl Fn(T, T) -> T,
+    ) -> Vec<Option<T>> {
+        self.rounds += 1;
+        let mut acc: HashMap<usize, T> = HashMap::new();
+        for i in 0..self.edges.len() {
+            let (ru, rv) = (self.dsu.find(self.edges[i].u), self.dsu.find(self.edges[i].v));
+            if ru == rv {
+                continue;
+            }
+            for side in [ru, rv] {
+                if let Some(x) = value(i, side) {
+                    acc.entry(side)
+                        .and_modify(|a| *a = op(a.clone(), x.clone()))
+                        .or_insert(x);
+                }
+            }
+        }
+        (0..self.n)
+            .map(|v| acc.get(&self.dsu.find(v)).cloned())
+            .collect()
+    }
+
+    /// Converts the consumed minor-aggregation rounds into CONGEST rounds
+    /// on `G` for an execution on the dual graph with `beta` virtual nodes
+    /// (Theorems 4.10 / 4.14) and charges them under `phase`.
+    pub fn charge(&self, beta: u64, cm: &CostModel, ledger: &mut CostLedger, phase: &str) {
+        ledger.charge(
+            phase,
+            self.rounds * cm.dual_extended_minor_aggregation_round(beta),
+        );
+    }
+}
+
+/// Output of [`low_out_degree_orientation`].
+#[derive(Clone, Debug)]
+pub struct Orientation {
+    /// Partition index `H_i` per node.
+    pub part: Vec<usize>,
+    /// For each edge (by index): `true` if oriented `u → v`, `false` if
+    /// `v → u`.
+    pub toward_v: Vec<bool>,
+}
+
+/// Lemma 4.15's forest-decomposition orientation: produces an orientation
+/// in which every node has outgoing edges to at most `O(α)` distinct
+/// neighbors (counting parallel edges once), where `α` is the arboricity
+/// of the underlying simple graph (3 for duals of planar graphs).
+///
+/// Runs in `Õ(α)` minor-aggregation rounds on `ma`.
+pub fn low_out_degree_orientation(ma: &mut MinorAgg, alpha: usize) -> Orientation {
+    let n = ma.num_nodes();
+    let threshold = 3 * alpha;
+    let mut part = vec![usize::MAX; n];
+    let ell = 2 * (usize::BITS - n.max(2).leading_zeros()) as usize;
+    // Distinct-neighbor adjacency of the underlying simple graph.
+    let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in ma.edges() {
+        if e.u != e.v {
+            neighbors[e.u].push(e.v);
+            neighbors[e.v].push(e.u);
+        }
+    }
+    for nb in &mut neighbors {
+        nb.sort_unstable();
+        nb.dedup();
+    }
+    for phase in 0..ell {
+        // Counting white neighbors costs O(threshold) consensus/aggregation
+        // steps in the model (the iterative-counting implementation in the
+        // paper's proof of Lemma 4.15).
+        ma.add_black_box_rounds(threshold as u64 + 2);
+        let mut turned = Vec::new();
+        for v in 0..n {
+            if part[v] != usize::MAX {
+                continue;
+            }
+            let white_deg = neighbors[v].iter().filter(|&&w| part[w] == usize::MAX).count();
+            if white_deg <= threshold {
+                turned.push(v);
+            }
+        }
+        for v in turned {
+            part[v] = phase;
+        }
+        if part.iter().all(|&p| p != usize::MAX) {
+            break;
+        }
+    }
+    // Any stragglers (cannot happen when alpha really bounds the
+    // arboricity) join the last part.
+    for p in part.iter_mut() {
+        if *p == usize::MAX {
+            *p = ell;
+        }
+    }
+    let toward_v = ma
+        .edges()
+        .iter()
+        .map(|e| {
+            if part[e.u] != part[e.v] {
+                part[e.u] < part[e.v]
+            } else {
+                e.u < e.v
+            }
+        })
+        .collect();
+    Orientation { part, toward_v }
+}
+
+/// Lemma 4.15: deactivates self-loops and parallel edges. Parallel edges
+/// between the same node pair are replaced by one *active* edge whose
+/// weight is the `op`-fold of their weights (sum for min-cut, min for
+/// shortest paths). Returns, per edge index, `Some(combined_weight)` if the
+/// edge is the active representative and `None` otherwise.
+///
+/// Runs in `Õ(α)` minor-aggregation rounds.
+pub fn deactivate_parallel_edges(
+    ma: &mut MinorAgg,
+    alpha: usize,
+    op: impl Fn(Weight, Weight) -> Weight,
+) -> Vec<Option<Weight>> {
+    let orientation = low_out_degree_orientation(ma, alpha);
+    // Each node handles its O(alpha) outgoing neighbor groups; this costs
+    // O(alpha) aggregation rounds.
+    ma.add_black_box_rounds(3 * alpha as u64);
+    let mut combined: HashMap<(usize, usize), (Weight, usize)> = HashMap::new();
+    for (i, e) in ma.edges().iter().enumerate() {
+        if e.u == e.v {
+            continue; // self-loop: deactivated
+        }
+        let key = if orientation.toward_v[i] { (e.u, e.v) } else { (e.v, e.u) };
+        // Canonicalize the pair so antiparallel duplicates collapse too.
+        let key = (key.0.min(key.1), key.0.max(key.1));
+        combined
+            .entry(key)
+            .and_modify(|(w, _)| *w = op(*w, e.weight))
+            .or_insert((e.weight, i));
+    }
+    let mut out = vec![None; ma.edges().len()];
+    for (_, (w, rep)) in combined {
+        out[rep] = Some(w);
+    }
+    out
+}
+
+/// Borůvka's MST in the minor-aggregation model (`O(log n)` rounds of
+/// minimum-edge selection + contraction). Returns the indices of the MST
+/// edges. Ties are broken by edge index, so the result is deterministic.
+pub fn boruvka_mst(ma: &mut MinorAgg) -> Vec<usize> {
+    let m = ma.edges().len();
+    let mut in_mst = vec![false; m];
+    loop {
+        // Each super-node picks its lightest incident outgoing edge.
+        let edges: Vec<MaEdge> = ma.edges().to_vec();
+        let pick = ma.aggregate(
+            |i, _| Some((edges[i].weight, i)),
+            |a, b| if a < b { a } else { b },
+        );
+        let mut chosen: Vec<usize> = pick.into_iter().flatten().map(|(_, i)| i).collect();
+        chosen.sort_unstable();
+        chosen.dedup();
+        // Re-check usefulness (both endpoints still distinct).
+        let mut any = false;
+        for &i in &chosen {
+            let (u, v) = (edges[i].u, edges[i].v);
+            if ma.super_node(u) != ma.super_node(v) {
+                in_mst[i] = true;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        ma.contract(|e| {
+            // Contract exactly the chosen edges (compare by identity).
+            chosen.iter().any(|&i| edges[i] == *e && in_mst[i])
+        });
+    }
+    in_mst
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Lemma 4.17: given a spanning tree (edge indices `tree`) and a cut that
+/// 2-respects it via tree edges `e1`, `e2` (possibly equal), marks all cut
+/// edges in `O(1)` minor-aggregation rounds. Returns the marked edge
+/// indices.
+pub fn mark_cut_edges(ma: &mut MinorAgg, tree: &[usize], e1: usize, e2: usize) -> Vec<usize> {
+    let edges: Vec<MaEdge> = ma.edges().to_vec();
+    // Contract all tree edges except e1, e2.
+    let keep: std::collections::HashSet<usize> = [e1, e2].into_iter().collect();
+    let contract_set: std::collections::HashSet<usize> =
+        tree.iter().copied().filter(|i| !keep.contains(i)).collect();
+    ma.contract(|e| {
+        contract_set
+            .iter()
+            .any(|&i| edges[i] == *e)
+    });
+    // Each super-node computes its cost = number of {e1, e2} incident to it.
+    let cost = ma.aggregate(
+        |i, _| Some(u64::from(i == e1 || i == e2)),
+        |a, b| a + b,
+    );
+    // The maximum-cost super-node (ties by representative id) is the side S
+    // incident to both cut tree edges.
+    let mut best: Option<(u64, usize)> = None;
+    for v in 0..ma.num_nodes() {
+        let r = ma.super_node(v);
+        let c = cost[v].unwrap_or(0);
+        if best.map_or(true, |(bc, br)| (c, std::cmp::Reverse(r)) > (bc, std::cmp::Reverse(br))) {
+            best = Some((c, r));
+        }
+    }
+    let (_, s) = best.expect("nonempty graph");
+    // Mark edges with exactly one endpoint in S.
+    let mut out = Vec::new();
+    for (i, e) in edges.iter().enumerate() {
+        let (ru, rv) = (ma.super_node(e.u), ma.super_node(e.v));
+        if (ru == s) != (rv == s) {
+            out.push(i);
+        }
+    }
+    ma.add_black_box_rounds(1);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn path_graph(n: usize) -> MinorAgg {
+        MinorAgg::new(
+            n,
+            (0..n - 1)
+                .map(|i| MaEdge {
+                    u: i,
+                    v: i + 1,
+                    weight: 1,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn contraction_merges_supernodes() {
+        let mut ma = path_graph(4);
+        ma.contract(|e| e.u == 0);
+        assert_eq!(ma.super_node(0), ma.super_node(1));
+        assert_ne!(ma.super_node(1), ma.super_node(2));
+    }
+
+    #[test]
+    fn consensus_aggregates_per_supernode() {
+        let mut ma = path_graph(4);
+        ma.contract(|e| e.u <= 1); // {0,1,2}, {3}
+        let sums = ma.consensus(|v| v as u64, |a, b| a + b);
+        assert_eq!(sums, vec![3, 3, 3, 3 + 0 * 0]);
+        assert_eq!(sums[3], 3);
+    }
+
+    #[test]
+    fn aggregate_skips_internal_edges() {
+        let mut ma = path_graph(3);
+        ma.contract(|e| e.u == 0); // {0,1}, {2}; edge (1,2) external
+        let counts = ma.aggregate(|_, _| Some(1u64), |a, b| a + b);
+        assert_eq!(counts[0], Some(1));
+        assert_eq!(counts[2], Some(1));
+    }
+
+    #[test]
+    fn orientation_has_low_out_degree() {
+        // Random planar-ish sparse graph: grid dual arboricity ≤ 3.
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 60;
+        let mut edges = Vec::new();
+        // A tree plus a few extra edges: arboricity ≤ 2.
+        for v in 1..n {
+            edges.push(MaEdge {
+                u: rng.gen_range(0..v),
+                v,
+                weight: 1,
+            });
+        }
+        for _ in 0..n / 2 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                edges.push(MaEdge { u, v, weight: 1 });
+            }
+        }
+        let mut ma = MinorAgg::new(n, edges.clone());
+        let orient = low_out_degree_orientation(&mut ma, 2);
+        // Count distinct outgoing neighbors per node.
+        let mut out: Vec<std::collections::HashSet<usize>> = vec![Default::default(); n];
+        for (i, e) in edges.iter().enumerate() {
+            if orient.toward_v[i] {
+                out[e.u].insert(e.v);
+            } else {
+                out[e.v].insert(e.u);
+            }
+        }
+        for (v, o) in out.iter().enumerate() {
+            assert!(o.len() <= 3 * 2 + 2, "node {v} has out-degree {}", o.len());
+        }
+        assert!(ma.rounds() > 0);
+    }
+
+    #[test]
+    fn deactivation_combines_parallel_edges() {
+        let edges = vec![
+            MaEdge { u: 0, v: 1, weight: 3 },
+            MaEdge { u: 1, v: 0, weight: 4 },
+            MaEdge { u: 0, v: 1, weight: 5 },
+            MaEdge { u: 1, v: 2, weight: 7 },
+            MaEdge { u: 2, v: 2, weight: 9 }, // self-loop: dropped
+        ];
+        let mut ma = MinorAgg::new(3, edges);
+        let active = deactivate_parallel_edges(&mut ma, 3, |a, b| a + b);
+        let kept: Vec<Weight> = active.iter().flatten().copied().collect();
+        let mut kept_sorted = kept.clone();
+        kept_sorted.sort();
+        assert_eq!(kept_sorted, vec![7, 12], "parallel 3+4+5 summed, loop dropped");
+        assert!(active[4].is_none());
+    }
+
+    #[test]
+    fn deactivation_with_min_keeps_lightest() {
+        let edges = vec![
+            MaEdge { u: 0, v: 1, weight: 3 },
+            MaEdge { u: 0, v: 1, weight: 2 },
+        ];
+        let mut ma = MinorAgg::new(2, edges);
+        let active = deactivate_parallel_edges(&mut ma, 3, |a, b| a.min(b));
+        let kept: Vec<Weight> = active.iter().flatten().copied().collect();
+        assert_eq!(kept, vec![2]);
+    }
+
+    #[test]
+    fn boruvka_matches_kruskal() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let n = 20;
+            let mut edges = Vec::new();
+            for v in 1..n {
+                edges.push(MaEdge {
+                    u: rng.gen_range(0..v),
+                    v,
+                    weight: rng.gen_range(1..100),
+                });
+            }
+            for _ in 0..15 {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    edges.push(MaEdge {
+                        u,
+                        v,
+                        weight: rng.gen_range(1..100),
+                    });
+                }
+            }
+            let mut ma = MinorAgg::new(n, edges.clone());
+            let mst = boruvka_mst(&mut ma);
+            let total: Weight = mst.iter().map(|&i| edges[i].weight).sum();
+            // Kruskal reference.
+            let mut order: Vec<usize> = (0..edges.len()).collect();
+            order.sort_by_key(|&i| edges[i].weight);
+            let mut dsu = DisjointSet::new(n);
+            let mut kruskal = 0;
+            for i in order {
+                if dsu.union(edges[i].u, edges[i].v) {
+                    kruskal += edges[i].weight;
+                }
+            }
+            assert_eq!(total, kruskal);
+            assert_eq!(mst.len(), n - 1);
+        }
+    }
+
+    #[test]
+    fn mark_cut_edges_two_respecting() {
+        // A 6-cycle with a chord; tree = path 0-1-2-3-4-5; the cut
+        // {0,1,2} | {3,4,5} 2-respects the tree via edges (2,3) and (5,0).
+        let edges = vec![
+            MaEdge { u: 0, v: 1, weight: 1 }, // 0 tree
+            MaEdge { u: 1, v: 2, weight: 1 }, // 1 tree
+            MaEdge { u: 2, v: 3, weight: 1 }, // 2 tree, crosses
+            MaEdge { u: 3, v: 4, weight: 1 }, // 3 tree
+            MaEdge { u: 4, v: 5, weight: 1 }, // 4 tree
+            MaEdge { u: 5, v: 0, weight: 1 }, // 5 crosses
+            MaEdge { u: 1, v: 4, weight: 1 }, // 6 chord, crosses
+        ];
+        let mut ma = MinorAgg::new(6, edges);
+        let tree = [0, 1, 2, 3, 4];
+        let marked = mark_cut_edges(&mut ma, &tree, 2, 2);
+        // Cut that 1-respects via edge 2 alone: S = {0,1,2}; crossing edges
+        // are 2, 5 and 6.
+        assert_eq!(marked, vec![2, 5, 6]);
+    }
+
+    #[test]
+    fn charge_converts_to_congest_rounds() {
+        let cm = CostModel::new(100, 10);
+        let mut ledger = CostLedger::new();
+        let mut ma = path_graph(5);
+        ma.contract(|_| false);
+        ma.charge(1, &cm, &mut ledger, "test");
+        assert_eq!(
+            ledger.total(),
+            cm.dual_extended_minor_aggregation_round(1)
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the in-model algorithms (paper, Section 4).
+
+use duality_minor_agg::{
+    boruvka_mst, deactivate_parallel_edges, low_out_degree_orientation, MaEdge, MinorAgg,
+};
+use duality_planar::util::DisjointSet;
+use proptest::prelude::*;
+
+/// A random connected multigraph: a random tree plus extra random edges
+/// (arboricity ≤ 1 + extra/n, well below the tested bound).
+fn random_graph(n: usize, extra: usize, seed: u64) -> Vec<MaEdge> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<MaEdge> = (1..n)
+        .map(|v| MaEdge {
+            u: rng.gen_range(0..v),
+            v,
+            weight: rng.gen_range(1..100),
+        })
+        .collect();
+    for _ in 0..extra {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        edges.push(MaEdge {
+            u,
+            v,
+            weight: rng.gen_range(1..100),
+        });
+    }
+    edges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Borůvka in the model matches Kruskal for arbitrary connected inputs.
+    #[test]
+    fn boruvka_matches_kruskal(n in 3usize..30, extra in 0usize..20, seed in 0u64..10_000) {
+        let edges = random_graph(n, extra, seed);
+        let useful: Vec<MaEdge> = edges.iter().copied().filter(|e| e.u != e.v).collect();
+        let mut ma = MinorAgg::new(n, useful.clone());
+        let mst = boruvka_mst(&mut ma);
+        let total: i64 = mst.iter().map(|&i| useful[i].weight).sum();
+        let mut order: Vec<usize> = (0..useful.len()).collect();
+        order.sort_by_key(|&i| useful[i].weight);
+        let mut dsu = DisjointSet::new(n);
+        let mut kruskal = 0;
+        for i in order {
+            if dsu.union(useful[i].u, useful[i].v) {
+                kruskal += useful[i].weight;
+            }
+        }
+        prop_assert_eq!(total, kruskal);
+        prop_assert_eq!(mst.len(), n - 1);
+    }
+
+    /// Deactivation keeps exactly one active edge per adjacent node pair,
+    /// with the operator-combined weight, and drops all self-loops.
+    #[test]
+    fn deactivation_is_sound(n in 3usize..25, extra in 0usize..30, seed in 0u64..10_000) {
+        let edges = random_graph(n, extra, seed);
+        let mut ma = MinorAgg::new(n, edges.clone());
+        let active = deactivate_parallel_edges(&mut ma, 4, |a, b| a + b);
+        // Expected: sum per unordered pair.
+        let mut want: std::collections::HashMap<(usize, usize), i64> = Default::default();
+        for e in &edges {
+            if e.u != e.v {
+                *want.entry((e.u.min(e.v), e.u.max(e.v))).or_default() += e.weight;
+            }
+        }
+        let mut got: std::collections::HashMap<(usize, usize), i64> = Default::default();
+        for (i, a) in active.iter().enumerate() {
+            if let Some(w) = a {
+                let e = &edges[i];
+                prop_assert_ne!(e.u, e.v, "self-loops never stay active");
+                let key = (e.u.min(e.v), e.u.max(e.v));
+                prop_assert!(got.insert(key, *w).is_none(), "one active edge per pair");
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    /// The orientation bounds distinct outgoing neighbors by O(alpha).
+    #[test]
+    fn orientation_bounds_out_degree(n in 4usize..40, seed in 0u64..10_000) {
+        let edges = random_graph(n, n / 2, seed); // arboricity ≤ 2
+        let mut ma = MinorAgg::new(n, edges.clone());
+        let orient = low_out_degree_orientation(&mut ma, 2);
+        let mut out: Vec<std::collections::HashSet<usize>> = vec![Default::default(); n];
+        for (i, e) in edges.iter().enumerate() {
+            if e.u == e.v {
+                continue;
+            }
+            if orient.toward_v[i] {
+                out[e.u].insert(e.v);
+            } else {
+                out[e.v].insert(e.u);
+            }
+        }
+        for o in &out {
+            prop_assert!(o.len() <= 3 * 2 + 2);
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! The face-disjoint graph `Ĝ` and part-wise aggregation on the dual graph.
+//!
+//! `Ĝ` (paper, Section 3) is the communication overlay that lets the planar
+//! network `G` simulate computations on its dual `G*`: every vertex `v` of
+//! `G` is replicated into a *star center* plus one copy per *local region*
+//! (corner between consecutive incident edges), so that the faces of `G`
+//! map to **vertex- and edge-disjoint** cycles of `Ĝ[E_R]`. The edge set is
+//! `E_S ∪ E_R ∪ E_C`:
+//!
+//! * `E_S` — star edges `(v, v_i)`;
+//! * `E_R` — one edge per dart `d`, connecting the two corners the boundary
+//!   walk of `face(d)` passes through when traversing `d` (so each face of
+//!   `G` becomes a disjoint cycle in `Ĝ[E_R]`);
+//! * `E_C` — one edge per primal edge `e`, connecting the two corners
+//!   flanking `e` at its higher-ID endpoint; these map 1-to-1 to the dual
+//!   edges `e*` (Property 5), which is the modification this paper makes to
+//!   the original construction of Ghaffari–Parter.
+//!
+//! On top of `Ĝ`, [`part_wise_aggregate`] solves the part-wise aggregation
+//! (PA) problem on `G*` (paper, Lemma 4.9) in `Õ(D)` CONGEST rounds.
+
+use duality_congest::{CostLedger, CostModel};
+use duality_planar::{Dart, FaceId, PlanarGraph};
+use std::collections::HashMap;
+
+/// The face-disjoint graph `Ĝ` of an embedded planar graph.
+///
+/// # Example
+///
+/// ```
+/// use duality_overlay::FaceDisjointGraph;
+/// use duality_planar::gen;
+///
+/// let g = gen::grid(3, 3).unwrap();
+/// let hat = FaceDisjointGraph::new(&g);
+/// // Faces of G map 1-1 to the cycles of Ĝ[E_R].
+/// assert_eq!(hat.num_face_cycles(), g.num_faces());
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaceDisjointGraph {
+    n: usize,
+    /// Prefix sums of degrees: copy `(v, i)` has id `n + offset[v] + i`.
+    offset: Vec<usize>,
+    degree: Vec<usize>,
+    /// Adjacency lists over all of `E_S ∪ E_R ∪ E_C`.
+    adj: Vec<Vec<usize>>,
+    /// `er_edge_of_dart[d]` = the `E_R` edge `(a, b)` representing dart `d`.
+    er_edge_of_dart: Vec<(usize, usize)>,
+    /// `ec_edge_of_edge[e]` = the `E_C` edge `(a, b)` representing `e*`.
+    ec_edge_of_edge: Vec<(usize, usize)>,
+    /// Component of `Ĝ[E_R]` per copy vertex (star centers get `u32::MAX`).
+    er_component: Vec<u32>,
+    /// The face of `G` corresponding to each `E_R` component.
+    component_face: Vec<FaceId>,
+}
+
+impl FaceDisjointGraph {
+    /// Builds `Ĝ` from an embedded planar graph.
+    ///
+    /// The construction is `O(1)` distributed rounds in the paper
+    /// (Property 1); we do not charge it separately.
+    pub fn new(g: &PlanarGraph) -> Self {
+        let n = g.num_vertices();
+        let mut offset = vec![0usize; n];
+        let mut acc = 0;
+        for (v, off) in offset.iter_mut().enumerate() {
+            *off = acc;
+            acc += g.degree(v);
+        }
+        let degree: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+        let total = n + acc;
+        let mut adj = vec![Vec::new(); total];
+        let copy = |v: usize, i: usize| -> usize { n + offset[v] + i.rem_euclid(degree[v]) };
+
+        fn push(adj: &mut [Vec<usize>], a: usize, b: usize) {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+
+        // E_S: star edges.
+        for v in 0..n {
+            for i in 0..degree[v] {
+                push(&mut adj, v, copy(v, i));
+            }
+        }
+
+        // E_R: one edge per dart d, connecting corner (tail(d), pos(d) - 1)
+        // to corner (head(d), pos(rev(d))) — the two corners the boundary
+        // walk of face(d) passes through around d.
+        let mut er_edge_of_dart = Vec::with_capacity(g.num_darts());
+        for d in g.darts() {
+            let u = g.tail(d);
+            let v = g.head(d);
+            let a = copy(u, g.rotation_position(d) + degree[u] - 1);
+            let b = copy(v, g.rotation_position(d.rev()));
+            push(&mut adj, a, b);
+            er_edge_of_dart.push((a, b));
+        }
+
+        // E_C: one edge per primal edge e, connecting the two corners
+        // flanking e at its higher-ID endpoint (ties: the head).
+        let mut ec_edge_of_edge = Vec::with_capacity(g.num_edges());
+        for e in 0..g.num_edges() {
+            let (u, v) = (g.edge_tail(e), g.edge_head(e));
+            let (w, dw) = if u > v {
+                (u, Dart::forward(e))
+            } else {
+                (v, Dart::backward(e))
+            };
+            let p = g.rotation_position(dw);
+            let a = copy(w, p + degree[w] - 1);
+            let b = copy(w, p);
+            push(&mut adj, a, b);
+            ec_edge_of_edge.push((a, b));
+        }
+
+        // Components of Ĝ[E_R] (disjoint face cycles).
+        let mut er_component = vec![u32::MAX; total];
+        let mut component_face = Vec::new();
+        for d in g.darts() {
+            let (a, _) = er_edge_of_dart[d.index()];
+            if er_component[a] != u32::MAX {
+                continue;
+            }
+            // Walk the face cycle of face(d) and stamp its corners.
+            let cid = component_face.len() as u32;
+            let f = g.face_of(d);
+            for &dd in g.face_darts(f) {
+                let (x, y) = er_edge_of_dart[dd.index()];
+                er_component[x] = cid;
+                er_component[y] = cid;
+            }
+            component_face.push(f);
+        }
+
+        FaceDisjointGraph {
+            n,
+            offset,
+            degree,
+            adj,
+            er_edge_of_dart,
+            ec_edge_of_edge,
+            er_component,
+            component_face,
+        }
+    }
+
+    /// Number of vertices of `Ĝ` (star centers + corner copies).
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of star-center vertices (= vertices of `G`).
+    pub fn num_star_centers(&self) -> usize {
+        self.n
+    }
+
+    /// Id of the corner copy `(v, i)` (index modulo `deg(v)`).
+    pub fn copy(&self, v: usize, i: usize) -> usize {
+        self.n + self.offset[v] + i.rem_euclid(self.degree[v])
+    }
+
+    /// The `E_R` edge representing dart `d`.
+    pub fn er_edge_of_dart(&self, d: Dart) -> (usize, usize) {
+        self.er_edge_of_dart[d.index()]
+    }
+
+    /// The `E_C` edge representing the dual edge of primal edge `e`
+    /// (Property 5: this mapping is 1-to-1).
+    pub fn ec_edge_of_edge(&self, e: usize) -> (usize, usize) {
+        self.ec_edge_of_edge[e]
+    }
+
+    /// Number of cycles of `Ĝ[E_R]` (equals the number of faces of `G`).
+    pub fn num_face_cycles(&self) -> usize {
+        self.component_face.len()
+    }
+
+    /// The face of `G` whose cycle contains copy vertex `x` (`None` for
+    /// star centers).
+    pub fn face_of_copy(&self, x: usize) -> Option<FaceId> {
+        let c = self.er_component[x];
+        (c != u32::MAX).then(|| self.component_face[c as usize])
+    }
+
+    /// Hop diameter of `Ĝ` (paper Property 2: at most `3D`). Exact BFS from
+    /// every vertex — test/diagnostic use only.
+    pub fn diameter(&self) -> usize {
+        let mut best = 0;
+        for s in 0..self.adj.len() {
+            let mut depth = vec![usize::MAX; self.adj.len()];
+            let mut q = std::collections::VecDeque::new();
+            depth[s] = 0;
+            q.push_back(s);
+            while let Some(u) = q.pop_front() {
+                for &w in &self.adj[u] {
+                    if depth[w] == usize::MAX {
+                        depth[w] = depth[u] + 1;
+                        q.push_back(w);
+                    }
+                }
+            }
+            best = best.max(depth.iter().copied().filter(|&d| d != usize::MAX).max().unwrap_or(0));
+        }
+        best
+    }
+}
+
+/// A partition of (a subset of) the dual nodes into connected parts, as
+/// required by the PA problem on `G*` (paper, Lemma 4.9).
+///
+/// `part_of[f]` is the part id of dual node `f`, or `None` if `f` does not
+/// participate. Connectivity of each `G*[S_i]` is the caller's contract
+/// (checked by [`DualPartition::validate`]).
+#[derive(Clone, Debug)]
+pub struct DualPartition {
+    /// Part id per face (dual node), `None` for non-participants.
+    pub part_of: Vec<Option<u32>>,
+}
+
+impl DualPartition {
+    /// Builds a partition, asserting one entry per face.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part_of.len() != g.num_faces()`.
+    pub fn new(g: &PlanarGraph, part_of: Vec<Option<u32>>) -> Self {
+        assert_eq!(part_of.len(), g.num_faces());
+        DualPartition { part_of }
+    }
+
+    /// Checks that every part induces a connected subgraph of `G*`.
+    pub fn validate(&self, g: &PlanarGraph) -> bool {
+        let mut parts: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (f, p) in self.part_of.iter().enumerate() {
+            if let Some(p) = p {
+                parts.entry(*p).or_default().push(f);
+            }
+        }
+        for (p, members) in parts {
+            let mut seen: HashMap<usize, bool> = members.iter().map(|&f| (f, false)).collect();
+            let mut stack = vec![members[0]];
+            *seen.get_mut(&members[0]).unwrap() = true;
+            while let Some(f) = stack.pop() {
+                for &d in g.face_darts(FaceId(f as u32)) {
+                    let to = g.face_of(d.rev()).index();
+                    if self.part_of[to] == Some(p) {
+                        if let Some(v) = seen.get_mut(&to) {
+                            if !*v {
+                                *v = true;
+                                stack.push(to);
+                            }
+                        }
+                    }
+                }
+            }
+            if seen.values().any(|&v| !v) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Solves one part-wise aggregation task on `G*`: each dual node `f` with
+/// `part_of[f] = Some(p)` contributes `input(f)`, and every part learns the
+/// aggregate `op`-fold of its members' inputs.
+///
+/// Charges one dual-PA task (`Õ(D)` rounds, paper Lemma 4.9) on `ledger`.
+///
+/// # Example
+///
+/// ```
+/// use duality_overlay::{part_wise_aggregate, DualPartition};
+/// use duality_congest::{CostLedger, CostModel};
+/// use duality_planar::gen;
+///
+/// let g = gen::grid(3, 3).unwrap();
+/// let cm = CostModel::new(g.num_vertices(), g.diameter());
+/// let mut ledger = CostLedger::new();
+/// // One part holding every dual node; count them by summing ones.
+/// let partition = DualPartition::new(&g, vec![Some(0); g.num_faces()]);
+/// let out = part_wise_aggregate(&partition, |_| 1u64, |a, b| a + b, &cm, &mut ledger);
+/// assert_eq!(out[&0], g.num_faces() as u64);
+/// ```
+pub fn part_wise_aggregate<T: Clone>(
+    partition: &DualPartition,
+    input: impl Fn(FaceId) -> T,
+    op: impl Fn(T, T) -> T,
+    cm: &CostModel,
+    ledger: &mut CostLedger,
+) -> HashMap<u32, T> {
+    ledger.charge("dual-pa", cm.dual_part_wise_aggregation());
+    let mut out: HashMap<u32, T> = HashMap::new();
+    for (f, p) in partition.part_of.iter().enumerate() {
+        if let Some(p) = p {
+            let x = input(FaceId(f as u32));
+            out.entry(*p)
+                .and_modify(|acc| *acc = op(acc.clone(), x.clone()))
+                .or_insert(x);
+        }
+    }
+    out
+}
+
+/// Aggregates over the *boundary dual edges* of every part: dart `d`
+/// participates for part `p` when `face(d)` is in `p` but `face(rev d)` is
+/// not (the "outgoing edges of each part" capability that this paper adds
+/// over Ghaffari–Parter's face aggregations — Lemma 4.9).
+///
+/// Charges one dual-PA task.
+pub fn part_wise_boundary_aggregate<T: Clone>(
+    g: &PlanarGraph,
+    partition: &DualPartition,
+    input: impl Fn(Dart) -> Option<T>,
+    op: impl Fn(T, T) -> T,
+    cm: &CostModel,
+    ledger: &mut CostLedger,
+) -> HashMap<u32, T> {
+    ledger.charge("dual-pa", cm.dual_part_wise_aggregation());
+    let mut out: HashMap<u32, T> = HashMap::new();
+    for d in g.darts() {
+        let from = partition.part_of[g.face_of(d).index()];
+        let to = partition.part_of[g.face_of(d.rev()).index()];
+        if let Some(p) = from {
+            if from != to {
+                if let Some(x) = input(d) {
+                    out.entry(p)
+                        .and_modify(|acc| *acc = op(acc.clone(), x.clone()))
+                        .or_insert(x);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Identifies the faces of `G` via `Ĝ` (paper, Property 4 of `Ĝ`): assigns
+/// every face a leader copy (its minimum copy id in the face cycle) and
+/// charges `Õ(D)` rounds.
+pub fn identify_faces(
+    hat: &FaceDisjointGraph,
+    cm: &CostModel,
+    ledger: &mut CostLedger,
+) -> HashMap<FaceId, usize> {
+    ledger.charge("identify-faces", cm.dual_part_wise_aggregation());
+    let mut leader: HashMap<FaceId, usize> = HashMap::new();
+    for x in hat.num_star_centers()..hat.num_vertices() {
+        if let Some(f) = hat.face_of_copy(x) {
+            leader.entry(f).and_modify(|l| *l = (*l).min(x)).or_insert(x);
+        }
+    }
+    leader
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duality_planar::gen;
+
+    #[test]
+    fn hat_vertex_count() {
+        let g = gen::grid(3, 3).unwrap();
+        let hat = FaceDisjointGraph::new(&g);
+        // n star centers + sum of degrees (= 2m) copies.
+        assert_eq!(hat.num_vertices(), g.num_vertices() + 2 * g.num_edges());
+    }
+
+    #[test]
+    fn er_components_match_faces() {
+        for g in [
+            gen::grid(4, 3).unwrap(),
+            gen::diag_grid(4, 4, 9).unwrap(),
+            gen::apollonian(12, 2).unwrap(),
+            gen::path(5).unwrap(),
+            gen::cycle(6).unwrap(),
+        ] {
+            let hat = FaceDisjointGraph::new(&g);
+            assert_eq!(hat.num_face_cycles(), g.num_faces());
+        }
+    }
+
+    #[test]
+    fn er_cycles_are_vertex_disjoint_2_regular() {
+        let g = gen::diag_grid(3, 3, 5).unwrap();
+        let hat = FaceDisjointGraph::new(&g);
+        // Each corner copy has exactly two E_R edges.
+        let mut er_deg = vec![0usize; hat.num_vertices()];
+        for d in g.darts() {
+            let (a, b) = hat.er_edge_of_dart(d);
+            er_deg[a] += 1;
+            er_deg[b] += 1;
+        }
+        for (x, &deg) in er_deg.iter().enumerate() {
+            if x < hat.num_star_centers() {
+                assert_eq!(deg, 0, "star centers carry no E_R edges");
+            } else {
+                assert_eq!(deg, 2, "corner copies lie on exactly one face cycle");
+            }
+        }
+    }
+
+    #[test]
+    fn er_edge_corners_belong_to_the_darts_face() {
+        let g = gen::diag_grid(4, 3, 1).unwrap();
+        let hat = FaceDisjointGraph::new(&g);
+        for d in g.darts() {
+            let (a, b) = hat.er_edge_of_dart(d);
+            assert_eq!(hat.face_of_copy(a), Some(g.face_of(d)));
+            assert_eq!(hat.face_of_copy(b), Some(g.face_of(d)));
+        }
+    }
+
+    #[test]
+    fn ec_edges_connect_the_two_faces_of_each_edge() {
+        let g = gen::diag_grid(4, 3, 2).unwrap();
+        let hat = FaceDisjointGraph::new(&g);
+        for e in 0..g.num_edges() {
+            let (a, b) = hat.ec_edge_of_edge(e);
+            let fa = hat.face_of_copy(a).unwrap();
+            let fb = hat.face_of_copy(b).unwrap();
+            let d = Dart::forward(e);
+            let mut expected = [g.face_of(d), g.face_of(d.rev())];
+            let mut got = [fa, fb];
+            expected.sort();
+            got.sort();
+            assert_eq!(got, expected, "E_C edge of e{e} joins its two faces");
+        }
+    }
+
+    #[test]
+    fn hat_diameter_at_most_3d_plus_constant() {
+        for g in [gen::grid(4, 4).unwrap(), gen::apollonian(15, 3).unwrap()] {
+            let hat = FaceDisjointGraph::new(&g);
+            let d = g.diameter();
+            assert!(
+                hat.diameter() <= 3 * d + 3,
+                "Ĝ diameter {} vs 3D+3 = {}",
+                hat.diameter(),
+                3 * d + 3
+            );
+        }
+    }
+
+    #[test]
+    fn pa_sums_per_part() {
+        let g = gen::grid(4, 4).unwrap();
+        let cm = CostModel::new(g.num_vertices(), g.diameter());
+        let mut ledger = CostLedger::new();
+        // Two parts: outer face alone, all bounded faces together.
+        let outer = g.faces().max_by_key(|&f| g.face_darts(f).len()).unwrap();
+        let part_of = g
+            .faces()
+            .map(|f| Some(u32::from(f != outer)))
+            .collect();
+        let partition = DualPartition::new(&g, part_of);
+        assert!(partition.validate(&g));
+        let out = part_wise_aggregate(&partition, |_| 1u64, |a, b| a + b, &cm, &mut ledger);
+        assert_eq!(out[&0], 1);
+        assert_eq!(out[&1], g.num_faces() as u64 - 1);
+        assert_eq!(ledger.total(), cm.dual_part_wise_aggregation());
+    }
+
+    #[test]
+    fn boundary_aggregate_counts_cut_darts() {
+        let g = gen::grid(3, 3).unwrap();
+        let cm = CostModel::new(g.num_vertices(), g.diameter());
+        let mut ledger = CostLedger::new();
+        let outer = g.faces().max_by_key(|&f| g.face_darts(f).len()).unwrap();
+        let part_of = g
+            .faces()
+            .map(|f| Some(u32::from(f != outer)))
+            .collect();
+        let partition = DualPartition::new(&g, part_of);
+        let out = part_wise_boundary_aggregate(
+            &g,
+            &partition,
+            |_| Some(1u64),
+            |a, b| a + b,
+            &cm,
+            &mut ledger,
+        );
+        // The boundary between the outer face and the interior is the 8
+        // border edges of the 3x3 grid, one boundary dart per side per edge.
+        assert_eq!(out[&0], 8);
+        assert_eq!(out[&1], 8);
+    }
+
+    #[test]
+    fn invalid_partition_detected() {
+        let g = gen::grid(4, 2).unwrap(); // 1x3 strip of cells + outer: 4 faces
+        // Put the two end cells in the same part, skipping the middle cell.
+        let outer = g.faces().max_by_key(|&f| g.face_darts(f).len()).unwrap();
+        let bounded: Vec<FaceId> = g.faces().filter(|&f| f != outer).collect();
+        assert_eq!(bounded.len(), 3);
+        let mut part_of = vec![Some(9u32); g.num_faces()];
+        part_of[outer.index()] = None;
+        part_of[bounded[1].index()] = None;
+        let partition = DualPartition::new(&g, part_of);
+        assert!(!partition.validate(&g));
+    }
+
+    #[test]
+    fn identify_faces_assigns_distinct_leaders() {
+        let g = gen::diag_grid(3, 3, 11).unwrap();
+        let hat = FaceDisjointGraph::new(&g);
+        let cm = CostModel::new(g.num_vertices(), g.diameter());
+        let mut ledger = CostLedger::new();
+        let leaders = identify_faces(&hat, &cm, &mut ledger);
+        assert_eq!(leaders.len(), g.num_faces());
+        let mut ids: Vec<usize> = leaders.values().copied().collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), g.num_faces(), "leaders are distinct");
+    }
+}

@@ -1,0 +1,57 @@
+//! Property-based tests of the face-disjoint graph `Ĝ` (paper, Section 3
+//! and Appendix A) over randomized topologies.
+
+use duality_overlay::FaceDisjointGraph;
+use duality_planar::gen;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ĝ's E_R cycles are in bijection with faces of G and vertex-disjoint
+    /// (Property 4 of Ĝ): every corner copy lies on exactly one face cycle.
+    #[test]
+    fn face_cycles_bijection(w in 3usize..7, h in 3usize..6, seed in 0u64..1000) {
+        let g = gen::diag_grid(w, h, seed).unwrap();
+        let hat = FaceDisjointGraph::new(&g);
+        prop_assert_eq!(hat.num_face_cycles(), g.num_faces());
+        for d in g.darts() {
+            let (a, b) = hat.er_edge_of_dart(d);
+            prop_assert_eq!(hat.face_of_copy(a), Some(g.face_of(d)));
+            prop_assert_eq!(hat.face_of_copy(b), Some(g.face_of(d)));
+        }
+    }
+
+    /// E_C edges join exactly the two faces of their primal edge
+    /// (Property 5: the 1-1 mapping to dual edges).
+    #[test]
+    fn ec_edges_are_dual_edges(n in 6usize..24, seed in 0u64..1000) {
+        let g = gen::apollonian(n, seed).unwrap();
+        let hat = FaceDisjointGraph::new(&g);
+        for e in 0..g.num_edges() {
+            let (a, b) = hat.ec_edge_of_edge(e);
+            let d = duality_planar::Dart::forward(e);
+            let mut got = [hat.face_of_copy(a).unwrap(), hat.face_of_copy(b).unwrap()];
+            let mut want = [g.face_of(d), g.face_of(d.rev())];
+            got.sort();
+            want.sort();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Ĝ's size is linear: n star centers + 2m corner copies (Property 1).
+    #[test]
+    fn hat_size_linear(w in 3usize..7, h in 3usize..6, seed in 0u64..1000) {
+        let g = gen::diag_grid(w, h, seed).unwrap();
+        let hat = FaceDisjointGraph::new(&g);
+        prop_assert_eq!(hat.num_vertices(), g.num_vertices() + 2 * g.num_edges());
+    }
+
+    /// Ĝ's diameter respects Property 2 (≤ 3D + O(1)).
+    #[test]
+    fn hat_diameter_bound(w in 3usize..6, h in 3usize..5, seed in 0u64..200) {
+        let g = gen::diag_grid(w, h, seed).unwrap();
+        let hat = FaceDisjointGraph::new(&g);
+        prop_assert!(hat.diameter() <= 3 * g.diameter() + 3);
+    }
+}

@@ -1,0 +1,128 @@
+use serde::{Deserialize, Serialize};
+
+/// A *dart* (directed half-edge) of an embedded planar graph.
+///
+/// Every edge `e` of the graph is represented by two darts embedded one on
+/// top of the other (paper, Section 5.1 "Darts"): the *forward* dart
+/// `Dart::forward(e)` pointing from `tail(e)` to `head(e)` and the *backward*
+/// dart `Dart::backward(e)` pointing the opposite way. `rev` maps each dart
+/// to its reversal.
+///
+/// Darts are the atomic unit of the dual-graph machinery: each dart belongs
+/// to exactly one face of the graph, and the dual arc of `d` crosses `d`
+/// from the face containing `d` to the face containing `rev(d)`.
+///
+/// # Example
+///
+/// ```
+/// use duality_planar::Dart;
+///
+/// let d = Dart::forward(3);
+/// assert_eq!(d.edge(), 3);
+/// assert!(d.is_forward());
+/// assert_eq!(d.rev().rev(), d);
+/// assert_ne!(d.rev(), d);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Dart(u32);
+
+impl Dart {
+    /// The forward dart of edge `e` (same direction as the edge).
+    #[inline]
+    pub fn forward(edge: usize) -> Self {
+        Dart((edge as u32) << 1)
+    }
+
+    /// The backward dart of edge `e` (opposite direction).
+    #[inline]
+    pub fn backward(edge: usize) -> Self {
+        Dart(((edge as u32) << 1) | 1)
+    }
+
+    /// Reconstructs a dart from its dense index (see [`Dart::index`]).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Dart(index as u32)
+    }
+
+    /// The edge this dart belongs to.
+    #[inline]
+    pub fn edge(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// The reversal dart (`rev(rev(d)) == d`).
+    #[inline]
+    pub fn rev(self) -> Self {
+        Dart(self.0 ^ 1)
+    }
+
+    /// Whether this is the forward dart of its edge.
+    #[inline]
+    pub fn is_forward(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index in `0..2m`, suitable for indexing per-dart arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for Dart {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Dart(e{}{})",
+            self.edge(),
+            if self.is_forward() { "+" } else { "-" }
+        )
+    }
+}
+
+impl std::fmt::Display for Dart {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_backward_roundtrip() {
+        for e in [0usize, 1, 17, 1 << 20] {
+            assert_eq!(Dart::forward(e).edge(), e);
+            assert_eq!(Dart::backward(e).edge(), e);
+            assert!(Dart::forward(e).is_forward());
+            assert!(!Dart::backward(e).is_forward());
+            assert_eq!(Dart::forward(e).rev(), Dart::backward(e));
+        }
+    }
+
+    #[test]
+    fn rev_is_involution_without_fixpoints() {
+        for i in 0..100 {
+            let d = Dart::from_index(i);
+            assert_eq!(d.rev().rev(), d);
+            assert_ne!(d.rev(), d);
+            assert_eq!(d.rev().edge(), d.edge());
+        }
+    }
+
+    #[test]
+    fn index_is_dense() {
+        assert_eq!(Dart::forward(0).index(), 0);
+        assert_eq!(Dart::backward(0).index(), 1);
+        assert_eq!(Dart::forward(1).index(), 2);
+        assert_eq!(Dart::from_index(5), Dart::backward(2));
+    }
+
+    #[test]
+    fn debug_format_is_nonempty() {
+        assert_eq!(format!("{:?}", Dart::forward(2)), "Dart(e2+)");
+        assert_eq!(format!("{}", Dart::backward(2)), "Dart(e2-)");
+    }
+}

@@ -1,0 +1,372 @@
+//! The dual multigraph `G*` of an embedded planar graph.
+//!
+//! The dual has a node per face of `G` and, for every dart `d` of `G`, an arc
+//! `face(d) → face(rev(d))`. A primal edge therefore contributes a pair of
+//! antiparallel dual arcs; algorithms select which darts carry which lengths
+//! (e.g. Miller–Naor uses residual capacities on both darts, the undirected
+//! girth pipeline uses the edge weight on both).
+
+use crate::{Dart, FaceId, PlanarGraph, Weight, INF};
+
+/// Adjacency view of the dual multigraph, with per-dart lengths.
+///
+/// # Example
+///
+/// ```
+/// use duality_planar::{dual::DualView, gen};
+///
+/// let g = gen::grid(3, 3).unwrap();
+/// let lengths = vec![1i64; g.num_darts()];
+/// let dual = DualView::new(&g, &lengths, |_| true);
+/// assert_eq!(dual.num_nodes(), g.num_faces());
+/// ```
+#[derive(Clone, Debug)]
+pub struct DualView {
+    num_nodes: usize,
+    /// `adj[f]` = list of `(to, weight, dart)` out-arcs of dual node `f`.
+    adj: Vec<Vec<(FaceId, Weight, Dart)>>,
+}
+
+impl DualView {
+    /// Builds the dual adjacency. `lengths[d]` is the length of the dual arc
+    /// crossing dart `d` (from `face(d)` to `face(rev(d))`); darts for which
+    /// `include` returns `false` contribute no arc.
+    pub fn new(g: &PlanarGraph, lengths: &[Weight], include: impl Fn(Dart) -> bool) -> Self {
+        assert_eq!(lengths.len(), g.num_darts(), "one length per dart");
+        let mut adj = vec![Vec::new(); g.num_faces()];
+        for d in g.darts() {
+            if !include(d) {
+                continue;
+            }
+            let (from, to) = g.dual_arc(d);
+            adj[from.index()].push((to, lengths[d.index()], d));
+        }
+        DualView {
+            num_nodes: g.num_faces(),
+            adj,
+        }
+    }
+
+    /// Number of dual nodes (faces of the primal graph).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Out-arcs of dual node `f`.
+    pub fn out_arcs(&self, f: FaceId) -> &[(FaceId, Weight, Dart)] {
+        &self.adj[f.index()]
+    }
+
+    /// Total number of dual arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Single-source shortest paths by Bellman–Ford (lengths may be
+    /// negative). Returns per-node distances, or `None` if a negative cycle
+    /// is reachable from `source`.
+    ///
+    /// This is the *centralized reference* used to validate the distributed
+    /// labeling pipeline; it is not charged any CONGEST rounds.
+    pub fn bellman_ford(&self, source: FaceId) -> Option<Vec<Weight>> {
+        let n = self.num_nodes;
+        let mut dist = vec![INF; n];
+        dist[source.index()] = 0;
+        for round in 0..n {
+            let mut changed = false;
+            for f in 0..n {
+                if dist[f] >= INF {
+                    continue;
+                }
+                for &(to, w, _) in &self.adj[f] {
+                    let cand = dist[f] + w;
+                    if cand < dist[to.index()] {
+                        dist[to.index()] = cand;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return Some(dist);
+            }
+            if round == n - 1 {
+                return None; // still relaxing after n sweeps => negative cycle
+            }
+        }
+        Some(dist)
+    }
+
+    /// Dijkstra shortest paths (requires non-negative lengths; panics in
+    /// debug builds otherwise). Returns `(dist, parent_dart)` where
+    /// `parent_dart[f]` is the dart whose dual arc enters `f` on the
+    /// shortest-path tree.
+    pub fn dijkstra(&self, source: FaceId) -> (Vec<Weight>, Vec<Option<Dart>>) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let n = self.num_nodes;
+        let mut dist = vec![INF; n];
+        let mut parent = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[source.index()] = 0;
+        heap.push(Reverse((0, source.index())));
+        while let Some(Reverse((du, u))) = heap.pop() {
+            if du > dist[u] {
+                continue;
+            }
+            for &(to, w, dart) in &self.adj[u] {
+                debug_assert!(w >= 0, "dijkstra requires non-negative lengths");
+                let cand = du + w;
+                if cand < dist[to.index()] {
+                    dist[to.index()] = cand;
+                    parent[to.index()] = Some(dart);
+                    heap.push(Reverse((cand, to.index())));
+                }
+            }
+        }
+        (dist, parent)
+    }
+}
+
+/// Checks the undirected cycle–cut duality (paper, Fact 3.1): a set of edges
+/// forming a simple cycle in `G` must form a cut in `G*` whose removal
+/// leaves the dual with exactly two connected components.
+///
+/// Returns the two face sets `(inside, outside)` if `cycle_edges` is a
+/// simple dual cut, `None` otherwise.
+pub fn dual_cut_components(
+    g: &PlanarGraph,
+    cycle_edges: &[usize],
+) -> Option<(Vec<FaceId>, Vec<FaceId>)> {
+    let in_cut: std::collections::HashSet<usize> = cycle_edges.iter().copied().collect();
+    let nf = g.num_faces();
+    let mut comp = vec![u32::MAX; nf];
+    let mut num_comp = 0u32;
+    for start in 0..nf {
+        if comp[start] != u32::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start] = num_comp;
+        while let Some(f) = stack.pop() {
+            for &d in g.face_darts(FaceId(f as u32)) {
+                if in_cut.contains(&d.edge()) {
+                    continue;
+                }
+                let to = g.face_of(d.rev()).index();
+                if comp[to] == u32::MAX {
+                    comp[to] = num_comp;
+                    stack.push(to);
+                }
+            }
+        }
+        num_comp += 1;
+    }
+    if num_comp != 2 {
+        return None;
+    }
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for f in 0..nf {
+        if comp[f] == 0 {
+            a.push(FaceId(f as u32));
+        } else {
+            b.push(FaceId(f as u32));
+        }
+    }
+    Some((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn dual_arc_count_matches_darts() {
+        let g = gen::grid(4, 3).unwrap();
+        let lengths = vec![1; g.num_darts()];
+        let dual = DualView::new(&g, &lengths, |_| true);
+        assert_eq!(dual.num_arcs(), g.num_darts());
+    }
+
+    #[test]
+    fn bellman_ford_matches_dijkstra_on_nonnegative() {
+        let g = gen::diag_grid(4, 4, 7).unwrap();
+        let lengths: Vec<i64> = (0..g.num_darts()).map(|i| (i as i64 * 7) % 13 + 1).collect();
+        let dual = DualView::new(&g, &lengths, |_| true);
+        let bf = dual.bellman_ford(FaceId(0)).unwrap();
+        let (dj, _) = dual.dijkstra(FaceId(0));
+        assert_eq!(bf, dj);
+    }
+
+    #[test]
+    fn bellman_ford_detects_negative_cycle() {
+        let g = gen::grid(3, 3).unwrap();
+        let lengths = vec![-1; g.num_darts()];
+        let dual = DualView::new(&g, &lengths, |_| true);
+        assert!(dual.bellman_ford(FaceId(0)).is_none());
+    }
+
+    #[test]
+    fn negative_lengths_without_negative_cycle_ok() {
+        let g = gen::grid(2, 2).unwrap(); // single square: 2 faces
+        // Arcs leaving face 0 cost 5, arcs entering it cost -3: any dual
+        // cycle alternates between the two nodes so its total is >= 2.
+        let lengths: Vec<i64> = g
+            .darts()
+            .map(|d| if g.face_of(d) == FaceId(0) { 5 } else { -3 })
+            .collect();
+        let dual = DualView::new(&g, &lengths, |_| true);
+        let dist = dual.bellman_ford(FaceId(0)).expect("no negative cycle");
+        assert_eq!(dist[0], 0);
+        assert_eq!(dist[1], 5);
+    }
+
+    #[test]
+    fn cycle_cut_duality_on_grid() {
+        let g = gen::grid(3, 3).unwrap();
+        // Find the 4 edges of the top-left unit square: a simple cycle.
+        let mut square = Vec::new();
+        for e in 0..g.num_edges() {
+            let (u, v) = (g.edge_tail(e), g.edge_head(e));
+            let mut pair = [u, v];
+            pair.sort();
+            if matches!(pair, [0, 1] | [1, 4] | [3, 4] | [0, 3]) {
+                square.push(e);
+            }
+        }
+        assert_eq!(square.len(), 4);
+        let (a, b) = dual_cut_components(&g, &square).expect("simple cycle => simple cut");
+        // One side is the single enclosed face.
+        assert_eq!(a.len().min(b.len()), 1);
+        assert_eq!(a.len() + b.len(), g.num_faces());
+    }
+
+    #[test]
+    fn non_cycle_edge_set_is_not_simple_cut() {
+        let g = gen::grid(3, 3).unwrap();
+        // A single edge never disconnects the dual of a 2-edge-connected graph.
+        assert!(dual_cut_components(&g, &[0]).is_none());
+    }
+
+    #[test]
+    fn include_filter_drops_arcs() {
+        let g = gen::grid(3, 3).unwrap();
+        let lengths = vec![1; g.num_darts()];
+        let dual = DualView::new(&g, &lengths, |d| d.is_forward());
+        assert_eq!(dual.num_arcs(), g.num_edges());
+    }
+}
+
+/// Builds the dual graph of `g` as an embedded [`PlanarGraph`] of its own.
+///
+/// * Dual vertex `i` corresponds to face `FaceId(i)` of `g`.
+/// * Dual edge `e` corresponds to primal edge `e` (same index), directed
+///   from `face(d⁺)` to `face(d⁻)` — i.e. the forward dual dart crosses the
+///   forward primal dart.
+/// * The rotation around a dual vertex is the boundary-walk order of the
+///   corresponding face, which is the classical surface-preserving dual
+///   embedding: the faces of the dual correspond to the vertices of `g`
+///   (so `dual(dual(G))` has the shape of `G` back — tested below).
+///
+/// # Errors
+///
+/// Propagates the embedding validation (cannot fail for duals of valid
+/// connected embeddings; the Euler check re-certifies genus 0).
+pub fn dual_graph(g: &PlanarGraph) -> Result<PlanarGraph, crate::PlanarError> {
+    let edges: Vec<(usize, usize)> = (0..g.num_edges())
+        .map(|e| {
+            let d = Dart::forward(e);
+            (g.face_of(d).index(), g.face_of(d.rev()).index())
+        })
+        .collect();
+    let rotations: Vec<Vec<Dart>> = g
+        .faces()
+        .map(|f| {
+            g.face_darts(f)
+                .iter()
+                .map(|&d| {
+                    // The dual dart with tail face(d) crossing primal dart d.
+                    if d.is_forward() {
+                        Dart::forward(d.edge())
+                    } else {
+                        Dart::backward(d.edge())
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    PlanarGraph::from_rotations(g.num_faces(), &edges, rotations)
+}
+
+#[cfg(test)]
+mod dual_graph_tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn dual_graph_counts_swap() {
+        for g in [
+            gen::grid(4, 4).unwrap(),
+            gen::diag_grid(5, 4, 3).unwrap(),
+            gen::apollonian(20, 1).unwrap(),
+            gen::cycle(6).unwrap(),
+        ] {
+            let d = dual_graph(&g).unwrap();
+            assert_eq!(d.num_vertices(), g.num_faces());
+            assert_eq!(d.num_edges(), g.num_edges());
+            // Euler: faces of the dual = vertices of the primal.
+            assert_eq!(d.num_faces(), g.num_vertices());
+        }
+    }
+
+    #[test]
+    fn dual_of_dual_restores_primal_shape() {
+        let g = gen::diag_grid(4, 4, 7).unwrap();
+        let dd = dual_graph(&dual_graph(&g).unwrap()).unwrap();
+        assert_eq!(dd.num_vertices(), g.num_vertices());
+        assert_eq!(dd.num_edges(), g.num_edges());
+        assert_eq!(dd.num_faces(), g.num_faces());
+        // Edge incidences match up to the face<->vertex relabeling: the
+        // degree multiset of dd equals that of g.
+        let mut dg: Vec<usize> = (0..g.num_vertices()).map(|v| g.degree(v)).collect();
+        let mut ddg: Vec<usize> = (0..dd.num_vertices()).map(|v| dd.degree(v)).collect();
+        dg.sort_unstable();
+        ddg.sort_unstable();
+        assert_eq!(dg, ddg);
+    }
+
+    #[test]
+    fn dual_graph_arcs_match_dual_view() {
+        let g = gen::grid(3, 3).unwrap();
+        let d = dual_graph(&g).unwrap();
+        for e in 0..g.num_edges() {
+            let dart = Dart::forward(e);
+            assert_eq!(d.edge_tail(e), g.face_of(dart).index());
+            assert_eq!(d.edge_head(e), g.face_of(dart.rev()).index());
+        }
+    }
+
+    #[test]
+    fn dual_distances_agree_with_dual_view() {
+        let g = gen::diag_grid(4, 3, 5).unwrap();
+        let lengths: Vec<i64> = (0..g.num_darts()).map(|i| (i as i64 % 7) + 1).collect();
+        let view = DualView::new(&g, &lengths, |_| true);
+        let dualg = dual_graph(&g).unwrap();
+        // Run BFS-style Bellman-Ford over the dual PlanarGraph's darts with
+        // the same per-dart lengths and compare.
+        let reference = view.bellman_ford(crate::FaceId(0)).unwrap();
+        let mut dist = vec![crate::INF; dualg.num_vertices()];
+        dist[0] = 0;
+        for _ in 0..dualg.num_vertices() {
+            for dart in dualg.darts() {
+                let (u, v) = (dualg.tail(dart), dualg.head(dart));
+                let w = lengths[dart.index()];
+                if dist[u] < crate::INF / 2 && dist[u] + w < dist[v] {
+                    dist[v] = dist[u] + w;
+                }
+            }
+        }
+        assert_eq!(dist, reference);
+    }
+}

@@ -1,0 +1,79 @@
+/// Errors produced while constructing or manipulating planar graphs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanarError {
+    /// An edge endpoint exceeds the declared vertex count.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// The declared number of vertices.
+        n: usize,
+    },
+    /// The rotation system is malformed (not a permutation of out-darts).
+    BadRotation {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The graph is not connected (the CONGEST model requires a connected
+    /// communication network).
+    Disconnected,
+    /// The rotation system fails Euler's formula, i.e. does not describe a
+    /// genus-0 (planar) embedding.
+    NotPlanar {
+        /// The computed value of `V - E + F` (2 for planar embeddings).
+        euler: i64,
+    },
+    /// A vertex required to lie on a given face does not.
+    NotOnFace {
+        /// The offending vertex id.
+        vertex: usize,
+    },
+}
+
+impl std::fmt::Display for PlanarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanarError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for {n} vertices")
+            }
+            PlanarError::BadRotation { reason } => write!(f, "invalid rotation system: {reason}"),
+            PlanarError::Disconnected => write!(f, "graph is not connected"),
+            PlanarError::NotPlanar { euler } => {
+                write!(f, "rotation system is not planar (V - E + F = {euler}, expected 2)")
+            }
+            PlanarError::NotOnFace { vertex } => {
+                write!(f, "vertex {vertex} does not lie on the required face")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let cases: Vec<(PlanarError, &str)> = vec![
+            (
+                PlanarError::VertexOutOfRange { vertex: 7, n: 3 },
+                "vertex 7 out of range for 3 vertices",
+            ),
+            (PlanarError::Disconnected, "graph is not connected"),
+            (
+                PlanarError::NotPlanar { euler: 0 },
+                "rotation system is not planar (V - E + F = 0, expected 2)",
+            ),
+        ];
+        for (err, msg) in cases {
+            assert_eq!(err.to_string(), msg);
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&PlanarError::Disconnected);
+    }
+}

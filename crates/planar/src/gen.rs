@@ -1,0 +1,349 @@
+//! Workload generators.
+//!
+//! All generators produce planar straight-line drawings and build the
+//! rotation system from coordinates, so the resulting embeddings are valid
+//! by construction (and re-validated by the Euler check). Randomized
+//! generators take explicit seeds: the whole library is deterministic.
+
+use crate::{PlanarError, PlanarGraph, Weight};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A `w × h` grid graph (`w*h` vertices, hop diameter `w + h − 2`).
+///
+/// Vertex `(x, y)` has index `y * w + x`. Grids with one of the dimensions
+/// fixed give the skinny workloads the experiment harness uses to sweep the
+/// diameter `D` independently of `n`.
+///
+/// # Errors
+///
+/// Returns an error if `w == 0 || h == 0` (propagated as a disconnected /
+/// empty embedding error).
+pub fn grid(w: usize, h: usize) -> Result<PlanarGraph, PlanarError> {
+    let mut edges = Vec::new();
+    let mut coords = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            coords.push((x as f64, y as f64));
+            if x + 1 < w {
+                edges.push((y * w + x, y * w + x + 1));
+            }
+            if y + 1 < h {
+                edges.push((y * w + x, (y + 1) * w + x));
+            }
+        }
+    }
+    PlanarGraph::from_edges_with_coordinates(w * h, &edges, &coords)
+}
+
+/// A `w × h` grid where every unit cell additionally receives one random
+/// diagonal — a richly triangulated planar graph with the same diameter
+/// behaviour as [`grid`], used as the main benchmark workload.
+pub fn diag_grid(w: usize, h: usize, seed: u64) -> Result<PlanarGraph, PlanarError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    let mut coords = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            coords.push((x as f64, y as f64));
+            if x + 1 < w {
+                edges.push((y * w + x, y * w + x + 1));
+            }
+            if y + 1 < h {
+                edges.push((y * w + x, (y + 1) * w + x));
+            }
+        }
+    }
+    for y in 0..h.saturating_sub(1) {
+        for x in 0..w.saturating_sub(1) {
+            let a = y * w + x;
+            let b = y * w + x + 1;
+            let c = (y + 1) * w + x;
+            let d = (y + 1) * w + x + 1;
+            if rng.gen_bool(0.5) {
+                edges.push((a, d));
+            } else {
+                edges.push((b, c));
+            }
+        }
+    }
+    PlanarGraph::from_edges_with_coordinates(w * h, &edges, &coords)
+}
+
+/// A random Apollonian network (stacked triangulation): starting from a
+/// triangle, repeatedly pick a random bounded triangular face and insert a
+/// vertex connected to its three corners. Produces maximal planar graphs
+/// with `n ≥ 3` vertices and typically polylogarithmic diameter.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn apollonian(n: usize, seed: u64) -> Result<PlanarGraph, PlanarError> {
+    assert!(n >= 3, "apollonian networks need at least 3 vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coords: Vec<(f64, f64)> = vec![(0.0, 0.0), (1000.0, 0.0), (500.0, 1000.0)];
+    let mut edges: Vec<(usize, usize)> = vec![(0, 1), (1, 2), (2, 0)];
+    // Active triangles as corner triples.
+    let mut triangles: Vec<[usize; 3]> = vec![[0, 1, 2]];
+    while coords.len() < n {
+        let ti = rng.gen_range(0..triangles.len());
+        let [a, b, c] = triangles.swap_remove(ti);
+        let v = coords.len();
+        let (ax, ay) = coords[a];
+        let (bx, by) = coords[b];
+        let (cx, cy) = coords[c];
+        coords.push(((ax + bx + cx) / 3.0, (ay + by + cy) / 3.0));
+        edges.push((v, a));
+        edges.push((v, b));
+        edges.push((v, c));
+        triangles.push([a, b, v]);
+        triangles.push([b, c, v]);
+        triangles.push([c, a, v]);
+    }
+    PlanarGraph::from_edges_with_coordinates(coords.len(), &edges, &coords)
+}
+
+/// An outerplanar graph: a cycle on `n` vertices plus a random non-crossing
+/// set of chords (a random triangulation of the polygon when `full` is
+/// `true`, a sparser random subset otherwise).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn outerplanar(n: usize, seed: u64, full: bool) -> Result<PlanarGraph, PlanarError> {
+    assert!(n >= 3, "outerplanar graphs need at least 3 vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    // Random polygon triangulation by recursive splitting.
+    let mut stack = vec![(0usize, n - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi - lo < 2 {
+            continue;
+        }
+        let k = rng.gen_range(lo + 1..hi);
+        if (k > lo + 1 || k < hi - 1) && (full || rng.gen_bool(0.5)) {
+            if k > lo + 1 {
+                edges.push((lo, k));
+            }
+            if k < hi - 1 {
+                edges.push((k, hi));
+            }
+        }
+        stack.push((lo, k));
+        stack.push((k, hi));
+    }
+    edges.sort();
+    edges.dedup();
+    // Remove duplicates of cycle edges introduced by splitting at ends.
+    let coords: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let ang = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            (1000.0 * ang.cos(), 1000.0 * ang.sin())
+        })
+        .collect();
+    PlanarGraph::from_edges_with_coordinates(n, &edges, &coords)
+}
+
+/// A simple cycle on `n ≥ 3` vertices (two faces; the smallest graphs with a
+/// nontrivial dual).
+pub fn cycle(n: usize) -> Result<PlanarGraph, PlanarError> {
+    assert!(n >= 3);
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    let coords: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let ang = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            (1000.0 * ang.cos(), 1000.0 * ang.sin())
+        })
+        .collect();
+    PlanarGraph::from_edges_with_coordinates(n, &edges, &coords)
+}
+
+/// A path on `n ≥ 2` vertices (a tree: single face, useful as an edge case).
+pub fn path(n: usize) -> Result<PlanarGraph, PlanarError> {
+    assert!(n >= 2);
+    let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    let coords: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, 0.0)).collect();
+    PlanarGraph::from_edges_with_coordinates(n, &edges, &coords)
+}
+
+/// Uniform random integer weights in `[lo, hi]`, one per edge, from `seed`.
+pub fn random_edge_weights(m: usize, lo: Weight, hi: Weight, seed: u64) -> Vec<Weight> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m).map(|_| rng.gen_range(lo..=hi)).collect()
+}
+
+/// Per-dart capacities for a *directed* instance: forward darts get a random
+/// capacity in `[lo, hi]`, backward darts get capacity 0 (the paper's `G'`
+/// construction assigns reversal darts capacity zero, Section 6.1).
+pub fn random_directed_capacities(m: usize, lo: Weight, hi: Weight, seed: u64) -> Vec<Weight> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut caps = vec![0; 2 * m];
+    for e in 0..m {
+        caps[2 * e] = rng.gen_range(lo..=hi);
+    }
+    caps
+}
+
+/// Per-dart capacities for an *undirected* instance: both darts of an edge
+/// get the same random capacity in `[lo, hi]`.
+pub fn random_undirected_capacities(m: usize, lo: Weight, hi: Weight, seed: u64) -> Vec<Weight> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut caps = vec![0; 2 * m];
+    for e in 0..m {
+        let c = rng.gen_range(lo..=hi);
+        caps[2 * e] = c;
+        caps[2 * e + 1] = c;
+    }
+    caps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(5, 4).unwrap();
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 4 * 5 + 3 * 5 - 4); // 31 edges
+        assert_eq!(g.num_faces(), 4 * 3 + 1); // 12 cells + outer
+        assert_eq!(g.diameter(), 7);
+    }
+
+    #[test]
+    fn grid_1xk_is_path() {
+        let g = grid(6, 1).unwrap();
+        assert_eq!(g.num_faces(), 1);
+    }
+
+    #[test]
+    fn diag_grid_is_planar_and_deterministic() {
+        let a = diag_grid(6, 5, 42).unwrap();
+        let b = diag_grid(6, 5, 42).unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(
+            a.num_edges(),
+            (5 * 5 + 4 * 6) + 5 * 4 // grid edges + one diagonal per cell
+        );
+        let c = diag_grid(6, 5, 43).unwrap();
+        assert_eq!(c.num_edges(), a.num_edges()); // same count, maybe different diagonals
+    }
+
+    #[test]
+    fn apollonian_is_maximal_planar() {
+        for n in [3usize, 4, 10, 60] {
+            let g = apollonian(n, 1).unwrap();
+            assert_eq!(g.num_vertices(), n);
+            assert_eq!(g.num_edges(), 3 * n - 6);
+            assert_eq!(g.num_faces(), 2 * n - 4);
+        }
+    }
+
+    #[test]
+    fn outerplanar_full_is_polygon_triangulation() {
+        let g = outerplanar(12, 3, true).unwrap();
+        assert_eq!(g.num_vertices(), 12);
+        // All vertices on the outer face.
+        let outer = g.faces().max_by_key(|&f| g.face_darts(f).len()).unwrap();
+        let mut on_outer = vec![false; 12];
+        for &d in g.face_darts(outer) {
+            on_outer[g.tail(d)] = true;
+        }
+        assert!(on_outer.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn cycle_and_path_edge_cases() {
+        assert_eq!(cycle(3).unwrap().num_faces(), 2);
+        assert_eq!(cycle(10).unwrap().num_faces(), 2);
+        assert_eq!(path(2).unwrap().num_faces(), 1);
+        assert_eq!(path(9).unwrap().num_faces(), 1);
+    }
+
+    #[test]
+    fn weights_are_seeded_and_in_range() {
+        let a = random_edge_weights(100, 1, 9, 5);
+        let b = random_edge_weights(100, 1, 9, 5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&w| (1..=9).contains(&w)));
+        let caps = random_directed_capacities(50, 1, 7, 5);
+        for e in 0..50 {
+            assert!((1..=7).contains(&caps[2 * e]));
+            assert_eq!(caps[2 * e + 1], 0);
+        }
+        let u = random_undirected_capacities(50, 1, 7, 5);
+        for e in 0..50 {
+            assert_eq!(u[2 * e], u[2 * e + 1]);
+        }
+    }
+}
+
+/// A random connected planar subgraph of a triangulated grid: starting
+/// from [`diag_grid`], repeatedly deletes random edges whose removal keeps
+/// the graph connected, until `target_m` edges remain (or no more edges
+/// can go). Produces irregular face structures — large faces, low
+/// connectivity — that stress the face-part machinery of the BDD.
+pub fn sparse_grid(w: usize, h: usize, target_m: usize, seed: u64) -> Result<PlanarGraph, PlanarError> {
+    let full = diag_grid(w, h, seed)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let mut alive: Vec<bool> = vec![true; full.num_edges()];
+    let mut m = full.num_edges();
+    let mut order: Vec<usize> = (0..full.num_edges()).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    for &e in &order {
+        if m <= target_m {
+            break;
+        }
+        alive[e] = false;
+        // Connectivity check.
+        let (_, depth) = full.bfs_restricted(0, &|x| alive[x]);
+        if depth.iter().any(|&d| d == usize::MAX) {
+            alive[e] = true;
+        } else {
+            m -= 1;
+        }
+    }
+    // Rebuild as a standalone graph with compacted edge ids.
+    let edges: Vec<(usize, usize)> = (0..full.num_edges())
+        .filter(|&e| alive[e])
+        .map(|e| (full.edge_tail(e), full.edge_head(e)))
+        .collect();
+    let coords: Vec<(f64, f64)> = (0..h)
+        .flat_map(|y| (0..w).map(move |x| (x as f64, y as f64)))
+        .collect();
+    PlanarGraph::from_edges_with_coordinates(w * h, &edges, &coords)
+}
+
+#[cfg(test)]
+mod sparse_tests {
+    use super::*;
+
+    #[test]
+    fn sparse_grid_hits_target_and_stays_planar() {
+        let g = sparse_grid(5, 5, 30, 3).unwrap();
+        assert_eq!(g.num_vertices(), 25);
+        assert_eq!(g.num_edges(), 30);
+        assert_eq!(
+            g.num_vertices() as i64 - g.num_edges() as i64 + g.num_faces() as i64,
+            2
+        );
+    }
+
+    #[test]
+    fn sparse_grid_can_reach_spanning_tree_density() {
+        let g = sparse_grid(4, 4, 15, 9).unwrap(); // n-1 = 15: a tree
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.num_faces(), 1);
+    }
+
+    #[test]
+    fn sparse_grid_is_deterministic() {
+        let a = sparse_grid(5, 4, 25, 7).unwrap();
+        let b = sparse_grid(5, 4, 25, 7).unwrap();
+        let ea: Vec<_> = (0..a.num_edges()).map(|e| (a.edge_tail(e), a.edge_head(e))).collect();
+        let eb: Vec<_> = (0..b.num_edges()).map(|e| (b.edge_tail(e), b.edge_head(e))).collect();
+        assert_eq!(ea, eb);
+    }
+}

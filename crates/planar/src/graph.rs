@@ -1,0 +1,664 @@
+use crate::{Dart, PlanarError};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a face of a [`PlanarGraph`] (a node of the dual graph `G*`).
+///
+/// The paper refers to faces of the primal graph `G` as *nodes* of the dual
+/// graph `G*`; we keep that convention throughout the workspace.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct FaceId(pub u32);
+
+impl FaceId {
+    /// Dense index, suitable for indexing per-face arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An embedded planar graph given by a *rotation system*.
+///
+/// The graph is described by `n` vertices, a list of directed edges
+/// `(tail, head)`, and for every vertex the cyclic order of its out-going
+/// darts (its *local embedding* — the paper's "combinatorial planar
+/// embedding", Section 3). Faces are the orbits of the face permutation
+/// `φ(d) = next_around(head(d), rev(d))`; construction validates Euler's
+/// formula `V − E + F = 2` so that only genuinely planar rotation systems
+/// are accepted.
+///
+/// Multi-edges and self-loops are supported (bags of the decomposition and
+/// augmented graphs need them); the graph must be connected.
+///
+/// # Example
+///
+/// ```
+/// use duality_planar::PlanarGraph;
+///
+/// // A triangle; rotations listed clockwise.
+/// let g = PlanarGraph::from_edges_with_coordinates(
+///     3,
+///     &[(0, 1), (1, 2), (2, 0)],
+///     &[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)],
+/// )?;
+/// assert_eq!(g.num_faces(), 2);
+/// # Ok::<(), duality_planar::PlanarError>(())
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PlanarGraph {
+    n: usize,
+    tails: Vec<u32>,
+    heads: Vec<u32>,
+    /// `rot[v]` = cyclic order of darts with tail `v`.
+    rot: Vec<Vec<Dart>>,
+    /// `rot_pos[d]` = index of dart `d` within `rot[tail(d)]`.
+    rot_pos: Vec<u32>,
+    /// `face_of[d]` = face containing dart `d`.
+    face_of: Vec<FaceId>,
+    /// `face_darts[f]` = the boundary walk of face `f`, in orbit order.
+    face_darts: Vec<Vec<Dart>>,
+}
+
+impl PlanarGraph {
+    /// Builds a planar graph from an explicit rotation system.
+    ///
+    /// `rotations[v]` must list every dart with tail `v` exactly once, in
+    /// cyclic order around `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanarError`] if an edge endpoint is out of range, the
+    /// rotation system is not a permutation of the out-darts, the graph is
+    /// disconnected, or the rotation system fails Euler's formula (i.e. it
+    /// does not describe a genus-0 embedding).
+    pub fn from_rotations(
+        n: usize,
+        edges: &[(usize, usize)],
+        rotations: Vec<Vec<Dart>>,
+    ) -> Result<Self, PlanarError> {
+        let m = edges.len();
+        if rotations.len() != n {
+            return Err(PlanarError::BadRotation {
+                reason: format!("expected {n} rotation lists, got {}", rotations.len()),
+            });
+        }
+        let mut tails = Vec::with_capacity(m);
+        let mut heads = Vec::with_capacity(m);
+        for &(u, v) in edges {
+            if u >= n || v >= n {
+                return Err(PlanarError::VertexOutOfRange { vertex: u.max(v), n });
+            }
+            tails.push(u as u32);
+            heads.push(v as u32);
+        }
+
+        // Validate that rotations form a permutation of the out-darts.
+        let mut seen = vec![false; 2 * m];
+        let mut rot_pos = vec![u32::MAX; 2 * m];
+        for (v, order) in rotations.iter().enumerate() {
+            for (i, &d) in order.iter().enumerate() {
+                if d.edge() >= m {
+                    return Err(PlanarError::BadRotation {
+                        reason: format!("dart {d:?} refers to a nonexistent edge"),
+                    });
+                }
+                let t = if d.is_forward() {
+                    tails[d.edge()]
+                } else {
+                    heads[d.edge()]
+                } as usize;
+                if t != v {
+                    return Err(PlanarError::BadRotation {
+                        reason: format!("dart {d:?} has tail {t}, listed under vertex {v}"),
+                    });
+                }
+                if seen[d.index()] {
+                    return Err(PlanarError::BadRotation {
+                        reason: format!("dart {d:?} listed twice"),
+                    });
+                }
+                seen[d.index()] = true;
+                rot_pos[d.index()] = i as u32;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|s| !s) {
+            return Err(PlanarError::BadRotation {
+                reason: format!("dart {:?} missing from rotations", Dart::from_index(missing)),
+            });
+        }
+
+        let mut g = PlanarGraph {
+            n,
+            tails,
+            heads,
+            rot: rotations,
+            rot_pos,
+            face_of: Vec::new(),
+            face_darts: Vec::new(),
+        };
+        g.compute_faces();
+
+        if !g.is_connected() {
+            return Err(PlanarError::Disconnected);
+        }
+        // Euler's formula for connected genus-0 embeddings.
+        let euler = n as i64 - m as i64 + g.face_darts.len() as i64;
+        if euler != 2 {
+            return Err(PlanarError::NotPlanar { euler });
+        }
+        Ok(g)
+    }
+
+    /// Builds the rotation system from straight-line coordinates: the darts
+    /// around each vertex are sorted counter-clockwise by angle.
+    ///
+    /// This is the construction route used by all [`crate::gen`] workload
+    /// generators, which produce planar straight-line drawings.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PlanarGraph::from_rotations`]. In particular a
+    /// non-planar drawing (crossing edges) fails the Euler check.
+    pub fn from_edges_with_coordinates(
+        n: usize,
+        edges: &[(usize, usize)],
+        coordinates: &[(f64, f64)],
+    ) -> Result<Self, PlanarError> {
+        if coordinates.len() != n {
+            return Err(PlanarError::BadRotation {
+                reason: format!("expected {n} coordinates, got {}", coordinates.len()),
+            });
+        }
+        let mut out: Vec<Vec<(f64, Dart)>> = vec![Vec::new(); n];
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            if u >= n || v >= n {
+                return Err(PlanarError::VertexOutOfRange { vertex: u.max(v), n });
+            }
+            let (ux, uy) = coordinates[u];
+            let (vx, vy) = coordinates[v];
+            let ang_uv = (vy - uy).atan2(vx - ux);
+            let ang_vu = (uy - vy).atan2(ux - vx);
+            out[u].push((ang_uv, Dart::forward(e)));
+            out[v].push((ang_vu, Dart::backward(e)));
+        }
+        let rotations = out
+            .into_iter()
+            .map(|mut v| {
+                v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("angles are finite"));
+                v.into_iter().map(|(_, d)| d).collect()
+            })
+            .collect();
+        Self::from_rotations(n, edges, rotations)
+    }
+
+    fn compute_faces(&mut self) {
+        let m = self.num_edges();
+        self.face_of = vec![FaceId(u32::MAX); 2 * m];
+        self.face_darts.clear();
+        for start in 0..2 * m {
+            if self.face_of[start].0 != u32::MAX {
+                continue;
+            }
+            let fid = FaceId(self.face_darts.len() as u32);
+            let mut walk = Vec::new();
+            let mut d = Dart::from_index(start);
+            loop {
+                self.face_of[d.index()] = fid;
+                walk.push(d);
+                d = self.phi(d);
+                if d.index() == start {
+                    break;
+                }
+            }
+            self.face_darts.push(walk);
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.tails.len()
+    }
+
+    /// Number of darts (`2 * num_edges`).
+    #[inline]
+    pub fn num_darts(&self) -> usize {
+        2 * self.tails.len()
+    }
+
+    /// Number of faces (= number of nodes of the dual graph `G*`).
+    #[inline]
+    pub fn num_faces(&self) -> usize {
+        self.face_darts.len()
+    }
+
+    /// Tail vertex of edge `e`.
+    #[inline]
+    pub fn edge_tail(&self, e: usize) -> usize {
+        self.tails[e] as usize
+    }
+
+    /// Head vertex of edge `e`.
+    #[inline]
+    pub fn edge_head(&self, e: usize) -> usize {
+        self.heads[e] as usize
+    }
+
+    /// Tail vertex of dart `d` (the vertex it leaves).
+    #[inline]
+    pub fn tail(&self, d: Dart) -> usize {
+        if d.is_forward() {
+            self.tails[d.edge()] as usize
+        } else {
+            self.heads[d.edge()] as usize
+        }
+    }
+
+    /// Head vertex of dart `d` (the vertex it enters).
+    #[inline]
+    pub fn head(&self, d: Dart) -> usize {
+        self.tail(d.rev())
+    }
+
+    /// The out-darts of `v` in rotation (embedding) order.
+    #[inline]
+    pub fn out_darts(&self, v: usize) -> &[Dart] {
+        &self.rot[v]
+    }
+
+    /// Degree of `v` (counting multi-edges; self-loops count twice).
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.rot[v].len()
+    }
+
+    /// The next out-dart after `d` in the rotation around `tail(d)`.
+    #[inline]
+    pub fn next_around_tail(&self, d: Dart) -> Dart {
+        let v = self.tail(d);
+        let pos = self.rot_pos[d.index()] as usize;
+        let order = &self.rot[v];
+        order[(pos + 1) % order.len()]
+    }
+
+    /// The previous out-dart before `d` in the rotation around `tail(d)`.
+    #[inline]
+    pub fn prev_around_tail(&self, d: Dart) -> Dart {
+        let v = self.tail(d);
+        let pos = self.rot_pos[d.index()] as usize;
+        let order = &self.rot[v];
+        order[(pos + order.len() - 1) % order.len()]
+    }
+
+    /// Position of `d` within the rotation of its tail.
+    #[inline]
+    pub fn rotation_position(&self, d: Dart) -> usize {
+        self.rot_pos[d.index()] as usize
+    }
+
+    /// The face permutation: the dart following `d` on the boundary walk of
+    /// `d`'s face.
+    #[inline]
+    pub fn phi(&self, d: Dart) -> Dart {
+        self.next_around_tail(d.rev())
+    }
+
+    /// The face containing dart `d`. Each dart belongs to exactly one face
+    /// (paper, Section 5.1: "the faces of `G` define a partition over the
+    /// set of darts").
+    #[inline]
+    pub fn face_of(&self, d: Dart) -> FaceId {
+        self.face_of[d.index()]
+    }
+
+    /// Boundary walk of face `f` as a cyclic sequence of darts.
+    #[inline]
+    pub fn face_darts(&self, f: FaceId) -> &[Dart] {
+        &self.face_darts[f.index()]
+    }
+
+    /// Iterator over all face identifiers.
+    pub fn faces(&self) -> impl Iterator<Item = FaceId> + '_ {
+        (0..self.face_darts.len() as u32).map(FaceId)
+    }
+
+    /// Iterator over all darts.
+    pub fn darts(&self) -> impl Iterator<Item = Dart> {
+        (0..self.num_darts()).map(Dart::from_index)
+    }
+
+    /// The dual arc of dart `d`: from `face(d)` to `face(rev(d))`.
+    ///
+    /// With this convention, for any assignment of potentials `φ` to faces,
+    /// setting `flow(d) = φ(face(rev d)) − φ(face(d))` yields a circulation
+    /// (flow conservation at every vertex) — the planar-duality fact behind
+    /// the Miller–Naor and Hassin max-flow reductions (paper, Section 6.1).
+    #[inline]
+    pub fn dual_arc(&self, d: Dart) -> (FaceId, FaceId) {
+        (self.face_of(d), self.face_of(d.rev()))
+    }
+
+    /// Restricted face permutation: the dart after `d` on the boundary walk
+    /// of `d`'s face *within the subgraph* consisting of the edges for which
+    /// `edge_present` returns `true`.
+    ///
+    /// `d`'s own edge must be present. Used by the BDD to trace faces of
+    /// bags without re-embedding them.
+    pub fn phi_restricted(&self, d: Dart, edge_present: &dyn Fn(usize) -> bool) -> Dart {
+        debug_assert!(edge_present(d.edge()));
+        let mut cur = d.rev();
+        loop {
+            cur = self.next_around_tail(cur);
+            if edge_present(cur.edge()) {
+                return cur;
+            }
+        }
+    }
+
+    /// Breadth-first search over the underlying undirected graph, restricted
+    /// to edges where `edge_present` is `true`, from `root`.
+    ///
+    /// Returns `(parent_dart, depth)` per vertex: `parent_dart[v]` is the
+    /// dart pointing *into* `v` along the BFS tree (`None` for the root and
+    /// unreached vertices), `depth[v]` is the hop distance (`usize::MAX` if
+    /// unreached).
+    pub fn bfs_restricted(
+        &self,
+        root: usize,
+        edge_present: &dyn Fn(usize) -> bool,
+    ) -> (Vec<Option<Dart>>, Vec<usize>) {
+        let mut parent = vec![None; self.n];
+        let mut depth = vec![usize::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        depth[root] = 0;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            for &d in &self.rot[u] {
+                if !edge_present(d.edge()) {
+                    continue;
+                }
+                let w = self.head(d);
+                if depth[w] == usize::MAX {
+                    depth[w] = depth[u] + 1;
+                    parent[w] = Some(d);
+                    queue.push_back(w);
+                }
+            }
+        }
+        (parent, depth)
+    }
+
+    /// Breadth-first search over the whole graph.
+    pub fn bfs(&self, root: usize) -> (Vec<Option<Dart>>, Vec<usize>) {
+        self.bfs_restricted(root, &|_| true)
+    }
+
+    fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return false;
+        }
+        let (_, depth) = self.bfs(0);
+        depth.iter().all(|&d| d != usize::MAX)
+    }
+
+    /// Exact hop diameter (runs a BFS from every vertex; fine at our scales).
+    pub fn diameter(&self) -> usize {
+        let mut best = 0;
+        for v in 0..self.n {
+            let (_, depth) = self.bfs(v);
+            for &d in &depth {
+                if d != usize::MAX {
+                    best = best.max(d);
+                }
+            }
+        }
+        best
+    }
+
+    /// Eccentricity of `root` (max BFS depth).
+    pub fn eccentricity(&self, root: usize) -> usize {
+        let (_, depth) = self.bfs(root);
+        depth.iter().copied().filter(|&d| d != usize::MAX).max().unwrap_or(0)
+    }
+
+    /// Builds an augmented graph with one extra edge `(u, v)` embedded inside
+    /// face `f`. Both `u` and `v` must lie on `f`. Used by Hassin's st-planar
+    /// reduction (paper, Section 6.1), where the new edge splits `f` in two.
+    ///
+    /// Returns the augmented graph; the new edge has index `num_edges()` of
+    /// the original graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanarError::NotOnFace`] if `u` or `v` has no dart on `f`.
+    pub fn insert_edge_in_face(
+        &self,
+        u: usize,
+        v: usize,
+        f: FaceId,
+    ) -> Result<PlanarGraph, PlanarError> {
+        // Find a dart of the face walk with tail u (resp. v). Inserting the
+        // new dart immediately *before* that dart in the rotation of its
+        // tail places the new edge inside face f.
+        let slot = |x: usize| -> Option<Dart> {
+            self.face_darts(f).iter().copied().find(|&d| self.tail(d) == x)
+        };
+        let du = slot(u).ok_or(PlanarError::NotOnFace { vertex: u })?;
+        let dv = slot(v).ok_or(PlanarError::NotOnFace { vertex: v })?;
+
+        let mut edges: Vec<(usize, usize)> = (0..self.num_edges())
+            .map(|e| (self.edge_tail(e), self.edge_head(e)))
+            .collect();
+        let new_edge = edges.len();
+        edges.push((u, v));
+        let new_fwd = Dart::forward(new_edge); // tail u
+        let new_bwd = Dart::backward(new_edge); // tail v
+
+        let mut rotations = self.rot.clone();
+        let insert_before = |order: &mut Vec<Dart>, before: Dart, new: Dart| {
+            let pos = order.iter().position(|&d| d == before).expect("dart in rotation");
+            order.insert(pos, new);
+        };
+        insert_before(&mut rotations[u], du, new_fwd);
+        if u == v {
+            // Self-loop: also insert the backward dart right before the
+            // forward one so that the loop bounds an empty face.
+            let pos = rotations[v].iter().position(|&d| d == new_fwd).unwrap();
+            rotations[v].insert(pos, new_bwd);
+        } else {
+            insert_before(&mut rotations[v], dv, new_bwd);
+        }
+        PlanarGraph::from_rotations(self.n, &edges, rotations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn triangle() -> PlanarGraph {
+        PlanarGraph::from_edges_with_coordinates(
+            3,
+            &[(0, 1), (1, 2), (2, 0)],
+            &[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn triangle_has_two_faces() {
+        let g = triangle();
+        assert_eq!(g.num_faces(), 2);
+        let sizes: Vec<usize> = g.faces().map(|f| g.face_darts(f).len()).collect();
+        assert_eq!(sizes, vec![3, 3]);
+    }
+
+    #[test]
+    fn face_walk_is_closed_and_consistent() {
+        let g = gen::grid(3, 3).unwrap();
+        for f in g.faces() {
+            let walk = g.face_darts(f);
+            for (i, &d) in walk.iter().enumerate() {
+                assert_eq!(g.face_of(d), f);
+                let next = walk[(i + 1) % walk.len()];
+                assert_eq!(g.phi(d), next);
+                // Boundary walks are vertex-chained: head(d) == tail(next).
+                assert_eq!(g.head(d), g.tail(next));
+            }
+        }
+    }
+
+    #[test]
+    fn every_dart_in_exactly_one_face() {
+        let g = gen::grid(4, 2).unwrap();
+        let mut count = vec![0usize; g.num_faces()];
+        for d in g.darts() {
+            count[g.face_of(d).index()] += 1;
+        }
+        assert_eq!(count.iter().sum::<usize>(), g.num_darts());
+        for f in g.faces() {
+            assert_eq!(count[f.index()], g.face_darts(f).len());
+        }
+    }
+
+    #[test]
+    fn euler_formula_enforced() {
+        // K4 drawn with a crossing is rejected.
+        let bad = PlanarGraph::from_edges_with_coordinates(
+            4,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)],
+            &[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)],
+        );
+        assert!(matches!(bad, Err(PlanarError::NotPlanar { .. })));
+        // K4 drawn planarly is accepted.
+        let good = PlanarGraph::from_edges_with_coordinates(
+            4,
+            &[(0, 1), (1, 2), (2, 0), (0, 3), (1, 3), (2, 3)],
+            &[(0.0, 0.0), (4.0, 0.0), (2.0, 3.0), (2.0, 1.0)],
+        )
+        .unwrap();
+        assert_eq!(good.num_faces(), 4);
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let g = PlanarGraph::from_edges_with_coordinates(
+            4,
+            &[(0, 1), (2, 3)],
+            &[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)],
+        );
+        assert!(matches!(g, Err(PlanarError::Disconnected)));
+    }
+
+    #[test]
+    fn vertex_out_of_range_rejected() {
+        let g = PlanarGraph::from_edges_with_coordinates(
+            2,
+            &[(0, 5)],
+            &[(0.0, 0.0), (1.0, 0.0)],
+        );
+        assert!(matches!(g, Err(PlanarError::VertexOutOfRange { .. })));
+    }
+
+    #[test]
+    fn bad_rotation_rejected() {
+        // Swap a dart into the wrong vertex's rotation.
+        let edges = [(0usize, 1usize)];
+        let rot = vec![vec![Dart::backward(0)], vec![Dart::forward(0)]];
+        let g = PlanarGraph::from_rotations(2, &edges, rot);
+        assert!(matches!(g, Err(PlanarError::BadRotation { .. })));
+    }
+
+    #[test]
+    fn path_graph_single_face() {
+        let g = PlanarGraph::from_edges_with_coordinates(
+            3,
+            &[(0, 1), (1, 2)],
+            &[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)],
+        )
+        .unwrap();
+        // A tree has exactly one face whose walk visits every dart.
+        assert_eq!(g.num_faces(), 1);
+        assert_eq!(g.face_darts(FaceId(0)).len(), 4);
+    }
+
+    #[test]
+    fn dual_arc_endpoints_differ_for_cycle_edges() {
+        let g = triangle();
+        for d in g.darts() {
+            let (from, to) = g.dual_arc(d);
+            assert_ne!(from, to, "triangle edges separate the two faces");
+            let (rfrom, rto) = g.dual_arc(d.rev());
+            assert_eq!((rfrom, rto), (to, from));
+        }
+    }
+
+    #[test]
+    fn bfs_depths_and_diameter() {
+        let g = gen::grid(5, 4).unwrap();
+        let (_, depth) = g.bfs(0);
+        assert_eq!(depth[0], 0);
+        assert_eq!(depth[g.num_vertices() - 1], 4 + 3);
+        assert_eq!(g.diameter(), 7);
+    }
+
+    #[test]
+    fn bfs_restricted_respects_mask() {
+        let g = gen::grid(3, 1).unwrap(); // path of 3 vertices, 2 edges
+        let (_, depth) = g.bfs_restricted(0, &|e| e != 1);
+        assert!(depth.iter().any(|&d| d == usize::MAX));
+    }
+
+    #[test]
+    fn phi_restricted_skips_absent_edges() {
+        let g = gen::grid(3, 3).unwrap();
+        // Restrict to the outer boundary edges: phi_restricted walks stay
+        // within present edges.
+        let present: Vec<bool> = (0..g.num_edges())
+            .map(|e| {
+                let (u, v) = (g.edge_tail(e), g.edge_head(e));
+                let on_border = |x: usize| x % 3 == 0 || x % 3 == 2 || x / 3 == 0 || x / 3 == 2;
+                on_border(u) && on_border(v) && (u / 3 == v / 3 && u.abs_diff(v) == 1 && (u / 3 == 0 || u / 3 == 2)
+                    || u % 3 == v % 3 && (u % 3 == 0 || u % 3 == 2))
+            })
+            .collect();
+        let is_present = |e: usize| present[e];
+        for d in g.darts().filter(|d| is_present(d.edge())) {
+            let next = g.phi_restricted(d, &is_present);
+            assert!(is_present(next.edge()));
+            assert_eq!(g.head(d), g.tail(next));
+        }
+    }
+
+    #[test]
+    fn insert_edge_in_face_splits_face() {
+        let g = gen::grid(3, 3).unwrap();
+        // Outer face of the grid: find it as the face with the longest walk.
+        let outer = g
+            .faces()
+            .max_by_key(|&f| g.face_darts(f).len())
+            .unwrap();
+        let faces_before = g.num_faces();
+        // Corners 0 and 2 both lie on the outer face.
+        let aug = g.insert_edge_in_face(0, 2, outer).unwrap();
+        assert_eq!(aug.num_edges(), g.num_edges() + 1);
+        assert_eq!(aug.num_faces(), faces_before + 1);
+    }
+
+    #[test]
+    fn insert_edge_not_on_face_errors() {
+        let g = gen::grid(3, 3).unwrap();
+        let outer = g.faces().max_by_key(|&f| g.face_darts(f).len()).unwrap();
+        // Vertex 4 is the grid center: not on the outer face.
+        assert!(matches!(
+            g.insert_edge_in_face(0, 4, outer),
+            Err(PlanarError::NotOnFace { vertex: 4 })
+        ));
+    }
+}

@@ -1,0 +1,45 @@
+//! Planar graph substrate for the `duality` project.
+//!
+//! This crate provides the combinatorial foundations used by every other crate
+//! in the workspace:
+//!
+//! * [`Dart`] — directed half-edges (each edge `e` has a *forward* dart `e⁺`
+//!   and a *backward* dart `e⁻ = rev(e⁺)`), the unit the paper's dual-graph
+//!   machinery is phrased in (Section 5.1 of the paper);
+//! * [`PlanarGraph`] — an embedded planar graph given by a *rotation system*
+//!   (cyclic order of out-darts around every vertex), with its faces computed
+//!   as orbits of the face permutation `φ(d) = next_around(head(d), rev(d))`;
+//! * the dual multigraph view ([`PlanarGraph::dual_arc`],
+//!   [`dual::DualView`]) where the dual arc of dart `d` runs from `face(d)`
+//!   to `face(rev(d))`;
+//! * workload [`gen`]erators (grids, randomly triangulated grids, random
+//!   Apollonian stacked triangulations, outerplanar fans, …) used by the
+//!   experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use duality_planar::gen;
+//!
+//! let g = gen::grid(4, 3).expect("grids are planar");
+//! // Euler's formula for connected planar graphs: V - E + F = 2.
+//! assert_eq!(g.num_vertices() as i64 - g.num_edges() as i64 + g.num_faces() as i64, 2);
+//! ```
+
+mod dart;
+pub mod dual;
+mod error;
+pub mod gen;
+mod graph;
+pub mod util;
+
+pub use dart::Dart;
+pub use error::PlanarError;
+pub use graph::{FaceId, PlanarGraph};
+
+/// Edge weights / capacities are polynomially-bounded integers, as assumed by
+/// the CONGEST model (Section 3 of the paper).
+pub type Weight = i64;
+
+/// Sentinel "infinite" distance, chosen so that `INF + INF` does not overflow.
+pub const INF: Weight = i64::MAX / 4;

@@ -1,0 +1,104 @@
+//! Small shared utilities: disjoint-set union and integer helpers.
+
+/// Union–find with path halving and union by size.
+///
+/// # Example
+///
+/// ```
+/// use duality_planar::util::DisjointSet;
+///
+/// let mut dsu = DisjointSet::new(4);
+/// assert!(dsu.union(0, 1));
+/// assert!(!dsu.union(1, 0));
+/// assert_eq!(dsu.find(0), dsu.find(1));
+/// assert_ne!(dsu.find(0), dsu.find(2));
+/// assert_eq!(dsu.num_sets(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DisjointSet {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    num_sets: usize,
+}
+
+impl DisjointSet {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSet {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            num_sets: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            self.parent[x] = self.parent[self.parent[x] as usize];
+            x = self.parent[x] as usize;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.num_sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Current number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+}
+
+/// `ceil(log2(n))` for `n ≥ 1`, with `ceil_log2(1) == 1` (the CONGEST model
+/// uses `O(log n)`-bit words; we never allow zero-width words).
+pub fn ceil_log2(n: usize) -> u64 {
+    let n = n.max(2);
+    (usize::BITS - (n - 1).leading_zeros()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsu_basics() {
+        let mut d = DisjointSet::new(5);
+        assert_eq!(d.num_sets(), 5);
+        assert!(d.union(0, 1));
+        assert!(d.union(2, 3));
+        assert!(d.union(0, 3));
+        assert_eq!(d.num_sets(), 2);
+        assert!(d.same(1, 2));
+        assert!(!d.same(1, 4));
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 1);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+}

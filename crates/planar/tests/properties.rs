@@ -1,0 +1,128 @@
+//! Property-based tests for the planar substrate: combinatorial-map
+//! invariants over randomized workloads.
+
+use duality_planar::{gen, Dart, PlanarGraph};
+use proptest::prelude::*;
+
+/// Builds one of the generator families from a seed tuple.
+fn build(family: u8, a: usize, b: usize, seed: u64) -> PlanarGraph {
+    match family % 4 {
+        0 => gen::grid(a.max(2), b.max(2)).unwrap(),
+        1 => gen::diag_grid(a.max(2), b.max(2), seed).unwrap(),
+        2 => gen::apollonian(3 + a * b, seed).unwrap(),
+        _ => gen::outerplanar(3 + a + b, seed, seed % 2 == 0).unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Euler's formula holds for every generated embedding.
+    #[test]
+    fn euler_formula(family in 0u8..4, a in 2usize..8, b in 2usize..8, seed in 0u64..1000) {
+        let g = build(family, a, b, seed);
+        prop_assert_eq!(
+            g.num_vertices() as i64 - g.num_edges() as i64 + g.num_faces() as i64,
+            2
+        );
+    }
+
+    /// The face permutation partitions the darts: every dart is on exactly
+    /// one boundary walk, and walks are closed chains.
+    #[test]
+    fn faces_partition_darts(family in 0u8..4, a in 2usize..7, b in 2usize..7, seed in 0u64..1000) {
+        let g = build(family, a, b, seed);
+        let mut seen = vec![false; g.num_darts()];
+        for f in g.faces() {
+            let walk = g.face_darts(f);
+            for (i, &d) in walk.iter().enumerate() {
+                prop_assert!(!seen[d.index()]);
+                seen[d.index()] = true;
+                prop_assert_eq!(g.face_of(d), f);
+                prop_assert_eq!(g.head(d), g.tail(walk[(i + 1) % walk.len()]));
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Dual arcs are antisymmetric under dart reversal.
+    #[test]
+    fn dual_arc_involution(family in 0u8..4, a in 2usize..7, b in 2usize..7, seed in 0u64..1000) {
+        let g = build(family, a, b, seed);
+        for d in g.darts() {
+            let (from, to) = g.dual_arc(d);
+            let (rfrom, rto) = g.dual_arc(d.rev());
+            prop_assert_eq!((from, to), (rto, rfrom));
+        }
+    }
+
+    /// Rotation invariants: next/prev are inverse cyclic permutations of
+    /// the out-darts.
+    #[test]
+    fn rotation_next_prev(family in 0u8..4, a in 2usize..7, b in 2usize..7, seed in 0u64..1000) {
+        let g = build(family, a, b, seed);
+        for d in g.darts() {
+            prop_assert_eq!(g.prev_around_tail(g.next_around_tail(d)), d);
+            prop_assert_eq!(g.tail(g.next_around_tail(d)), g.tail(d));
+        }
+    }
+
+    /// BFS depths satisfy the triangle property along tree darts and the
+    /// diameter bounds every depth.
+    #[test]
+    fn bfs_depths_consistent(family in 0u8..4, a in 2usize..7, b in 2usize..7, seed in 0u64..1000) {
+        let g = build(family, a, b, seed);
+        let (parent, depth) = g.bfs(0);
+        let diam = g.diameter();
+        for v in 0..g.num_vertices() {
+            prop_assert!(depth[v] <= diam);
+            if v != 0 {
+                let d = parent[v].unwrap();
+                prop_assert_eq!(g.head(d), v);
+                prop_assert_eq!(depth[g.tail(d)] + 1, depth[v]);
+            }
+        }
+    }
+
+    /// Per-edge flows built from arbitrary face potentials conserve at
+    /// every vertex — the planar-duality fact behind the flow algorithms.
+    #[test]
+    fn potential_flows_conserve(family in 0u8..4, a in 2usize..7, b in 2usize..7, seed in 0u64..1000) {
+        let g = build(family, a, b, seed);
+        // Arbitrary potentials: a deterministic hash of the face id.
+        let phi = |f: duality_planar::FaceId| -> i64 {
+            ((f.0 as i64 * 2654435761) % 1009) - 500
+        };
+        for v in 0..g.num_vertices() {
+            let net: i64 = g
+                .out_darts(v)
+                .iter()
+                .map(|&d| {
+                    let (from, to) = g.dual_arc(d);
+                    phi(to) - phi(from)
+                })
+                .sum();
+            prop_assert_eq!(net, 0, "circulation at vertex {}", v);
+        }
+    }
+
+    /// `insert_edge_in_face` preserves planarity and splits exactly one
+    /// face.
+    #[test]
+    fn edge_insertion_splits_one_face(a in 3usize..7, b in 3usize..7, seed in 0u64..100) {
+        let g = gen::diag_grid(a, b, seed).unwrap();
+        let outer = g.faces().max_by_key(|&f| g.face_darts(f).len()).unwrap();
+        let mut on_outer: Vec<usize> =
+            g.face_darts(outer).iter().map(|&d| g.tail(d)).collect();
+        on_outer.sort_unstable();
+        on_outer.dedup();
+        prop_assume!(on_outer.len() >= 2);
+        let (u, v) = (on_outer[0], *on_outer.last().unwrap());
+        let aug = g.insert_edge_in_face(u, v, outer).unwrap();
+        prop_assert_eq!(aug.num_faces(), g.num_faces() + 1);
+        prop_assert_eq!(aug.num_edges(), g.num_edges() + 1);
+        // The new edge's darts lie in the two halves of the split face.
+        let nd = Dart::forward(g.num_edges());
+        prop_assert_ne!(aug.face_of(nd), aug.face_of(nd.rev()));
+    }
+}

@@ -1,0 +1,43 @@
+//! # duality — Distributed Maximum Flow in Planar Graphs
+//!
+//! A reproduction of *"Distributed Maximum Flow in Planar Graphs"*
+//! (Abd-Elhaleem, Dory, Parter, Weimann — PODC 2025) as a Rust library.
+//!
+//! The paper develops a toolkit for running distributed CONGEST algorithms
+//! on the **dual** `G*` of a planar network `G` while communicating only
+//! over `G`, and uses it to obtain:
+//!
+//! * exact maximum st-flow in directed planar graphs in `Õ(D²)` rounds,
+//! * `(1−o(1))`-approximate max st-flow in undirected st-planar graphs in
+//!   `D·n^{o(1)}` rounds,
+//! * exact directed minimum st-cut (`Õ(D²)`) and approximate st-planar
+//!   minimum st-cut (`D·n^{o(1)}`),
+//! * directed global minimum cut in `Õ(D²)` rounds,
+//! * weighted girth in `Õ(D)` rounds.
+//!
+//! This meta-crate re-exports the whole workspace. Start with
+//! [`core`](duality_core) for the headline algorithms, or [`planar`] for the
+//! graph substrate. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the reproduction results.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use duality::planar::gen;
+//! use duality::core::max_flow::{self, MaxFlowOptions};
+//!
+//! let g = gen::diag_grid(4, 4, 7).unwrap();
+//! let caps = gen::random_directed_capacities(g.num_edges(), 1, 8, 7);
+//! let result = max_flow::max_st_flow(&g, &caps, 0, g.num_vertices() - 1,
+//!                                    &MaxFlowOptions::default()).unwrap();
+//! assert!(result.value > 0);
+//! ```
+
+pub use duality_baselines as baselines;
+pub use duality_bdd as bdd;
+pub use duality_congest as congest;
+pub use duality_core as core;
+pub use duality_labeling as labeling;
+pub use duality_minor_agg as minor_agg;
+pub use duality_overlay as overlay;
+pub use duality_planar as planar;
