@@ -101,7 +101,14 @@ impl Dinic {
         }
     }
 
-    fn dfs(&mut self, u: usize, t: usize, limit: Weight, level: &[usize], it: &mut [usize]) -> Weight {
+    fn dfs(
+        &mut self,
+        u: usize,
+        t: usize,
+        limit: Weight,
+        level: &[usize],
+        it: &mut [usize],
+    ) -> Weight {
         if u == t {
             return limit;
         }

@@ -11,11 +11,7 @@ use duality_planar::{PlanarGraph, Weight, INF};
 ///
 /// Returns `None` if the graph is acyclic. `O(m · (m + n) log n)` — fine as
 /// a test oracle.
-pub fn weighted_girth(
-    n: usize,
-    edges: &[(usize, usize)],
-    weights: &[Weight],
-) -> Option<Weight> {
+pub fn weighted_girth(n: usize, edges: &[(usize, usize)], weights: &[Weight]) -> Option<Weight> {
     assert_eq!(edges.len(), weights.len());
     let mut best = INF;
     for (skip, &(u, v)) in edges.iter().enumerate() {

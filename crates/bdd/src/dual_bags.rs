@@ -178,8 +178,7 @@ pub fn check_assembly(bdd: &Bdd<'_>, bag: &Bag) -> bool {
     let locus = classify_dual_edges(bdd, bag);
     // (1) Arc sets match: every child dual arc appears in X*, and every X*
     // arc is classified.
-    let parent_darts: std::collections::HashSet<Dart> =
-        dual.arcs.iter().map(|a| a.dart).collect();
+    let parent_darts: std::collections::HashSet<Dart> = dual.arcs.iter().map(|a| a.dart).collect();
     for &c in &bag.children {
         let child_dual = DualBag::of_bag(bdd.graph, &bdd.bags[c]);
         for a in &child_dual.arcs {

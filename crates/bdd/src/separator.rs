@@ -222,7 +222,7 @@ pub fn find_cycle_separator(
         let mx = s.max(total - s);
         let is_virtual = usize::from(matches!(arcs[ai].closing, Closing::Virtual { .. }));
         let key = (mx, is_virtual, t);
-        if best.map_or(true, |b| key < b) {
+        if best.is_none_or(|b| key < b) {
             best = Some(key);
             best_arc = ai;
         }

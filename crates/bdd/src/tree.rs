@@ -149,10 +149,7 @@ impl<'g> Bdd<'g> {
         cm: &CostModel,
         ledger: &mut CostLedger,
     ) -> Self {
-        let threshold = options
-            .leaf_threshold
-            .unwrap_or(4 * (cm.d + 1))
-            .max(2);
+        let threshold = options.leaf_threshold.unwrap_or(4 * (cm.d + 1)).max(2);
         let mut bags: Vec<Bag> = Vec::new();
         let root_edges: Vec<usize> = (0..g.num_edges()).collect();
         let root_darts: HashSet<Dart> = g.darts().collect();
@@ -202,8 +199,7 @@ impl<'g> Bdd<'g> {
 
             // Fundamental cycle: tree paths from both endpoints to their LCA.
             let (u, v) = sep.endpoints;
-            let (cycle_vertices, cycle_tree_edges) =
-                tree_path(g, &parent_dart, &depth, u, v);
+            let (cycle_vertices, cycle_tree_edges) = tree_path(g, &parent_dart, &depth, u, v);
             let closing = match sep.closing {
                 Closing::Real(e) => ClosingEdge::Real(e),
                 Closing::Virtual { .. } => ClosingEdge::Virtual,
@@ -243,9 +239,7 @@ impl<'g> Bdd<'g> {
                     let mut dart_in = HashSet::new();
                     for &e in &comp {
                         for d in [Dart::forward(e), Dart::backward(e)] {
-                            if bags[id].dart_in.contains(&d)
-                                && sep.dart_side[&d] as usize == s
-                            {
+                            if bags[id].dart_in.contains(&d) && sep.dart_side[&d] as usize == s {
                                 dart_in.insert(d);
                             }
                         }
@@ -381,12 +375,7 @@ impl<'g> Bdd<'g> {
         }
         darts_of_face
             .iter()
-            .filter(|(&f, &cnt)| {
-                cnt < self
-                    .graph
-                    .face_darts(duality_planar::FaceId(f))
-                    .len()
-            })
+            .filter(|(&f, &cnt)| cnt < self.graph.face_darts(duality_planar::FaceId(f)).len())
             .count()
     }
 }
@@ -565,8 +554,7 @@ mod tests {
             let sep = bag.separator.as_ref().unwrap();
             assert!(!sep.vertices.is_empty());
             // Every separator tree edge is an edge of the bag.
-            let edge_set: std::collections::HashSet<usize> =
-                bag.edges.iter().copied().collect();
+            let edge_set: std::collections::HashSet<usize> = bag.edges.iter().copied().collect();
             for e in &sep.tree_edges {
                 assert!(edge_set.contains(e));
             }

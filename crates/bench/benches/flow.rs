@@ -17,9 +17,15 @@ fn bench_exact_flow(c: &mut Criterion) {
             &g,
             |b, g| {
                 b.iter(|| {
-                    max_st_flow(g, &caps, 0, g.num_vertices() - 1, &MaxFlowOptions::default())
-                        .unwrap()
-                        .value
+                    max_st_flow(
+                        g,
+                        &caps,
+                        0,
+                        g.num_vertices() - 1,
+                        &MaxFlowOptions::default(),
+                    )
+                    .unwrap()
+                    .value
                 })
             },
         );
@@ -33,9 +39,11 @@ fn bench_approx_flow(c: &mut Criterion) {
     let g = gen::diag_grid(12, 8, 7).unwrap();
     let caps = gen::random_undirected_capacities(g.num_edges(), 1, 20, 3);
     for k in [0u64, 2, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("eps_inv_{k}")), &k, |b, &k| {
-            b.iter(|| approx_max_st_flow(&g, &caps, 0, 11, k).unwrap().value_numer)
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps_inv_{k}")),
+            &k,
+            |b, &k| b.iter(|| approx_max_st_flow(&g, &caps, 0, 11, k).unwrap().value_numer),
+        );
     }
     group.finish();
 }

@@ -11,9 +11,11 @@ fn bench_girth(c: &mut Criterion) {
     for n in [8usize, 12, 16] {
         let g = gen::diag_grid(n, n, 5).unwrap();
         let w = gen::random_edge_weights(g.num_edges(), 1, 50, 9);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &g, |b, g| {
-            b.iter(|| weighted_girth(g, &w).unwrap().girth)
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{n}")),
+            &g,
+            |b, g| b.iter(|| weighted_girth(g, &w).unwrap().girth),
+        );
     }
     group.finish();
 }

@@ -1,0 +1,98 @@
+//! Solver-level wall-clock bench: substrate reuse. `N` distinct queries
+//! issued against one `PlanarSolver` (the BDD, dual bags and diameter
+//! measurement are built once and cached) vs the same `N` queries through
+//! the pre-solver free functions (every call rebuilds the substrate).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use duality_core::max_flow::{max_st_flow, MaxFlowOptions};
+use duality_core::{girth, global_cut, PlanarSolver};
+use duality_planar::{gen, PlanarGraph, Weight};
+
+fn query_pairs(g: &PlanarGraph, w: usize) -> [(usize, usize); 4] {
+    let n = g.num_vertices();
+    [(0, n - 1), (w - 1, n - w), (0, n - w), (w - 1, n - 1)]
+}
+
+fn bench_flow_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_flow_batch");
+    group.sample_size(10);
+    for (w, h) in [(8usize, 6usize), (12, 8)] {
+        let g = gen::diag_grid(w, h, 7).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 3);
+        let pairs = query_pairs(&g, w);
+
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{w}x{h}/cold-4-queries")),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    pairs
+                        .iter()
+                        .map(|&(s, t)| {
+                            max_st_flow(g, &caps, s, t, &MaxFlowOptions::default())
+                                .unwrap()
+                                .value
+                        })
+                        .sum::<Weight>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{w}x{h}/warm-4-queries")),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let solver = PlanarSolver::builder(g)
+                        .capacities(caps.clone())
+                        .build()
+                        .unwrap();
+                    pairs
+                        .iter()
+                        .map(|&(s, t)| solver.max_flow(s, t).unwrap().value)
+                        .sum::<Weight>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mixed_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_mixed_batch");
+    group.sample_size(10);
+    let (w, h) = (10usize, 8usize);
+    let g = gen::diag_grid(w, h, 11).unwrap();
+    let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 5);
+    let weights = gen::random_edge_weights(g.num_edges(), 1, 9, 9);
+    let (s, t) = (0, g.num_vertices() - 1);
+
+    group.bench_function("cold: flow+global+girth", |b| {
+        b.iter(|| {
+            let f = max_st_flow(&g, &caps, s, t, &MaxFlowOptions::default())
+                .unwrap()
+                .value;
+            let c2 = global_cut::directed_global_min_cut(&g, &weights)
+                .unwrap()
+                .value;
+            let g2 = girth::weighted_girth(&g, &weights).unwrap().girth;
+            black_box(f + c2 + g2)
+        })
+    });
+    group.bench_function("warm: flow+global+girth", |b| {
+        b.iter(|| {
+            let solver = PlanarSolver::builder(&g)
+                .capacities(caps.clone())
+                .edge_weights(weights.clone())
+                .build()
+                .unwrap();
+            let f = solver.max_flow(s, t).unwrap().value;
+            let c2 = solver.global_min_cut().unwrap().value;
+            let g2 = solver.girth().unwrap().girth;
+            black_box(f + c2 + g2)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_batch, bench_mixed_batch);
+criterion_main!(benches);

@@ -11,9 +11,11 @@ use duality_planar::gen;
 fn bench_embedding(c: &mut Criterion) {
     let mut group = c.benchmark_group("embedding");
     for n in [16usize, 24, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &n, |b, &n| {
-            b.iter(|| gen::diag_grid(n, n, 3).unwrap().num_faces())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{n}")),
+            &n,
+            |b, &n| b.iter(|| gen::diag_grid(n, n, 3).unwrap().num_faces()),
+        );
     }
     group.finish();
 }
@@ -22,9 +24,11 @@ fn bench_face_disjoint_graph(c: &mut Criterion) {
     let mut group = c.benchmark_group("face_disjoint_graph");
     for n in [16usize, 24, 32] {
         let g = gen::diag_grid(n, n, 3).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &g, |b, g| {
-            b.iter(|| FaceDisjointGraph::new(g).num_face_cycles())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{n}")),
+            &g,
+            |b, g| b.iter(|| FaceDisjointGraph::new(g).num_face_cycles()),
+        );
     }
     group.finish();
 }
@@ -35,15 +39,24 @@ fn bench_bdd_build(c: &mut Criterion) {
     for n in [12usize, 16, 24] {
         let g = gen::diag_grid(n, n, 3).unwrap();
         let cm = CostModel::new(g.num_vertices(), g.diameter());
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &g, |b, g| {
-            b.iter(|| {
-                let mut ledger = CostLedger::new();
-                Bdd::build(g, &BddOptions::default(), &cm, &mut ledger).depth()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{n}")),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut ledger = CostLedger::new();
+                    Bdd::build(g, &BddOptions::default(), &cm, &mut ledger).depth()
+                })
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_embedding, bench_face_disjoint_graph, bench_bdd_build);
+criterion_group!(
+    benches,
+    bench_embedding,
+    bench_face_disjoint_graph,
+    bench_bdd_build
+);
 criterion_main!(benches);

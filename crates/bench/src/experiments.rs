@@ -5,7 +5,7 @@ use crate::Row;
 use duality_baselines::{cuts, flow as bflow, girth as bgirth, prior};
 use duality_bdd::{dual_bags, Bdd, BddOptions, DualBag};
 use duality_congest::{CostLedger, CostModel};
-use duality_core::{approx_flow, girth, global_cut, max_flow, st_cut};
+use duality_core::{approx_flow, girth, global_cut, max_flow, st_cut, PlanarSolver};
 use duality_labeling::DualSsspEngine;
 use duality_overlay::FaceDisjointGraph;
 use duality_planar::{gen, PlanarGraph};
@@ -28,7 +28,10 @@ pub fn t1_correctness(seed: u64) -> Vec<Row> {
                 instance: format!("{name} / {algo}"),
                 n,
                 d,
-                values: vec![("ok".into(), f64::from(u8::from(ok))), ("rounds".into(), rounds)],
+                values: vec![
+                    ("ok".into(), f64::from(u8::from(ok))),
+                    ("rounds".into(), rounds),
+                ],
             });
         };
 
@@ -38,12 +41,20 @@ pub fn t1_correctness(seed: u64) -> Vec<Row> {
         let r = max_flow::max_st_flow(&g, &caps, s, t, &Default::default()).unwrap();
         let want = bflow::planar_max_flow_reference(&g, &caps, s, t);
         duality_core::verify::assert_valid_flow(&g, &caps, &r.flow, s, t, r.value);
-        push("max-flow (Thm 1.2)", r.value == want, r.ledger.total() as f64);
+        push(
+            "max-flow (Thm 1.2)",
+            r.value == want,
+            r.ledger.total() as f64,
+        );
 
         // Exact min st-cut (Theorem 6.1).
         let c = st_cut::exact_min_st_cut(&g, &caps, s, t, &Default::default()).unwrap();
         let cut_cap: i64 = c.cut_darts.iter().map(|dd| caps[dd.index()]).sum();
-        push("min-st-cut (Thm 6.1)", c.value == want && cut_cap == want, c.ledger.total() as f64);
+        push(
+            "min-st-cut (Thm 6.1)",
+            c.value == want && cut_cap == want,
+            c.ledger.total() as f64,
+        );
 
         // Approximate st-planar flow (Theorem 1.3): s, t on the outer face.
         let ucaps = gen::random_undirected_capacities(g.num_edges(), 1, 9, seed + 13);
@@ -86,8 +97,8 @@ pub fn f1_flow_rounds_vs_d(sides: &[usize], seed: u64) -> Vec<Row> {
     for Instance { name, graph: g } in workloads::square_sweep(sides, seed) {
         let (_, d) = cm_of(&g);
         let caps = gen::random_directed_capacities(g.num_edges(), 1, 8, seed + 3);
-        let r = max_flow::max_st_flow(&g, &caps, 0, g.num_vertices() - 1, &Default::default())
-            .unwrap();
+        let r =
+            max_flow::max_st_flow(&g, &caps, 0, g.num_vertices() - 1, &Default::default()).unwrap();
         rows.push(Row {
             experiment: "F1".into(),
             instance: name,
@@ -96,11 +107,13 @@ pub fn f1_flow_rounds_vs_d(sides: &[usize], seed: u64) -> Vec<Row> {
             values: vec![
                 ("rounds".into(), r.ledger.total() as f64),
                 ("rounds/D".into(), r.ledger.total() as f64 / d as f64),
-                ("rounds/D^2".into(), r.ledger.total() as f64 / (d * d) as f64),
+                (
+                    "rounds/D^2".into(),
+                    r.ledger.total() as f64 / (d * d) as f64,
+                ),
                 (
                     "rounds/(D^2 logn)".into(),
-                    r.ledger.total() as f64
-                        / ((d * d) as f64 * (g.num_vertices() as f64).log2()),
+                    r.ledger.total() as f64 / ((d * d) as f64 * (g.num_vertices() as f64).log2()),
                 ),
                 ("probes".into(), f64::from(r.probes)),
             ],
@@ -114,13 +127,11 @@ pub fn f1_flow_rounds_vs_d(sides: &[usize], seed: u64) -> Vec<Row> {
 /// `√n`-type bounds of prior work, demonstrating instance-adaptivity.
 pub fn f2_flow_rounds_vs_n(seed: u64) -> Vec<Row> {
     let mut rows = Vec::new();
-    for Instance { name, graph: g } in
-        workloads::size_sweep(4, &[20, 30, 45, 60, 80], seed)
-    {
+    for Instance { name, graph: g } in workloads::size_sweep(4, &[20, 30, 45, 60, 80], seed) {
         let (_, d) = cm_of(&g);
         let caps = gen::random_directed_capacities(g.num_edges(), 1, 8, seed + 5);
-        let r = max_flow::max_st_flow(&g, &caps, 0, g.num_vertices() - 1, &Default::default())
-            .unwrap();
+        let r =
+            max_flow::max_st_flow(&g, &caps, 0, g.num_vertices() - 1, &Default::default()).unwrap();
         rows.push(Row {
             experiment: "F2".into(),
             instance: name,
@@ -128,7 +139,10 @@ pub fn f2_flow_rounds_vs_n(seed: u64) -> Vec<Row> {
             d,
             values: vec![
                 ("rounds".into(), r.ledger.total() as f64),
-                ("rounds/D^2".into(), r.ledger.total() as f64 / (d * d) as f64),
+                (
+                    "rounds/D^2".into(),
+                    r.ledger.total() as f64 / (d * d) as f64,
+                ),
                 (
                     "rounds/sqrt(n)D".into(),
                     r.ledger.total() as f64 / ((g.num_vertices() as f64).sqrt() * d as f64),
@@ -216,7 +230,10 @@ pub fn f4_global_cut(sides: &[usize], seed: u64) -> Vec<Row> {
             values: vec![
                 ("ok".into(), f64::from(u8::from(ok))),
                 ("rounds".into(), r.ledger.total() as f64),
-                ("rounds/D^2".into(), r.ledger.total() as f64 / (d * d) as f64),
+                (
+                    "rounds/D^2".into(),
+                    r.ledger.total() as f64 / (d * d) as f64,
+                ),
             ],
         });
     }
@@ -327,7 +344,10 @@ pub fn t5_overlay_stats(seed: u64) -> Vec<Row> {
             "diag-grid 10x6".to_string(),
             gen::diag_grid(10, 6, seed).unwrap(),
         ),
-        ("apollonian 48".to_string(), gen::apollonian(48, seed).unwrap()),
+        (
+            "apollonian 48".to_string(),
+            gen::apollonian(48, seed).unwrap(),
+        ),
     ] {
         let (cm, d) = cm_of(&g);
         let hat = FaceDisjointGraph::new(&g);
@@ -373,7 +393,9 @@ mod tests {
     #[test]
     fn t2_ratios_respect_guarantees() {
         for row in t2_approx_quality(5) {
-            assert!(row.value("ratio*1000").unwrap() >= row.value("guarantee*1000").unwrap() - 1e-6);
+            assert!(
+                row.value("ratio*1000").unwrap() >= row.value("guarantee*1000").unwrap() - 1e-6
+            );
             assert!(row.value("ratio*1000").unwrap() <= 1000.0 + 1e-6);
         }
     }
@@ -382,6 +404,20 @@ mod tests {
     fn t5_hat_diameter_within_bound() {
         for row in t5_overlay_stats(2) {
             assert!(row.value("hat-diameter").unwrap() <= row.value("3D").unwrap() + 3.0);
+        }
+    }
+
+    #[test]
+    fn s1_warm_batches_beat_cold_batches() {
+        for row in s1_substrate_reuse(6) {
+            assert_eq!(row.value("engine-builds"), Some(1.0), "{}", row.instance);
+            assert!(
+                row.value("warm-rounds").unwrap() < row.value("cold-rounds").unwrap(),
+                "{}: warm {} vs cold {}",
+                row.instance,
+                row.value("warm-rounds").unwrap(),
+                row.value("cold-rounds").unwrap()
+            );
         }
     }
 }
@@ -439,8 +475,8 @@ pub fn a2_probe_cost_split(seed: u64) -> Vec<Row> {
         let g = gen::diag_grid(k, k, seed).unwrap();
         let (_, d) = cm_of(&g);
         let caps = gen::random_directed_capacities(g.num_edges(), 1, 8, seed + 29);
-        let r = max_flow::max_st_flow(&g, &caps, 0, g.num_vertices() - 1, &Default::default())
-            .unwrap();
+        let r =
+            max_flow::max_st_flow(&g, &caps, 0, g.num_vertices() - 1, &Default::default()).unwrap();
         let setup = r.ledger.phase_total("bdd-build") + r.ledger.phase_total("bdd-face-ids");
         let labeling = r.ledger.phase_total("labeling-broadcast");
         rows.push(Row {
@@ -453,6 +489,74 @@ pub fn a2_probe_cost_split(seed: u64) -> Vec<Row> {
                 ("labeling-rounds".into(), labeling as f64),
                 ("per-probe".into(), labeling as f64 / f64::from(r.probes)),
                 ("probes".into(), f64::from(r.probes)),
+            ],
+        });
+    }
+    rows
+}
+
+/// S1 — substrate reuse through the `PlanarSolver` façade: a batch of
+/// distinct queries issued cold (one engine per call, the pre-solver free
+/// functions) vs warm (one solver, one cached engine). The reproducible
+/// signal: warm total rounds ≈ cold total − (batch−1)·substrate, and the
+/// engine is built exactly once.
+pub fn s1_substrate_reuse(seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (w, h) in [(8usize, 6usize), (12, 8), (16, 10)] {
+        let g = gen::diag_grid(w, h, seed).unwrap();
+        let n = g.num_vertices();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, seed + 31);
+        let weights = gen::random_edge_weights(g.num_edges(), 1, 9, seed + 37);
+        let pairs = [(0, n - 1), (w - 1, n - w), (0, n - w), (w - 1, n - 1)];
+
+        // Cold: every call pays its own diameter measurement + BDD.
+        let mut cold_rounds = 0u64;
+        for &(s, t) in &pairs {
+            cold_rounds += max_flow::max_st_flow(&g, &caps, s, t, &Default::default())
+                .unwrap()
+                .ledger
+                .total();
+        }
+        cold_rounds += global_cut::directed_global_min_cut(&g, &weights)
+            .unwrap()
+            .ledger
+            .total();
+        cold_rounds += girth::weighted_girth(&g, &weights).unwrap().ledger.total();
+
+        // Warm: one solver, substrate charged once.
+        let solver = PlanarSolver::builder(&g)
+            .capacities(caps.clone())
+            .edge_weights(weights.clone())
+            .build()
+            .unwrap();
+        let mut warm_query_rounds = 0u64;
+        for &(s, t) in &pairs {
+            warm_query_rounds += solver.max_flow(s, t).unwrap().rounds.query_total();
+        }
+        warm_query_rounds += solver.global_min_cut().unwrap().rounds.query_total();
+        warm_query_rounds += solver.girth().unwrap().rounds.query_total();
+        let warm_rounds = warm_query_rounds + solver.substrate_rounds().total();
+
+        rows.push(Row {
+            experiment: "S1".into(),
+            instance: format!("diag-grid {w}x{h}, 6 queries"),
+            n,
+            d: g.diameter(),
+            values: vec![
+                ("cold-rounds".into(), cold_rounds as f64),
+                ("warm-rounds".into(), warm_rounds as f64),
+                (
+                    "substrate-rounds".into(),
+                    solver.substrate_rounds().total() as f64,
+                ),
+                (
+                    "saved*1000".into(),
+                    1000.0 * (cold_rounds - warm_rounds) as f64 / cold_rounds as f64,
+                ),
+                (
+                    "engine-builds".into(),
+                    f64::from(solver.stats().engine_builds),
+                ),
             ],
         });
     }
@@ -472,7 +576,10 @@ pub fn t6_runtime_calibration(seed: u64) -> Vec<Row> {
             "diag-grid 8x6".to_string(),
             gen::diag_grid(8, 6, seed).unwrap(),
         ),
-        ("apollonian 40".to_string(), gen::apollonian(40, seed).unwrap()),
+        (
+            "apollonian 40".to_string(),
+            gen::apollonian(40, seed).unwrap(),
+        ),
     ] {
         let (cm, d) = cm_of(&g);
         let exec = run(&g, &BfsProgram { root: 0 }, 10_000);
@@ -489,7 +596,12 @@ pub fn t6_runtime_calibration(seed: u64) -> Vec<Row> {
             10_000,
         );
         let charged_bcast = cm.broadcast(
-            depth.iter().copied().filter(|&x| x != usize::MAX).max().unwrap(),
+            depth
+                .iter()
+                .copied()
+                .filter(|&x| x != usize::MAX)
+                .max()
+                .unwrap(),
             words.len() as u64,
         );
         rows.push(Row {
@@ -520,7 +632,11 @@ mod calibration_tests {
             assert!((eb - cb).abs() <= 1.0, "{}: bfs {eb} vs {cb}", row.instance);
             let ex = row.value("bcast-executed").unwrap();
             let cx = row.value("bcast-charged").unwrap();
-            assert!((ex - cx).abs() <= 2.0, "{}: bcast {ex} vs {cx}", row.instance);
+            assert!(
+                (ex - cx).abs() <= 2.0,
+                "{}: bcast {ex} vs {cx}",
+                row.instance
+            );
         }
     }
 }

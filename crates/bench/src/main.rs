@@ -1,134 +1,123 @@
 //! `experiments` — regenerates every table and figure of `EXPERIMENTS.md`.
 //!
 //! Usage: `cargo run --release -p duality-bench --bin experiments [ids...]`
-//! with ids among `t1 f1 f2 f3 t2 f4 f5 t4 f6 t6 a1 a2 t5` (default: all).
-//! Markdown tables go to stdout; raw rows to `experiments.json` in the
-//! current directory.
+//! with ids among those listed by `registry()` (default: all). Unknown ids
+//! exit 2. Markdown tables go to stdout; raw rows to `experiments.json` in
+//! the current directory.
 
 use duality_bench::{experiments, Row};
 
+/// The experiment table: one entry per section, so id validation, the
+/// usage listing, and dispatch can never drift apart.
+#[allow(clippy::type_complexity)]
+fn registry() -> Vec<(&'static str, &'static str, Box<dyn Fn(u64) -> Vec<Row>>)> {
+    vec![
+        (
+            "t1",
+            "correctness of all five theorems vs centralized references",
+            Box::new(experiments::t1_correctness),
+        ),
+        (
+            "f1",
+            "exact max-flow rounds vs diameter (Õ(D²), Thm 1.2)",
+            Box::new(|s| experiments::f1_flow_rounds_vs_d(&[8, 12, 16, 20, 24, 28], s)),
+        ),
+        (
+            "f2",
+            "exact max-flow rounds vs n at fixed diameter (no √n term)",
+            Box::new(experiments::f2_flow_rounds_vs_n),
+        ),
+        (
+            "f3",
+            "weighted-girth rounds vs diameter (Õ(D), Thm 1.7)",
+            Box::new(|s| experiments::f3_girth_rounds_vs_d(700, s)),
+        ),
+        (
+            "t2",
+            "approximate st-planar flow quality vs ε (Thm 1.3)",
+            Box::new(experiments::t2_approx_quality),
+        ),
+        (
+            "f4",
+            "directed global min cut: rounds vs diameter + correctness (Thm 1.5)",
+            Box::new(|s| experiments::f4_global_cut(&[8, 12, 16, 20], s)),
+        ),
+        (
+            "f5",
+            "distance-label sizes vs diameter (Õ(D) words, Lemma 5.17)",
+            Box::new(|s| experiments::f5_label_sizes(&[8, 12, 16, 20, 24, 28], s)),
+        ),
+        (
+            "t4",
+            "BDD structure: depth, face-parts, |F_X|, |S_X| (Thm 5.2)",
+            Box::new(experiments::t4_bdd_stats),
+        ),
+        (
+            "f6",
+            "measured rounds vs prior-work bounds (de Vos, GKKLP)",
+            Box::new(experiments::f6_prior_comparison),
+        ),
+        (
+            "t6",
+            "calibration: executed message-passing rounds vs charged formulas",
+            Box::new(experiments::t6_runtime_calibration),
+        ),
+        (
+            "a1",
+            "ablation: BDD leaf threshold (design choice)",
+            Box::new(experiments::a1_leaf_threshold_ablation),
+        ),
+        (
+            "a2",
+            "ablation: one-off setup vs per-probe labeling cost",
+            Box::new(experiments::a2_probe_cost_split),
+        ),
+        (
+            "t5",
+            "dual-simulation substrate: Ĝ diameter and MA round cost (§4)",
+            Box::new(experiments::t5_overlay_stats),
+        ),
+        (
+            "s1",
+            "PlanarSolver substrate reuse: warm batches vs cold batches",
+            Box::new(experiments::s1_substrate_reuse),
+        ),
+    ]
+}
+
 fn main() {
+    let registry = registry();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let known: Vec<&str> = registry.iter().map(|(id, _, _)| *id).collect();
+    let mut bad = false;
+    for a in &args {
+        if !known.iter().any(|id| a.eq_ignore_ascii_case(id)) {
+            eprintln!("unknown experiment id `{a}` (known: {})", known.join(" "));
+            bad = true;
+        }
+    }
+    if bad {
+        std::process::exit(2);
+    }
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
     let seed = 42;
     let mut all: Vec<Row> = Vec::new();
 
-    let section = |id: &str, title: &str, rows: Vec<Row>, all: &mut Vec<Row>| {
-        println!("\n## {id} — {title}\n");
+    for (id, title, run) in &registry {
+        if !want(id) {
+            continue;
+        }
+        println!("\n## {} — {title}\n", id.to_uppercase());
         println!("| id | instance | n | D | measurements |");
         println!("|----|----------|---|---|--------------|");
+        let rows = run(seed);
         for r in &rows {
             println!("{}", r.markdown());
         }
         all.extend(rows);
-    };
-
-    if want("t1") {
-        section(
-            "T1",
-            "correctness of all five theorems vs centralized references",
-            experiments::t1_correctness(seed),
-            &mut all,
-        );
-    }
-    if want("f1") {
-        section(
-            "F1",
-            "exact max-flow rounds vs diameter (Õ(D²), Thm 1.2)",
-            experiments::f1_flow_rounds_vs_d(&[8, 12, 16, 20, 24, 28], seed),
-            &mut all,
-        );
-    }
-    if want("f2") {
-        section(
-            "F2",
-            "exact max-flow rounds vs n at fixed diameter (no √n term)",
-            experiments::f2_flow_rounds_vs_n(seed),
-            &mut all,
-        );
-    }
-    if want("f3") {
-        section(
-            "F3",
-            "weighted-girth rounds vs diameter (Õ(D), Thm 1.7)",
-            experiments::f3_girth_rounds_vs_d(700, seed),
-            &mut all,
-        );
-    }
-    if want("t2") {
-        section(
-            "T2",
-            "approximate st-planar flow quality vs ε (Thm 1.3)",
-            experiments::t2_approx_quality(seed),
-            &mut all,
-        );
-    }
-    if want("f4") {
-        section(
-            "F4",
-            "directed global min cut: rounds vs diameter + correctness (Thm 1.5)",
-            experiments::f4_global_cut(&[8, 12, 16, 20], seed),
-            &mut all,
-        );
-    }
-    if want("f5") {
-        section(
-            "F5",
-            "distance-label sizes vs diameter (Õ(D) words, Lemma 5.17)",
-            experiments::f5_label_sizes(&[8, 12, 16, 20, 24, 28], seed),
-            &mut all,
-        );
-    }
-    if want("t4") {
-        section(
-            "T4",
-            "BDD structure: depth, face-parts, |F_X|, |S_X| (Thm 5.2)",
-            experiments::t4_bdd_stats(seed),
-            &mut all,
-        );
-    }
-    if want("f6") {
-        section(
-            "F6",
-            "measured rounds vs prior-work bounds (de Vos, GKKLP)",
-            experiments::f6_prior_comparison(seed),
-            &mut all,
-        );
-    }
-    if want("t6") {
-        section(
-            "T6",
-            "calibration: executed message-passing rounds vs charged formulas",
-            experiments::t6_runtime_calibration(seed),
-            &mut all,
-        );
-    }
-    if want("a1") {
-        section(
-            "A1",
-            "ablation: BDD leaf threshold (design choice)",
-            experiments::a1_leaf_threshold_ablation(seed),
-            &mut all,
-        );
-    }
-    if want("a2") {
-        section(
-            "A2",
-            "ablation: one-off setup vs per-probe labeling cost",
-            experiments::a2_probe_cost_split(seed),
-            &mut all,
-        );
-    }
-    if want("t5") {
-        section(
-            "T5",
-            "dual-simulation substrate: Ĝ diameter and MA round cost (§4)",
-            experiments::t5_overlay_stats(seed),
-            &mut all,
-        );
     }
 
-    let json = serde_json::to_string_pretty(&all).expect("rows serialize");
+    let json = duality_bench::rows_to_json(&all);
     std::fs::write("experiments.json", json).expect("writable cwd");
     eprintln!("\nwrote {} rows to experiments.json", all.len());
 }

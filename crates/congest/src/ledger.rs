@@ -1,7 +1,6 @@
 //! The round ledger: accumulates charges with a per-phase breakdown.
 
 use crate::Rounds;
-use serde::{Deserialize, Serialize};
 
 /// Accumulates CONGEST round charges, grouped by phase label.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ledger.total(), 182);
 /// assert_eq!(ledger.phase_total("bfs"), 62);
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct CostLedger {
     total: Rounds,
     phases: Vec<(String, Rounds)>,

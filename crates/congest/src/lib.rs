@@ -21,10 +21,12 @@
 pub mod ledger;
 pub mod model;
 pub mod primitives;
+pub mod report;
 pub mod runtime;
 
 pub use ledger::CostLedger;
 pub use model::CostModel;
+pub use report::RoundReport;
 
 /// Number of rounds, the paper's complexity measure.
 pub type Rounds = u64;

@@ -3,7 +3,6 @@
 
 use crate::Rounds;
 use duality_planar::util::ceil_log2;
-use serde::{Deserialize, Serialize};
 
 /// Charging rules for a CONGEST network with `n` vertices and hop diameter
 /// `d`.
@@ -25,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// // Broadcasting 5 words over a tree of depth 18 is pipelined.
 /// assert_eq!(cm.broadcast(18, 5), 18 + 5);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CostModel {
     /// Number of vertices of the communication network `G`.
     pub n: usize,

@@ -44,7 +44,12 @@ pub fn bfs_tree(
     phase: &str,
 ) -> BfsTree {
     let (parent, depth) = g.bfs_restricted(root, edge_present);
-    let max_depth = depth.iter().copied().filter(|&d| d != usize::MAX).max().unwrap_or(0);
+    let max_depth = depth
+        .iter()
+        .copied()
+        .filter(|&d| d != usize::MAX)
+        .max()
+        .unwrap_or(0);
     ledger.charge(phase, cm.bfs(max_depth));
     BfsTree {
         root,

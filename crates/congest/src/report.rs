@@ -1,0 +1,117 @@
+//! The unified round report returned by every `PlanarSolver` query.
+
+use crate::{CostLedger, Rounds};
+
+/// CONGEST rounds for one solver query, split into the **substrate** share
+/// (one-off artifacts — BFS/diameter measurement, the BDD and dual bags —
+/// built once per solver and amortized across queries) and the **query**
+/// share (work charged by this call alone).
+///
+/// The substrate ledger is a snapshot: every query on the same solver
+/// reports the same substrate charges, so `query` is the marginal cost of
+/// asking again.
+///
+/// # Example
+///
+/// ```
+/// use duality_congest::{CostLedger, RoundReport};
+///
+/// let mut substrate = CostLedger::new();
+/// substrate.charge("bdd-build", 120);
+/// let mut query = CostLedger::new();
+/// query.charge("labeling-broadcast", 300);
+/// let report = RoundReport { substrate, query };
+/// assert_eq!(report.total(), 420);
+/// assert_eq!(report.query_total(), 300);
+/// assert_eq!(report.into_ledger().total(), 420);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RoundReport {
+    /// Rounds charged while building the shared substrate (amortized).
+    pub substrate: CostLedger,
+    /// Rounds charged by this query alone (marginal).
+    pub query: CostLedger,
+}
+
+impl RoundReport {
+    /// Total rounds: substrate + query.
+    pub fn total(&self) -> Rounds {
+        self.substrate.total() + self.query.total()
+    }
+
+    /// Rounds charged by this query alone.
+    pub fn query_total(&self) -> Rounds {
+        self.query.total()
+    }
+
+    /// Rounds charged for the shared substrate.
+    pub fn substrate_total(&self) -> Rounds {
+        self.substrate.total()
+    }
+
+    /// Total rounds charged under `phase` across both shares.
+    pub fn phase_total(&self, phase: &str) -> Rounds {
+        self.substrate.phase_total(phase) + self.query.phase_total(phase)
+    }
+
+    /// Flattens the report into a single ledger (substrate phases first),
+    /// the shape the pre-solver free functions report.
+    pub fn into_ledger(self) -> CostLedger {
+        let mut out = self.substrate;
+        out.absorb(&self.query);
+        out
+    }
+}
+
+impl std::fmt::Display for RoundReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "total rounds: {} (substrate {}, query {})",
+            self.total(),
+            self.substrate.total(),
+            self.query.total()
+        )?;
+        for (phase, rounds) in self.substrate.phases() {
+            writeln!(f, "  [substrate] {phase}: {rounds}")?;
+        }
+        for (phase, rounds) in self.query.phases() {
+            writeln!(f, "  [query] {phase}: {rounds}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RoundReport {
+        let mut substrate = CostLedger::new();
+        substrate.charge("bdd-build", 10);
+        substrate.charge("bdd-face-ids", 5);
+        let mut query = CostLedger::new();
+        query.charge("labeling-broadcast", 100);
+        query.charge("bdd-build", 1);
+        RoundReport { substrate, query }
+    }
+
+    #[test]
+    fn totals_split_and_merge() {
+        let r = report();
+        assert_eq!(r.total(), 116);
+        assert_eq!(r.substrate_total(), 15);
+        assert_eq!(r.query_total(), 101);
+        assert_eq!(r.phase_total("bdd-build"), 11);
+        let merged = r.into_ledger();
+        assert_eq!(merged.total(), 116);
+        assert_eq!(merged.phase_total("bdd-build"), 11);
+    }
+
+    #[test]
+    fn display_shows_both_shares() {
+        let s = report().to_string();
+        assert!(s.contains("substrate 15"));
+        assert!(s.contains("[query] labeling-broadcast: 100"));
+    }
+}

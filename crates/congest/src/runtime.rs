@@ -358,7 +358,9 @@ mod tests {
                 children[g.tail(d)] += 1;
             }
         }
-        let inputs: Vec<u64> = (0..g.num_vertices() as u64).map(|v| 1000 - v * 7 % 97).collect();
+        let inputs: Vec<u64> = (0..g.num_vertices() as u64)
+            .map(|v| 1000 - v * 7 % 97)
+            .collect();
         let prog = ConvergeCastMin {
             parent: &parent,
             children: &children,
@@ -384,7 +386,10 @@ mod tests {
             ) -> Vec<(Dart, Message)> {
                 if v == 0 && round == 0 {
                     let d = g.out_darts(0)[0];
-                    return vec![(d, Message { tag: 0, word: 1 }), (d, Message { tag: 0, word: 2 })];
+                    return vec![
+                        (d, Message { tag: 0, word: 1 }),
+                        (d, Message { tag: 0, word: 2 }),
+                    ];
                 }
                 Vec::new()
             }

@@ -19,6 +19,7 @@
 //! are handled by the paper's contraction trick (executed for real in the
 //! minor-aggregation model).
 
+use crate::solver::PlanarSolver;
 use duality_congest::{CostLedger, CostModel};
 use duality_minor_agg::{MaEdge, MinorAgg};
 use duality_planar::{dual::DualView, Dart, FaceId, PlanarGraph, Weight};
@@ -96,6 +97,36 @@ pub fn approx_max_st_flow(
     t: usize,
     eps_inverse: u64,
 ) -> Result<ApproxFlowResult, StPlanarError> {
+    validate_st_planar(g, caps, s, t)?;
+    let solver = PlanarSolver::builder(g)
+        .capacities(caps)
+        .build()
+        .expect("inputs validated above");
+    let r = solver
+        .approx_max_flow(s, t, eps_inverse)
+        .map_err(crate::error::to_st_planar_error)?;
+    Ok(ApproxFlowResult {
+        value_numer: r.value_numer,
+        denom: r.denom,
+        flow_numer: r.flow_numer,
+        f1: r.f1,
+        f2: r.f2,
+        ledger: r.rounds.into_ledger(),
+    })
+}
+
+/// Shared validation of the two legacy st-planar entry points: endpoints
+/// distinct and in range, capacities symmetric and non-negative.
+///
+/// # Panics
+///
+/// Panics if `caps` is not one capacity per dart.
+pub(crate) fn validate_st_planar(
+    g: &PlanarGraph,
+    caps: &[Weight],
+    s: usize,
+    t: usize,
+) -> Result<(), StPlanarError> {
     assert_eq!(caps.len(), g.num_darts());
     if s == t || s >= g.num_vertices() || t >= g.num_vertices() {
         return Err(StPlanarError::NotStPlanar);
@@ -105,9 +136,28 @@ pub fn approx_max_st_flow(
             return Err(StPlanarError::NotUndirected);
         }
     }
-    let cm = CostModel::new(g.num_vertices(), g.diameter());
-    let mut ledger = CostLedger::new();
+    Ok(())
+}
 
+/// Hassin's pipeline proper, shared by the solver and the legacy wrapper.
+/// Inputs are pre-validated except st-planarity, which is discovered here.
+pub(crate) struct ApproxFlowOutcome {
+    pub value_numer: Weight,
+    pub denom: Weight,
+    pub flow_numer: Vec<Weight>,
+    pub f1: FaceId,
+    pub f2: FaceId,
+}
+
+pub(crate) fn run_approx_flow(
+    g: &PlanarGraph,
+    cm: &CostModel,
+    caps: &[Weight],
+    s: usize,
+    t: usize,
+    eps_inverse: u64,
+    ledger: &mut CostLedger,
+) -> Result<ApproxFlowOutcome, StPlanarError> {
     // Locate a common face of s and t (one PA on Ĝ — paper, Section 6.1).
     ledger.charge("find-common-face", cm.dual_part_wise_aggregation());
     let common = g.faces().find(|&f| {
@@ -137,7 +187,10 @@ pub fn approx_max_st_flow(
     // The (1+1/k)-smooth oracle's quantization — see `crate::smoothing`
     // for the standalone, property-tested form.
     let quantize = |c: Weight| if k > 0 { c + c / k } else { c };
-    let big: Weight = (0..g.num_edges()).map(|e| quantize(caps[2 * e])).sum::<Weight>() + 1;
+    let big: Weight = (0..g.num_edges())
+        .map(|e| quantize(caps[2 * e]))
+        .sum::<Weight>()
+        + 1;
     let mut lengths = vec![0; aug.num_darts()];
     for e in 0..g.num_edges() {
         lengths[2 * e] = quantize(caps[2 * e]);
@@ -165,7 +218,7 @@ pub fn approx_max_st_flow(
     ma.add_black_box_rounds((2 * cm.log_n() + 1) * oracle);
     // The artificial-edge reduction adds O(1) virtual nodes (f1, f2):
     // extended-model simulation with β = 2.
-    ma.charge(2, &cm, &mut ledger, "approx-sssp");
+    ma.charge(2, cm, ledger, "approx-sssp");
 
     // Oracle distances: exact Dijkstra on the quantized lengths (1-smooth
     // w.r.t. c̃, hence (1+1/k)-smooth w.r.t. c).
@@ -181,11 +234,7 @@ pub fn approx_max_st_flow(
         flow_numer[d.index()] = mult * (dist[to.index()] - dist[from.index()]);
     }
     // Orient the flow from s to t.
-    let mut net_s: Weight = g
-        .out_darts(s)
-        .iter()
-        .map(|&d| flow_numer[d.index()])
-        .sum();
+    let mut net_s: Weight = g.out_darts(s).iter().map(|&d| flow_numer[d.index()]).sum();
     if net_s < 0 {
         for x in flow_numer.iter_mut() {
             *x = -*x;
@@ -193,13 +242,12 @@ pub fn approx_max_st_flow(
         net_s = -net_s;
     }
 
-    Ok(ApproxFlowResult {
+    Ok(ApproxFlowOutcome {
         value_numer: net_s,
         denom,
         flow_numer,
         f1,
         f2,
-        ledger,
     })
 }
 
@@ -225,7 +273,11 @@ mod tests {
         }
         // Conservation everywhere except s, t.
         for v in 0..g.num_vertices() {
-            let net: Weight = g.out_darts(v).iter().map(|&d| r.flow_numer[d.index()]).sum();
+            let net: Weight = g
+                .out_darts(v)
+                .iter()
+                .map(|&d| r.flow_numer[d.index()])
+                .sum();
             if v == s {
                 assert_eq!(net, r.value_numer);
             } else if v == t {
@@ -307,6 +359,22 @@ mod tests {
         let caps = gen::random_directed_capacities(g.num_edges(), 1, 5, 1);
         assert_eq!(
             approx_max_st_flow(&g, &caps, 0, 2, 0).err(),
+            Some(StPlanarError::NotUndirected)
+        );
+    }
+
+    #[test]
+    fn symmetric_negative_capacities_rejected_without_panicking() {
+        // Symmetric but negative: must be the NotUndirected error, never a
+        // panic out of the solver builder behind the wrapper.
+        let g = gen::grid(3, 3).unwrap();
+        let neg = vec![-1; g.num_darts()];
+        assert_eq!(
+            approx_max_st_flow(&g, &neg, 0, 2, 2).err(),
+            Some(StPlanarError::NotUndirected)
+        );
+        assert_eq!(
+            crate::st_cut::approx_min_st_cut(&g, &neg, 0, 2, 2).err(),
             Some(StPlanarError::NotUndirected)
         );
     }

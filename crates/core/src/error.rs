@@ -1,0 +1,293 @@
+//! The one error type of the public façade.
+//!
+//! Before the [`crate::solver`] subsystem existed, every pipeline spoke its
+//! own dialect: [`crate::max_flow::FlowError`],
+//! [`crate::approx_flow::StPlanarError`], `duality_planar::PlanarError`,
+//! `duality_labeling::LabelingError`, and ad-hoc `Option` returns for the
+//! global cut and girth. [`DualityError`] collapses all of them: solver
+//! methods return it exclusively, `From` impls lift every per-module error,
+//! and `source()` chains back to the underlying cause where one exists.
+
+use crate::approx_flow::StPlanarError;
+use crate::max_flow::FlowError;
+use duality_labeling::LabelingError;
+use duality_planar::PlanarError;
+
+/// Endpoint placeholder used when lifting legacy, context-free errors
+/// (`FlowError::BadEndpoints`, `StPlanarError::NotStPlanar`) that do not
+/// carry the offending vertices. `Display` omits endpoint numbers when it
+/// appears, so no fabricated values reach diagnostics.
+pub const ENDPOINT_UNKNOWN: usize = usize::MAX;
+
+/// Any failure of the `duality` façade.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DualityError {
+    /// The embedding substrate rejected the input graph or an augmentation.
+    Planar(PlanarError),
+    /// The labeling engine failed (today: an unexpected negative cycle).
+    Labeling(LabelingError),
+    /// `s == t` or an endpoint is out of range.
+    BadEndpoints {
+        /// The requested source.
+        s: usize,
+        /// The requested sink.
+        t: usize,
+        /// The number of vertices of the instance.
+        n: usize,
+    },
+    /// A per-dart capacity is negative.
+    NegativeCapacity {
+        /// The offending dart index.
+        dart: usize,
+    },
+    /// A per-edge weight is negative.
+    NegativeWeight {
+        /// The offending edge index.
+        edge: usize,
+    },
+    /// A per-edge weight is zero where a positive one is required
+    /// (cycle–cut duality needs positive weights).
+    NonPositiveWeight {
+        /// The offending edge index.
+        edge: usize,
+    },
+    /// The capacity vector length does not match the dart count.
+    CapacityLengthMismatch {
+        /// `2 * num_edges` of the instance.
+        expected: usize,
+        /// The provided length.
+        got: usize,
+    },
+    /// The weight vector length does not match the edge count.
+    WeightLengthMismatch {
+        /// `num_edges` of the instance.
+        expected: usize,
+        /// The provided length.
+        got: usize,
+    },
+    /// The builder was given neither capacities nor edge weights.
+    MissingInput,
+    /// Capacities are not symmetric per edge: the st-planar pipeline needs
+    /// an undirected instance.
+    NotUndirected,
+    /// `s` and `t` share no face, so Hassin's reduction does not apply.
+    NotStPlanar {
+        /// The requested source.
+        s: usize,
+        /// The requested sink.
+        t: usize,
+    },
+    /// The instance is too small for the query (e.g. a global cut of a
+    /// single vertex).
+    TooSmall {
+        /// Vertices the query needs.
+        needed: usize,
+        /// Vertices the instance has.
+        vertices: usize,
+    },
+    /// The instance is acyclic, so it has no girth.
+    Acyclic,
+}
+
+impl std::fmt::Display for DualityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DualityError::Planar(e) => write!(f, "planar substrate error: {e}"),
+            DualityError::Labeling(e) => write!(f, "labeling error: {e}"),
+            DualityError::BadEndpoints { s, t, n } => {
+                if *s == ENDPOINT_UNKNOWN || *t == ENDPOINT_UNKNOWN {
+                    write!(f, "invalid source/sink pair")
+                } else {
+                    write!(f, "invalid endpoints s = {s}, t = {t} for {n} vertices")
+                }
+            }
+            DualityError::NegativeCapacity { dart } => {
+                write!(f, "negative capacity on dart {dart}")
+            }
+            DualityError::NegativeWeight { edge } => {
+                write!(f, "negative weight on edge {edge}")
+            }
+            DualityError::NonPositiveWeight { edge } => {
+                write!(f, "weight of edge {edge} must be positive for this query")
+            }
+            DualityError::CapacityLengthMismatch { expected, got } => {
+                write!(f, "expected {expected} per-dart capacities, got {got}")
+            }
+            DualityError::WeightLengthMismatch { expected, got } => {
+                write!(f, "expected {expected} per-edge weights, got {got}")
+            }
+            DualityError::MissingInput => {
+                write!(f, "the solver needs capacities and/or edge weights")
+            }
+            DualityError::NotUndirected => {
+                write!(f, "capacities must be symmetric and non-negative")
+            }
+            DualityError::NotStPlanar { s, t } => {
+                if *s == ENDPOINT_UNKNOWN || *t == ENDPOINT_UNKNOWN {
+                    write!(f, "s and t do not share a face")
+                } else {
+                    write!(f, "s = {s} and t = {t} do not share a face")
+                }
+            }
+            DualityError::TooSmall { needed, vertices } => {
+                write!(
+                    f,
+                    "query needs at least {needed} vertices, instance has {vertices}"
+                )
+            }
+            DualityError::Acyclic => write!(f, "the instance is acyclic (no girth)"),
+        }
+    }
+}
+
+impl std::error::Error for DualityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DualityError::Planar(e) => Some(e),
+            DualityError::Labeling(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Maps façade errors back onto the legacy flow dialect — the single
+/// mapping the `max_st_flow` / `exact_min_st_cut` wrappers share.
+///
+/// # Panics
+///
+/// Panics on variants the flow/cut wrappers rule out by prior validation.
+pub(crate) fn to_flow_error(e: DualityError) -> FlowError {
+    match e {
+        DualityError::BadEndpoints { .. } => FlowError::BadEndpoints,
+        DualityError::NegativeCapacity { dart } => FlowError::NegativeCapacity { dart },
+        other => unreachable!("flow wrapper validated its inputs: {other}"),
+    }
+}
+
+/// Maps façade errors back onto the legacy st-planar dialect — shared by
+/// the `approx_max_st_flow` / `approx_min_st_cut` wrappers.
+///
+/// # Panics
+///
+/// Panics on variants the st-planar wrappers rule out by prior validation
+/// (mirroring [`to_flow_error`], so invariant violations surface loudly
+/// instead of masquerading as symmetry failures).
+pub(crate) fn to_st_planar_error(e: DualityError) -> StPlanarError {
+    match e {
+        DualityError::NotStPlanar { .. } | DualityError::BadEndpoints { .. } => {
+            StPlanarError::NotStPlanar
+        }
+        DualityError::NotUndirected | DualityError::NegativeCapacity { .. } => {
+            StPlanarError::NotUndirected
+        }
+        other => unreachable!("st-planar wrapper validated its inputs: {other}"),
+    }
+}
+
+impl From<PlanarError> for DualityError {
+    fn from(e: PlanarError) -> Self {
+        DualityError::Planar(e)
+    }
+}
+
+impl From<LabelingError> for DualityError {
+    fn from(e: LabelingError) -> Self {
+        DualityError::Labeling(e)
+    }
+}
+
+impl From<FlowError> for DualityError {
+    fn from(e: FlowError) -> Self {
+        match e {
+            FlowError::BadEndpoints => DualityError::BadEndpoints {
+                s: ENDPOINT_UNKNOWN,
+                t: ENDPOINT_UNKNOWN,
+                n: 0,
+            },
+            FlowError::NegativeCapacity { dart } => DualityError::NegativeCapacity { dart },
+        }
+    }
+}
+
+impl From<StPlanarError> for DualityError {
+    fn from(e: StPlanarError) -> Self {
+        match e {
+            StPlanarError::NotStPlanar => DualityError::NotStPlanar {
+                s: ENDPOINT_UNKNOWN,
+                t: ENDPOINT_UNKNOWN,
+            },
+            StPlanarError::NotUndirected => DualityError::NotUndirected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(DualityError, &str)> = vec![
+            (
+                DualityError::BadEndpoints { s: 2, t: 2, n: 9 },
+                "invalid endpoints s = 2, t = 2 for 9 vertices",
+            ),
+            (
+                DualityError::NegativeCapacity { dart: 3 },
+                "negative capacity on dart 3",
+            ),
+            (DualityError::Acyclic, "the instance is acyclic (no girth)"),
+            (
+                DualityError::TooSmall {
+                    needed: 2,
+                    vertices: 1,
+                },
+                "query needs at least 2 vertices, instance has 1",
+            ),
+        ];
+        for (err, msg) in cases {
+            assert_eq!(err.to_string(), msg);
+        }
+    }
+
+    #[test]
+    fn source_chains_to_the_underlying_error() {
+        use std::error::Error;
+        let e = DualityError::from(PlanarError::Disconnected);
+        assert!(e.source().is_some());
+        assert_eq!(e.source().unwrap().to_string(), "graph is not connected");
+        let e = DualityError::from(LabelingError::NegativeCycle { bag: 4 });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("bag 4"));
+        assert!(DualityError::Acyclic.source().is_none());
+    }
+
+    #[test]
+    fn from_impls_lift_legacy_errors() {
+        assert_eq!(
+            DualityError::from(FlowError::NegativeCapacity { dart: 7 }),
+            DualityError::NegativeCapacity { dart: 7 }
+        );
+        assert_eq!(
+            DualityError::from(StPlanarError::NotUndirected),
+            DualityError::NotUndirected
+        );
+        assert!(matches!(
+            DualityError::from(FlowError::BadEndpoints),
+            DualityError::BadEndpoints { .. }
+        ));
+    }
+
+    #[test]
+    fn lifted_context_free_errors_display_without_fabricated_numbers() {
+        assert_eq!(
+            DualityError::from(FlowError::BadEndpoints).to_string(),
+            "invalid source/sink pair"
+        );
+        assert_eq!(
+            DualityError::from(StPlanarError::NotStPlanar).to_string(),
+            "s and t do not share a face"
+        );
+    }
+}

@@ -10,10 +10,11 @@
 //! (3) mark the cut edges (Lemma 4.17 machinery) — their primal edges are
 //! the minimum cycle.
 
+use crate::solver::PlanarSolver;
 use duality_baselines::cuts::stoer_wagner;
 use duality_congest::{CostLedger, CostModel};
 use duality_minor_agg::{deactivate_parallel_edges, MaEdge, MinorAgg};
-use duality_planar::{Dart, PlanarGraph, Weight};
+use duality_planar::{PlanarGraph, Weight};
 
 /// Result of the weighted-girth computation.
 #[derive(Clone, Debug)]
@@ -48,28 +49,52 @@ pub struct GirthResult {
 /// ```
 pub fn weighted_girth(g: &PlanarGraph, weights: &[Weight]) -> Option<GirthResult> {
     assert_eq!(weights.len(), g.num_edges(), "one weight per edge");
-    assert!(
-        weights.iter().all(|&w| w > 0),
-        "weights must be positive"
-    );
+    assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
+    // One-shot callers pay the solver's embedded-dual construction here;
+    // it is O(m) against the query's O(F³) Stoer–Wagner stage, and
+    // repeated callers should hold a solver to amortize it.
+    let solver = PlanarSolver::builder(g)
+        .edge_weights(weights)
+        .build()
+        .expect("inputs validated above");
+    match solver.girth() {
+        Ok(r) => Some(GirthResult {
+            girth: r.girth,
+            cycle_edges: r.cycle_edges,
+            ledger: r.rounds.into_ledger(),
+        }),
+        Err(crate::DualityError::Acyclic) => None,
+        Err(other) => unreachable!("girth wrapper validated its inputs: {other}"),
+    }
+}
+
+/// The cycle–cut-duality pipeline proper (shared with the solver), phrased
+/// on the embedded dual graph `dual` (dual vertex `i` = face `i` of `g`,
+/// dual edge `e` = primal edge `e` — the construction of
+/// [`duality_planar::dual::dual_graph`], which the solver caches). Inputs
+/// are pre-validated; returns `None` for acyclic instances.
+pub(crate) fn run_girth_on_dual(
+    g: &PlanarGraph,
+    dual: &PlanarGraph,
+    cm: &CostModel,
+    weights: &[Weight],
+    ledger: &mut CostLedger,
+) -> Option<(Weight, Vec<usize>)> {
+    debug_assert_eq!(dual.num_vertices(), g.num_faces());
+    debug_assert_eq!(dual.num_edges(), g.num_edges());
     if g.num_faces() < 2 {
         return None; // acyclic: a single face, no dual cut exists
     }
-    let cm = CostModel::new(g.num_vertices(), g.diameter());
-    let mut ledger = CostLedger::new();
 
-    // Dual multigraph: one MA edge per primal edge.
-    let ma_edges: Vec<MaEdge> = (0..g.num_edges())
-        .map(|e| {
-            let d = Dart::forward(e);
-            MaEdge {
-                u: g.face_of(d).index(),
-                v: g.face_of(d.rev()).index(),
-                weight: weights[e],
-            }
+    // Dual multigraph: one MA edge per dual (= primal) edge.
+    let ma_edges: Vec<MaEdge> = (0..dual.num_edges())
+        .map(|e| MaEdge {
+            u: dual.edge_tail(e),
+            v: dual.edge_head(e),
+            weight: weights[e],
         })
         .collect();
-    let mut ma = MinorAgg::new(g.num_faces(), ma_edges.clone());
+    let mut ma = MinorAgg::new(dual.num_vertices(), ma_edges.clone());
 
     // (1) Parallel-edge deactivation with the sum operator (arboricity of
     // the simple dual of a planar graph is 3 — paper, Section 4.2.3).
@@ -100,12 +125,8 @@ pub fn weighted_girth(g: &PlanarGraph, weights: &[Weight]) -> Option<GirthResult
         })
         .collect();
 
-    ma.charge(1, &cm, &mut ledger, "girth-minor-agg");
-    Some(GirthResult {
-        girth: cut,
-        cycle_edges,
-        ledger,
-    })
+    ma.charge(1, cm, ledger, "girth-minor-agg");
+    Some((cut, cycle_edges))
 }
 
 #[cfg(test)]

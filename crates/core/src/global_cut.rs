@@ -35,6 +35,7 @@
 //! `C` minus the dart is a path inside that bag's dual avoiding the
 //! reversal) or keeps `C` down to a leaf (the leaf candidate captures it).
 
+use crate::solver::PlanarSolver;
 use duality_congest::{CostLedger, CostModel};
 use duality_labeling::{DualLabels, DualSsspEngine};
 use duality_planar::{Dart, FaceId, PlanarGraph, Weight, INF};
@@ -72,17 +73,41 @@ type DdgArc = (usize, usize, Weight, Option<Dart>);
 /// let r = directed_global_min_cut(&g, &[5, 7, 9]).unwrap();
 /// assert_eq!(r.value, 5); // the lightest arc of the directed 3-cycle
 /// ```
-pub fn directed_global_min_cut(
-    g: &PlanarGraph,
-    weights: &[Weight],
-) -> Option<GlobalCutResult> {
+pub fn directed_global_min_cut(g: &PlanarGraph, weights: &[Weight]) -> Option<GlobalCutResult> {
     assert_eq!(weights.len(), g.num_edges(), "one weight per edge");
-    assert!(weights.iter().all(|&w| w >= 0), "weights must be non-negative");
+    assert!(
+        weights.iter().all(|&w| w >= 0),
+        "weights must be non-negative"
+    );
     if g.num_vertices() < 2 {
         return None;
     }
-    let cm = CostModel::new(g.num_vertices(), g.diameter());
-    let mut ledger = CostLedger::new();
+    let solver = PlanarSolver::builder(g)
+        .edge_weights(weights)
+        .build()
+        .expect("inputs validated above");
+    let r = solver
+        .global_min_cut()
+        .expect("instance has at least two vertices");
+    Some(GlobalCutResult {
+        value: r.value,
+        side: r.side,
+        cut_edges: r.cut_edges,
+        ledger: r.rounds.into_ledger(),
+    })
+}
+
+/// The cycle–cut pipeline proper (shared with the solver): dual labeling at
+/// the augmented lengths, per-dart candidates over the BDD bags, cycle
+/// extraction and bisection. Inputs are pre-validated, `g` has ≥ 2
+/// vertices.
+pub(crate) fn run_global_cut(
+    engine: &DualSsspEngine<'_>,
+    cm: &CostModel,
+    weights: &[Weight],
+    ledger: &mut CostLedger,
+) -> (Weight, Vec<bool>, Vec<usize>) {
+    let g = engine.graph;
 
     // Dart lengths: forward = edge weight, reversal = 0.
     let mut lengths = vec![0; g.num_darts()];
@@ -90,15 +115,14 @@ pub fn directed_global_min_cut(
         lengths[Dart::forward(e).index()] = w;
     }
 
-    let engine = DualSsspEngine::new(g, &cm, None, &mut ledger);
     let labels = engine
-        .labels(&lengths, &mut ledger)
+        .labels(&lengths, ledger)
         .expect("non-negative lengths have no negative cycle");
 
     // Per-dart candidates, each at the bag that owns the dart.
     let mut best: Option<(Weight, Dart)> = None;
     let consider = |best: &mut Option<(Weight, Dart)>, w: Weight, d: Dart| {
-        if best.map_or(true, |(bw, bd)| (w, d.index()) < (bw, bd.index())) {
+        if best.is_none_or(|(bw, bd)| (w, d.index()) < (bw, bd.index())) {
             *best = Some((w, d));
         }
     };
@@ -113,8 +137,7 @@ pub fn directed_global_min_cut(
                 .map(|a| (a.from, a.to, lengths[a.dart.index()], Some(a.dart)))
                 .collect();
             for a in &dual.arcs {
-                if let Some(dist) =
-                    dijkstra_avoiding(dual.len(), &arcs, a.to, a.from, a.dart.rev())
+                if let Some(dist) = dijkstra_avoiding(dual.len(), &arcs, a.to, a.from, a.dart.rev())
                 {
                     consider(&mut best, lengths[a.dart.index()] + dist, a.dart);
                 }
@@ -122,10 +145,9 @@ pub fn directed_global_min_cut(
         } else {
             // Separator darts: avoid-one-arc Dijkstra on the bag's DDG.
             let sep = engine.separator_arcs(bag.id);
-            let (hn, h_arcs, rep) = build_ddg(&engine, &labels, bag.id, &lengths);
+            let (hn, h_arcs, rep) = build_ddg(engine, &labels, bag.id, &lengths);
             for &(from, to, dart) in sep {
-                if let Some(dist) =
-                    dijkstra_avoiding(hn, &h_arcs, rep[&to], rep[&from], dart.rev())
+                if let Some(dist) = dijkstra_avoiding(hn, &h_arcs, rep[&to], rep[&from], dart.rev())
                 {
                     consider(&mut best, lengths[dart.index()] + dist, dart);
                 }
@@ -160,12 +182,7 @@ pub fn directed_global_min_cut(
 
     let mut cut_edges: Vec<usize> = cut_set.into_iter().collect();
     cut_edges.sort_unstable();
-    Some(GlobalCutResult {
-        value,
-        side,
-        cut_edges,
-        ledger,
-    })
+    (value, side, cut_edges)
 }
 
 /// Builds the bag's DDG: nodes are `(child, F_X face)` parts (plus orphan
@@ -317,7 +334,9 @@ fn extract_cycle(g: &PlanarGraph, lengths: &[Weight], best: Dart) -> Vec<Dart> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use duality_baselines::cuts::{brute_force_directed_min_cut, planar_directed_min_cut_reference};
+    use duality_baselines::cuts::{
+        brute_force_directed_min_cut, planar_directed_min_cut_reference,
+    };
     use duality_baselines::shortest_paths::Digraph;
     use duality_planar::gen;
 

@@ -14,11 +14,26 @@
 //!
 //! [`verify`] provides the flow/cut validity checkers the test-suite and
 //! the experiment harness use.
+//!
+//! # The `PlanarSolver` façade
+//!
+//! The per-module free functions rebuild the shared substrate (diameter
+//! estimate, dual graph, branch decomposition, labeling engine) on every
+//! call. For repeated queries, build a [`solver::PlanarSolver`] once: the
+//! substrate is cached behind the façade, every query returns a typed
+//! report with a [`duality_congest::RoundReport`] round split, and all
+//! failures surface as the one [`DualityError`] type. The free functions
+//! remain as thin wrappers over the solver for gradual migration.
 
 pub mod approx_flow;
+pub mod error;
 pub mod girth;
 pub mod global_cut;
 pub mod max_flow;
 pub mod smoothing;
+pub mod solver;
 pub mod st_cut;
 pub mod verify;
+
+pub use error::DualityError;
+pub use solver::{PlanarSolver, SolverBuilder, SolverStats};

@@ -11,6 +11,8 @@
 //! `flow(d) = dist(face(rev d)) − dist(face(d)) (+λ if d ∈ P, −λ if
 //! rev(d) ∈ P)`.
 
+use crate::error::to_flow_error;
+use crate::solver::PlanarSolver;
 use duality_congest::{primitives, CostLedger, CostModel};
 use duality_labeling::{DualSsspEngine, LabelingError};
 use duality_planar::{Dart, PlanarGraph, Weight};
@@ -94,15 +96,34 @@ pub fn max_st_flow(
         return Err(FlowError::BadEndpoints);
     }
     assert_eq!(caps.len(), g.num_darts(), "one capacity per dart");
-    if let Some(d) = caps.iter().position(|&c| c < 0) {
-        return Err(FlowError::NegativeCapacity { dart: d });
-    }
+    let solver = PlanarSolver::builder(g)
+        .capacities(caps)
+        .leaf_threshold_opt(options.leaf_threshold)
+        .build()
+        .map_err(to_flow_error)?;
+    let r = solver.max_flow(s, t).map_err(to_flow_error)?;
+    Ok(MaxFlowResult {
+        value: r.value,
+        flow: r.flow,
+        ledger: r.rounds.into_ledger(),
+        probes: r.probes,
+    })
+}
 
-    let cm = CostModel::new(g.num_vertices(), g.diameter());
-    let mut ledger = CostLedger::new();
-    let engine = DualSsspEngine::new(g, &cm, options.leaf_threshold, &mut ledger);
-    let path =
-        primitives::st_dart_path(g, s, t, &cm, &mut ledger, "st-path").expect("connected graph");
+/// The Miller–Naor pipeline proper, shared by the solver and the legacy
+/// wrapper: binary search over λ with one dual labeling per probe on the
+/// (cached) engine. Inputs are pre-validated. Returns
+/// `(λ*, per-dart flow, probes)`.
+pub(crate) fn run_max_flow(
+    engine: &DualSsspEngine<'_>,
+    cm: &CostModel,
+    caps: &[Weight],
+    s: usize,
+    t: usize,
+    ledger: &mut CostLedger,
+) -> (Weight, Vec<Weight>, u32) {
+    let g = engine.graph;
+    let path = primitives::st_dart_path(g, s, t, cm, ledger, "st-path").expect("connected graph");
 
     // λ is bounded by the capacity leaving s.
     let upper: Weight = g
@@ -126,7 +147,7 @@ pub fn max_st_flow(
     let mut hi: Weight = upper;
     while lo < hi {
         let mid = lo + (hi - lo + 1) / 2;
-        if feasible(mid, &mut ledger) {
+        if feasible(mid, ledger) {
             lo = mid;
         } else {
             hi = mid - 1;
@@ -138,11 +159,9 @@ pub fn max_st_flow(
 
     // Final labeling at λ*: potentials from an arbitrary face.
     let lengths = residual_lengths(g, caps, &path, lambda);
-    let labels = engine
-        .labels(&lengths, &mut ledger)
-        .expect("λ* is feasible");
+    let labels = engine.labels(&lengths, ledger).expect("λ* is feasible");
     let source = duality_planar::FaceId(0);
-    let dist = labels.distances_from(source, &mut ledger);
+    let dist = labels.distances_from(source, ledger);
 
     let mut flow = vec![0; g.num_darts()];
     let on_path = path_markers(g, &path);
@@ -153,12 +172,7 @@ pub fn max_st_flow(
         flow[d.index()] = base + lambda * on_path[d.index()];
     }
 
-    Ok(MaxFlowResult {
-        value: lambda,
-        flow,
-        ledger,
-        probes,
-    })
+    (lambda, flow, probes)
 }
 
 /// Residual dual lengths after pushing `lambda` along `path`.

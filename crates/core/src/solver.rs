@@ -1,0 +1,783 @@
+//! The unified `PlanarSolver` façade: one instance, five queries, shared
+//! substrate.
+//!
+//! Every headline result of the paper — exact/approximate max st-flow,
+//! exact/approximate min st-cut, directed global min cut, weighted girth —
+//! is derived from the same toolkit: the dual graph `G*`, a bounded-
+//! diameter branch decomposition, and dual SSSP labelings over the CONGEST
+//! substrate. The free functions of the sibling modules rebuild that
+//! toolkit on every call; [`PlanarSolver`] builds it **once** and amortizes
+//! it across queries:
+//!
+//! | artifact | built by | used by |
+//! |---|---|---|
+//! | hop diameter / [`CostModel`] | first query | everything |
+//! | embedded dual graph `G*` | first [`PlanarSolver::girth`] | girth |
+//! | BDD + dual bags + labeling engine | first flow/cut query | max-flow, min st-cut, global cut |
+//!
+//! Artifacts are memoized behind `OnceCell`s; the rounds charged while
+//! building them accumulate in a **substrate ledger** that every query
+//! reports alongside its own marginal cost (see
+//! [`duality_congest::RoundReport`]). Build counters
+//! ([`PlanarSolver::stats`]) let tests assert that issuing many queries
+//! constructs each artifact exactly once.
+//!
+//! # Example
+//!
+//! ```
+//! use duality_core::solver::PlanarSolver;
+//! use duality_planar::gen;
+//!
+//! let g = gen::diag_grid(4, 4, 7).unwrap();
+//! let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 7);
+//! let solver = PlanarSolver::builder(&g).capacities(caps).build().unwrap();
+//!
+//! let flow = solver.max_flow(0, 15).unwrap();
+//! let cut = solver.min_st_cut(0, 15).unwrap();
+//! assert_eq!(flow.value, cut.value); // max-flow min-cut duality
+//!
+//! // The decomposition was built once and shared by both queries.
+//! assert_eq!(solver.stats().engine_builds, 1);
+//! // The second query paid only its marginal rounds.
+//! assert!(cut.rounds.substrate_total() > 0);
+//! ```
+
+use crate::approx_flow::StPlanarError;
+use crate::error::DualityError;
+use crate::{approx_flow, girth, global_cut, max_flow, st_cut};
+use duality_congest::{CostLedger, CostModel, RoundReport};
+use duality_labeling::DualSsspEngine;
+use duality_planar::{dual, Dart, FaceId, PlanarGraph, Weight};
+use std::borrow::Cow;
+use std::cell::{Cell, OnceCell, RefCell};
+
+/// Builder for [`PlanarSolver`]: the instance (graph + capacities and/or
+/// edge weights) is validated once, up front.
+///
+/// At least one of [`SolverBuilder::capacities`] (per-dart) and
+/// [`SolverBuilder::edge_weights`] (per-edge) must be provided; the missing
+/// side is derived — `weights[e] = caps[2e]` (forward-dart capacity), or
+/// `caps[2e] = weights[e], caps[2e+1] = 0` (a directed instance).
+#[derive(Clone, Debug)]
+pub struct SolverBuilder<'g> {
+    graph: &'g PlanarGraph,
+    capacities: Option<Cow<'g, [Weight]>>,
+    edge_weights: Option<Cow<'g, [Weight]>>,
+    leaf_threshold: Option<usize>,
+}
+
+impl<'g> SolverBuilder<'g> {
+    /// Per-dart capacities for the flow/cut queries (`2 * num_edges`
+    /// entries, non-negative). Accepts owned or borrowed data; borrowed
+    /// slices are not copied.
+    pub fn capacities(mut self, caps: impl Into<Cow<'g, [Weight]>>) -> Self {
+        self.capacities = Some(caps.into());
+        self
+    }
+
+    /// Per-edge weights for the global-cut and girth queries (`num_edges`
+    /// entries, non-negative). Accepts owned or borrowed data; borrowed
+    /// slices are not copied.
+    pub fn edge_weights(mut self, weights: impl Into<Cow<'g, [Weight]>>) -> Self {
+        self.edge_weights = Some(weights.into());
+        self
+    }
+
+    /// Overrides the BDD leaf threshold (`None`: the paper's `Θ(D)`
+    /// default).
+    pub fn leaf_threshold(mut self, threshold: usize) -> Self {
+        self.leaf_threshold = Some(threshold);
+        self
+    }
+
+    /// Optional-valued form of [`SolverBuilder::leaf_threshold`], for
+    /// callers forwarding an options struct.
+    pub fn leaf_threshold_opt(mut self, threshold: Option<usize>) -> Self {
+        self.leaf_threshold = threshold;
+        self
+    }
+
+    /// Validates the instance and builds the solver. No substrate artifact
+    /// is constructed yet — that happens lazily on first use.
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::CapacityLengthMismatch`] /
+    /// [`DualityError::WeightLengthMismatch`] on wrong vector lengths,
+    /// [`DualityError::NegativeCapacity`] / [`DualityError::NegativeWeight`]
+    /// on negative entries, [`DualityError::MissingInput`] when neither
+    /// side was provided.
+    pub fn build(self) -> Result<PlanarSolver<'g>, DualityError> {
+        let g = self.graph;
+        if let Some(caps) = &self.capacities {
+            if caps.len() != g.num_darts() {
+                return Err(DualityError::CapacityLengthMismatch {
+                    expected: g.num_darts(),
+                    got: caps.len(),
+                });
+            }
+            if let Some(d) = caps.iter().position(|&c| c < 0) {
+                return Err(DualityError::NegativeCapacity { dart: d });
+            }
+        }
+        if let Some(w) = &self.edge_weights {
+            if w.len() != g.num_edges() {
+                return Err(DualityError::WeightLengthMismatch {
+                    expected: g.num_edges(),
+                    got: w.len(),
+                });
+            }
+            if let Some(e) = w.iter().position(|&x| x < 0) {
+                return Err(DualityError::NegativeWeight { edge: e });
+            }
+        }
+        let (caps, weights) = match (self.capacities, self.edge_weights) {
+            (Some(c), Some(w)) => (c, w),
+            (Some(c), None) => {
+                let w: Vec<Weight> = (0..g.num_edges()).map(|e| c[2 * e]).collect();
+                (c, Cow::Owned(w))
+            }
+            (None, Some(w)) => {
+                let mut c = vec![0; g.num_darts()];
+                for (e, &x) in w.iter().enumerate() {
+                    c[2 * e] = x;
+                }
+                (Cow::Owned(c), w)
+            }
+            (None, None) => return Err(DualityError::MissingInput),
+        };
+        Ok(PlanarSolver {
+            graph: g,
+            caps,
+            weights,
+            leaf_threshold: self.leaf_threshold,
+            cost_model: OnceCell::new(),
+            engine: OnceCell::new(),
+            dual: OnceCell::new(),
+            substrate: RefCell::new(CostLedger::new()),
+            engine_builds: Cell::new(0),
+            dual_builds: Cell::new(0),
+            queries: Cell::new(0),
+        })
+    }
+}
+
+/// Snapshot of the solver's build counters, for cache-reuse assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Times the BDD + dual-bag labeling engine was constructed (≤ 1).
+    pub engine_builds: u32,
+    /// Times the embedded dual graph was constructed (≤ 1).
+    pub dual_builds: u32,
+    /// Queries answered so far.
+    pub queries: u32,
+}
+
+/// Exact max st-flow witness (paper, Theorem 1.2).
+#[derive(Clone, Debug)]
+pub struct MaxFlowReport {
+    /// The maximum flow value `λ*`.
+    pub value: Weight,
+    /// Net flow per dart (`flow[d] = -flow[rev d]`).
+    pub flow: Vec<Weight>,
+    /// Dual-SSSP probes of the binary search (`O(log λ*)`).
+    pub probes: u32,
+    /// Substrate + query round split.
+    pub rounds: RoundReport,
+}
+
+/// Exact min st-cut witness (paper, Theorem 6.1).
+#[derive(Clone, Debug)]
+pub struct MinCutReport {
+    /// The cut capacity (equals the max-flow value).
+    pub value: Weight,
+    /// `side[v]` is `true` on the `s` shore.
+    pub side: Vec<bool>,
+    /// The saturated darts crossing from the `s` side to the `t` side.
+    pub cut_darts: Vec<Dart>,
+    /// Substrate + query round split.
+    pub rounds: RoundReport,
+}
+
+/// Approximate st-planar max-flow witness (paper, Theorem 1.3): a rational
+/// flow `flow_numer[d] / denom` per dart.
+#[derive(Clone, Debug)]
+pub struct ApproxFlowReport {
+    /// Flow value numerator (value = `value_numer / denom`).
+    pub value_numer: Weight,
+    /// Common denominator (`k + 1` for `ε = 1/k`; 1 in exact mode).
+    pub denom: Weight,
+    /// Per-dart flow numerators (antisymmetric).
+    pub flow_numer: Vec<Weight>,
+    /// The two dual faces created by Hassin's artificial edge.
+    pub f1: FaceId,
+    /// See [`ApproxFlowReport::f1`].
+    pub f2: FaceId,
+    /// Substrate + query round split.
+    pub rounds: RoundReport,
+}
+
+/// Approximate st-planar min-cut witness (paper, Theorem 6.2).
+#[derive(Clone, Debug)]
+pub struct ApproxCutReport {
+    /// The (unquantized) capacity of the cut.
+    pub value: Weight,
+    /// The cut edges (undirected).
+    pub cut_edges: Vec<usize>,
+    /// Substrate + query round split.
+    pub rounds: RoundReport,
+}
+
+/// Directed global min-cut witness (paper, Theorem 1.5).
+#[derive(Clone, Debug)]
+pub struct GlobalCutReport {
+    /// The cut weight (edges leaving the `S` side).
+    pub value: Weight,
+    /// `side[v]` is `true` for vertices of `S`.
+    pub side: Vec<bool>,
+    /// The primal edges crossing the bisection.
+    pub cut_edges: Vec<usize>,
+    /// Substrate + query round split.
+    pub rounds: RoundReport,
+}
+
+/// Weighted-girth witness (paper, Theorem 1.7).
+#[derive(Clone, Debug)]
+pub struct GirthReport {
+    /// The weight of the minimum cycle.
+    pub girth: Weight,
+    /// The edges of a minimum-weight cycle.
+    pub cycle_edges: Vec<usize>,
+    /// Substrate + query round split.
+    pub rounds: RoundReport,
+}
+
+/// The unified façade over the paper's five results, with the expensive
+/// shared substrate built once and cached (see the module docs).
+pub struct PlanarSolver<'g> {
+    graph: &'g PlanarGraph,
+    caps: Cow<'g, [Weight]>,
+    weights: Cow<'g, [Weight]>,
+    leaf_threshold: Option<usize>,
+    cost_model: OnceCell<CostModel>,
+    engine: OnceCell<DualSsspEngine<'g>>,
+    dual: OnceCell<PlanarGraph>,
+    /// Rounds charged while building substrate artifacts (one-off).
+    substrate: RefCell<CostLedger>,
+    engine_builds: Cell<u32>,
+    dual_builds: Cell<u32>,
+    queries: Cell<u32>,
+}
+
+/// Lifts a shared-pipeline st-planar error into the façade dialect,
+/// attaching the query endpoints. Symmetry is screened by
+/// `check_undirected` before the pipelines run, but the mapping stays
+/// faithful in case they ever report it.
+fn lift_st_planar(e: StPlanarError, s: usize, t: usize) -> DualityError {
+    match e {
+        StPlanarError::NotStPlanar => DualityError::NotStPlanar { s, t },
+        StPlanarError::NotUndirected => DualityError::NotUndirected,
+    }
+}
+
+impl std::fmt::Debug for PlanarSolver<'_> {
+    // Manual impl: the cached engine holds the whole BDD, which would
+    // flood debug output (and does not implement `Debug`); report the
+    // instance shape and cache state instead.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanarSolver")
+            .field("vertices", &self.graph.num_vertices())
+            .field("edges", &self.graph.num_edges())
+            .field("leaf_threshold", &self.leaf_threshold)
+            .field("engine_cached", &self.engine.get().is_some())
+            .field("dual_cached", &self.dual.get().is_some())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<'g> PlanarSolver<'g> {
+    /// Starts building a solver over `graph`.
+    pub fn builder(graph: &'g PlanarGraph) -> SolverBuilder<'g> {
+        SolverBuilder {
+            graph,
+            capacities: None,
+            edge_weights: None,
+            leaf_threshold: None,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g PlanarGraph {
+        self.graph
+    }
+
+    /// The validated per-dart capacities.
+    pub fn capacities(&self) -> &[Weight] {
+        &self.caps
+    }
+
+    /// The validated per-edge weights.
+    pub fn edge_weights(&self) -> &[Weight] {
+        &self.weights
+    }
+
+    /// Build counters (cache-reuse evidence).
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            engine_builds: self.engine_builds.get(),
+            dual_builds: self.dual_builds.get(),
+            queries: self.queries.get(),
+        }
+    }
+
+    /// Snapshot of the rounds charged for substrate construction so far.
+    pub fn substrate_rounds(&self) -> CostLedger {
+        self.substrate.borrow().clone()
+    }
+
+    /// The CONGEST cost model (measures the hop diameter on first use; the
+    /// BFS-flood charge lands in the substrate ledger).
+    pub fn cost_model(&self) -> CostModel {
+        *self.cost_model.get_or_init(|| {
+            let cm = CostModel::new(self.graph.num_vertices(), self.graph.diameter());
+            // Distributedly the diameter estimate is a BFS flood + upcast.
+            self.substrate
+                .borrow_mut()
+                .charge("substrate-diameter", cm.bfs(cm.d) + cm.global_aggregate());
+            cm
+        })
+    }
+
+    /// The cached labeling engine (BDD + dual bags + separators), built on
+    /// first use with its `Õ(D)`-per-level charges in the substrate ledger.
+    fn engine(&self) -> &DualSsspEngine<'g> {
+        let cm = self.cost_model();
+        self.engine.get_or_init(|| {
+            self.engine_builds.set(self.engine_builds.get() + 1);
+            let mut ledger = self.substrate.borrow_mut();
+            DualSsspEngine::new(self.graph, &cm, self.leaf_threshold, &mut ledger)
+        })
+    }
+
+    /// The cached labeling engine (advanced API): the BDD, dual bags and
+    /// separators, built on first use. Lets power users run custom dual
+    /// labelings (e.g. [`duality_labeling::sssp::dual_sssp`]) against the
+    /// same substrate the flow/cut queries amortize.
+    pub fn labeling_engine(&self) -> &DualSsspEngine<'g> {
+        self.engine()
+    }
+
+    /// The cached embedded dual graph `G*`.
+    pub fn dual_graph(&self) -> &PlanarGraph {
+        let cm = self.cost_model();
+        self.dual.get_or_init(|| {
+            self.dual_builds.set(self.dual_builds.get() + 1);
+            self.substrate
+                .borrow_mut()
+                .charge("substrate-dual", cm.dual_part_wise_aggregation());
+            dual::dual_graph(self.graph)
+                .expect("the dual of a valid embedding is a valid embedding")
+        })
+    }
+
+    fn check_endpoints(&self, s: usize, t: usize) -> Result<(), DualityError> {
+        let n = self.graph.num_vertices();
+        if s == t || s >= n || t >= n {
+            return Err(DualityError::BadEndpoints { s, t, n });
+        }
+        Ok(())
+    }
+
+    fn check_undirected(&self) -> Result<(), DualityError> {
+        for e in 0..self.graph.num_edges() {
+            if self.caps[2 * e] != self.caps[2 * e + 1] {
+                return Err(DualityError::NotUndirected);
+            }
+        }
+        Ok(())
+    }
+
+    fn report(&self, query: CostLedger) -> RoundReport {
+        self.queries.set(self.queries.get() + 1);
+        RoundReport {
+            substrate: self.substrate.borrow().clone(),
+            query,
+        }
+    }
+
+    /// Exact maximum st-flow (Theorem 1.2, `Õ(D²)` rounds; the engine
+    /// share is amortized).
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::BadEndpoints`] if `s == t` or out of range.
+    pub fn max_flow(&self, s: usize, t: usize) -> Result<MaxFlowReport, DualityError> {
+        self.check_endpoints(s, t)?;
+        let cm = self.cost_model();
+        let engine = self.engine();
+        let mut query = CostLedger::new();
+        let (value, flow, probes) =
+            max_flow::run_max_flow(engine, &cm, &self.caps, s, t, &mut query);
+        Ok(MaxFlowReport {
+            value,
+            flow,
+            probes,
+            rounds: self.report(query),
+        })
+    }
+
+    /// Exact directed minimum st-cut (Theorem 6.1).
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::BadEndpoints`] if `s == t` or out of range.
+    pub fn min_st_cut(&self, s: usize, t: usize) -> Result<MinCutReport, DualityError> {
+        self.check_endpoints(s, t)?;
+        let cm = self.cost_model();
+        let engine = self.engine();
+        let mut query = CostLedger::new();
+        let (value, side, cut_darts) =
+            st_cut::run_exact_cut(engine, &cm, &self.caps, s, t, &mut query);
+        Ok(MinCutReport {
+            value,
+            side,
+            cut_darts,
+            rounds: self.report(query),
+        })
+    }
+
+    /// `(1 − 1/(k+1))`-approximate max st-flow for undirected st-planar
+    /// instances (Theorem 1.3, `D·n^{o(1)}` rounds); `eps_inverse = k`,
+    /// `k = 0` runs the exact-oracle substitution.
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::BadEndpoints`], [`DualityError::NotUndirected`] on
+    /// asymmetric capacities, [`DualityError::NotStPlanar`] when `s`, `t`
+    /// share no face.
+    pub fn approx_max_flow(
+        &self,
+        s: usize,
+        t: usize,
+        eps_inverse: u64,
+    ) -> Result<ApproxFlowReport, DualityError> {
+        self.check_endpoints(s, t)?;
+        self.check_undirected()?;
+        let cm = self.cost_model();
+        let mut query = CostLedger::new();
+        let out = approx_flow::run_approx_flow(
+            self.graph,
+            &cm,
+            &self.caps,
+            s,
+            t,
+            eps_inverse,
+            &mut query,
+        )
+        .map_err(|e| lift_st_planar(e, s, t))?;
+        Ok(ApproxFlowReport {
+            value_numer: out.value_numer,
+            denom: out.denom,
+            flow_numer: out.flow_numer,
+            f1: out.f1,
+            f2: out.f2,
+            rounds: self.report(query),
+        })
+    }
+
+    /// `(1+1/k)`-approximate minimum st-cut for undirected st-planar
+    /// instances (Theorem 6.2), via Reif's st-separating dual cycle.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PlanarSolver::approx_max_flow`].
+    pub fn approx_min_st_cut(
+        &self,
+        s: usize,
+        t: usize,
+        eps_inverse: u64,
+    ) -> Result<ApproxCutReport, DualityError> {
+        self.check_endpoints(s, t)?;
+        self.check_undirected()?;
+        let cm = self.cost_model();
+        let mut query = CostLedger::new();
+        let (value, cut_edges) =
+            st_cut::run_approx_cut(self.graph, &cm, &self.caps, s, t, eps_inverse, &mut query)
+                .map_err(|e| lift_st_planar(e, s, t))?;
+        Ok(ApproxCutReport {
+            value,
+            cut_edges,
+            rounds: self.report(query),
+        })
+    }
+
+    /// Directed global minimum cut (Theorem 1.5), over the solver's
+    /// per-edge weights (reversal darts are free).
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::TooSmall`] when the graph has fewer than two
+    /// vertices.
+    pub fn global_min_cut(&self) -> Result<GlobalCutReport, DualityError> {
+        if self.graph.num_vertices() < 2 {
+            return Err(DualityError::TooSmall {
+                needed: 2,
+                vertices: self.graph.num_vertices(),
+            });
+        }
+        let cm = self.cost_model();
+        let engine = self.engine();
+        let mut query = CostLedger::new();
+        let (value, side, cut_edges) =
+            global_cut::run_global_cut(engine, &cm, &self.weights, &mut query);
+        Ok(GlobalCutReport {
+            value,
+            side,
+            cut_edges,
+            rounds: self.report(query),
+        })
+    }
+
+    /// Weighted girth (Theorem 1.7, `Õ(D)` rounds), over the solver's
+    /// per-edge weights (must be positive). Runs on the cached dual graph.
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::NonPositiveWeight`] on a zero weight,
+    /// [`DualityError::Acyclic`] when the instance has no cycle.
+    pub fn girth(&self) -> Result<GirthReport, DualityError> {
+        if let Some(e) = self.weights.iter().position(|&w| w <= 0) {
+            return Err(DualityError::NonPositiveWeight { edge: e });
+        }
+        let cm = self.cost_model();
+        // The girth pipeline is phrased on G*: consume the cached dual.
+        let dual = self.dual_graph();
+        let mut query = CostLedger::new();
+        let (girth, cycle_edges) =
+            girth::run_girth_on_dual(self.graph, dual, &cm, &self.weights, &mut query)
+                .ok_or(DualityError::Acyclic)?;
+        Ok(GirthReport {
+            girth,
+            cycle_edges,
+            rounds: self.report(query),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max_flow::{max_st_flow, MaxFlowOptions};
+    use crate::{girth::weighted_girth, global_cut::directed_global_min_cut};
+    use duality_planar::gen;
+
+    fn grid_solver(g: &PlanarGraph, seed: u64) -> PlanarSolver<'_> {
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, seed);
+        PlanarSolver::builder(g).capacities(caps).build().unwrap()
+    }
+
+    #[test]
+    fn builder_validates_once() {
+        let g = gen::grid(3, 3).unwrap();
+        assert!(matches!(
+            PlanarSolver::builder(&g).build(),
+            Err(DualityError::MissingInput)
+        ));
+        assert!(matches!(
+            PlanarSolver::builder(&g).capacities(vec![1; 3]).build(),
+            Err(DualityError::CapacityLengthMismatch { .. })
+        ));
+        let mut caps = vec![1; g.num_darts()];
+        caps[5] = -2;
+        assert_eq!(
+            PlanarSolver::builder(&g).capacities(caps).build().err(),
+            Some(DualityError::NegativeCapacity { dart: 5 })
+        );
+        assert!(matches!(
+            PlanarSolver::builder(&g).edge_weights(vec![1; 2]).build(),
+            Err(DualityError::WeightLengthMismatch { .. })
+        ));
+        assert_eq!(
+            PlanarSolver::builder(&g)
+                .edge_weights(vec![-1; g.num_edges()])
+                .build()
+                .err(),
+            Some(DualityError::NegativeWeight { edge: 0 })
+        );
+    }
+
+    #[test]
+    fn capacities_derive_weights_and_vice_versa() {
+        let g = gen::grid(3, 3).unwrap();
+        let caps = gen::random_directed_capacities(g.num_edges(), 1, 5, 3);
+        let s = PlanarSolver::builder(&g)
+            .capacities(caps.clone())
+            .build()
+            .unwrap();
+        for e in 0..g.num_edges() {
+            assert_eq!(s.edge_weights()[e], caps[2 * e]);
+        }
+        let w = gen::random_edge_weights(g.num_edges(), 1, 5, 4);
+        let s = PlanarSolver::builder(&g)
+            .edge_weights(w.clone())
+            .build()
+            .unwrap();
+        for e in 0..g.num_edges() {
+            assert_eq!(s.capacities()[2 * e], w[e]);
+            assert_eq!(s.capacities()[2 * e + 1], 0);
+        }
+    }
+
+    #[test]
+    fn substrate_is_built_exactly_once_across_distinct_queries() {
+        let g = gen::diag_grid(5, 4, 2).unwrap();
+        let solver = grid_solver(&g, 2);
+        assert_eq!(solver.stats(), SolverStats::default());
+
+        let t = g.num_vertices() - 1;
+        let flow = solver.max_flow(0, t).unwrap();
+        let cut = solver.min_st_cut(0, t).unwrap();
+        let global = solver.global_min_cut().unwrap();
+        let girth = solver.girth().unwrap();
+        assert!(flow.value > 0 && cut.value == flow.value);
+        assert!(global.value >= 0 && girth.girth > 0);
+
+        let stats = solver.stats();
+        assert_eq!(stats.engine_builds, 1, "one BDD for three engine queries");
+        assert_eq!(stats.dual_builds, 1, "one dual graph");
+        assert_eq!(stats.queries, 4);
+
+        // Substrate charges did not grow after the first engine build…
+        let substrate_after = solver.substrate_rounds().total();
+        let _ = solver.max_flow(0, t).unwrap();
+        assert_eq!(solver.substrate_rounds().total(), substrate_after);
+        assert_eq!(solver.stats().engine_builds, 1);
+    }
+
+    #[test]
+    fn repeat_queries_pay_only_marginal_rounds() {
+        let g = gen::diag_grid(5, 5, 9).unwrap();
+        let solver = grid_solver(&g, 9);
+        let t = g.num_vertices() - 1;
+        let first = solver.max_flow(0, t).unwrap();
+        let second = solver.max_flow(0, t).unwrap();
+        // Identical marginal cost, identical substrate snapshot.
+        assert_eq!(first.rounds.query_total(), second.rounds.query_total());
+        assert_eq!(
+            first.rounds.substrate_total(),
+            second.rounds.substrate_total()
+        );
+        // The marginal cost excludes the BDD build.
+        assert_eq!(second.rounds.query.phase_total("bdd-build"), 0);
+        assert!(second.rounds.substrate.phase_total("bdd-build") > 0);
+    }
+
+    #[test]
+    fn agrees_with_legacy_free_functions() {
+        for seed in 0..3u64 {
+            let g = gen::diag_grid(4, 4, seed).unwrap();
+            let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, seed + 20);
+            let w = gen::random_edge_weights(g.num_edges(), 1, 9, seed + 40);
+            let solver = PlanarSolver::builder(&g)
+                .capacities(caps.clone())
+                .edge_weights(w.clone())
+                .build()
+                .unwrap();
+            let t = g.num_vertices() - 1;
+
+            let got = solver.max_flow(0, t).unwrap();
+            let want = max_st_flow(&g, &caps, 0, t, &MaxFlowOptions::default()).unwrap();
+            assert_eq!(got.value, want.value);
+            assert_eq!(got.flow, want.flow);
+
+            let gotc = solver.global_min_cut().unwrap();
+            let wantc = directed_global_min_cut(&g, &w).unwrap();
+            assert_eq!(gotc.value, wantc.value);
+
+            let gotg = solver.girth().unwrap();
+            let wantg = weighted_girth(&g, &w).unwrap();
+            assert_eq!(gotg.girth, wantg.girth);
+        }
+    }
+
+    #[test]
+    fn approx_queries_work_and_validate() {
+        let g = gen::grid(5, 4).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 3);
+        let solver = PlanarSolver::builder(&g).capacities(caps).build().unwrap();
+        let r = solver.approx_max_flow(0, 4, 2).unwrap();
+        assert!(r.value_numer > 0);
+        let c = solver.approx_min_st_cut(0, 4, 2).unwrap();
+        // Weak duality, cross-multiplied to stay in exact integers.
+        assert!(c.value * r.denom >= r.value_numer);
+
+        // Asymmetric capacities are rejected.
+        let dcaps = gen::random_directed_capacities(g.num_edges(), 1, 9, 3);
+        let dsolver = PlanarSolver::builder(&g).capacities(dcaps).build().unwrap();
+        assert_eq!(
+            dsolver.approx_max_flow(0, 4, 2).err(),
+            Some(DualityError::NotUndirected)
+        );
+        // Non-st-planar pairs are rejected with the endpoints attached.
+        let g5 = gen::grid(5, 5).unwrap();
+        let caps5 = gen::random_undirected_capacities(g5.num_edges(), 1, 9, 1);
+        let s5 = PlanarSolver::builder(&g5)
+            .capacities(caps5)
+            .build()
+            .unwrap();
+        assert_eq!(
+            s5.approx_max_flow(0, 12, 0).err(),
+            Some(DualityError::NotStPlanar { s: 0, t: 12 })
+        );
+    }
+
+    #[test]
+    fn endpoint_and_instance_errors() {
+        let g = gen::grid(3, 3).unwrap();
+        let solver = grid_solver(&g, 1);
+        assert_eq!(
+            solver.max_flow(2, 2).err(),
+            Some(DualityError::BadEndpoints { s: 2, t: 2, n: 9 })
+        );
+        assert_eq!(
+            solver.min_st_cut(0, 100).err(),
+            Some(DualityError::BadEndpoints { s: 0, t: 100, n: 9 })
+        );
+        // Zero weights: girth needs positive ones.
+        let zs = PlanarSolver::builder(&g)
+            .edge_weights(vec![0; g.num_edges()])
+            .build()
+            .unwrap();
+        assert_eq!(
+            zs.girth().err(),
+            Some(DualityError::NonPositiveWeight { edge: 0 })
+        );
+        // Acyclic instance.
+        let p = gen::path(5).unwrap();
+        let ps = PlanarSolver::builder(&p)
+            .edge_weights(vec![3; p.num_edges()])
+            .build()
+            .unwrap();
+        assert_eq!(ps.girth().err(), Some(DualityError::Acyclic));
+    }
+
+    #[test]
+    fn girth_uses_the_cached_dual() {
+        let g = gen::grid(4, 4).unwrap();
+        let solver = PlanarSolver::builder(&g)
+            .edge_weights(vec![1; g.num_edges()])
+            .build()
+            .unwrap();
+        let a = solver.girth().unwrap();
+        let b = solver.girth().unwrap();
+        assert_eq!(a.girth, 4);
+        assert_eq!(a.girth, b.girth);
+        assert_eq!(solver.stats().dual_builds, 1);
+        assert_eq!(solver.stats().engine_builds, 0, "girth never needs the BDD");
+        // The dual is a real embedded graph with swapped counts.
+        let d = solver.dual_graph();
+        assert_eq!(d.num_vertices(), g.num_faces());
+        assert_eq!(d.num_faces(), g.num_vertices());
+    }
+}

@@ -10,10 +10,17 @@
 //!   reduction closed up by the artificial edge's dual — is an st-cut in
 //!   the primal; its primal edges form a `(1+ε)`-approximate minimum
 //!   st-cut.
+//!
+//! Both free functions are thin wrappers over [`crate::solver::PlanarSolver`];
+//! the pipelines proper live in `run_exact_cut` / `run_approx_cut` and are
+//! shared with the solver's cached-substrate path.
 
-use crate::approx_flow::StPlanarError;
-use crate::max_flow::{max_st_flow, FlowError, MaxFlowOptions};
+use crate::approx_flow::{validate_st_planar, StPlanarError};
+use crate::error::to_flow_error;
+use crate::max_flow::{FlowError, MaxFlowOptions};
+use crate::solver::PlanarSolver;
 use duality_congest::{CostLedger, CostModel};
+use duality_labeling::DualSsspEngine;
 use duality_planar::{dual::DualView, Dart, PlanarGraph, Weight};
 
 /// Result of a minimum st-cut computation.
@@ -42,16 +49,43 @@ pub fn exact_min_st_cut(
     t: usize,
     options: &MaxFlowOptions,
 ) -> Result<StCutResult, FlowError> {
-    let flow = max_st_flow(g, caps, s, t, options)?;
-    let mut ledger = flow.ledger;
-    let cm = CostModel::new(g.num_vertices(), g.diameter());
+    if s == t || s >= g.num_vertices() || t >= g.num_vertices() {
+        return Err(FlowError::BadEndpoints);
+    }
+    assert_eq!(caps.len(), g.num_darts(), "one capacity per dart");
+    let solver = PlanarSolver::builder(g)
+        .capacities(caps)
+        .leaf_threshold_opt(options.leaf_threshold)
+        .build()
+        .map_err(to_flow_error)?;
+    let r = solver.min_st_cut(s, t).map_err(to_flow_error)?;
+    Ok(StCutResult {
+        value: r.value,
+        side: r.side,
+        cut_darts: r.cut_darts,
+        ledger: r.rounds.into_ledger(),
+    })
+}
+
+/// The exact-cut pipeline proper (shared with the solver): max-flow, then
+/// residual reachability from `s`. Inputs are pre-validated.
+pub(crate) fn run_exact_cut(
+    engine: &DualSsspEngine<'_>,
+    cm: &CostModel,
+    caps: &[Weight],
+    s: usize,
+    t: usize,
+    ledger: &mut CostLedger,
+) -> (Weight, Vec<bool>, Vec<Dart>) {
+    let g = engine.graph;
+    let (value, flow, _probes) = crate::max_flow::run_max_flow(engine, cm, caps, s, t, ledger);
     // Residual reachability from s, via the primal SSSP black box of
     // Li–Parter (paper, Theorem 6.1 reduces reachability to SSSP with
     // 0/∞ weights on the residual multigraph).
     ledger.charge("residual-reachability", cm.li_parter_primal_sssp());
     let residual_ok: Vec<bool> = g
         .darts()
-        .map(|d| caps[d.index()] - flow.flow[d.index()] > 0)
+        .map(|d| caps[d.index()] - flow[d.index()] > 0)
         .collect();
     let mut side = vec![false; g.num_vertices()];
     side[s] = true;
@@ -68,12 +102,7 @@ pub fn exact_min_st_cut(
         .darts()
         .filter(|&d| side[g.tail(d)] && !side[g.head(d)])
         .collect();
-    Ok(StCutResult {
-        value: flow.value,
-        side,
-        cut_darts,
-        ledger,
-    })
+    (value, side, cut_darts)
 }
 
 /// Computes a `(1+1/k)`-approximate minimum st-cut of an undirected
@@ -90,10 +119,31 @@ pub fn approx_min_st_cut(
     t: usize,
     eps_inverse: u64,
 ) -> Result<(Weight, Vec<usize>, CostLedger), StPlanarError> {
+    validate_st_planar(g, caps, s, t)?;
+    let solver = PlanarSolver::builder(g)
+        .capacities(caps)
+        .build()
+        .expect("inputs validated above");
+    let r = solver
+        .approx_min_st_cut(s, t, eps_inverse)
+        .map_err(crate::error::to_st_planar_error)?;
+    Ok((r.value, r.cut_edges, r.rounds.into_ledger()))
+}
+
+/// Reif's dual-cycle pipeline proper (shared with the solver): the Hassin
+/// flow setup, then the st-separating cycle walk. Inputs are pre-validated
+/// except st-planarity, discovered by the flow stage.
+pub(crate) fn run_approx_cut(
+    g: &PlanarGraph,
+    cm: &CostModel,
+    caps: &[Weight],
+    s: usize,
+    t: usize,
+    eps_inverse: u64,
+    ledger: &mut CostLedger,
+) -> Result<(Weight, Vec<usize>), StPlanarError> {
     // Reuse the Hassin pipeline for validation of the inputs and charging.
-    let approx = crate::approx_flow::approx_max_st_flow(g, caps, s, t, eps_inverse)?;
-    let mut ledger = approx.ledger;
-    let cm = CostModel::new(g.num_vertices(), g.diameter());
+    let approx = crate::approx_flow::run_approx_flow(g, cm, caps, s, t, eps_inverse, ledger)?;
 
     // Rebuild the augmented dual and extract the shortest f1 → f2 path
     // under the quantized lengths (the distributed algorithm marks the
@@ -117,7 +167,10 @@ pub fn approx_min_st_cut(
     // The (1+1/k)-smooth oracle's quantization — see `crate::smoothing`
     // for the standalone, property-tested form.
     let quantize = |c: Weight| if k > 0 { c + c / k } else { c };
-    let big: Weight = (0..g.num_edges()).map(|e| quantize(caps[2 * e])).sum::<Weight>() + 1;
+    let big: Weight = (0..g.num_edges())
+        .map(|e| quantize(caps[2 * e]))
+        .sum::<Weight>()
+        + 1;
     let mut lengths = vec![0; aug.num_darts()];
     for e in 0..g.num_edges() {
         lengths[2 * e] = quantize(caps[2 * e]);
@@ -142,7 +195,7 @@ pub fn approx_min_st_cut(
     }
     cut_edges.sort_unstable();
     cut_edges.dedup();
-    Ok((value, cut_edges, ledger))
+    Ok((value, cut_edges))
 }
 
 #[cfg(test)]
@@ -163,10 +216,7 @@ mod tests {
             let cut_cap: Weight = r.cut_darts.iter().map(|d| caps[d.index()]).sum();
             assert_eq!(cut_cap, r.value);
             assert!(r.side[0] && !r.side[15]);
-            assert_eq!(
-                verify::directed_cut_capacity(&g, &caps, &r.side),
-                r.value
-            );
+            assert_eq!(verify::directed_cut_capacity(&g, &caps, &r.side), r.value);
         }
     }
 
@@ -208,6 +258,23 @@ mod tests {
         let r = exact_min_st_cut(&g, &caps, 0, 8, &MaxFlowOptions::default()).unwrap();
         assert_eq!(r.value, 0);
         // The crossing darts all carry zero capacity.
-        assert_eq!(r.cut_darts.iter().map(|d| caps[d.index()]).sum::<Weight>(), 0);
+        assert_eq!(
+            r.cut_darts.iter().map(|d| caps[d.index()]).sum::<Weight>(),
+            0
+        );
+    }
+
+    #[test]
+    fn bad_endpoints_rejected_before_work() {
+        let g = gen::grid(3, 3).unwrap();
+        let caps = vec![1; g.num_darts()];
+        assert_eq!(
+            exact_min_st_cut(&g, &caps, 4, 4, &MaxFlowOptions::default()).err(),
+            Some(FlowError::BadEndpoints)
+        );
+        assert_eq!(
+            approx_min_st_cut(&g, &caps, 0, 99, 2).err(),
+            Some(StPlanarError::NotStPlanar)
+        );
     }
 }

@@ -56,11 +56,7 @@ pub fn cut_separates(g: &PlanarGraph, cut_edges: &[usize], s: usize, t: usize) -
 /// Checks that `cut_edges` is a *directed* cut: no dart with positive
 /// capacity leads from the `s`-side to the `t`-side other than the cut
 /// darts themselves; returns the total capacity crossing s-side → t-side.
-pub fn directed_cut_capacity(
-    g: &PlanarGraph,
-    caps: &[Weight],
-    side_s: &[bool],
-) -> Weight {
+pub fn directed_cut_capacity(g: &PlanarGraph, caps: &[Weight], side_s: &[bool]) -> Weight {
     let mut total = 0;
     for d in g.darts() {
         if side_s[g.tail(d)] && !side_s[g.head(d)] {

@@ -21,7 +21,10 @@ impl std::fmt::Display for LabelingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LabelingError::NegativeCycle { bag } => {
-                write!(f, "negative cycle in the dual graph (detected at bag {bag})")
+                write!(
+                    f,
+                    "negative cycle in the dual graph (detected at bag {bag})"
+                )
             }
         }
     }
@@ -178,15 +181,15 @@ impl<'g> DualSsspEngine<'g> {
             let mut level_cost: u64 = 0;
             for &bid in &self.bdd.levels[level] {
                 let words = if self.bdd.bags[bid].is_leaf() {
-                    self.label_leaf(bid, lengths, &mut store).map_err(|e| {
-                        ledger.charge("neg-cycle-abort", self.cm.bfs(self.cm.d));
-                        e
-                    })?
+                    self.label_leaf(bid, lengths, &mut store)
+                        .inspect_err(|_e| {
+                            ledger.charge("neg-cycle-abort", self.cm.bfs(self.cm.d));
+                        })?
                 } else {
-                    self.label_internal(bid, lengths, &mut store).map_err(|e| {
-                        ledger.charge("neg-cycle-abort", self.cm.bfs(self.cm.d));
-                        e
-                    })?
+                    self.label_internal(bid, lengths, &mut store)
+                        .inspect_err(|_e| {
+                            ledger.charge("neg-cycle-abort", self.cm.bfs(self.cm.d));
+                        })?
                 };
                 let cost = self.cm.broadcast(self.bdd.bags[bid].bfs_depth, words);
                 level_cost = level_cost.max(2 * cost);
@@ -431,6 +434,9 @@ impl<'g> DualSsspEngine<'g> {
     }
 }
 
+/// One APSP row/column pair of a leaf bag's matrix.
+type ApspRowCol = (Vec<Weight>, Vec<Weight>);
+
 /// Per-bag label storage.
 struct LabelStore {
     /// `to_fx[bag][node][k]` = `dist(node → fx[bag][k])` in `X*`.
@@ -438,7 +444,7 @@ struct LabelStore {
     /// `from_fx[bag][node][k]` = `dist(fx[bag][k] → node)` in `X*`.
     from_fx: Vec<HashMap<FaceId, Vec<Weight>>>,
     /// Leaf bags: `(row, col)` of the APSP matrix per node.
-    leaf_apsp: Vec<HashMap<FaceId, (Vec<Weight>, Vec<Weight>)>>,
+    leaf_apsp: Vec<HashMap<FaceId, ApspRowCol>>,
     /// Label size in `O(log n)`-bit words per (bag, node) — the measured
     /// quantity behind Lemma 5.17 (`Õ(D)` bits).
     label_words: Vec<HashMap<FaceId, u64>>,
@@ -494,7 +500,7 @@ impl<'e, 'g> DualLabels<'e, 'g> {
     }
 }
 
-fn floyd_warshall_in_place(d: &mut Vec<Vec<Weight>>) {
+fn floyd_warshall_in_place(d: &mut [Vec<Weight>]) {
     // When a negative cycle is present (the Miller–Naor infeasibility
     // signal), Floyd–Warshall entries can compound geometrically downward;
     // clamping at -INF keeps the arithmetic in range while preserving the
@@ -526,7 +532,9 @@ mod tests {
         let cm = CostModel::new(g.num_vertices(), g.diameter());
         let mut ledger = CostLedger::new();
         let engine = DualSsspEngine::new(g, &cm, threshold, &mut ledger);
-        let labels = engine.labels(lengths, &mut ledger).expect("no negative cycle");
+        let labels = engine
+            .labels(lengths, &mut ledger)
+            .expect("no negative cycle");
         let view = DualView::new(g, lengths, |d| lengths[d.index()] < INF / 2);
         for src in g.faces() {
             let reference = view.bellman_ford(src).expect("no negative cycle");

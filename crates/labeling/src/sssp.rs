@@ -47,7 +47,9 @@ pub fn dual_sssp(
         if to == source {
             continue;
         }
-        let Some(df) = dist[from.index()] else { continue };
+        let Some(df) = dist[from.index()] else {
+            continue;
+        };
         let Some(dt) = dist[to.index()] else { continue };
         if df + w == dt {
             let better = match parent_dart[to.index()] {
@@ -109,8 +111,9 @@ mod tests {
     fn sssp_tree_valid_on_random_weights() {
         for seed in 0..3u64 {
             let g = gen::diag_grid(5, 5, seed).unwrap();
-            let lengths: Vec<Weight> =
-                (0..g.num_darts()).map(|i| ((i as i64 * 11) % 13) + 1).collect();
+            let lengths: Vec<Weight> = (0..g.num_darts())
+                .map(|i| ((i as i64 * 11) % 13) + 1)
+                .collect();
             let cm = CostModel::new(g.num_vertices(), g.diameter());
             let mut ledger = CostLedger::new();
             let engine = DualSsspEngine::new(&g, &cm, Some(10), &mut ledger);

@@ -200,7 +200,14 @@ impl FaceDisjointGraph {
                     }
                 }
             }
-            best = best.max(depth.iter().copied().filter(|&d| d != usize::MAX).max().unwrap_or(0));
+            best = best.max(
+                depth
+                    .iter()
+                    .copied()
+                    .filter(|&d| d != usize::MAX)
+                    .max()
+                    .unwrap_or(0),
+            );
         }
         best
     }
@@ -347,7 +354,10 @@ pub fn identify_faces(
     let mut leader: HashMap<FaceId, usize> = HashMap::new();
     for x in hat.num_star_centers()..hat.num_vertices() {
         if let Some(f) = hat.face_of_copy(x) {
-            leader.entry(f).and_modify(|l| *l = (*l).min(x)).or_insert(x);
+            leader
+                .entry(f)
+                .and_modify(|l| *l = (*l).min(x))
+                .or_insert(x);
         }
     }
     leader
@@ -449,10 +459,7 @@ mod tests {
         let mut ledger = CostLedger::new();
         // Two parts: outer face alone, all bounded faces together.
         let outer = g.faces().max_by_key(|&f| g.face_darts(f).len()).unwrap();
-        let part_of = g
-            .faces()
-            .map(|f| Some(u32::from(f != outer)))
-            .collect();
+        let part_of = g.faces().map(|f| Some(u32::from(f != outer))).collect();
         let partition = DualPartition::new(&g, part_of);
         assert!(partition.validate(&g));
         let out = part_wise_aggregate(&partition, |_| 1u64, |a, b| a + b, &cm, &mut ledger);
@@ -467,10 +474,7 @@ mod tests {
         let cm = CostModel::new(g.num_vertices(), g.diameter());
         let mut ledger = CostLedger::new();
         let outer = g.faces().max_by_key(|&f| g.face_darts(f).len()).unwrap();
-        let part_of = g
-            .faces()
-            .map(|f| Some(u32::from(f != outer)))
-            .collect();
+        let part_of = g.faces().map(|f| Some(u32::from(f != outer))).collect();
         let partition = DualPartition::new(&g, part_of);
         let out = part_wise_boundary_aggregate(
             &g,
@@ -489,7 +493,7 @@ mod tests {
     #[test]
     fn invalid_partition_detected() {
         let g = gen::grid(4, 2).unwrap(); // 1x3 strip of cells + outer: 4 faces
-        // Put the two end cells in the same part, skipping the middle cell.
+                                          // Put the two end cells in the same part, skipping the middle cell.
         let outer = g.faces().max_by_key(|&f| g.face_darts(f).len()).unwrap();
         let bounded: Vec<FaceId> = g.faces().filter(|&f| f != outer).collect();
         assert_eq!(bounded.len(), 3);

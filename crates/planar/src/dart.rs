@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// A *dart* (directed half-edge) of an embedded planar graph.
 ///
 /// Every edge `e` of the graph is represented by two darts embedded one on
@@ -23,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(d.rev().rev(), d);
 /// assert_ne!(d.rev(), d);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Dart(u32);
 
 impl Dart {

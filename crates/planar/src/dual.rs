@@ -192,7 +192,9 @@ mod tests {
     #[test]
     fn bellman_ford_matches_dijkstra_on_nonnegative() {
         let g = gen::diag_grid(4, 4, 7).unwrap();
-        let lengths: Vec<i64> = (0..g.num_darts()).map(|i| (i as i64 * 7) % 13 + 1).collect();
+        let lengths: Vec<i64> = (0..g.num_darts())
+            .map(|i| (i as i64 * 7) % 13 + 1)
+            .collect();
         let dual = DualView::new(&g, &lengths, |_| true);
         let bf = dual.bellman_ford(FaceId(0)).unwrap();
         let (dj, _) = dual.dijkstra(FaceId(0));
@@ -210,8 +212,8 @@ mod tests {
     #[test]
     fn negative_lengths_without_negative_cycle_ok() {
         let g = gen::grid(2, 2).unwrap(); // single square: 2 faces
-        // Arcs leaving face 0 cost 5, arcs entering it cost -3: any dual
-        // cycle alternates between the two nodes so its total is >= 2.
+                                          // Arcs leaving face 0 cost 5, arcs entering it cost -3: any dual
+                                          // cycle alternates between the two nodes so its total is >= 2.
         let lengths: Vec<i64> = g
             .darts()
             .map(|d| if g.face_of(d) == FaceId(0) { 5 } else { -3 })

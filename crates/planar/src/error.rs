@@ -38,7 +38,10 @@ impl std::fmt::Display for PlanarError {
             PlanarError::BadRotation { reason } => write!(f, "invalid rotation system: {reason}"),
             PlanarError::Disconnected => write!(f, "graph is not connected"),
             PlanarError::NotPlanar { euler } => {
-                write!(f, "rotation system is not planar (V - E + F = {euler}, expected 2)")
+                write!(
+                    f,
+                    "rotation system is not planar (V - E + F = {euler}, expected 2)"
+                )
             }
             PlanarError::NotOnFace { vertex } => {
                 write!(f, "vertex {vertex} does not lie on the required face")

@@ -245,7 +245,7 @@ mod tests {
         assert_eq!(g.num_vertices(), 12);
         // All vertices on the outer face.
         let outer = g.faces().max_by_key(|&f| g.face_darts(f).len()).unwrap();
-        let mut on_outer = vec![false; 12];
+        let mut on_outer = [false; 12];
         for &d in g.face_darts(outer) {
             on_outer[g.tail(d)] = true;
         }
@@ -283,7 +283,12 @@ mod tests {
 /// the graph connected, until `target_m` edges remain (or no more edges
 /// can go). Produces irregular face structures — large faces, low
 /// connectivity — that stress the face-part machinery of the BDD.
-pub fn sparse_grid(w: usize, h: usize, target_m: usize, seed: u64) -> Result<PlanarGraph, PlanarError> {
+pub fn sparse_grid(
+    w: usize,
+    h: usize,
+    target_m: usize,
+    seed: u64,
+) -> Result<PlanarGraph, PlanarError> {
     let full = diag_grid(w, h, seed)?;
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
     let mut alive: Vec<bool> = vec![true; full.num_edges()];
@@ -299,7 +304,7 @@ pub fn sparse_grid(w: usize, h: usize, target_m: usize, seed: u64) -> Result<Pla
         alive[e] = false;
         // Connectivity check.
         let (_, depth) = full.bfs_restricted(0, &|x| alive[x]);
-        if depth.iter().any(|&d| d == usize::MAX) {
+        if depth.contains(&usize::MAX) {
             alive[e] = true;
         } else {
             m -= 1;
@@ -342,8 +347,12 @@ mod sparse_tests {
     fn sparse_grid_is_deterministic() {
         let a = sparse_grid(5, 4, 25, 7).unwrap();
         let b = sparse_grid(5, 4, 25, 7).unwrap();
-        let ea: Vec<_> = (0..a.num_edges()).map(|e| (a.edge_tail(e), a.edge_head(e))).collect();
-        let eb: Vec<_> = (0..b.num_edges()).map(|e| (b.edge_tail(e), b.edge_head(e))).collect();
+        let ea: Vec<_> = (0..a.num_edges())
+            .map(|e| (a.edge_tail(e), a.edge_head(e)))
+            .collect();
+        let eb: Vec<_> = (0..b.num_edges())
+            .map(|e| (b.edge_tail(e), b.edge_head(e)))
+            .collect();
         assert_eq!(ea, eb);
     }
 }

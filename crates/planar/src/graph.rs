@@ -1,11 +1,10 @@
 use crate::{Dart, PlanarError};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a face of a [`PlanarGraph`] (a node of the dual graph `G*`).
 ///
 /// The paper refers to faces of the primal graph `G` as *nodes* of the dual
 /// graph `G*`; we keep that convention throughout the workspace.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FaceId(pub u32);
 
 impl FaceId {
@@ -43,7 +42,7 @@ impl FaceId {
 /// assert_eq!(g.num_faces(), 2);
 /// # Ok::<(), duality_planar::PlanarError>(())
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PlanarGraph {
     n: usize,
     tails: Vec<u32>,
@@ -85,7 +84,10 @@ impl PlanarGraph {
         let mut heads = Vec::with_capacity(m);
         for &(u, v) in edges {
             if u >= n || v >= n {
-                return Err(PlanarError::VertexOutOfRange { vertex: u.max(v), n });
+                return Err(PlanarError::VertexOutOfRange {
+                    vertex: u.max(v),
+                    n,
+                });
             }
             tails.push(u as u32);
             heads.push(v as u32);
@@ -122,7 +124,10 @@ impl PlanarGraph {
         }
         if let Some(missing) = seen.iter().position(|s| !s) {
             return Err(PlanarError::BadRotation {
-                reason: format!("dart {:?} missing from rotations", Dart::from_index(missing)),
+                reason: format!(
+                    "dart {:?} missing from rotations",
+                    Dart::from_index(missing)
+                ),
             });
         }
 
@@ -171,7 +176,10 @@ impl PlanarGraph {
         let mut out: Vec<Vec<(f64, Dart)>> = vec![Vec::new(); n];
         for (e, &(u, v)) in edges.iter().enumerate() {
             if u >= n || v >= n {
-                return Err(PlanarError::VertexOutOfRange { vertex: u.max(v), n });
+                return Err(PlanarError::VertexOutOfRange {
+                    vertex: u.max(v),
+                    n,
+                });
             }
             let (ux, uy) = coordinates[u];
             let (vx, vy) = coordinates[v];
@@ -423,7 +431,12 @@ impl PlanarGraph {
     /// Eccentricity of `root` (max BFS depth).
     pub fn eccentricity(&self, root: usize) -> usize {
         let (_, depth) = self.bfs(root);
-        depth.iter().copied().filter(|&d| d != usize::MAX).max().unwrap_or(0)
+        depth
+            .iter()
+            .copied()
+            .filter(|&d| d != usize::MAX)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Builds an augmented graph with one extra edge `(u, v)` embedded inside
@@ -446,7 +459,10 @@ impl PlanarGraph {
         // new dart immediately *before* that dart in the rotation of its
         // tail places the new edge inside face f.
         let slot = |x: usize| -> Option<Dart> {
-            self.face_darts(f).iter().copied().find(|&d| self.tail(d) == x)
+            self.face_darts(f)
+                .iter()
+                .copied()
+                .find(|&d| self.tail(d) == x)
         };
         let du = slot(u).ok_or(PlanarError::NotOnFace { vertex: u })?;
         let dv = slot(v).ok_or(PlanarError::NotOnFace { vertex: v })?;
@@ -461,7 +477,10 @@ impl PlanarGraph {
 
         let mut rotations = self.rot.clone();
         let insert_before = |order: &mut Vec<Dart>, before: Dart, new: Dart| {
-            let pos = order.iter().position(|&d| d == before).expect("dart in rotation");
+            let pos = order
+                .iter()
+                .position(|&d| d == before)
+                .expect("dart in rotation");
             order.insert(pos, new);
         };
         insert_before(&mut rotations[u], du, new_fwd);
@@ -558,11 +577,7 @@ mod tests {
 
     #[test]
     fn vertex_out_of_range_rejected() {
-        let g = PlanarGraph::from_edges_with_coordinates(
-            2,
-            &[(0, 5)],
-            &[(0.0, 0.0), (1.0, 0.0)],
-        );
+        let g = PlanarGraph::from_edges_with_coordinates(2, &[(0, 5)], &[(0.0, 0.0), (1.0, 0.0)]);
         assert!(matches!(g, Err(PlanarError::VertexOutOfRange { .. })));
     }
 
@@ -612,7 +627,7 @@ mod tests {
     fn bfs_restricted_respects_mask() {
         let g = gen::grid(3, 1).unwrap(); // path of 3 vertices, 2 edges
         let (_, depth) = g.bfs_restricted(0, &|e| e != 1);
-        assert!(depth.iter().any(|&d| d == usize::MAX));
+        assert!(depth.contains(&usize::MAX));
     }
 
     #[test]
@@ -623,9 +638,12 @@ mod tests {
         let present: Vec<bool> = (0..g.num_edges())
             .map(|e| {
                 let (u, v) = (g.edge_tail(e), g.edge_head(e));
-                let on_border = |x: usize| x % 3 == 0 || x % 3 == 2 || x / 3 == 0 || x / 3 == 2;
-                on_border(u) && on_border(v) && (u / 3 == v / 3 && u.abs_diff(v) == 1 && (u / 3 == 0 || u / 3 == 2)
-                    || u % 3 == v % 3 && (u % 3 == 0 || u % 3 == 2))
+                let on_border =
+                    |x: usize| x.is_multiple_of(3) || x % 3 == 2 || x / 3 == 0 || x / 3 == 2;
+                on_border(u)
+                    && on_border(v)
+                    && (u / 3 == v / 3 && u.abs_diff(v) == 1 && (u / 3 == 0 || u / 3 == 2)
+                        || u % 3 == v % 3 && (u % 3 == 0 || u % 3 == 2))
             })
             .collect();
         let is_present = |e: usize| present[e];
@@ -640,10 +658,7 @@ mod tests {
     fn insert_edge_in_face_splits_face() {
         let g = gen::grid(3, 3).unwrap();
         // Outer face of the grid: find it as the face with the longest walk.
-        let outer = g
-            .faces()
-            .max_by_key(|&f| g.face_darts(f).len())
-            .unwrap();
+        let outer = g.faces().max_by_key(|&f| g.face_darts(f).len()).unwrap();
         let faces_before = g.num_faces();
         // Corners 0 and 2 both lie on the outer face.
         let aug = g.insert_edge_in_face(0, 2, outer).unwrap();

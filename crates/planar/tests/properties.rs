@@ -10,7 +10,7 @@ fn build(family: u8, a: usize, b: usize, seed: u64) -> PlanarGraph {
         0 => gen::grid(a.max(2), b.max(2)).unwrap(),
         1 => gen::diag_grid(a.max(2), b.max(2), seed).unwrap(),
         2 => gen::apollonian(3 + a * b, seed).unwrap(),
-        _ => gen::outerplanar(3 + a + b, seed, seed % 2 == 0).unwrap(),
+        _ => gen::outerplanar(3 + a + b, seed, seed.is_multiple_of(2)).unwrap(),
     }
 }
 

@@ -1,15 +1,16 @@
 //! The paper's core machinery, hands on: dual distance labels (Theorem
-//! 2.1) and a dual SSSP tree (Lemma 2.2) with negative edge lengths.
+//! 2.1) and a dual SSSP tree (Lemma 2.2) with negative edge lengths,
+//! accessed through the solver's cached substrate.
 //!
 //! Run with: `cargo run --release --example dual_sssp_labels`
 
-use duality::congest::{CostLedger, CostModel};
-use duality::labeling::{sssp::dual_sssp, DualSsspEngine};
+use duality::congest::CostLedger;
+use duality::labeling::sssp::dual_sssp;
 use duality::planar::{dual::DualView, gen, FaceId};
+use duality::PlanarSolver;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = gen::diag_grid(7, 6, 11)?;
-    let cm = CostModel::new(g.num_vertices(), g.diameter());
     println!(
         "primal: n = {}, faces (dual nodes) = {}, D = {}",
         g.num_vertices(),
@@ -17,14 +18,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         g.diameter()
     );
 
-    // Mixed-sign dual arc lengths: forward darts cost 4, reversals -1
-    // (no negative cycles on this instance — the engine would report one).
-    let lengths: Vec<i64> = g.darts().map(|d| if d.is_forward() { 4 } else { -1 }).collect();
+    // Mixed-sign dual arc lengths with no negative cycles by construction:
+    // length(d) = 1 + π(face(d)) − π(face(rev d)) for arbitrary face
+    // potentials π, so every dual cycle telescopes to its (positive) hop
+    // count. Individual arcs still go as low as 1 − max π.
+    let pi = |f: FaceId| (f.0 as i64 * 5) % 7;
+    let lengths: Vec<i64> = g
+        .darts()
+        .map(|d| {
+            let (from, to) = g.dual_arc(d);
+            1 + pi(from) - pi(to)
+        })
+        .collect();
 
-    // Build the engine (BDD + dual bags, Õ(D) rounds) and the labels
-    // (Õ(D²) rounds).
+    // The solver owns the substrate; `labeling_engine()` hands out the
+    // cached BDD + dual bags (built once, Õ(D) rounds, charged to the
+    // substrate ledger) for custom labelings like this one.
+    let solver = PlanarSolver::builder(&g)
+        .edge_weights(vec![1; g.num_edges()])
+        .build()?;
+    let engine = solver.labeling_engine();
     let mut ledger = CostLedger::new();
-    let engine = DualSsspEngine::new(&g, &cm, None, &mut ledger);
     let labels = engine.labels(&lengths, &mut ledger)?;
     println!(
         "BDD: {} bags over {} levels; labels up to {} words (Õ(D) = Õ({}))",
@@ -48,6 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(tree.dist[f.index()], Some(reference[f.index()]));
     }
     println!("SSSP tree validated against centralized Bellman–Ford");
-    println!("\nround bill:\n{ledger}");
+    println!(
+        "\nsubstrate rounds (one-off):\n{}",
+        solver.substrate_rounds()
+    );
+    println!("labeling rounds (per weight assignment):\n{ledger}");
     Ok(())
 }

@@ -1,7 +1,7 @@
 //! Scenario: resilience analysis of a planar power distribution grid.
 //!
 //! Power grids are planar by construction (overhead lines rarely cross).
-//! Two questions, two theorems:
+//! Two questions, two theorems, one solver:
 //!
 //! 1. *How much power can flow from the plant to the substation, quickly,
 //!    if both sit on the network boundary?* — the `(1−ε)`-approximate
@@ -14,9 +14,8 @@
 //! Run with: `cargo run --release --example power_grid_analysis`
 
 use duality::baselines::flow::planar_max_flow_reference;
-use duality::core::approx_flow::approx_max_st_flow;
-use duality::core::girth::weighted_girth;
 use duality::planar::gen;
+use duality::PlanarSolver;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Service area: 14x9 blocks, line capacities in MW.
@@ -28,8 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("grid: n = {}, D = {}", g.num_vertices(), g.diameter());
     let exact = planar_max_flow_reference(&g, &capacity, plant, substation);
+
+    // Deliverable power at three accuracy settings, all on one solver: the
+    // instance is validated once and the diameter measured once.
+    let solver = PlanarSolver::builder(&g)
+        .capacities(capacity.clone())
+        .build()?;
     for k in [2u64, 8, 0] {
-        let r = approx_max_st_flow(&g, &capacity, plant, substation, k)?;
+        let r = solver.approx_max_flow(plant, substation, k)?;
         let value = r.value_numer as f64 / r.denom as f64;
         let label = if k == 0 {
             "exact oracle".to_string()
@@ -38,21 +43,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         println!(
             "{label}: deliverable power {value:.2} MW (optimum {exact}), {} rounds",
-            r.ledger.total()
+            r.rounds.total()
         );
     }
 
-    // Cheapest maintenance loop by line length (here: 100/capacity·40, so
-    // fat lines are cheap to walk).
+    // Cheapest maintenance loop by line length (here: 1 + 200/capacity, so
+    // fat lines are cheap to walk). Different weights → a second solver;
+    // the girth query runs on its cached dual graph.
     let length: Vec<i64> = (0..g.num_edges())
         .map(|e| 1 + 200 / capacity[2 * e])
         .collect();
-    let loop_ = weighted_girth(&g, &length).expect("grids have cycles");
+    let loop_solver = PlanarSolver::builder(&g).edge_weights(length).build()?;
+    let loop_ = loop_solver.girth()?;
     println!(
         "\ncheapest maintenance loop: length {} over {} lines, {} rounds",
         loop_.girth,
         loop_.cycle_edges.len(),
-        loop_.ledger.total()
+        loop_.rounds.total()
     );
     Ok(())
 }

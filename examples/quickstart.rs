@@ -1,11 +1,11 @@
-//! Quickstart: compute an exact maximum st-flow on a small planar network
-//! and inspect the distributed round bill.
+//! Quickstart: build one `PlanarSolver`, compute an exact maximum st-flow
+//! and its certifying min st-cut, and inspect the amortized round bill.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use duality::baselines::flow::planar_max_flow_reference;
-use duality::core::max_flow::{max_st_flow, MaxFlowOptions};
 use duality::planar::gen;
+use duality::PlanarSolver;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A randomly triangulated 8x6 grid: 48 vertices, diameter 12.
@@ -22,23 +22,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let caps = gen::random_directed_capacities(g.num_edges(), 1, 9, 7);
     let (s, t) = (0, g.num_vertices() - 1);
 
+    // One solver: the instance is validated once, the substrate (diameter
+    // estimate, BDD, dual bags) is built lazily on first use and cached.
+    let solver = PlanarSolver::builder(&g).capacities(caps.clone()).build()?;
+
     // The paper's Õ(D²)-round algorithm: O(log λ) dual-SSSP probes over the
     // bounded-diameter decomposition (Theorem 1.2).
-    let result = max_st_flow(&g, &caps, s, t, &MaxFlowOptions::default())?;
-    println!("max {s} → {t} flow value: {}", result.value);
-    println!("dual-SSSP probes: {}", result.probes);
-    println!("\nround bill:\n{}", result.ledger);
+    let flow = solver.max_flow(s, t)?;
+    println!("max {s} → {t} flow value: {}", flow.value);
+    println!("dual-SSSP probes: {}", flow.probes);
+    println!("\nround bill (substrate is amortized):\n{}", flow.rounds);
+
+    // A second query on the same solver reuses the cached decomposition —
+    // it pays only its marginal rounds.
+    let cut = solver.min_st_cut(s, t)?;
+    assert_eq!(cut.value, flow.value, "max-flow min-cut duality");
+    println!(
+        "certifying min cut: {} darts, {} marginal rounds (engine builds: {})",
+        cut.cut_darts.len(),
+        cut.rounds.query_total(),
+        solver.stats().engine_builds
+    );
 
     // Cross-check against centralized Dinic.
     let reference = planar_max_flow_reference(&g, &caps, s, t);
-    assert_eq!(result.value, reference);
+    assert_eq!(flow.value, reference);
     println!("verified against centralized Dinic: {reference}");
 
     // The assignment is a real flow: print the per-edge loads on the
     // saturated darts.
     let saturated = g
         .darts()
-        .filter(|d| result.flow[d.index()] == caps[d.index()] && caps[d.index()] > 0)
+        .filter(|d| flow.flow[d.index()] == caps[d.index()] && caps[d.index()] > 0)
         .count();
     println!("saturated darts: {saturated}");
     Ok(())

@@ -2,7 +2,9 @@
 //!
 //! Road networks are the paper's motivating planar workload. We model a
 //! city district as a randomly triangulated grid whose edge capacities are
-//! lane counts, and answer two planning questions distributedly:
+//! lane counts, and answer two planning questions distributedly **on one
+//! solver** — the second query reuses the decomposition the first one paid
+//! for:
 //!
 //! 1. *What is the worst-case s→t throughput, and which streets form the
 //!    bottleneck?* — exact directed min st-cut (Theorem 6.1).
@@ -12,23 +14,22 @@
 //!
 //! Run with: `cargo run --release --example road_network_cut`
 
-use duality::core::global_cut::directed_global_min_cut;
-use duality::core::st_cut::exact_min_st_cut;
 use duality::core::verify;
 use duality::planar::gen;
+use duality::PlanarSolver;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // District: 9x7 blocks with diagonal shortcuts; lanes in [1, 4].
     let g = gen::diag_grid(9, 7, 2024)?;
     let lanes = gen::random_edge_weights(g.num_edges(), 1, 4, 99);
-    // Directed capacities: each street is one-way along its orientation.
-    let mut caps = vec![0; g.num_darts()];
-    for (e, &l) in lanes.iter().enumerate() {
-        caps[2 * e] = l;
-    }
+
+    // Directed capacities (one-way streets) are derived from the per-edge
+    // lane counts by the builder: forward darts carry the lanes, reversals
+    // are closed.
+    let solver = PlanarSolver::builder(&g).edge_weights(lanes).build()?;
 
     let (depot, stadium) = (0, g.num_vertices() - 1);
-    let cut = exact_min_st_cut(&g, &caps, depot, stadium, &Default::default())?;
+    let cut = solver.min_st_cut(depot, stadium)?;
     println!(
         "depot → stadium throughput: {} lanes ({} bottleneck streets)",
         cut.value,
@@ -42,21 +43,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect::<Vec<_>>()
     );
     assert_eq!(
-        verify::directed_cut_capacity(&g, &caps, &cut.side),
+        verify::directed_cut_capacity(&g, solver.capacities(), &cut.side),
         cut.value
     );
 
-    // Global fragility: the cheapest directed disconnection anywhere.
-    let global = directed_global_min_cut(&g, &lanes).expect("district has 2+ intersections");
+    // Global fragility: the cheapest directed disconnection anywhere. Same
+    // solver, same cached BDD — only the marginal rounds are new.
+    let global = solver.global_min_cut()?;
     let isolated = global.side.iter().filter(|&&b| !b).count();
     println!(
         "\nglobal fragility: {} lanes of closures isolate {} intersections",
         global.value, isolated
     );
     println!(
-        "rounds: st-cut = {}, global = {}",
-        cut.ledger.total(),
-        global.ledger.total()
+        "rounds: st-cut = {} (substrate {} + query {}), global marginal = {}",
+        cut.rounds.total(),
+        cut.rounds.substrate_total(),
+        cut.rounds.query_total(),
+        global.rounds.query_total()
+    );
+    assert_eq!(
+        solver.stats().engine_builds,
+        1,
+        "both cut queries shared one decomposition"
     );
     Ok(())
 }

@@ -15,23 +15,41 @@
 //! * directed global minimum cut in `Õ(D²)` rounds,
 //! * weighted girth in `Õ(D)` rounds.
 //!
-//! This meta-crate re-exports the whole workspace. Start with
-//! [`core`](duality_core) for the headline algorithms, or [`planar`] for the
-//! graph substrate. See `DESIGN.md` for the system inventory and
-//! `EXPERIMENTS.md` for the reproduction results.
+//! All five results are served by one façade, [`PlanarSolver`]: build it
+//! once over an instance and the expensive shared substrate — the dual
+//! graph, the bounded-diameter branch decomposition, and the distance-
+//! labeling engine — is constructed lazily, cached, and amortized across
+//! every query. Queries return typed witnesses plus a
+//! [`RoundReport`](congest::RoundReport) splitting the CONGEST bill into
+//! the one-off substrate share and the marginal query share; every failure
+//! is the single [`DualityError`] type. See `DESIGN.md` for the substrate →
+//! cache → query architecture and `EXPERIMENTS.md` for reproducing the
+//! measurements.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use duality::planar::gen;
-//! use duality::core::max_flow::{self, MaxFlowOptions};
+//! use duality::solver::PlanarSolver;
 //!
 //! let g = gen::diag_grid(4, 4, 7).unwrap();
-//! let caps = gen::random_directed_capacities(g.num_edges(), 1, 8, 7);
-//! let result = max_flow::max_st_flow(&g, &caps, 0, g.num_vertices() - 1,
-//!                                    &MaxFlowOptions::default()).unwrap();
-//! assert!(result.value > 0);
+//! let caps = gen::random_undirected_capacities(g.num_edges(), 1, 8, 7);
+//! let solver = PlanarSolver::builder(&g).capacities(caps).build()?;
+//!
+//! // Exact max flow and min cut share one cached decomposition.
+//! let flow = solver.max_flow(0, g.num_vertices() - 1)?;
+//! let cut = solver.min_st_cut(0, g.num_vertices() - 1)?;
+//! assert!(flow.value > 0);
+//! assert_eq!(flow.value, cut.value); // max-flow min-cut duality
+//! assert_eq!(solver.stats().engine_builds, 1);
+//!
+//! // The round bill separates amortized substrate from marginal query.
+//! println!("{}", flow.rounds);
+//! # Ok::<(), duality::DualityError>(())
 //! ```
+//!
+//! The pre-solver free functions (`core::max_flow::max_st_flow`, …) remain
+//! available as thin wrappers over the solver for gradual migration.
 
 pub use duality_baselines as baselines;
 pub use duality_bdd as bdd;
@@ -41,3 +59,8 @@ pub use duality_labeling as labeling;
 pub use duality_minor_agg as minor_agg;
 pub use duality_overlay as overlay;
 pub use duality_planar as planar;
+
+/// The solver subsystem (re-export of [`duality_core::solver`]).
+pub use duality_core::solver;
+
+pub use duality_core::{DualityError, PlanarSolver, SolverBuilder, SolverStats};

@@ -1,26 +1,43 @@
 //! Cross-crate integration tests: the full pipelines of all five theorems
-//! on shared workloads, exercised through the public meta-crate API.
+//! on shared workloads, exercised through the public `PlanarSolver` façade
+//! of the meta-crate.
 
 use duality::baselines::{cuts, flow as bflow, girth as bgirth};
-use duality::core::{approx_flow, girth, global_cut, max_flow, st_cut, verify};
+use duality::core::verify;
 use duality::planar::{gen, Weight};
+use duality::PlanarSolver;
 
 /// Theorem 1.2 + Theorem 6.1 end to end: flow value matches Dinic, the
-/// assignment is feasible, and the min cut certifies it.
+/// assignment is feasible, and the min cut certifies it — both queries on
+/// one solver sharing one decomposition.
 #[test]
 fn flow_and_cut_pipeline() {
     for seed in 0..3u64 {
         let g = gen::diag_grid(6, 5, seed).unwrap();
         let caps = gen::random_directed_capacities(g.num_edges(), 0, 12, seed + 1);
         let (s, t) = (0, g.num_vertices() - 1);
-        let flow = max_flow::max_st_flow(&g, &caps, s, t, &Default::default()).unwrap();
-        assert_eq!(flow.value, bflow::planar_max_flow_reference(&g, &caps, s, t));
+        let solver = PlanarSolver::builder(&g)
+            .capacities(caps.clone())
+            .build()
+            .unwrap();
+
+        let flow = solver.max_flow(s, t).unwrap();
+        assert_eq!(
+            flow.value,
+            bflow::planar_max_flow_reference(&g, &caps, s, t)
+        );
         verify::assert_valid_flow(&g, &caps, &flow.flow, s, t, flow.value);
 
-        let cut = st_cut::exact_min_st_cut(&g, &caps, s, t, &Default::default()).unwrap();
+        let cut = solver.min_st_cut(s, t).unwrap();
         assert_eq!(cut.value, flow.value, "max-flow min-cut theorem");
         let cut_cap: Weight = cut.cut_darts.iter().map(|d| caps[d.index()]).sum();
         assert_eq!(cut_cap, flow.value, "cut darts are exactly saturated");
+
+        assert_eq!(
+            solver.stats().engine_builds,
+            1,
+            "flow and cut shared the decomposition"
+        );
     }
 }
 
@@ -32,8 +49,9 @@ fn approx_flow_and_cut_pipeline() {
         let caps = gen::random_undirected_capacities(g.num_edges(), 1, 15, k + 5);
         let (s, t) = (0, 5); // two corners of the first row: outer face
         let exact = bflow::planar_max_flow_reference(&g, &caps, s, t);
+        let solver = PlanarSolver::builder(&g).capacities(caps).build().unwrap();
 
-        let flow = approx_flow::approx_max_st_flow(&g, &caps, s, t, k).unwrap();
+        let flow = solver.approx_max_flow(s, t, k).unwrap();
         assert!(flow.value_numer <= exact * flow.denom);
         if k > 0 {
             let kk = k as Weight;
@@ -42,9 +60,9 @@ fn approx_flow_and_cut_pipeline() {
             assert_eq!(flow.value_numer, exact);
         }
 
-        let (cut_value, cut_edges, _) = st_cut::approx_min_st_cut(&g, &caps, s, t, k).unwrap();
-        assert!(verify::cut_separates(&g, &cut_edges, s, t));
-        assert!(cut_value >= exact);
+        let cut = solver.approx_min_st_cut(s, t, k).unwrap();
+        assert!(verify::cut_separates(&g, &cut.cut_edges, s, t));
+        assert!(cut.value >= exact);
     }
 }
 
@@ -55,18 +73,22 @@ fn global_cut_pipeline() {
     for seed in 5..8u64 {
         let g = gen::diag_grid(3, 3, seed).unwrap();
         let w = gen::random_edge_weights(g.num_edges(), 0, 9, seed);
-        let r = global_cut::directed_global_min_cut(&g, &w).unwrap();
+        let solver = PlanarSolver::builder(&g)
+            .edge_weights(w.clone())
+            .build()
+            .unwrap();
+        let r = solver.global_min_cut().unwrap();
         let mut dg = duality::baselines::shortest_paths::Digraph::new(g.num_vertices());
         for (e, &x) in w.iter().enumerate() {
             dg.add_arc(g.edge_tail(e), g.edge_head(e), x);
         }
         let (bf, _) = cuts::brute_force_directed_min_cut(&dg);
         assert_eq!(r.value, bf);
-        let mut caps = vec![0; g.num_darts()];
-        for (e, &x) in w.iter().enumerate() {
-            caps[2 * e] = x;
-        }
-        assert_eq!(verify::directed_cut_capacity(&g, &caps, &r.side), r.value);
+        // The builder derived directed per-dart capacities from the weights.
+        assert_eq!(
+            verify::directed_cut_capacity(&g, solver.capacities(), &r.side),
+            r.value
+        );
     }
 }
 
@@ -76,7 +98,11 @@ fn global_cut_pipeline() {
 fn girth_pipeline_and_round_gap() {
     let g = gen::diag_grid(8, 8, 9).unwrap();
     let w = gen::random_edge_weights(g.num_edges(), 1, 30, 2);
-    let r = girth::weighted_girth(&g, &w).unwrap();
+    let solver = PlanarSolver::builder(&g)
+        .edge_weights(w.clone())
+        .build()
+        .unwrap();
+    let r = solver.girth().unwrap();
     assert_eq!(Some(r.girth), bgirth::planar_weighted_girth(&g, &w));
     let total: Weight = r.cycle_edges.iter().map(|&e| w[e]).sum();
     assert_eq!(total, r.girth);
@@ -87,11 +113,14 @@ fn girth_pipeline_and_round_gap() {
     // theory curve rather than head-to-head (see EXPERIMENTS.md F1/F3).
     let d = g.diameter() as u64;
     let logn = (g.num_vertices() as f64).log2().ceil() as u64;
-    assert!(r.ledger.total() <= 100 * d * logn.pow(5), "girth is Õ(D)");
+    assert!(r.rounds.total() <= 100 * d * logn.pow(5), "girth is Õ(D)");
     let caps = gen::random_directed_capacities(g.num_edges(), 1, 9, 3);
-    let f = max_flow::max_st_flow(&g, &caps, 0, g.num_vertices() - 1, &Default::default())
-        .unwrap();
-    assert!(f.ledger.total() <= 100 * d * d * logn.pow(2), "flow is Õ(D²)");
+    let fsolver = PlanarSolver::builder(&g).capacities(caps).build().unwrap();
+    let f = fsolver.max_flow(0, g.num_vertices() - 1).unwrap();
+    assert!(
+        f.rounds.total() <= 100 * d * d * logn.pow(2),
+        "flow is Õ(D²)"
+    );
 }
 
 /// The whole stack behaves on edge-case topologies.
@@ -100,26 +129,27 @@ fn edge_case_topologies() {
     // Cycle: every algorithm has a meaningful answer.
     let g = gen::cycle(8).unwrap();
     let w: Vec<Weight> = (1..=8).collect();
-    assert_eq!(girth::weighted_girth(&g, &w).unwrap().girth, 36);
-    let gc = global_cut::directed_global_min_cut(&g, &w).unwrap();
+    let solver = PlanarSolver::builder(&g).edge_weights(w).build().unwrap();
+    assert_eq!(solver.girth().unwrap().girth, 36);
+    let gc = solver.global_min_cut().unwrap();
     assert_eq!(gc.value, 1, "lightest arc of the directed cycle");
 
     // Path (tree): girth undefined, directed cut zero.
     let p = gen::path(7).unwrap();
-    let pw = vec![5; p.num_edges()];
-    assert!(girth::weighted_girth(&p, &pw).is_none());
-    assert_eq!(
-        global_cut::directed_global_min_cut(&p, &pw).unwrap().value,
-        0
-    );
+    let psolver = PlanarSolver::builder(&p)
+        .edge_weights(vec![5; p.num_edges()])
+        .build()
+        .unwrap();
+    assert_eq!(psolver.girth().err(), Some(duality::DualityError::Acyclic));
+    assert_eq!(psolver.global_min_cut().unwrap().value, 0);
 
     // Flow across a tree is the bottleneck edge.
     let mut caps = vec![0; p.num_darts()];
     for e in 0..p.num_edges() {
         caps[2 * e] = (e as Weight % 3) + 1;
     }
-    let f = max_flow::max_st_flow(&p, &caps, 0, 6, &Default::default()).unwrap();
-    assert_eq!(f.value, 1);
+    let fsolver = PlanarSolver::builder(&p).capacities(caps).build().unwrap();
+    assert_eq!(fsolver.max_flow(0, 6).unwrap().value, 1);
 }
 
 /// Determinism: identical inputs give identical results and round bills.
@@ -128,8 +158,30 @@ fn determinism() {
     let run = || {
         let g = gen::diag_grid(5, 5, 3).unwrap();
         let caps = gen::random_directed_capacities(g.num_edges(), 1, 9, 4);
-        let r = max_flow::max_st_flow(&g, &caps, 0, 24, &Default::default()).unwrap();
-        (r.value, r.flow.clone(), r.ledger.total())
+        let solver = PlanarSolver::builder(&g).capacities(caps).build().unwrap();
+        let r = solver.max_flow(0, 24).unwrap();
+        (r.value, r.flow.clone(), r.rounds.total())
     };
     assert_eq!(run(), run());
+}
+
+/// The façade never leaks per-module error types: every failure mode of
+/// every query surfaces as `DualityError`.
+#[test]
+fn unified_error_surface() {
+    use duality::DualityError;
+    let g = gen::grid(4, 4).unwrap();
+    let caps = gen::random_undirected_capacities(g.num_edges(), 1, 5, 0);
+    let solver = PlanarSolver::builder(&g).capacities(caps).build().unwrap();
+
+    let e: DualityError = solver.max_flow(3, 3).unwrap_err();
+    assert!(matches!(e, DualityError::BadEndpoints { s: 3, t: 3, .. }));
+    let e: DualityError = solver.min_st_cut(0, 999).unwrap_err();
+    assert!(matches!(e, DualityError::BadEndpoints { .. }));
+    // Corner (0,0) and interior vertex (2,2) of a 4x4 grid share no face.
+    let e: DualityError = solver.approx_max_flow(0, 10, 2).unwrap_err();
+    assert!(matches!(e, DualityError::NotStPlanar { .. }));
+    // Errors display and chain as std errors.
+    let boxed: Box<dyn std::error::Error> = Box::new(e);
+    assert!(!boxed.to_string().is_empty());
 }
