@@ -13,7 +13,7 @@
 //! * **dual bags** `X*` ([`DualBag`]): one node per face *or face-part* of
 //!   `G` present in `X`, one dual arc per dart of an edge with both darts in
 //!   `X`;
-//! * **dual separators** `F_X` ([`Bag::dual_separator`]): the nodes whose
+//! * **dual separators** `F_X` ([`dual_bags::dual_separator`]): the nodes whose
 //!   incident dual edges are not contained in a single child bag
 //!   (Lemma 5.8) — the interface the distance labels are built on.
 //!
@@ -29,4 +29,4 @@ pub mod separator;
 mod tree;
 
 pub use dual_bags::DualBag;
-pub use tree::{Bag, BagId, Bdd, BddOptions, ClosingEdge, SeparatorInfo};
+pub use tree::{Bag, BagId, Bdd, BddOptions, ClosingEdge, SeparatorInfo, MIN_LEAF_THRESHOLD};

@@ -140,6 +140,12 @@ pub struct Bdd<'g> {
     pub leaf_threshold: usize,
 }
 
+/// The smallest leaf threshold the decomposition can terminate with: a
+/// leaf must be allowed to hold at least two edges. [`Bdd::build`] clamps
+/// smaller requests up to this; strict front-ends (the solver builder)
+/// reject them instead.
+pub const MIN_LEAF_THRESHOLD: usize = 2;
+
 impl<'g> Bdd<'g> {
     /// Builds the decomposition, charging `Õ(D)` rounds per level
     /// (paper, Lemma 5.1) on `ledger`.
@@ -149,7 +155,10 @@ impl<'g> Bdd<'g> {
         cm: &CostModel,
         ledger: &mut CostLedger,
     ) -> Self {
-        let threshold = options.leaf_threshold.unwrap_or(4 * (cm.d + 1)).max(2);
+        let threshold = options
+            .leaf_threshold
+            .unwrap_or(4 * (cm.d + 1))
+            .max(MIN_LEAF_THRESHOLD);
         let mut bags: Vec<Bag> = Vec::new();
         let root_edges: Vec<usize> = (0..g.num_edges()).collect();
         let root_darts: HashSet<Dart> = g.darts().collect();

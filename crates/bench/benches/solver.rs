@@ -5,7 +5,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use duality_core::max_flow::{max_st_flow, MaxFlowOptions};
-use duality_core::{girth, global_cut, PlanarSolver};
+use duality_core::{girth, global_cut, PlanarSolver, Query};
 use duality_planar::{gen, PlanarGraph, Weight};
 
 fn query_pairs(g: &PlanarGraph, w: usize) -> [(usize, usize); 4] {
@@ -94,5 +94,50 @@ fn bench_mixed_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flow_batch, bench_mixed_batch);
+/// The typed batch path: the same heterogeneous workload through
+/// `run_batch_on`, serial (1 thread) vs pooled (4 threads). The CONGEST
+/// bills are identical by construction; this measures the wall-clock
+/// side of the worker pool — the solver is built and its substrate
+/// prewarmed once, outside the timed loop, so the sweep isolates pooled
+/// marginal execution rather than serial substrate construction.
+fn bench_query_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_query_batch");
+    group.sample_size(10);
+    let (w, h) = (10usize, 8usize);
+    let g = gen::diag_grid(w, h, 11).unwrap();
+    let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 5);
+    let weights = gen::random_edge_weights(g.num_edges(), 1, 9, 9);
+    let mut queries: Vec<Query> = query_pairs(&g, w)
+        .iter()
+        .map(|&(s, t)| Query::MaxFlow { s, t })
+        .collect();
+    queries.extend([Query::GlobalMinCut, Query::Girth]);
+
+    let solver = PlanarSolver::builder(&g)
+        .capacities(caps)
+        .edge_weights(weights)
+        .build()
+        .unwrap();
+    // Warm the substrate so every timed iteration measures query
+    // execution only.
+    assert!(solver.run_batch_on(&queries, 1).all_ok());
+
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("6-queries/{threads}-threads")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(solver.run_batch_on(&queries, threads).rounds.total()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flow_batch,
+    bench_mixed_batch,
+    bench_query_batch
+);
 criterion_main!(benches);

@@ -5,7 +5,7 @@ use crate::Row;
 use duality_baselines::{cuts, flow as bflow, girth as bgirth, prior};
 use duality_bdd::{dual_bags, Bdd, BddOptions, DualBag};
 use duality_congest::{CostLedger, CostModel};
-use duality_core::{approx_flow, girth, global_cut, max_flow, st_cut, PlanarSolver};
+use duality_core::{approx_flow, girth, global_cut, max_flow, st_cut, PlanarSolver, Query};
 use duality_labeling::DualSsspEngine;
 use duality_overlay::FaceDisjointGraph;
 use duality_planar::{gen, PlanarGraph};
@@ -408,6 +408,21 @@ mod tests {
     }
 
     #[test]
+    fn s2_batched_bill_equals_serial_bill() {
+        for row in s2_batch_throughput(6) {
+            assert_eq!(row.value("batch=serial"), Some(1.0), "{}", row.instance);
+            assert_eq!(row.value("engine-builds"), Some(1.0), "{}", row.instance);
+            assert_eq!(row.value("unique"), Some(6.0), "{}", row.instance);
+            assert_eq!(row.value("deduped"), Some(1.0), "{}", row.instance);
+            assert!(
+                row.value("batch-rounds").unwrap() < row.value("cold-rounds").unwrap(),
+                "{}: batching must beat cold calls",
+                row.instance
+            );
+        }
+    }
+
+    #[test]
     fn s1_warm_batches_beat_cold_batches() {
         for row in s1_substrate_reuse(6) {
             assert_eq!(row.value("engine-builds"), Some(1.0), "{}", row.instance);
@@ -559,6 +574,91 @@ pub fn s1_substrate_reuse(seed: u64) -> Vec<Row> {
                 ),
             ],
         });
+    }
+    rows
+}
+
+/// S2 — warm batch throughput through the typed query layer: the
+/// six-query S1 workload (four max-flows, one global cut, one girth) plus
+/// one duplicate, executed three ways on fresh solvers — **cold** via the
+/// legacy free functions, **warm-serial** via `run(Query)` one at a time,
+/// and **warm-batched** via `run_batch_on` across a thread sweep. The
+/// reproducible signal: the batched CONGEST bill equals the warm-serial
+/// bill on every thread count (substrate charged once, duplicate billed
+/// zero marginal rounds), making this row an executable check of the
+/// batch-equals-serial acceptance criterion.
+pub fn s2_batch_throughput(seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    // Two sizes suffice: S1 already sweeps scale; S2's axis is threads.
+    for (w, h) in [(8usize, 6usize), (12, 8)] {
+        let g = gen::diag_grid(w, h, seed).unwrap();
+        let n = g.num_vertices();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, seed + 31);
+        let weights = gen::random_edge_weights(g.num_edges(), 1, 9, seed + 37);
+        let pairs = [(0, n - 1), (w - 1, n - w), (0, n - w), (w - 1, n - 1)];
+        let mut queries: Vec<Query> = pairs
+            .iter()
+            .map(|&(s, t)| Query::MaxFlow { s, t })
+            .collect();
+        queries.extend([Query::GlobalMinCut, Query::Girth]);
+        queries.push(queries[0]); // duplicate: deduplicated by the batch
+        let fresh_solver = || {
+            PlanarSolver::builder(&g)
+                .capacities(caps.clone())
+                .edge_weights(weights.clone())
+                .build()
+                .unwrap()
+        };
+
+        // Cold: every call pays its own diameter measurement + BDD.
+        let mut cold_rounds = 0u64;
+        for &(s, t) in &pairs {
+            cold_rounds += max_flow::max_st_flow(&g, &caps, s, t, &Default::default())
+                .unwrap()
+                .ledger
+                .total();
+        }
+        cold_rounds += global_cut::directed_global_min_cut(&g, &weights)
+            .unwrap()
+            .ledger
+            .total();
+        cold_rounds += girth::weighted_girth(&g, &weights).unwrap().ledger.total();
+
+        // Warm serial: one solver, one query at a time (duplicate re-run).
+        let serial = fresh_solver();
+        let serial_marginal: u64 = queries[..6]
+            .iter()
+            .map(|&q| serial.run(q).unwrap().rounds().query_total())
+            .sum();
+        let serial_rounds = serial_marginal + serial.substrate_rounds().total();
+
+        // Warm batched: dedup + worker pool, across a thread sweep.
+        for threads in [1usize, 2, 4] {
+            let solver = fresh_solver();
+            let batch = solver.run_batch_on(&queries, threads);
+            assert!(batch.all_ok(), "batch workload must succeed");
+            rows.push(Row {
+                experiment: "S2".into(),
+                instance: format!("diag-grid {w}x{h}, 7 queries, {threads} thr"),
+                n,
+                d: g.diameter(),
+                values: vec![
+                    ("cold-rounds".into(), cold_rounds as f64),
+                    ("serial-warm-rounds".into(), serial_rounds as f64),
+                    ("batch-rounds".into(), batch.rounds.total() as f64),
+                    (
+                        "batch=serial".into(),
+                        f64::from(u8::from(batch.rounds.total() == serial_rounds)),
+                    ),
+                    ("unique".into(), batch.unique as f64),
+                    ("deduped".into(), batch.duplicates as f64),
+                    (
+                        "engine-builds".into(),
+                        f64::from(solver.stats().engine_builds),
+                    ),
+                ],
+            });
+        }
     }
     rows
 }

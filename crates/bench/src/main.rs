@@ -82,6 +82,11 @@ fn registry() -> Vec<(&'static str, &'static str, Box<dyn Fn(u64) -> Vec<Row>>)>
             "PlanarSolver substrate reuse: warm batches vs cold batches",
             Box::new(experiments::s1_substrate_reuse),
         ),
+        (
+            "s2",
+            "run_batch throughput: batched vs serial-warm vs cold, thread sweep",
+            Box::new(experiments::s2_batch_throughput),
+        ),
     ]
 }
 

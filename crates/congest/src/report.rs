@@ -61,6 +61,37 @@ impl RoundReport {
         out.absorb(&self.query);
         out
     }
+
+    /// Merges a batch of per-query marginal ledgers against **one**
+    /// substrate snapshot — the bill of a deduplicated solver batch: the
+    /// substrate is charged exactly once, the query share is the sum of
+    /// the executed queries' marginal shares.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use duality_congest::{CostLedger, RoundReport};
+    ///
+    /// let mut substrate = CostLedger::new();
+    /// substrate.charge("bdd-build", 120);
+    /// let mut q1 = CostLedger::new();
+    /// q1.charge("labeling-broadcast", 300);
+    /// let mut q2 = CostLedger::new();
+    /// q2.charge("labeling-broadcast", 200);
+    /// let merged = RoundReport::batched(substrate, [&q1, &q2]);
+    /// assert_eq!(merged.substrate_total(), 120); // charged once
+    /// assert_eq!(merged.query_total(), 500);
+    /// ```
+    pub fn batched<'a>(
+        substrate: CostLedger,
+        marginals: impl IntoIterator<Item = &'a CostLedger>,
+    ) -> RoundReport {
+        let mut query = CostLedger::new();
+        for m in marginals {
+            query.absorb(m);
+        }
+        RoundReport { substrate, query }
+    }
 }
 
 impl std::fmt::Display for RoundReport {
@@ -106,6 +137,19 @@ mod tests {
         let merged = r.into_ledger();
         assert_eq!(merged.total(), 116);
         assert_eq!(merged.phase_total("bdd-build"), 11);
+    }
+
+    #[test]
+    fn batched_charges_substrate_once() {
+        let r1 = report();
+        let r2 = report();
+        let merged = RoundReport::batched(r1.substrate.clone(), [&r1.query, &r2.query]);
+        assert_eq!(merged.substrate_total(), 15, "one substrate share");
+        assert_eq!(merged.query_total(), 202, "marginals sum");
+        assert_eq!(merged.phase_total("bdd-build"), 12);
+        let empty = RoundReport::batched(r1.substrate.clone(), []);
+        assert_eq!(empty.query_total(), 0);
+        assert_eq!(empty.substrate_total(), 15);
     }
 
     #[test]

@@ -98,6 +98,8 @@ pub fn approx_max_st_flow(
     eps_inverse: u64,
 ) -> Result<ApproxFlowResult, StPlanarError> {
     validate_st_planar(g, caps, s, t)?;
+    // One-shot wrapper over the solver's query layer (`Query::ApproxMaxFlow`
+    // via the `approx_max_flow` inherent method).
     let solver = PlanarSolver::builder(g)
         .capacities(caps)
         .build()

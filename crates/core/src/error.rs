@@ -68,6 +68,13 @@ pub enum DualityError {
     },
     /// The builder was given neither capacities nor edge weights.
     MissingInput,
+    /// The requested BDD leaf threshold is below
+    /// [`crate::solver::MIN_LEAF_THRESHOLD`]: a leaf must be allowed to
+    /// hold at least two edges or the decomposition cannot terminate.
+    BadLeafThreshold {
+        /// The rejected threshold.
+        got: usize,
+    },
     /// Capacities are not symmetric per edge: the st-planar pipeline needs
     /// an undirected instance.
     NotUndirected,
@@ -119,6 +126,13 @@ impl std::fmt::Display for DualityError {
             }
             DualityError::MissingInput => {
                 write!(f, "the solver needs capacities and/or edge weights")
+            }
+            DualityError::BadLeafThreshold { got } => {
+                write!(
+                    f,
+                    "BDD leaf threshold {got} is invalid: a leaf must be allowed \
+                     to hold at least 2 edges"
+                )
             }
             DualityError::NotUndirected => {
                 write!(f, "capacities must be symmetric and non-negative")
@@ -238,6 +252,10 @@ mod tests {
                 "negative capacity on dart 3",
             ),
             (DualityError::Acyclic, "the instance is acyclic (no girth)"),
+            (
+                DualityError::BadLeafThreshold { got: 1 },
+                "BDD leaf threshold 1 is invalid: a leaf must be allowed to hold at least 2 edges",
+            ),
             (
                 DualityError::TooSmall {
                     needed: 2,

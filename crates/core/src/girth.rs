@@ -51,8 +51,9 @@ pub fn weighted_girth(g: &PlanarGraph, weights: &[Weight]) -> Option<GirthResult
     assert_eq!(weights.len(), g.num_edges(), "one weight per edge");
     assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
     // One-shot callers pay the solver's embedded-dual construction here;
-    // it is O(m) against the query's O(F³) Stoer–Wagner stage, and
-    // repeated callers should hold a solver to amortize it.
+    // it is O(m) against the query's O(F³) Stoer–Wagner stage. Repeated
+    // callers should hold a solver (or batch `Query::Girth` alongside
+    // other queries via `run_batch`) to amortize it.
     let solver = PlanarSolver::builder(g)
         .edge_weights(weights)
         .build()

@@ -74,6 +74,9 @@ type DdgArc = (usize, usize, Weight, Option<Dart>);
 /// assert_eq!(r.value, 5); // the lightest arc of the directed 3-cycle
 /// ```
 pub fn directed_global_min_cut(g: &PlanarGraph, weights: &[Weight]) -> Option<GlobalCutResult> {
+    // One-shot wrapper over the solver's query layer (`Query::GlobalMinCut`
+    // via the `global_min_cut` inherent method); repeated callers should
+    // hold a `PlanarSolver` to amortize the engine build.
     assert_eq!(weights.len(), g.num_edges(), "one weight per edge");
     assert!(
         weights.iter().all(|&w| w >= 0),

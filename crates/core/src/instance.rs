@@ -1,0 +1,182 @@
+//! The owned, validated problem instance behind the solver.
+//!
+//! [`PlanarInstance`] bundles everything that defines a problem — the
+//! embedded graph, the per-dart capacities and the per-edge weights — into
+//! one immutable, `Send + Sync` value that is validated exactly once and
+//! then shared by reference counting. A [`crate::solver::PlanarSolver`]
+//! holds an `Arc<PlanarInstance>`, so solvers (and their clones) can
+//! outlive the stack frame that created the graph and can be queried from
+//! many threads, which the old `&'g PlanarGraph`-borrowing façade could
+//! not.
+
+use crate::error::DualityError;
+use duality_planar::{PlanarGraph, Weight};
+use std::sync::Arc;
+
+/// An owned, validated `(graph, capacities, weights)` bundle.
+///
+/// Construction performs the **only** validation pass: vector lengths,
+/// non-negativity, and the capacities ↔ weights derivation (forward darts
+/// carry edge weights, reversal darts are free — the paper's `G'`
+/// convention). After [`PlanarInstance::new`] succeeds, no query
+/// re-validates the instance.
+///
+/// # Example
+///
+/// ```
+/// use duality_core::instance::PlanarInstance;
+/// use duality_planar::gen;
+///
+/// let g = gen::grid(3, 3).unwrap();
+/// let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 7);
+/// let instance = PlanarInstance::new(g, Some(caps), None).unwrap();
+/// assert_eq!(instance.edge_weights().len(), instance.graph().num_edges());
+/// ```
+#[derive(Debug)]
+pub struct PlanarInstance {
+    graph: PlanarGraph,
+    caps: Vec<Weight>,
+    weights: Vec<Weight>,
+}
+
+impl PlanarInstance {
+    /// Validates and freezes an instance; the missing side of
+    /// `capacities` / `edge_weights` is derived — `weights[e] = caps[2e]`
+    /// (forward-dart capacity), or `caps[2e] = weights[e], caps[2e+1] = 0`
+    /// (a directed instance).
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::CapacityLengthMismatch`] /
+    /// [`DualityError::WeightLengthMismatch`] on wrong vector lengths,
+    /// [`DualityError::NegativeCapacity`] / [`DualityError::NegativeWeight`]
+    /// on negative entries, [`DualityError::MissingInput`] when neither
+    /// side was provided.
+    pub fn new(
+        graph: PlanarGraph,
+        capacities: Option<Vec<Weight>>,
+        edge_weights: Option<Vec<Weight>>,
+    ) -> Result<Arc<Self>, DualityError> {
+        if let Some(caps) = &capacities {
+            if caps.len() != graph.num_darts() {
+                return Err(DualityError::CapacityLengthMismatch {
+                    expected: graph.num_darts(),
+                    got: caps.len(),
+                });
+            }
+            if let Some(d) = caps.iter().position(|&c| c < 0) {
+                return Err(DualityError::NegativeCapacity { dart: d });
+            }
+        }
+        if let Some(w) = &edge_weights {
+            if w.len() != graph.num_edges() {
+                return Err(DualityError::WeightLengthMismatch {
+                    expected: graph.num_edges(),
+                    got: w.len(),
+                });
+            }
+            if let Some(e) = w.iter().position(|&x| x < 0) {
+                return Err(DualityError::NegativeWeight { edge: e });
+            }
+        }
+        let (caps, weights) = match (capacities, edge_weights) {
+            (Some(c), Some(w)) => (c, w),
+            (Some(c), None) => {
+                let w: Vec<Weight> = (0..graph.num_edges()).map(|e| c[2 * e]).collect();
+                (c, w)
+            }
+            (None, Some(w)) => {
+                let mut c = vec![0; graph.num_darts()];
+                for (e, &x) in w.iter().enumerate() {
+                    c[2 * e] = x;
+                }
+                (c, w)
+            }
+            (None, None) => return Err(DualityError::MissingInput),
+        };
+        Ok(Arc::new(PlanarInstance {
+            graph,
+            caps,
+            weights,
+        }))
+    }
+
+    /// The embedded graph.
+    pub fn graph(&self) -> &PlanarGraph {
+        &self.graph
+    }
+
+    /// The validated per-dart capacities (`2 * num_edges` entries).
+    pub fn capacities(&self) -> &[Weight] {
+        &self.caps
+    }
+
+    /// The validated per-edge weights (`num_edges` entries).
+    pub fn edge_weights(&self) -> &[Weight] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duality_planar::gen;
+
+    #[test]
+    fn validation_matches_the_builder_contract() {
+        let g = gen::grid(3, 3).unwrap();
+        assert!(matches!(
+            PlanarInstance::new(g.clone(), None, None),
+            Err(DualityError::MissingInput)
+        ));
+        assert!(matches!(
+            PlanarInstance::new(g.clone(), Some(vec![1; 3]), None),
+            Err(DualityError::CapacityLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            PlanarInstance::new(g.clone(), None, Some(vec![1; 2])),
+            Err(DualityError::WeightLengthMismatch { .. })
+        ));
+        let mut caps = vec![1; g.num_darts()];
+        caps[5] = -2;
+        assert_eq!(
+            PlanarInstance::new(g.clone(), Some(caps), None).err(),
+            Some(DualityError::NegativeCapacity { dart: 5 })
+        );
+        assert_eq!(
+            PlanarInstance::new(g.clone(), None, Some(vec![-1; g.num_edges()])).err(),
+            Some(DualityError::NegativeWeight { edge: 0 })
+        );
+    }
+
+    #[test]
+    fn derivations_are_bidirectional() {
+        let g = gen::grid(3, 3).unwrap();
+        let caps = gen::random_directed_capacities(g.num_edges(), 1, 5, 3);
+        let i = PlanarInstance::new(g.clone(), Some(caps.clone()), None).unwrap();
+        for e in 0..g.num_edges() {
+            assert_eq!(i.edge_weights()[e], caps[2 * e]);
+        }
+        let w = gen::random_edge_weights(g.num_edges(), 1, 5, 4);
+        let i = PlanarInstance::new(g.clone(), None, Some(w.clone())).unwrap();
+        for e in 0..g.num_edges() {
+            assert_eq!(i.capacities()[2 * e], w[e]);
+            assert_eq!(i.capacities()[2 * e + 1], 0);
+        }
+    }
+
+    #[test]
+    fn instance_is_shareable_across_threads() {
+        let g = gen::grid(4, 4).unwrap();
+        let i = PlanarInstance::new(g, None, Some(vec![2; 24])).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let i = Arc::clone(&i);
+                std::thread::spawn(move || i.graph().num_vertices())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 16);
+        }
+    }
+}

@@ -20,15 +20,21 @@
 //! The per-module free functions rebuild the shared substrate (diameter
 //! estimate, dual graph, branch decomposition, labeling engine) on every
 //! call. For repeated queries, build a [`solver::PlanarSolver`] once: the
-//! substrate is cached behind the façade, every query returns a typed
-//! report with a [`duality_congest::RoundReport`] round split, and all
-//! failures surface as the one [`DualityError`] type. The free functions
-//! remain as thin wrappers over the solver for gradual migration.
+//! solver owns its validated [`instance::PlanarInstance`] (`Arc`-shared,
+//! `Send + Sync`), the substrate is cached behind the façade, every query
+//! returns a typed report with a [`duality_congest::RoundReport`] round
+//! split, and all failures surface as the one [`DualityError`] type.
+//! Requests are first-class values ([`solver::Query`] /
+//! [`solver::Outcome`]): [`solver::PlanarSolver::run`] executes one,
+//! [`solver::PlanarSolver::run_batch`] executes a deduplicated batch on a
+//! worker pool and merges the round bill. The free functions remain as
+//! thin wrappers over the solver for gradual migration.
 
 pub mod approx_flow;
 pub mod error;
 pub mod girth;
 pub mod global_cut;
+pub mod instance;
 pub mod max_flow;
 pub mod smoothing;
 pub mod solver;
@@ -36,4 +42,5 @@ pub mod st_cut;
 pub mod verify;
 
 pub use error::DualityError;
-pub use solver::{PlanarSolver, SolverBuilder, SolverStats};
+pub use instance::PlanarInstance;
+pub use solver::{BatchReport, Outcome, PlanarSolver, Query, SolverBuilder, SolverStats};

@@ -98,7 +98,9 @@ pub fn max_st_flow(
     assert_eq!(caps.len(), g.num_darts(), "one capacity per dart");
     let solver = PlanarSolver::builder(g)
         .capacities(caps)
-        .leaf_threshold_opt(options.leaf_threshold)
+        .with_leaf_threshold(crate::solver::clamp_legacy_threshold(
+            options.leaf_threshold,
+        ))
         .build()
         .map_err(to_flow_error)?;
     let r = solver.max_flow(s, t).map_err(to_flow_error)?;

@@ -1,5 +1,5 @@
-//! The unified `PlanarSolver` façade: one instance, five queries, shared
-//! substrate.
+//! The unified `PlanarSolver` façade: one owned instance, five queries,
+//! shared thread-safe substrate, and a typed batch layer.
 //!
 //! Every headline result of the paper — exact/approximate max st-flow,
 //! exact/approximate min st-cut, directed global min cut, weighted girth —
@@ -12,47 +12,75 @@
 //! | artifact | built by | used by |
 //! |---|---|---|
 //! | hop diameter / [`CostModel`] | first query | everything |
-//! | embedded dual graph `G*` | first [`PlanarSolver::girth`] | girth |
+//! | embedded dual graph `G*` | first [`Query::Girth`] | girth |
 //! | BDD + dual bags + labeling engine | first flow/cut query | max-flow, min st-cut, global cut |
 //!
-//! Artifacts are memoized behind `OnceCell`s; the rounds charged while
-//! building them accumulate in a **substrate ledger** that every query
-//! reports alongside its own marginal cost (see
+//! The solver owns its instance (an [`Arc<PlanarInstance>`]), is
+//! `Send + Sync`, and clones in `O(1)` by sharing the instance **and** the
+//! caches: artifacts are memoized behind `OnceLock`s, and the rounds
+//! charged while building them accumulate in a mutex-guarded **substrate
+//! ledger** that every query reports alongside its own marginal cost (see
 //! [`duality_congest::RoundReport`]). Build counters
-//! ([`PlanarSolver::stats`]) let tests assert that issuing many queries
-//! constructs each artifact exactly once.
+//! ([`PlanarSolver::stats`]) let tests assert that issuing many queries —
+//! even concurrently — constructs each artifact exactly once.
+//!
+//! # The query layer
+//!
+//! Requests are first-class values: a [`Query`] names one of the six
+//! operations, [`PlanarSolver::run`] executes it and returns the matching
+//! [`Outcome`], and [`PlanarSolver::run_batch`] executes a heterogeneous
+//! batch — deduplicated, across a small worker pool — returning per-query
+//! outcomes plus one merged [`RoundReport`] that charges the substrate
+//! exactly once. The classic inherent methods ([`PlanarSolver::max_flow`],
+//! …) remain as thin wrappers over `run`.
 //!
 //! # Example
 //!
 //! ```
-//! use duality_core::solver::PlanarSolver;
+//! use duality_core::solver::{Outcome, PlanarSolver, Query};
 //! use duality_planar::gen;
 //!
 //! let g = gen::diag_grid(4, 4, 7).unwrap();
 //! let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 7);
 //! let solver = PlanarSolver::builder(&g).capacities(caps).build().unwrap();
 //!
+//! // One-at-a-time queries...
 //! let flow = solver.max_flow(0, 15).unwrap();
 //! let cut = solver.min_st_cut(0, 15).unwrap();
 //! assert_eq!(flow.value, cut.value); // max-flow min-cut duality
 //!
-//! // The decomposition was built once and shared by both queries.
+//! // ...or a typed batch (deduplicated, executed on a worker pool).
+//! let batch = solver.run_batch(&[
+//!     Query::MaxFlow { s: 0, t: 15 },
+//!     Query::MaxFlow { s: 0, t: 15 }, // duplicate: executed once
+//!     Query::Girth,
+//! ]);
+//! assert_eq!(batch.duplicates, 1);
+//! match batch.outcomes[0].as_ref().unwrap() {
+//!     Outcome::MaxFlow(r) => assert_eq!(r.value, flow.value),
+//!     _ => unreachable!(),
+//! }
+//!
+//! // The decomposition was built once and shared by every query.
 //! assert_eq!(solver.stats().engine_builds, 1);
-//! // The second query paid only its marginal rounds.
-//! assert!(cut.rounds.substrate_total() > 0);
 //! ```
 
 use crate::approx_flow::StPlanarError;
 use crate::error::DualityError;
+use crate::instance::PlanarInstance;
 use crate::{approx_flow, girth, global_cut, max_flow, st_cut};
 use duality_congest::{CostLedger, CostModel, RoundReport};
 use duality_labeling::DualSsspEngine;
 use duality_planar::{dual, Dart, FaceId, PlanarGraph, Weight};
 use std::borrow::Cow;
-use std::cell::{Cell, OnceCell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Builder for [`PlanarSolver`]: the instance (graph + capacities and/or
-/// edge weights) is validated once, up front.
+/// edge weights) is validated once, up front. `build()` clones the graph
+/// into an owned [`PlanarInstance`]; use [`PlanarSolver::from_instance`]
+/// to share an already-validated instance without copying.
 ///
 /// At least one of [`SolverBuilder::capacities`] (per-dart) and
 /// [`SolverBuilder::edge_weights`] (per-edge) must be provided; the missing
@@ -69,7 +97,7 @@ pub struct SolverBuilder<'g> {
 impl<'g> SolverBuilder<'g> {
     /// Per-dart capacities for the flow/cut queries (`2 * num_edges`
     /// entries, non-negative). Accepts owned or borrowed data; borrowed
-    /// slices are not copied.
+    /// slices are copied only at `build()`.
     pub fn capacities(mut self, caps: impl Into<Cow<'g, [Weight]>>) -> Self {
         self.capacities = Some(caps.into());
         self
@@ -77,24 +105,30 @@ impl<'g> SolverBuilder<'g> {
 
     /// Per-edge weights for the global-cut and girth queries (`num_edges`
     /// entries, non-negative). Accepts owned or borrowed data; borrowed
-    /// slices are not copied.
+    /// slices are copied only at `build()`.
     pub fn edge_weights(mut self, weights: impl Into<Cow<'g, [Weight]>>) -> Self {
         self.edge_weights = Some(weights.into());
         self
     }
 
     /// Overrides the BDD leaf threshold (`None`: the paper's `Θ(D)`
-    /// default).
-    pub fn leaf_threshold(mut self, threshold: usize) -> Self {
-        self.leaf_threshold = Some(threshold);
+    /// default). Validated at `build()`: a leaf must be allowed to hold at
+    /// least [`MIN_LEAF_THRESHOLD`] edges.
+    pub fn with_leaf_threshold(mut self, threshold: Option<usize>) -> Self {
+        self.leaf_threshold = threshold;
         self
     }
 
-    /// Optional-valued form of [`SolverBuilder::leaf_threshold`], for
-    /// callers forwarding an options struct.
-    pub fn leaf_threshold_opt(mut self, threshold: Option<usize>) -> Self {
-        self.leaf_threshold = threshold;
-        self
+    /// Overrides the BDD leaf threshold.
+    #[deprecated(since = "0.1.0", note = "use `with_leaf_threshold(Some(threshold))`")]
+    pub fn leaf_threshold(self, threshold: usize) -> Self {
+        self.with_leaf_threshold(Some(threshold))
+    }
+
+    /// Optional-valued form of the leaf-threshold override.
+    #[deprecated(since = "0.1.0", note = "use `with_leaf_threshold(threshold)`")]
+    pub fn leaf_threshold_opt(self, threshold: Option<usize>) -> Self {
+        self.with_leaf_threshold(threshold)
     }
 
     /// Validates the instance and builds the solver. No substrate artifact
@@ -106,60 +140,28 @@ impl<'g> SolverBuilder<'g> {
     /// [`DualityError::WeightLengthMismatch`] on wrong vector lengths,
     /// [`DualityError::NegativeCapacity`] / [`DualityError::NegativeWeight`]
     /// on negative entries, [`DualityError::MissingInput`] when neither
-    /// side was provided.
-    pub fn build(self) -> Result<PlanarSolver<'g>, DualityError> {
-        let g = self.graph;
-        if let Some(caps) = &self.capacities {
-            if caps.len() != g.num_darts() {
-                return Err(DualityError::CapacityLengthMismatch {
-                    expected: g.num_darts(),
-                    got: caps.len(),
-                });
-            }
-            if let Some(d) = caps.iter().position(|&c| c < 0) {
-                return Err(DualityError::NegativeCapacity { dart: d });
-            }
-        }
-        if let Some(w) = &self.edge_weights {
-            if w.len() != g.num_edges() {
-                return Err(DualityError::WeightLengthMismatch {
-                    expected: g.num_edges(),
-                    got: w.len(),
-                });
-            }
-            if let Some(e) = w.iter().position(|&x| x < 0) {
-                return Err(DualityError::NegativeWeight { edge: e });
-            }
-        }
-        let (caps, weights) = match (self.capacities, self.edge_weights) {
-            (Some(c), Some(w)) => (c, w),
-            (Some(c), None) => {
-                let w: Vec<Weight> = (0..g.num_edges()).map(|e| c[2 * e]).collect();
-                (c, Cow::Owned(w))
-            }
-            (None, Some(w)) => {
-                let mut c = vec![0; g.num_darts()];
-                for (e, &x) in w.iter().enumerate() {
-                    c[2 * e] = x;
-                }
-                (Cow::Owned(c), w)
-            }
-            (None, None) => return Err(DualityError::MissingInput),
-        };
-        Ok(PlanarSolver {
-            graph: g,
-            caps,
-            weights,
-            leaf_threshold: self.leaf_threshold,
-            cost_model: OnceCell::new(),
-            engine: OnceCell::new(),
-            dual: OnceCell::new(),
-            substrate: RefCell::new(CostLedger::new()),
-            engine_builds: Cell::new(0),
-            dual_builds: Cell::new(0),
-            queries: Cell::new(0),
-        })
+    /// side was provided, [`DualityError::BadLeafThreshold`] on a leaf
+    /// threshold below [`MIN_LEAF_THRESHOLD`].
+    pub fn build(self) -> Result<PlanarSolver, DualityError> {
+        let instance = PlanarInstance::new(
+            self.graph.clone(),
+            self.capacities.map(Cow::into_owned),
+            self.edge_weights.map(Cow::into_owned),
+        )?;
+        PlanarSolver::from_instance_with_threshold(instance, self.leaf_threshold)
     }
+}
+
+/// The smallest accepted BDD leaf threshold: a leaf must be allowed to
+/// hold at least two edges, otherwise the decomposition cannot terminate.
+/// Re-exported from the decomposition crate so the builder's rejection
+/// bound can never drift from `Bdd::build`'s own clamp.
+pub const MIN_LEAF_THRESHOLD: usize = duality_bdd::MIN_LEAF_THRESHOLD;
+
+/// The legacy options structs promised clamping, not rejection: shared by
+/// the pre-solver free-function wrappers.
+pub(crate) fn clamp_legacy_threshold(threshold: Option<usize>) -> Option<usize> {
+    threshold.map(|t| t.max(MIN_LEAF_THRESHOLD))
 }
 
 /// Snapshot of the solver's build counters, for cache-reuse assertions.
@@ -169,7 +171,7 @@ pub struct SolverStats {
     pub engine_builds: u32,
     /// Times the embedded dual graph was constructed (≤ 1).
     pub dual_builds: u32,
-    /// Queries answered so far.
+    /// Queries answered so far (batch duplicates are answered once).
     pub queries: u32,
 }
 
@@ -186,6 +188,20 @@ pub struct MaxFlowReport {
     pub rounds: RoundReport,
 }
 
+impl std::fmt::Display for MaxFlowReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "max st-flow = {} ({} dual-SSSP probes, {} rounds: {} substrate + {} query)",
+            self.value,
+            self.probes,
+            self.rounds.total(),
+            self.rounds.substrate_total(),
+            self.rounds.query_total()
+        )
+    }
+}
+
 /// Exact min st-cut witness (paper, Theorem 6.1).
 #[derive(Clone, Debug)]
 pub struct MinCutReport {
@@ -197,6 +213,20 @@ pub struct MinCutReport {
     pub cut_darts: Vec<Dart>,
     /// Substrate + query round split.
     pub rounds: RoundReport,
+}
+
+impl std::fmt::Display for MinCutReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min st-cut = {} ({} cut darts, {} rounds: {} substrate + {} query)",
+            self.value,
+            self.cut_darts.len(),
+            self.rounds.total(),
+            self.rounds.substrate_total(),
+            self.rounds.query_total()
+        )
+    }
 }
 
 /// Approximate st-planar max-flow witness (paper, Theorem 1.3): a rational
@@ -217,6 +247,19 @@ pub struct ApproxFlowReport {
     pub rounds: RoundReport,
 }
 
+impl std::fmt::Display for ApproxFlowReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "approx max st-flow = {}/{} ≈ {:.2} ({} rounds)",
+            self.value_numer,
+            self.denom,
+            self.value_numer as f64 / self.denom as f64,
+            self.rounds.total()
+        )
+    }
+}
+
 /// Approximate st-planar min-cut witness (paper, Theorem 6.2).
 #[derive(Clone, Debug)]
 pub struct ApproxCutReport {
@@ -226,6 +269,18 @@ pub struct ApproxCutReport {
     pub cut_edges: Vec<usize>,
     /// Substrate + query round split.
     pub rounds: RoundReport,
+}
+
+impl std::fmt::Display for ApproxCutReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "approx min st-cut = {} ({} cut edges, {} rounds)",
+            self.value,
+            self.cut_edges.len(),
+            self.rounds.total()
+        )
+    }
 }
 
 /// Directed global min-cut witness (paper, Theorem 1.5).
@@ -241,6 +296,19 @@ pub struct GlobalCutReport {
     pub rounds: RoundReport,
 }
 
+impl std::fmt::Display for GlobalCutReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "global min cut = {} ({} cut edges isolate {} vertices, {} rounds)",
+            self.value,
+            self.cut_edges.len(),
+            self.side.iter().filter(|&&b| !b).count(),
+            self.rounds.total()
+        )
+    }
+}
+
 /// Weighted-girth witness (paper, Theorem 1.7).
 #[derive(Clone, Debug)]
 pub struct GirthReport {
@@ -252,21 +320,275 @@ pub struct GirthReport {
     pub rounds: RoundReport,
 }
 
+impl std::fmt::Display for GirthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "girth = {} ({}-edge minimum cycle, {} rounds)",
+            self.girth,
+            self.cycle_edges.len(),
+            self.rounds.total()
+        )
+    }
+}
+
+/// One request against a [`PlanarSolver`]: the six operations as plain
+/// data, so requests can be stored, deduplicated ([`Hash`]/[`Eq`]) and
+/// shipped to [`PlanarSolver::run_batch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// Exact maximum st-flow (Theorem 1.2).
+    MaxFlow {
+        /// Source vertex.
+        s: usize,
+        /// Sink vertex.
+        t: usize,
+    },
+    /// Exact directed minimum st-cut (Theorem 6.1).
+    MinStCut {
+        /// Source vertex.
+        s: usize,
+        /// Sink vertex.
+        t: usize,
+    },
+    /// `(1 − 1/(k+1))`-approximate st-planar max flow (Theorem 1.3);
+    /// `eps_inverse = k`, `k = 0` runs the exact-oracle substitution.
+    ApproxMaxFlow {
+        /// Source vertex.
+        s: usize,
+        /// Sink vertex.
+        t: usize,
+        /// `k` of `ε = 1/k` (0: exact oracle).
+        eps_inverse: u64,
+    },
+    /// `(1 + 1/k)`-approximate st-planar min st-cut (Theorem 6.2).
+    ApproxMinStCut {
+        /// Source vertex.
+        s: usize,
+        /// Sink vertex.
+        t: usize,
+        /// `k` of `ε = 1/k` (0: exact oracle).
+        eps_inverse: u64,
+    },
+    /// Directed global minimum cut over the instance weights (Theorem 1.5).
+    GlobalMinCut,
+    /// Weighted girth over the instance weights (Theorem 1.7).
+    Girth,
+}
+
+impl Query {
+    /// Does this query consume the cached BDD + labeling engine?
+    fn needs_engine(&self) -> bool {
+        matches!(
+            self,
+            Query::MaxFlow { .. } | Query::MinStCut { .. } | Query::GlobalMinCut
+        )
+    }
+
+    /// Does this query consume the cached embedded dual graph?
+    fn needs_dual(&self) -> bool {
+        matches!(self, Query::Girth)
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Query::MaxFlow { s, t } => write!(f, "max-flow({s} → {t})"),
+            Query::MinStCut { s, t } => write!(f, "min-st-cut({s} → {t})"),
+            Query::ApproxMaxFlow { s, t, eps_inverse } => {
+                write!(f, "approx-max-flow({s} → {t}, 1/ε = {eps_inverse})")
+            }
+            Query::ApproxMinStCut { s, t, eps_inverse } => {
+                write!(f, "approx-min-st-cut({s} → {t}, 1/ε = {eps_inverse})")
+            }
+            Query::GlobalMinCut => write!(f, "global-min-cut"),
+            Query::Girth => write!(f, "girth"),
+        }
+    }
+}
+
+/// The typed result of one [`Query`], wrapping the per-operation report.
+/// [`PlanarSolver::run`] always returns the variant matching its query.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Result of [`Query::MaxFlow`].
+    MaxFlow(MaxFlowReport),
+    /// Result of [`Query::MinStCut`].
+    MinStCut(MinCutReport),
+    /// Result of [`Query::ApproxMaxFlow`].
+    ApproxMaxFlow(ApproxFlowReport),
+    /// Result of [`Query::ApproxMinStCut`].
+    ApproxMinStCut(ApproxCutReport),
+    /// Result of [`Query::GlobalMinCut`].
+    GlobalMinCut(GlobalCutReport),
+    /// Result of [`Query::Girth`].
+    Girth(GirthReport),
+}
+
+impl Outcome {
+    /// The round split of the wrapped report.
+    pub fn rounds(&self) -> &RoundReport {
+        match self {
+            Outcome::MaxFlow(r) => &r.rounds,
+            Outcome::MinStCut(r) => &r.rounds,
+            Outcome::ApproxMaxFlow(r) => &r.rounds,
+            Outcome::ApproxMinStCut(r) => &r.rounds,
+            Outcome::GlobalMinCut(r) => &r.rounds,
+            Outcome::Girth(r) => &r.rounds,
+        }
+    }
+
+    /// The wrapped [`MaxFlowReport`], if this is a max-flow outcome.
+    pub fn as_max_flow(&self) -> Option<&MaxFlowReport> {
+        match self {
+            Outcome::MaxFlow(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The wrapped [`MinCutReport`], if this is a min-st-cut outcome.
+    pub fn as_min_st_cut(&self) -> Option<&MinCutReport> {
+        match self {
+            Outcome::MinStCut(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The wrapped [`ApproxFlowReport`], if this is an approx-flow outcome.
+    pub fn as_approx_max_flow(&self) -> Option<&ApproxFlowReport> {
+        match self {
+            Outcome::ApproxMaxFlow(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The wrapped [`ApproxCutReport`], if this is an approx-cut outcome.
+    pub fn as_approx_min_st_cut(&self) -> Option<&ApproxCutReport> {
+        match self {
+            Outcome::ApproxMinStCut(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The wrapped [`GlobalCutReport`], if this is a global-cut outcome.
+    pub fn as_global_min_cut(&self) -> Option<&GlobalCutReport> {
+        match self {
+            Outcome::GlobalMinCut(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The wrapped [`GirthReport`], if this is a girth outcome.
+    pub fn as_girth(&self) -> Option<&GirthReport> {
+        match self {
+            Outcome::Girth(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::MaxFlow(r) => r.fmt(f),
+            Outcome::MinStCut(r) => r.fmt(f),
+            Outcome::ApproxMaxFlow(r) => r.fmt(f),
+            Outcome::ApproxMinStCut(r) => r.fmt(f),
+            Outcome::GlobalMinCut(r) => r.fmt(f),
+            Outcome::Girth(r) => r.fmt(f),
+        }
+    }
+}
+
+/// Result of [`PlanarSolver::run_batch`]: per-query outcomes (input order
+/// preserved; duplicates share one execution) plus one merged round bill
+/// that charges the substrate exactly once.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// One outcome per input query, in input order. Duplicate queries
+    /// receive clones of the single shared execution.
+    pub outcomes: Vec<Result<Outcome, DualityError>>,
+    /// Merged CONGEST bill: one substrate share + the sum of all executed
+    /// queries' marginal shares.
+    pub rounds: RoundReport,
+    /// Distinct queries actually executed.
+    pub unique: usize,
+    /// Input queries answered by deduplication (`inputs − unique`).
+    pub duplicates: usize,
+    /// Worker threads the batch ran on.
+    pub threads: usize,
+}
+
+impl BatchReport {
+    /// `true` when every outcome is `Ok`.
+    pub fn all_ok(&self) -> bool {
+        self.outcomes.iter().all(Result::is_ok)
+    }
+}
+
+impl std::fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "batch: {} queries ({} unique, {} deduplicated) on {} thread(s)",
+            self.outcomes.len(),
+            self.unique,
+            self.duplicates,
+            self.threads
+        )?;
+        writeln!(
+            f,
+            "rounds: {} (substrate {} charged once + query {})",
+            self.rounds.total(),
+            self.rounds.substrate_total(),
+            self.rounds.query_total()
+        )?;
+        for (i, outcome) in self.outcomes.iter().enumerate() {
+            match outcome {
+                Ok(o) => writeln!(f, "  [{i}] {o}")?,
+                Err(e) => writeln!(f, "  [{i}] error: {e}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The state one solver and all its clones share: the owned instance, the
+/// lazily built substrate artifacts, the substrate ledger and the build
+/// counters. Thread-safe throughout (`OnceLock` / `Mutex` / atomics).
+struct SolverShared {
+    // Declared before `instance` so the engine's borrows are dropped
+    // before the `Arc` that keeps the borrowed graph alive.
+    //
+    // SAFETY invariant: the `'static` lifetime is an erasure. The engine
+    // borrows `instance.graph()`, whose heap allocation is owned by the
+    // `instance` field below and never moves; the engine is only ever
+    // exposed with its lifetime shrunk back to a borrow of the solver
+    // (covariance), so the borrow cannot outlive the graph.
+    engine: OnceLock<DualSsspEngine<'static>>,
+    dual: OnceLock<PlanarGraph>,
+    cost_model: OnceLock<CostModel>,
+    /// Rounds charged while building substrate artifacts (one-off).
+    substrate: Mutex<CostLedger>,
+    engine_builds: AtomicU32,
+    dual_builds: AtomicU32,
+    queries: AtomicU32,
+    leaf_threshold: Option<usize>,
+    instance: Arc<PlanarInstance>,
+}
+
 /// The unified façade over the paper's five results, with the expensive
 /// shared substrate built once and cached (see the module docs).
-pub struct PlanarSolver<'g> {
-    graph: &'g PlanarGraph,
-    caps: Cow<'g, [Weight]>,
-    weights: Cow<'g, [Weight]>,
-    leaf_threshold: Option<usize>,
-    cost_model: OnceCell<CostModel>,
-    engine: OnceCell<DualSsspEngine<'g>>,
-    dual: OnceCell<PlanarGraph>,
-    /// Rounds charged while building substrate artifacts (one-off).
-    substrate: RefCell<CostLedger>,
-    engine_builds: Cell<u32>,
-    dual_builds: Cell<u32>,
-    queries: Cell<u32>,
+///
+/// The solver **owns** its instance ([`Arc<PlanarInstance>`]), is
+/// `Send + Sync`, and `Clone` is `O(1)`: clones share the instance, the
+/// cached substrate and the build counters, so a solver can be handed to
+/// worker threads and queried concurrently — the substrate is still built
+/// exactly once.
+#[derive(Clone)]
+pub struct PlanarSolver {
+    shared: Arc<SolverShared>,
 }
 
 /// Lifts a shared-pipeline st-planar error into the façade dialect,
@@ -280,25 +602,26 @@ fn lift_st_planar(e: StPlanarError, s: usize, t: usize) -> DualityError {
     }
 }
 
-impl std::fmt::Debug for PlanarSolver<'_> {
+impl std::fmt::Debug for PlanarSolver {
     // Manual impl: the cached engine holds the whole BDD, which would
     // flood debug output (and does not implement `Debug`); report the
     // instance shape and cache state instead.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PlanarSolver")
-            .field("vertices", &self.graph.num_vertices())
-            .field("edges", &self.graph.num_edges())
-            .field("leaf_threshold", &self.leaf_threshold)
-            .field("engine_cached", &self.engine.get().is_some())
-            .field("dual_cached", &self.dual.get().is_some())
+            .field("vertices", &self.graph().num_vertices())
+            .field("edges", &self.graph().num_edges())
+            .field("leaf_threshold", &self.shared.leaf_threshold)
+            .field("engine_cached", &self.shared.engine.get().is_some())
+            .field("dual_cached", &self.shared.dual.get().is_some())
             .field("stats", &self.stats())
             .finish()
     }
 }
 
-impl<'g> PlanarSolver<'g> {
-    /// Starts building a solver over `graph`.
-    pub fn builder(graph: &'g PlanarGraph) -> SolverBuilder<'g> {
+impl PlanarSolver {
+    /// Starts building a solver over `graph` (cloned into the owned
+    /// instance at `build()`).
+    pub fn builder(graph: &PlanarGraph) -> SolverBuilder<'_> {
         SolverBuilder {
             graph,
             capacities: None,
@@ -307,43 +630,96 @@ impl<'g> PlanarSolver<'g> {
         }
     }
 
+    /// Wraps an already-validated shared instance (no copy, no
+    /// re-validation) with the default leaf threshold.
+    pub fn from_instance(instance: Arc<PlanarInstance>) -> PlanarSolver {
+        Self::new_shared(instance, None)
+    }
+
+    /// Wraps an already-validated shared instance with a leaf-threshold
+    /// override.
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::BadLeafThreshold`] when the threshold is below
+    /// [`MIN_LEAF_THRESHOLD`].
+    pub fn from_instance_with_threshold(
+        instance: Arc<PlanarInstance>,
+        leaf_threshold: Option<usize>,
+    ) -> Result<PlanarSolver, DualityError> {
+        if let Some(t) = leaf_threshold {
+            if t < MIN_LEAF_THRESHOLD {
+                return Err(DualityError::BadLeafThreshold { got: t });
+            }
+        }
+        Ok(Self::new_shared(instance, leaf_threshold))
+    }
+
+    fn new_shared(instance: Arc<PlanarInstance>, leaf_threshold: Option<usize>) -> PlanarSolver {
+        PlanarSolver {
+            shared: Arc::new(SolverShared {
+                engine: OnceLock::new(),
+                dual: OnceLock::new(),
+                cost_model: OnceLock::new(),
+                substrate: Mutex::new(CostLedger::new()),
+                engine_builds: AtomicU32::new(0),
+                dual_builds: AtomicU32::new(0),
+                queries: AtomicU32::new(0),
+                leaf_threshold,
+                instance,
+            }),
+        }
+    }
+
+    /// The shared instance (graph + capacities + weights).
+    pub fn instance(&self) -> &Arc<PlanarInstance> {
+        &self.shared.instance
+    }
+
     /// The underlying graph.
-    pub fn graph(&self) -> &'g PlanarGraph {
-        self.graph
+    pub fn graph(&self) -> &PlanarGraph {
+        self.shared.instance.graph()
     }
 
     /// The validated per-dart capacities.
     pub fn capacities(&self) -> &[Weight] {
-        &self.caps
+        self.shared.instance.capacities()
     }
 
     /// The validated per-edge weights.
     pub fn edge_weights(&self) -> &[Weight] {
-        &self.weights
+        self.shared.instance.edge_weights()
     }
 
-    /// Build counters (cache-reuse evidence).
+    /// Build counters (cache-reuse evidence), shared with every clone.
     pub fn stats(&self) -> SolverStats {
         SolverStats {
-            engine_builds: self.engine_builds.get(),
-            dual_builds: self.dual_builds.get(),
-            queries: self.queries.get(),
+            engine_builds: self.shared.engine_builds.load(Ordering::Relaxed),
+            dual_builds: self.shared.dual_builds.load(Ordering::Relaxed),
+            queries: self.shared.queries.load(Ordering::Relaxed),
         }
     }
 
     /// Snapshot of the rounds charged for substrate construction so far.
     pub fn substrate_rounds(&self) -> CostLedger {
-        self.substrate.borrow().clone()
+        self.shared
+            .substrate
+            .lock()
+            .expect("substrate lock")
+            .clone()
     }
 
     /// The CONGEST cost model (measures the hop diameter on first use; the
     /// BFS-flood charge lands in the substrate ledger).
     pub fn cost_model(&self) -> CostModel {
-        *self.cost_model.get_or_init(|| {
-            let cm = CostModel::new(self.graph.num_vertices(), self.graph.diameter());
+        *self.shared.cost_model.get_or_init(|| {
+            let g = self.graph();
+            let cm = CostModel::new(g.num_vertices(), g.diameter());
             // Distributedly the diameter estimate is a BFS flood + upcast.
-            self.substrate
-                .borrow_mut()
+            self.shared
+                .substrate
+                .lock()
+                .expect("substrate lock")
                 .charge("substrate-diameter", cm.bfs(cm.d) + cm.global_aggregate());
             cm
         })
@@ -351,12 +727,21 @@ impl<'g> PlanarSolver<'g> {
 
     /// The cached labeling engine (BDD + dual bags + separators), built on
     /// first use with its `Õ(D)`-per-level charges in the substrate ledger.
-    fn engine(&self) -> &DualSsspEngine<'g> {
+    fn engine(&self) -> &DualSsspEngine<'_> {
         let cm = self.cost_model();
-        self.engine.get_or_init(|| {
-            self.engine_builds.set(self.engine_builds.get() + 1);
-            let mut ledger = self.substrate.borrow_mut();
-            DualSsspEngine::new(self.graph, &cm, self.leaf_threshold, &mut ledger)
+        self.shared.engine.get_or_init(|| {
+            self.shared.engine_builds.fetch_add(1, Ordering::Relaxed);
+            let mut ledger = self.shared.substrate.lock().expect("substrate lock");
+            // SAFETY: the reference points into the `PlanarInstance` owned
+            // by `self.shared.instance`; the `Arc` pins that allocation for
+            // at least as long as `self.shared` (and hence the engine
+            // stored next to it) exists, and `PlanarGraph` has no interior
+            // mutability. The erased `'static` never escapes: every public
+            // accessor shrinks it back to a borrow of `self` (covariance
+            // of `DualSsspEngine<'g>` in `'g`).
+            let graph: &'static PlanarGraph =
+                unsafe { &*std::ptr::from_ref(self.shared.instance.graph()) };
+            DualSsspEngine::new(graph, &cm, self.shared.leaf_threshold, &mut ledger)
         })
     }
 
@@ -364,25 +749,27 @@ impl<'g> PlanarSolver<'g> {
     /// separators, built on first use. Lets power users run custom dual
     /// labelings (e.g. [`duality_labeling::sssp::dual_sssp`]) against the
     /// same substrate the flow/cut queries amortize.
-    pub fn labeling_engine(&self) -> &DualSsspEngine<'g> {
+    pub fn labeling_engine(&self) -> &DualSsspEngine<'_> {
         self.engine()
     }
 
     /// The cached embedded dual graph `G*`.
     pub fn dual_graph(&self) -> &PlanarGraph {
         let cm = self.cost_model();
-        self.dual.get_or_init(|| {
-            self.dual_builds.set(self.dual_builds.get() + 1);
-            self.substrate
-                .borrow_mut()
+        self.shared.dual.get_or_init(|| {
+            self.shared.dual_builds.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .substrate
+                .lock()
+                .expect("substrate lock")
                 .charge("substrate-dual", cm.dual_part_wise_aggregation());
-            dual::dual_graph(self.graph)
+            dual::dual_graph(self.graph())
                 .expect("the dual of a valid embedding is a valid embedding")
         })
     }
 
     fn check_endpoints(&self, s: usize, t: usize) -> Result<(), DualityError> {
-        let n = self.graph.num_vertices();
+        let n = self.graph().num_vertices();
         if s == t || s >= n || t >= n {
             return Err(DualityError::BadEndpoints { s, t, n });
         }
@@ -390,66 +777,204 @@ impl<'g> PlanarSolver<'g> {
     }
 
     fn check_undirected(&self) -> Result<(), DualityError> {
-        for e in 0..self.graph.num_edges() {
-            if self.caps[2 * e] != self.caps[2 * e + 1] {
+        let caps = self.capacities();
+        for e in 0..self.graph().num_edges() {
+            if caps[2 * e] != caps[2 * e + 1] {
                 return Err(DualityError::NotUndirected);
             }
         }
         Ok(())
     }
 
+    /// The validation preamble of one query, with no substrate side
+    /// effects — the single source of truth shared by the `run_*`
+    /// pipelines and the batch prewarm (which must skip substrate
+    /// construction for queries that would fail it).
+    fn precheck(&self, query: Query) -> Result<(), DualityError> {
+        match query {
+            Query::MaxFlow { s, t } | Query::MinStCut { s, t } => self.check_endpoints(s, t),
+            Query::ApproxMaxFlow { s, t, .. } | Query::ApproxMinStCut { s, t, .. } => {
+                self.check_endpoints(s, t)?;
+                self.check_undirected()
+            }
+            Query::GlobalMinCut => {
+                if self.graph().num_vertices() < 2 {
+                    return Err(DualityError::TooSmall {
+                        needed: 2,
+                        vertices: self.graph().num_vertices(),
+                    });
+                }
+                Ok(())
+            }
+            Query::Girth => {
+                if let Some(e) = self.edge_weights().iter().position(|&w| w <= 0) {
+                    return Err(DualityError::NonPositiveWeight { edge: e });
+                }
+                Ok(())
+            }
+        }
+    }
+
     fn report(&self, query: CostLedger) -> RoundReport {
-        self.queries.set(self.queries.get() + 1);
+        self.shared.queries.fetch_add(1, Ordering::Relaxed);
         RoundReport {
-            substrate: self.substrate.borrow().clone(),
+            substrate: self.substrate_rounds(),
             query,
         }
     }
 
+    /// Executes one typed [`Query`], returning the matching [`Outcome`]
+    /// variant. The classic inherent methods are thin wrappers over this.
+    ///
+    /// # Errors
+    ///
+    /// The union of the per-query error conditions — see the individual
+    /// methods ([`PlanarSolver::max_flow`], …).
+    pub fn run(&self, query: Query) -> Result<Outcome, DualityError> {
+        match query {
+            Query::MaxFlow { s, t } => self.run_max_flow(s, t).map(Outcome::MaxFlow),
+            Query::MinStCut { s, t } => self.run_min_st_cut(s, t).map(Outcome::MinStCut),
+            Query::ApproxMaxFlow { s, t, eps_inverse } => self
+                .run_approx_max_flow(s, t, eps_inverse)
+                .map(Outcome::ApproxMaxFlow),
+            Query::ApproxMinStCut { s, t, eps_inverse } => self
+                .run_approx_min_st_cut(s, t, eps_inverse)
+                .map(Outcome::ApproxMinStCut),
+            Query::GlobalMinCut => self.run_global_min_cut().map(Outcome::GlobalMinCut),
+            Query::Girth => self.run_girth().map(Outcome::Girth),
+        }
+    }
+
+    /// Executes a heterogeneous batch on a default-sized worker pool —
+    /// see [`PlanarSolver::run_batch_on`].
+    pub fn run_batch(&self, queries: &[Query]) -> BatchReport {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        self.run_batch_on(queries, threads.min(4))
+    }
+
+    /// Executes a heterogeneous batch of queries across a pool of
+    /// `threads` `std::thread` workers.
+    ///
+    /// Identical queries are **deduplicated**: each distinct query runs
+    /// once and its outcome is cloned into every input position. Before
+    /// the pool starts, the substrate artifacts any query needs are built
+    /// once on the calling thread, so every outcome snapshots the same
+    /// substrate ledger and results are bit-for-bit identical to serial
+    /// execution regardless of thread count.
+    ///
+    /// The returned [`BatchReport`] keeps input order and merges the
+    /// CONGEST bill into one [`RoundReport`]: the substrate share appears
+    /// **exactly once**, the query share is the sum of the executed
+    /// queries' marginal ledgers (deduplicated queries are billed once —
+    /// that is the amortization the batch API exists to expose).
+    ///
+    /// Per-query failures land in their outcome slot; the batch itself
+    /// always completes.
+    pub fn run_batch_on(&self, queries: &[Query], threads: usize) -> BatchReport {
+        // Deduplicate, preserving first-seen order for determinism.
+        let mut unique: Vec<Query> = Vec::new();
+        let mut index_of: HashMap<Query, usize> = HashMap::new();
+        let slots: Vec<usize> = queries
+            .iter()
+            .map(|&q| {
+                *index_of.entry(q).or_insert_with(|| {
+                    unique.push(q);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+
+        // Build the substrate the batch needs up front, on this thread:
+        // the workers then contend only on their own queries, and every
+        // report snapshots one identical, final substrate ledger. Only
+        // queries that pass their preconditions count — serially, a query
+        // failing validation builds (and bills) nothing, and the batch
+        // must match that bill exactly.
+        let viable: Vec<Query> = unique
+            .iter()
+            .copied()
+            .filter(|&q| self.precheck(q).is_ok())
+            .collect();
+        if !viable.is_empty() {
+            self.cost_model();
+        }
+        if viable.iter().any(Query::needs_engine) {
+            self.engine();
+        }
+        if viable.iter().any(Query::needs_dual) {
+            self.dual_graph();
+        }
+
+        let threads = threads.clamp(1, unique.len().max(1));
+        let results: Vec<OnceLock<Result<Outcome, DualityError>>> =
+            unique.iter().map(|_| OnceLock::new()).collect();
+        if threads == 1 {
+            for (slot, &q) in results.iter().zip(&unique) {
+                let _ = slot.set(self.run(q));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&q) = unique.get(i) else { break };
+                        let _ = results[i].set(self.run(q));
+                    });
+                }
+            });
+        }
+        let results: Vec<Result<Outcome, DualityError>> = results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every unique query executed"))
+            .collect();
+
+        let rounds = RoundReport::batched(
+            self.substrate_rounds(),
+            results
+                .iter()
+                .filter_map(|r| r.as_ref().ok())
+                .map(|o| &o.rounds().query),
+        );
+        BatchReport {
+            outcomes: slots.iter().map(|&i| results[i].clone()).collect(),
+            rounds,
+            unique: unique.len(),
+            duplicates: queries.len() - unique.len(),
+            threads,
+        }
+    }
+
     /// Exact maximum st-flow (Theorem 1.2, `Õ(D²)` rounds; the engine
-    /// share is amortized).
+    /// share is amortized). Thin wrapper over [`PlanarSolver::run`].
     ///
     /// # Errors
     ///
     /// [`DualityError::BadEndpoints`] if `s == t` or out of range.
     pub fn max_flow(&self, s: usize, t: usize) -> Result<MaxFlowReport, DualityError> {
-        self.check_endpoints(s, t)?;
-        let cm = self.cost_model();
-        let engine = self.engine();
-        let mut query = CostLedger::new();
-        let (value, flow, probes) =
-            max_flow::run_max_flow(engine, &cm, &self.caps, s, t, &mut query);
-        Ok(MaxFlowReport {
-            value,
-            flow,
-            probes,
-            rounds: self.report(query),
-        })
+        match self.run(Query::MaxFlow { s, t })? {
+            Outcome::MaxFlow(r) => Ok(r),
+            _ => unreachable!("run(MaxFlow) yields Outcome::MaxFlow"),
+        }
     }
 
-    /// Exact directed minimum st-cut (Theorem 6.1).
+    /// Exact directed minimum st-cut (Theorem 6.1). Thin wrapper over
+    /// [`PlanarSolver::run`].
     ///
     /// # Errors
     ///
     /// [`DualityError::BadEndpoints`] if `s == t` or out of range.
     pub fn min_st_cut(&self, s: usize, t: usize) -> Result<MinCutReport, DualityError> {
-        self.check_endpoints(s, t)?;
-        let cm = self.cost_model();
-        let engine = self.engine();
-        let mut query = CostLedger::new();
-        let (value, side, cut_darts) =
-            st_cut::run_exact_cut(engine, &cm, &self.caps, s, t, &mut query);
-        Ok(MinCutReport {
-            value,
-            side,
-            cut_darts,
-            rounds: self.report(query),
-        })
+        match self.run(Query::MinStCut { s, t })? {
+            Outcome::MinStCut(r) => Ok(r),
+            _ => unreachable!("run(MinStCut) yields Outcome::MinStCut"),
+        }
     }
 
     /// `(1 − 1/(k+1))`-approximate max st-flow for undirected st-planar
     /// instances (Theorem 1.3, `D·n^{o(1)}` rounds); `eps_inverse = k`,
-    /// `k = 0` runs the exact-oracle substitution.
+    /// `k = 0` runs the exact-oracle substitution. Thin wrapper over
+    /// [`PlanarSolver::run`].
     ///
     /// # Errors
     ///
@@ -462,14 +987,104 @@ impl<'g> PlanarSolver<'g> {
         t: usize,
         eps_inverse: u64,
     ) -> Result<ApproxFlowReport, DualityError> {
-        self.check_endpoints(s, t)?;
-        self.check_undirected()?;
+        match self.run(Query::ApproxMaxFlow { s, t, eps_inverse })? {
+            Outcome::ApproxMaxFlow(r) => Ok(r),
+            _ => unreachable!("run(ApproxMaxFlow) yields Outcome::ApproxMaxFlow"),
+        }
+    }
+
+    /// `(1+1/k)`-approximate minimum st-cut for undirected st-planar
+    /// instances (Theorem 6.2), via Reif's st-separating dual cycle. Thin
+    /// wrapper over [`PlanarSolver::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PlanarSolver::approx_max_flow`].
+    pub fn approx_min_st_cut(
+        &self,
+        s: usize,
+        t: usize,
+        eps_inverse: u64,
+    ) -> Result<ApproxCutReport, DualityError> {
+        match self.run(Query::ApproxMinStCut { s, t, eps_inverse })? {
+            Outcome::ApproxMinStCut(r) => Ok(r),
+            _ => unreachable!("run(ApproxMinStCut) yields Outcome::ApproxMinStCut"),
+        }
+    }
+
+    /// Directed global minimum cut (Theorem 1.5), over the solver's
+    /// per-edge weights (reversal darts are free). Thin wrapper over
+    /// [`PlanarSolver::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::TooSmall`] when the graph has fewer than two
+    /// vertices.
+    pub fn global_min_cut(&self) -> Result<GlobalCutReport, DualityError> {
+        match self.run(Query::GlobalMinCut)? {
+            Outcome::GlobalMinCut(r) => Ok(r),
+            _ => unreachable!("run(GlobalMinCut) yields Outcome::GlobalMinCut"),
+        }
+    }
+
+    /// Weighted girth (Theorem 1.7, `Õ(D)` rounds), over the solver's
+    /// per-edge weights (must be positive). Runs on the cached dual graph.
+    /// Thin wrapper over [`PlanarSolver::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::NonPositiveWeight`] on a zero weight,
+    /// [`DualityError::Acyclic`] when the instance has no cycle.
+    pub fn girth(&self) -> Result<GirthReport, DualityError> {
+        match self.run(Query::Girth)? {
+            Outcome::Girth(r) => Ok(r),
+            _ => unreachable!("run(Girth) yields Outcome::Girth"),
+        }
+    }
+
+    fn run_max_flow(&self, s: usize, t: usize) -> Result<MaxFlowReport, DualityError> {
+        self.precheck(Query::MaxFlow { s, t })?;
+        let cm = self.cost_model();
+        let engine = self.engine();
+        let mut query = CostLedger::new();
+        let (value, flow, probes) =
+            max_flow::run_max_flow(engine, &cm, self.capacities(), s, t, &mut query);
+        Ok(MaxFlowReport {
+            value,
+            flow,
+            probes,
+            rounds: self.report(query),
+        })
+    }
+
+    fn run_min_st_cut(&self, s: usize, t: usize) -> Result<MinCutReport, DualityError> {
+        self.precheck(Query::MinStCut { s, t })?;
+        let cm = self.cost_model();
+        let engine = self.engine();
+        let mut query = CostLedger::new();
+        let (value, side, cut_darts) =
+            st_cut::run_exact_cut(engine, &cm, self.capacities(), s, t, &mut query);
+        Ok(MinCutReport {
+            value,
+            side,
+            cut_darts,
+            rounds: self.report(query),
+        })
+    }
+
+    fn run_approx_max_flow(
+        &self,
+        s: usize,
+        t: usize,
+        eps_inverse: u64,
+    ) -> Result<ApproxFlowReport, DualityError> {
+        self.precheck(Query::ApproxMaxFlow { s, t, eps_inverse })?;
         let cm = self.cost_model();
         let mut query = CostLedger::new();
         let out = approx_flow::run_approx_flow(
-            self.graph,
+            self.graph(),
             &cm,
-            &self.caps,
+            self.capacities(),
             s,
             t,
             eps_inverse,
@@ -486,25 +1101,25 @@ impl<'g> PlanarSolver<'g> {
         })
     }
 
-    /// `(1+1/k)`-approximate minimum st-cut for undirected st-planar
-    /// instances (Theorem 6.2), via Reif's st-separating dual cycle.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`PlanarSolver::approx_max_flow`].
-    pub fn approx_min_st_cut(
+    fn run_approx_min_st_cut(
         &self,
         s: usize,
         t: usize,
         eps_inverse: u64,
     ) -> Result<ApproxCutReport, DualityError> {
-        self.check_endpoints(s, t)?;
-        self.check_undirected()?;
+        self.precheck(Query::ApproxMinStCut { s, t, eps_inverse })?;
         let cm = self.cost_model();
         let mut query = CostLedger::new();
-        let (value, cut_edges) =
-            st_cut::run_approx_cut(self.graph, &cm, &self.caps, s, t, eps_inverse, &mut query)
-                .map_err(|e| lift_st_planar(e, s, t))?;
+        let (value, cut_edges) = st_cut::run_approx_cut(
+            self.graph(),
+            &cm,
+            self.capacities(),
+            s,
+            t,
+            eps_inverse,
+            &mut query,
+        )
+        .map_err(|e| lift_st_planar(e, s, t))?;
         Ok(ApproxCutReport {
             value,
             cut_edges,
@@ -512,25 +1127,13 @@ impl<'g> PlanarSolver<'g> {
         })
     }
 
-    /// Directed global minimum cut (Theorem 1.5), over the solver's
-    /// per-edge weights (reversal darts are free).
-    ///
-    /// # Errors
-    ///
-    /// [`DualityError::TooSmall`] when the graph has fewer than two
-    /// vertices.
-    pub fn global_min_cut(&self) -> Result<GlobalCutReport, DualityError> {
-        if self.graph.num_vertices() < 2 {
-            return Err(DualityError::TooSmall {
-                needed: 2,
-                vertices: self.graph.num_vertices(),
-            });
-        }
+    fn run_global_min_cut(&self) -> Result<GlobalCutReport, DualityError> {
+        self.precheck(Query::GlobalMinCut)?;
         let cm = self.cost_model();
         let engine = self.engine();
         let mut query = CostLedger::new();
         let (value, side, cut_edges) =
-            global_cut::run_global_cut(engine, &cm, &self.weights, &mut query);
+            global_cut::run_global_cut(engine, &cm, self.edge_weights(), &mut query);
         Ok(GlobalCutReport {
             value,
             side,
@@ -539,23 +1142,14 @@ impl<'g> PlanarSolver<'g> {
         })
     }
 
-    /// Weighted girth (Theorem 1.7, `Õ(D)` rounds), over the solver's
-    /// per-edge weights (must be positive). Runs on the cached dual graph.
-    ///
-    /// # Errors
-    ///
-    /// [`DualityError::NonPositiveWeight`] on a zero weight,
-    /// [`DualityError::Acyclic`] when the instance has no cycle.
-    pub fn girth(&self) -> Result<GirthReport, DualityError> {
-        if let Some(e) = self.weights.iter().position(|&w| w <= 0) {
-            return Err(DualityError::NonPositiveWeight { edge: e });
-        }
+    fn run_girth(&self) -> Result<GirthReport, DualityError> {
+        self.precheck(Query::Girth)?;
         let cm = self.cost_model();
         // The girth pipeline is phrased on G*: consume the cached dual.
         let dual = self.dual_graph();
         let mut query = CostLedger::new();
         let (girth, cycle_edges) =
-            girth::run_girth_on_dual(self.graph, dual, &cm, &self.weights, &mut query)
+            girth::run_girth_on_dual(self.graph(), dual, &cm, self.edge_weights(), &mut query)
                 .ok_or(DualityError::Acyclic)?;
         Ok(GirthReport {
             girth,
@@ -572,7 +1166,7 @@ mod tests {
     use crate::{girth::weighted_girth, global_cut::directed_global_min_cut};
     use duality_planar::gen;
 
-    fn grid_solver(g: &PlanarGraph, seed: u64) -> PlanarSolver<'_> {
+    fn grid_solver(g: &PlanarGraph, seed: u64) -> PlanarSolver {
         let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, seed);
         PlanarSolver::builder(g).capacities(caps).build().unwrap()
     }
@@ -604,6 +1198,56 @@ mod tests {
                 .build()
                 .err(),
             Some(DualityError::NegativeWeight { edge: 0 })
+        );
+    }
+
+    #[test]
+    fn leaf_threshold_is_validated_at_build() {
+        let g = gen::grid(3, 3).unwrap();
+        for bad in [0usize, 1] {
+            assert_eq!(
+                PlanarSolver::builder(&g)
+                    .capacities(vec![1; g.num_darts()])
+                    .with_leaf_threshold(Some(bad))
+                    .build()
+                    .err(),
+                Some(DualityError::BadLeafThreshold { got: bad })
+            );
+        }
+        // The boundary value and the default pass.
+        for ok in [Some(MIN_LEAF_THRESHOLD), None] {
+            assert!(PlanarSolver::builder(&g)
+                .capacities(vec![1; g.num_darts()])
+                .with_leaf_threshold(ok)
+                .build()
+                .is_ok());
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_threshold_setters_still_work() {
+        let g = gen::grid(3, 3).unwrap();
+        let s = PlanarSolver::builder(&g)
+            .capacities(vec![1; g.num_darts()])
+            .leaf_threshold(6)
+            .build()
+            .unwrap();
+        let t = PlanarSolver::builder(&g)
+            .capacities(vec![1; g.num_darts()])
+            .leaf_threshold_opt(Some(6))
+            .build()
+            .unwrap();
+        let (a, b) = (s.max_flow(0, 8).unwrap(), t.max_flow(0, 8).unwrap());
+        assert_eq!(a.value, b.value);
+        // The deprecated setters funnel into the same validation.
+        assert_eq!(
+            PlanarSolver::builder(&g)
+                .capacities(vec![1; g.num_darts()])
+                .leaf_threshold(1)
+                .build()
+                .err(),
+            Some(DualityError::BadLeafThreshold { got: 1 })
         );
     }
 
@@ -653,6 +1297,39 @@ mod tests {
         let _ = solver.max_flow(0, t).unwrap();
         assert_eq!(solver.substrate_rounds().total(), substrate_after);
         assert_eq!(solver.stats().engine_builds, 1);
+    }
+
+    #[test]
+    fn clones_share_instance_and_caches() {
+        let g = gen::diag_grid(5, 4, 8).unwrap();
+        let solver = grid_solver(&g, 8);
+        let clone = solver.clone();
+        let t = g.num_vertices() - 1;
+        let a = solver.max_flow(0, t).unwrap();
+        let b = clone.max_flow(0, t).unwrap();
+        assert_eq!(a.value, b.value);
+        // One engine across both handles; both queries counted centrally.
+        assert_eq!(solver.stats().engine_builds, 1);
+        assert_eq!(clone.stats().queries, 2);
+        assert!(Arc::ptr_eq(solver.instance(), clone.instance()));
+    }
+
+    #[test]
+    fn solvers_can_share_one_instance_without_copying() {
+        let g = gen::diag_grid(4, 4, 5).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 5);
+        let instance = PlanarInstance::new(g, Some(caps), None).unwrap();
+        let a = PlanarSolver::from_instance(Arc::clone(&instance));
+        let b = PlanarSolver::from_instance_with_threshold(Arc::clone(&instance), Some(8)).unwrap();
+        let t = instance.graph().num_vertices() - 1;
+        assert_eq!(
+            a.max_flow(0, t).unwrap().value,
+            b.max_flow(0, t).unwrap().value
+        );
+        assert_eq!(
+            PlanarSolver::from_instance_with_threshold(instance, Some(1)).err(),
+            Some(DualityError::BadLeafThreshold { got: 1 })
+        );
     }
 
     #[test]
@@ -779,5 +1456,146 @@ mod tests {
         let d = solver.dual_graph();
         assert_eq!(d.num_vertices(), g.num_faces());
         assert_eq!(d.num_faces(), g.num_vertices());
+    }
+
+    #[test]
+    fn run_dispatches_to_the_matching_outcome() {
+        let g = gen::diag_grid(4, 4, 6).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 6);
+        let solver = PlanarSolver::builder(&g).capacities(caps).build().unwrap();
+        let t = g.num_vertices() - 1;
+        let queries = [
+            Query::MaxFlow { s: 0, t },
+            Query::MinStCut { s: 0, t },
+            Query::GlobalMinCut,
+            Query::Girth,
+        ];
+        for q in queries {
+            let outcome = solver.run(q).unwrap();
+            let ok = matches!(
+                (q, &outcome),
+                (Query::MaxFlow { .. }, Outcome::MaxFlow(_))
+                    | (Query::MinStCut { .. }, Outcome::MinStCut(_))
+                    | (Query::GlobalMinCut, Outcome::GlobalMinCut(_))
+                    | (Query::Girth, Outcome::Girth(_))
+            );
+            assert!(ok, "{q} produced a mismatched outcome");
+            assert!(!outcome.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn batch_deduplicates_and_preserves_order() {
+        let g = gen::diag_grid(4, 4, 3).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 3);
+        let solver = PlanarSolver::builder(&g).capacities(caps).build().unwrap();
+        let t = g.num_vertices() - 1;
+        let batch = solver.run_batch_on(
+            &[
+                Query::MaxFlow { s: 0, t },
+                Query::Girth,
+                Query::MaxFlow { s: 0, t }, // duplicate
+                Query::MaxFlow { s: 0, t }, // duplicate
+            ],
+            2,
+        );
+        assert_eq!(batch.unique, 2);
+        assert_eq!(batch.duplicates, 2);
+        // Duplicates were answered without re-execution.
+        assert_eq!(solver.stats().queries, 2);
+        let first = batch.outcomes[0].as_ref().unwrap().as_max_flow().unwrap();
+        let third = batch.outcomes[2].as_ref().unwrap().as_max_flow().unwrap();
+        assert_eq!(first.value, third.value);
+        assert!(batch.outcomes[1].as_ref().unwrap().as_girth().is_some());
+        assert!(batch.all_ok());
+        assert!(batch.to_string().contains("2 deduplicated"));
+    }
+
+    #[test]
+    fn batch_merged_report_charges_substrate_once() {
+        let g = gen::diag_grid(5, 4, 4).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 4);
+        let solver = PlanarSolver::builder(&g).capacities(caps).build().unwrap();
+        let t = g.num_vertices() - 1;
+        let batch = solver.run_batch_on(
+            &[
+                Query::MaxFlow { s: 0, t },
+                Query::MinStCut { s: 0, t },
+                Query::Girth,
+            ],
+            2,
+        );
+        // Merged substrate equals the solver's one-off ledger, and the
+        // query share is the exact sum of the marginal shares.
+        assert_eq!(
+            batch.rounds.substrate_total(),
+            solver.substrate_rounds().total()
+        );
+        let marginal_sum: u64 = batch
+            .outcomes
+            .iter()
+            .map(|o| o.as_ref().unwrap().rounds().query_total())
+            .sum();
+        assert_eq!(batch.rounds.query_total(), marginal_sum);
+        assert_eq!(
+            batch.rounds.total(),
+            solver.substrate_rounds().total() + marginal_sum
+        );
+    }
+
+    #[test]
+    fn batch_reports_per_query_errors_without_failing() {
+        let g = gen::grid(3, 3).unwrap();
+        let solver = grid_solver(&g, 7);
+        let batch = solver.run_batch_on(
+            &[
+                Query::MaxFlow { s: 0, t: 8 },
+                Query::MaxFlow { s: 2, t: 2 }, // bad endpoints
+            ],
+            2,
+        );
+        assert!(batch.outcomes[0].is_ok());
+        assert_eq!(
+            batch.outcomes[1].as_ref().err(),
+            Some(&DualityError::BadEndpoints { s: 2, t: 2, n: 9 })
+        );
+        assert!(!batch.all_ok());
+        assert!(batch.to_string().contains("error: invalid endpoints"));
+    }
+
+    #[test]
+    fn invalid_queries_never_trigger_substrate_prewarm() {
+        let g = gen::grid(3, 3).unwrap();
+        let solver = grid_solver(&g, 6);
+        // All-invalid batch: nothing is built, nothing is billed — exactly
+        // like running the same queries serially.
+        let batch = solver.run_batch_on(
+            &[
+                Query::MaxFlow { s: 0, t: 0 },
+                Query::MinStCut { s: 0, t: 99 },
+            ],
+            2,
+        );
+        assert!(!batch.all_ok());
+        assert_eq!(solver.stats(), SolverStats::default(), "nothing built");
+        assert_eq!(batch.rounds.total(), 0, "nothing billed");
+
+        // Mixed batch: only the substrate of the *viable* query is built
+        // (girth needs the dual, never the engine).
+        let batch = solver.run_batch_on(&[Query::MaxFlow { s: 0, t: 0 }, Query::Girth], 2);
+        assert!(batch.outcomes[0].is_err() && batch.outcomes[1].is_ok());
+        assert_eq!(solver.stats().engine_builds, 0, "engine not prewarmed");
+        assert_eq!(solver.stats().dual_builds, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let g = gen::grid(3, 3).unwrap();
+        let solver = grid_solver(&g, 5);
+        let batch = solver.run_batch(&[]);
+        assert!(batch.outcomes.is_empty());
+        assert_eq!(batch.unique, 0);
+        assert_eq!(batch.rounds.total(), 0);
+        assert_eq!(solver.stats(), SolverStats::default(), "nothing was built");
     }
 }

@@ -2,9 +2,9 @@
 //!
 //! Road networks are the paper's motivating planar workload. We model a
 //! city district as a randomly triangulated grid whose edge capacities are
-//! lane counts, and answer two planning questions distributedly **on one
-//! solver** — the second query reuses the decomposition the first one paid
-//! for:
+//! lane counts, and answer two planning questions distributedly as **one
+//! typed batch on one solver** — both queries share the decomposition, the
+//! merged bill charges it once, and a duplicated query costs nothing:
 //!
 //! 1. *What is the worst-case s→t throughput, and which streets form the
 //!    bottleneck?* — exact directed min st-cut (Theorem 6.1).
@@ -16,7 +16,7 @@
 
 use duality::core::verify;
 use duality::planar::gen;
-use duality::PlanarSolver;
+use duality::{PlanarSolver, Query};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // District: 9x7 blocks with diagonal shortcuts; lanes in [1, 4].
@@ -29,12 +29,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let solver = PlanarSolver::builder(&g).edge_weights(lanes).build()?;
 
     let (depot, stadium) = (0, g.num_vertices() - 1);
-    let cut = solver.min_st_cut(depot, stadium)?;
-    println!(
-        "depot → stadium throughput: {} lanes ({} bottleneck streets)",
-        cut.value,
-        cut.cut_darts.len()
-    );
+    let batch = solver.run_batch(&[
+        Query::MinStCut {
+            s: depot,
+            t: stadium,
+        },
+        Query::GlobalMinCut,
+        // A dashboard refresh re-asking the same question: deduplicated,
+        // answered from the single execution above.
+        Query::MinStCut {
+            s: depot,
+            t: stadium,
+        },
+    ]);
+    println!("{batch}");
+
+    let cut = batch.outcomes[0]
+        .as_ref()
+        .map_err(Clone::clone)?
+        .as_min_st_cut()
+        .expect("outcome matches its query")
+        .clone();
+    println!("depot → stadium: {cut}");
     println!(
         "bottleneck streets: {:?}",
         cut.cut_darts
@@ -48,24 +64,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Global fragility: the cheapest directed disconnection anywhere. Same
-    // solver, same cached BDD — only the marginal rounds are new.
-    let global = solver.global_min_cut()?;
-    let isolated = global.side.iter().filter(|&&b| !b).count();
-    println!(
-        "\nglobal fragility: {} lanes of closures isolate {} intersections",
-        global.value, isolated
-    );
-    println!(
-        "rounds: st-cut = {} (substrate {} + query {}), global marginal = {}",
-        cut.rounds.total(),
-        cut.rounds.substrate_total(),
-        cut.rounds.query_total(),
-        global.rounds.query_total()
-    );
+    // solver, same cached BDD — only the marginal rounds were new.
+    let global = batch.outcomes[1]
+        .as_ref()
+        .map_err(Clone::clone)?
+        .as_global_min_cut()
+        .expect("outcome matches its query");
+    println!("global fragility: {global}");
     assert_eq!(
         solver.stats().engine_builds,
         1,
         "both cut queries shared one decomposition"
     );
+    assert_eq!(batch.duplicates, 1, "the dashboard refresh was free");
     Ok(())
 }

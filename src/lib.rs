@@ -19,12 +19,19 @@
 //! once over an instance and the expensive shared substrate — the dual
 //! graph, the bounded-diameter branch decomposition, and the distance-
 //! labeling engine — is constructed lazily, cached, and amortized across
-//! every query. Queries return typed witnesses plus a
+//! every query. The solver **owns** its validated instance (an
+//! `Arc`-shared [`PlanarInstance`]), is `Send + Sync`, and clones in
+//! `O(1)`, so it can serve query traffic from many threads while building
+//! each substrate artifact exactly once. Queries are first-class values
+//! ([`Query`] → [`Outcome`] via [`PlanarSolver::run`]), and
+//! [`PlanarSolver::run_batch`] executes a heterogeneous, deduplicated
+//! batch on a worker pool. Every query returns a typed witness plus a
 //! [`RoundReport`](congest::RoundReport) splitting the CONGEST bill into
-//! the one-off substrate share and the marginal query share; every failure
-//! is the single [`DualityError`] type. See `DESIGN.md` for the substrate →
-//! cache → query architecture and `EXPERIMENTS.md` for reproducing the
-//! measurements.
+//! the one-off substrate share and the marginal query share (batches
+//! merge to one bill that charges the substrate once); every failure is
+//! the single [`DualityError`] type. See `DESIGN.md` for the instance →
+//! substrate → query → batch architecture and `EXPERIMENTS.md` for
+//! reproducing the measurements.
 //!
 //! # Quickstart
 //!
@@ -45,6 +52,15 @@
 //!
 //! // The round bill separates amortized substrate from marginal query.
 //! println!("{}", flow.rounds);
+//!
+//! // Or phrase the workload as one typed batch: deduplicated, executed
+//! // on a worker pool, one merged bill charging the substrate once.
+//! use duality::Query;
+//! let batch = solver.run_batch(&[
+//!     Query::MaxFlow { s: 0, t: g.num_vertices() - 1 },
+//!     Query::MinStCut { s: 0, t: g.num_vertices() - 1 },
+//! ]);
+//! assert!(batch.all_ok());
 //! # Ok::<(), duality::DualityError>(())
 //! ```
 //!
@@ -63,4 +79,7 @@ pub use duality_planar as planar;
 /// The solver subsystem (re-export of [`duality_core::solver`]).
 pub use duality_core::solver;
 
-pub use duality_core::{DualityError, PlanarSolver, SolverBuilder, SolverStats};
+pub use duality_core::{
+    BatchReport, DualityError, Outcome, PlanarInstance, PlanarSolver, Query, SolverBuilder,
+    SolverStats,
+};
