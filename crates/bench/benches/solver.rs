@@ -134,10 +134,64 @@ fn bench_query_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The respec path: scenario-admission latency for a K-spec capacity
+/// sweep. Each scenario is "admitted" by standing up a query-ready solver
+/// — substrate forced via `labeling_engine()` — and answering one global
+/// min cut. Fresh admission pays the diameter measurement + BDD per spec;
+/// `respec_capacities` pays them once per sweep and only rebuilds the
+/// weight tier (the instance-length labels). This isolates the tier the
+/// two-level substrate exists to amortize — in a query-heavy sweep (see
+/// `solver_flow_batch`) the per-query labeling dominates both paths, which
+/// is exactly the point: respec removes the fixed cost, not the marginal
+/// one. The CONGEST-round face of the same sweep is experiment S3.
+fn bench_respec_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_respec");
+    group.sample_size(10);
+    let (w, h) = (16usize, 12usize);
+    let g = gen::diag_grid(w, h, 11).unwrap();
+    let specs: Vec<Vec<Weight>> = (0..5u64)
+        .map(|k| gen::random_undirected_capacities(g.num_edges(), 1, 9, 31 + k))
+        .collect();
+
+    group.bench_function("fresh-5-specs", |b| {
+        b.iter(|| {
+            specs
+                .iter()
+                .map(|caps| {
+                    let solver = PlanarSolver::builder(&g)
+                        .capacities(caps.clone())
+                        .build()
+                        .unwrap();
+                    solver.labeling_engine();
+                    solver.global_min_cut().unwrap().value
+                })
+                .sum::<Weight>()
+        })
+    });
+    group.bench_function("respec-5-specs", |b| {
+        b.iter(|| {
+            let mut solver = PlanarSolver::builder(&g)
+                .capacities(specs[0].clone())
+                .build()
+                .unwrap();
+            solver.labeling_engine();
+            let mut total = solver.global_min_cut().unwrap().value;
+            for caps in &specs[1..] {
+                solver = solver.respec_capacities(caps.clone()).unwrap();
+                solver.labeling_engine();
+                total += solver.global_min_cut().unwrap().value;
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_flow_batch,
     bench_mixed_batch,
-    bench_query_batch
+    bench_query_batch,
+    bench_respec_sweep
 );
 criterion_main!(benches);

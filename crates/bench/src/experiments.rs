@@ -423,6 +423,27 @@ mod tests {
     }
 
     #[test]
+    fn s3_topology_charged_once_and_answers_match() {
+        for row in s3_respec_reuse(6, true) {
+            assert_eq!(row.value("topo-builds"), Some(1.0), "{}", row.instance);
+            assert_eq!(row.value("respec=fresh"), Some(1.0), "{}", row.instance);
+            assert!(
+                row.value("respec-total").unwrap() < row.value("fresh-total").unwrap(),
+                "{}: the respec sweep must undercut fresh builds",
+                row.instance
+            );
+            // Fresh pays the topology once per spec; respec exactly once.
+            let topo = row.value("topo-rounds").unwrap();
+            assert_eq!(
+                row.value("fresh-total").unwrap() - row.value("respec-total").unwrap(),
+                4.0 * topo,
+                "{}: saving is exactly (K-1) topology shares",
+                row.instance
+            );
+        }
+    }
+
+    #[test]
     fn s1_warm_batches_beat_cold_batches() {
         for row in s1_substrate_reuse(6) {
             assert_eq!(row.value("engine-builds"), Some(1.0), "{}", row.instance);
@@ -659,6 +680,104 @@ pub fn s2_batch_throughput(seed: u64) -> Vec<Row> {
                 ],
             });
         }
+    }
+    rows
+}
+
+/// S3 — respec reuse through the two-tier substrate: the same K-scenario
+/// capacity sweep (K = 5 specs of one network, each answering one exact
+/// max-flow and one global min cut) executed two ways — **fresh** (one
+/// solver per spec: every scenario pays the diameter measurement, dual
+/// graph and BDD again) and **respec** (`PlanarSolver::respec_capacities`
+/// chains the specs over one shared `Arc<TopoSubstrate>`). The
+/// reproducible signals: `topo-rounds` is charged **once** across the
+/// respec sweep (`topo-builds = 1`), every spec pays only its own weight
+/// tier + marginal queries, answers are bit-for-bit identical
+/// (`respec=fresh = 1`), and the sweep total undercuts the fresh total by
+/// exactly `(K−1) · topo-rounds`.
+pub fn s3_respec_reuse(seed: u64, smoke: bool) -> Vec<Row> {
+    let sizes: &[(usize, usize)] = if smoke { &[(6, 5)] } else { &[(8, 6), (12, 8)] };
+    let specs = 5usize; // K: one base spec + 4 respecs
+    let mut rows = Vec::new();
+    for &(w, h) in sizes {
+        let g = gen::diag_grid(w, h, seed).unwrap();
+        let n = g.num_vertices();
+        let t = n - 1;
+        let spec_caps: Vec<Vec<duality_planar::Weight>> = (0..specs as u64)
+            .map(|k| gen::random_undirected_capacities(g.num_edges(), 1, 9, seed + 31 + k))
+            .collect();
+        // Explicit per-edge weights shared by every spec and both paths:
+        // `respec_capacities` keeps the original weights (replace only the
+        // named side), so the fresh baseline must run on those same
+        // weights — building it from `capacities(caps_k)` alone would
+        // re-derive weights from each spec's caps and the two paths would
+        // answer the weight-backed global cut on different data.
+        let weights = gen::random_edge_weights(g.num_edges(), 1, 9, seed + 97);
+
+        // Fresh: one solver per spec, topology rebuilt every time.
+        let mut fresh_total = 0u64;
+        let mut fresh_answers = Vec::new();
+        for caps in &spec_caps {
+            let solver = PlanarSolver::builder(&g)
+                .capacities(caps.clone())
+                .edge_weights(weights.clone())
+                .build()
+                .unwrap();
+            let flow = solver.max_flow(0, t).unwrap();
+            let cut = solver.global_min_cut().unwrap();
+            fresh_total += solver.substrate_rounds().total()
+                + flow.rounds.query_total()
+                + cut.rounds.query_total();
+            fresh_answers.push((flow.value, flow.flow, cut.value, cut.cut_edges));
+        }
+
+        // Respec: one topology, K weight tiers.
+        let base = PlanarSolver::builder(&g)
+            .capacities(spec_caps[0].clone())
+            .edge_weights(weights.clone())
+            .build()
+            .unwrap();
+        let mut respec_total = 0u64;
+        let mut weight_rounds = 0u64;
+        let mut answers_match = true;
+        let mut solver = base.clone();
+        for (k, caps) in spec_caps.iter().enumerate() {
+            if k > 0 {
+                solver = solver.respec_capacities(caps.clone()).unwrap();
+            }
+            let flow = solver.max_flow(0, t).unwrap();
+            let cut = solver.global_min_cut().unwrap();
+            weight_rounds += solver.substrate_weight_rounds().total();
+            respec_total += solver.substrate_weight_rounds().total()
+                + flow.rounds.query_total()
+                + cut.rounds.query_total();
+            let want = &fresh_answers[k];
+            answers_match &= flow.value == want.0
+                && flow.flow == want.1
+                && cut.value == want.2
+                && cut.cut_edges == want.3;
+        }
+        let topo_rounds = base.substrate_topo_rounds().total();
+        respec_total += topo_rounds; // charged once for the whole sweep
+
+        rows.push(Row {
+            experiment: "S3".into(),
+            instance: format!("diag-grid {w}x{h}, {specs} specs"),
+            n,
+            d: g.diameter(),
+            values: vec![
+                ("topo-rounds".into(), topo_rounds as f64),
+                ("weight-rounds".into(), weight_rounds as f64),
+                ("respec-total".into(), respec_total as f64),
+                ("fresh-total".into(), fresh_total as f64),
+                (
+                    "saved*1000".into(),
+                    1000.0 * (fresh_total - respec_total) as f64 / fresh_total as f64,
+                ),
+                ("topo-builds".into(), f64::from(base.stats().engine_builds)),
+                ("respec=fresh".into(), f64::from(u8::from(answers_match))),
+            ],
+        });
     }
     rows
 }

@@ -1,16 +1,17 @@
 //! `experiments` — regenerates every table and figure of `EXPERIMENTS.md`.
 //!
-//! Usage: `cargo run --release -p duality-bench --bin experiments [ids...]`
-//! with ids among those listed by `registry()` (default: all). Unknown ids
-//! exit 2. Markdown tables go to stdout; raw rows to `experiments.json` in
-//! the current directory.
+//! Usage: `cargo run --release -p duality-bench --bin experiments [ids...]
+//! [--smoke]` with ids among those listed by `registry()` (default: all).
+//! `--smoke` shrinks the workloads to CI-sized instances (currently: S3).
+//! Unknown ids exit 2. Markdown tables go to stdout; raw rows to
+//! `experiments.json` in the current directory.
 
 use duality_bench::{experiments, Row};
 
 /// The experiment table: one entry per section, so id validation, the
 /// usage listing, and dispatch can never drift apart.
 #[allow(clippy::type_complexity)]
-fn registry() -> Vec<(&'static str, &'static str, Box<dyn Fn(u64) -> Vec<Row>>)> {
+fn registry(smoke: bool) -> Vec<(&'static str, &'static str, Box<dyn Fn(u64) -> Vec<Row>>)> {
     vec![
         (
             "t1",
@@ -87,12 +88,19 @@ fn registry() -> Vec<(&'static str, &'static str, Box<dyn Fn(u64) -> Vec<Row>>)>
             "run_batch throughput: batched vs serial-warm vs cold, thread sweep",
             Box::new(experiments::s2_batch_throughput),
         ),
+        (
+            "s3",
+            "respec reuse: topology tier charged once across a K-spec sweep",
+            Box::new(move |s| experiments::s3_respec_reuse(s, smoke)),
+        ),
     ]
 }
 
 fn main() {
-    let registry = registry();
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
+    let registry = registry(smoke);
     let known: Vec<&str> = registry.iter().map(|(id, _, _)| *id).collect();
     let mut bad = false;
     for a in &args {

@@ -2,41 +2,56 @@
 
 use crate::{CostLedger, Rounds};
 
-/// CONGEST rounds for one solver query, split into the **substrate** share
-/// (one-off artifacts — BFS/diameter measurement, the BDD and dual bags —
-/// built once per solver and amortized across queries) and the **query**
-/// share (work charged by this call alone).
+/// CONGEST rounds for one solver query, split by how the work amortizes:
 ///
-/// The substrate ledger is a snapshot: every query on the same solver
+/// * **`substrate_topo`** — one-off artifacts keyed by the *embedding*
+///   alone (BFS/diameter measurement, the embedded dual graph, the BDD
+///   and dual bags). Built once per topology and shared by every solver
+///   derived from it via `respec`.
+/// * **`substrate_weight`** — one-off artifacts keyed by the current
+///   *capacities/weights* (today: the dual distance labels at the
+///   instance lengths that the global-cut pipeline consumes). Rebuilt on
+///   every respec, but amortized across the queries of one spec.
+/// * **`query`** — work charged by this call alone (marginal).
+///
+/// Both substrate ledgers are snapshots: every query on the same solver
 /// reports the same substrate charges, so `query` is the marginal cost of
-/// asking again.
+/// asking again — and across a respec sweep, `substrate_topo` is the part
+/// of the bill that is charged exactly once.
 ///
 /// # Example
 ///
 /// ```
 /// use duality_congest::{CostLedger, RoundReport};
 ///
-/// let mut substrate = CostLedger::new();
-/// substrate.charge("bdd-build", 120);
+/// let mut topo = CostLedger::new();
+/// topo.charge("bdd-build", 120);
+/// let mut weight = CostLedger::new();
+/// weight.charge("labeling-broadcast", 80);
 /// let mut query = CostLedger::new();
 /// query.charge("labeling-broadcast", 300);
-/// let report = RoundReport { substrate, query };
-/// assert_eq!(report.total(), 420);
+/// let report = RoundReport { substrate_topo: topo, substrate_weight: weight, query };
+/// assert_eq!(report.total(), 500);
+/// assert_eq!(report.substrate_total(), 200);
 /// assert_eq!(report.query_total(), 300);
-/// assert_eq!(report.into_ledger().total(), 420);
+/// assert_eq!(report.into_ledger().total(), 500);
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct RoundReport {
-    /// Rounds charged while building the shared substrate (amortized).
-    pub substrate: CostLedger,
+    /// Rounds charged while building the topology tier (amortized across
+    /// every spec of the same embedding).
+    pub substrate_topo: CostLedger,
+    /// Rounds charged while building the weight tier (amortized across
+    /// the queries of one spec; rebuilt on respec).
+    pub substrate_weight: CostLedger,
     /// Rounds charged by this query alone (marginal).
     pub query: CostLedger,
 }
 
 impl RoundReport {
-    /// Total rounds: substrate + query.
+    /// Total rounds: both substrate tiers + query.
     pub fn total(&self) -> Rounds {
-        self.substrate.total() + self.query.total()
+        self.substrate_topo.total() + self.substrate_weight.total() + self.query.total()
     }
 
     /// Rounds charged by this query alone.
@@ -44,53 +59,72 @@ impl RoundReport {
         self.query.total()
     }
 
-    /// Rounds charged for the shared substrate.
+    /// Rounds charged for the shared substrate (both tiers).
     pub fn substrate_total(&self) -> Rounds {
-        self.substrate.total()
+        self.substrate_topo.total() + self.substrate_weight.total()
     }
 
-    /// Total rounds charged under `phase` across both shares.
+    /// Rounds charged for the topology tier alone.
+    pub fn substrate_topo_total(&self) -> Rounds {
+        self.substrate_topo.total()
+    }
+
+    /// Rounds charged for the weight tier alone.
+    pub fn substrate_weight_total(&self) -> Rounds {
+        self.substrate_weight.total()
+    }
+
+    /// Total rounds charged under `phase` across all three shares.
     pub fn phase_total(&self, phase: &str) -> Rounds {
-        self.substrate.phase_total(phase) + self.query.phase_total(phase)
+        self.substrate_topo.phase_total(phase)
+            + self.substrate_weight.phase_total(phase)
+            + self.query.phase_total(phase)
     }
 
-    /// Flattens the report into a single ledger (substrate phases first),
-    /// the shape the pre-solver free functions report.
+    /// Flattens the report into a single ledger (topology phases first,
+    /// then weight, then query), the shape the pre-solver free functions
+    /// report.
     pub fn into_ledger(self) -> CostLedger {
-        let mut out = self.substrate;
+        let mut out = self.substrate_topo;
+        out.absorb(&self.substrate_weight);
         out.absorb(&self.query);
         out
     }
 
-    /// Merges a batch of per-query marginal ledgers against **one**
-    /// substrate snapshot — the bill of a deduplicated solver batch: the
-    /// substrate is charged exactly once, the query share is the sum of
-    /// the executed queries' marginal shares.
+    /// Merges a batch of per-query marginal ledgers against **one** pair
+    /// of substrate snapshots — the bill of a deduplicated solver batch:
+    /// each substrate tier is charged exactly once, the query share is the
+    /// sum of the executed queries' marginal shares.
     ///
     /// # Example
     ///
     /// ```
     /// use duality_congest::{CostLedger, RoundReport};
     ///
-    /// let mut substrate = CostLedger::new();
-    /// substrate.charge("bdd-build", 120);
+    /// let mut topo = CostLedger::new();
+    /// topo.charge("bdd-build", 120);
     /// let mut q1 = CostLedger::new();
     /// q1.charge("labeling-broadcast", 300);
     /// let mut q2 = CostLedger::new();
     /// q2.charge("labeling-broadcast", 200);
-    /// let merged = RoundReport::batched(substrate, [&q1, &q2]);
+    /// let merged = RoundReport::batched(topo, CostLedger::new(), [&q1, &q2]);
     /// assert_eq!(merged.substrate_total(), 120); // charged once
     /// assert_eq!(merged.query_total(), 500);
     /// ```
     pub fn batched<'a>(
-        substrate: CostLedger,
+        substrate_topo: CostLedger,
+        substrate_weight: CostLedger,
         marginals: impl IntoIterator<Item = &'a CostLedger>,
     ) -> RoundReport {
         let mut query = CostLedger::new();
         for m in marginals {
             query.absorb(m);
         }
-        RoundReport { substrate, query }
+        RoundReport {
+            substrate_topo,
+            substrate_weight,
+            query,
+        }
     }
 }
 
@@ -98,13 +132,18 @@ impl std::fmt::Display for RoundReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "total rounds: {} (substrate {}, query {})",
+            "total rounds: {} (substrate {} = topo {} + weight {}, query {})",
             self.total(),
-            self.substrate.total(),
+            self.substrate_total(),
+            self.substrate_topo.total(),
+            self.substrate_weight.total(),
             self.query.total()
         )?;
-        for (phase, rounds) in self.substrate.phases() {
-            writeln!(f, "  [substrate] {phase}: {rounds}")?;
+        for (phase, rounds) in self.substrate_topo.phases() {
+            writeln!(f, "  [topo] {phase}: {rounds}")?;
+        }
+        for (phase, rounds) in self.substrate_weight.phases() {
+            writeln!(f, "  [weight] {phase}: {rounds}")?;
         }
         for (phase, rounds) in self.query.phases() {
             writeln!(f, "  [query] {phase}: {rounds}")?;
@@ -118,44 +157,60 @@ mod tests {
     use super::*;
 
     fn report() -> RoundReport {
-        let mut substrate = CostLedger::new();
-        substrate.charge("bdd-build", 10);
-        substrate.charge("bdd-face-ids", 5);
+        let mut topo = CostLedger::new();
+        topo.charge("bdd-build", 10);
+        topo.charge("bdd-face-ids", 5);
+        let mut weight = CostLedger::new();
+        weight.charge("labeling-broadcast", 7);
         let mut query = CostLedger::new();
         query.charge("labeling-broadcast", 100);
         query.charge("bdd-build", 1);
-        RoundReport { substrate, query }
+        RoundReport {
+            substrate_topo: topo,
+            substrate_weight: weight,
+            query,
+        }
     }
 
     #[test]
     fn totals_split_and_merge() {
         let r = report();
-        assert_eq!(r.total(), 116);
-        assert_eq!(r.substrate_total(), 15);
+        assert_eq!(r.total(), 123);
+        assert_eq!(r.substrate_total(), 22);
+        assert_eq!(r.substrate_topo_total(), 15);
+        assert_eq!(r.substrate_weight_total(), 7);
         assert_eq!(r.query_total(), 101);
         assert_eq!(r.phase_total("bdd-build"), 11);
+        assert_eq!(r.phase_total("labeling-broadcast"), 107);
         let merged = r.into_ledger();
-        assert_eq!(merged.total(), 116);
+        assert_eq!(merged.total(), 123);
         assert_eq!(merged.phase_total("bdd-build"), 11);
     }
 
     #[test]
-    fn batched_charges_substrate_once() {
+    fn batched_charges_each_substrate_tier_once() {
         let r1 = report();
         let r2 = report();
-        let merged = RoundReport::batched(r1.substrate.clone(), [&r1.query, &r2.query]);
-        assert_eq!(merged.substrate_total(), 15, "one substrate share");
+        let merged = RoundReport::batched(
+            r1.substrate_topo.clone(),
+            r1.substrate_weight.clone(),
+            [&r1.query, &r2.query],
+        );
+        assert_eq!(merged.substrate_topo_total(), 15, "one topo share");
+        assert_eq!(merged.substrate_weight_total(), 7, "one weight share");
         assert_eq!(merged.query_total(), 202, "marginals sum");
         assert_eq!(merged.phase_total("bdd-build"), 12);
-        let empty = RoundReport::batched(r1.substrate.clone(), []);
+        let empty = RoundReport::batched(r1.substrate_topo.clone(), CostLedger::new(), []);
         assert_eq!(empty.query_total(), 0);
         assert_eq!(empty.substrate_total(), 15);
     }
 
     #[test]
-    fn display_shows_both_shares() {
+    fn display_shows_all_three_shares() {
         let s = report().to_string();
-        assert!(s.contains("substrate 15"));
+        assert!(s.contains("substrate 22 = topo 15 + weight 7"));
+        assert!(s.contains("[topo] bdd-build: 10"));
+        assert!(s.contains("[weight] labeling-broadcast: 7"));
         assert!(s.contains("[query] labeling-broadcast: 100"));
     }
 }

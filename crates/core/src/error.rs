@@ -95,6 +95,16 @@ pub enum DualityError {
     },
     /// The instance is acyclic, so it has no girth.
     Acyclic,
+    /// `PlanarSolver::respec` was handed an instance that does not share
+    /// the solver's graph allocation: the topology substrate (dual graph,
+    /// BDD, dual bags) is only reusable for the *same* shared embedding.
+    /// Build the instance with `PlanarInstance::with_capacities` /
+    /// `with_edge_weights`, or build a fresh solver.
+    TopologyMismatch,
+    /// A keyed `SolverPool` lookup named an instance the pool has never
+    /// admitted (or has since evicted); submit the instance itself to
+    /// (re)admit it.
+    UnknownInstanceKey,
 }
 
 impl std::fmt::Display for DualityError {
@@ -151,6 +161,21 @@ impl std::fmt::Display for DualityError {
                 )
             }
             DualityError::Acyclic => write!(f, "the instance is acyclic (no girth)"),
+            DualityError::TopologyMismatch => {
+                write!(
+                    f,
+                    "respec requires an instance sharing the solver's graph \
+                     allocation (use PlanarInstance::with_capacities / \
+                     with_edge_weights)"
+                )
+            }
+            DualityError::UnknownInstanceKey => {
+                write!(
+                    f,
+                    "no cached solver under this instance key (never admitted \
+                     or already evicted)"
+                )
+            }
         }
     }
 }

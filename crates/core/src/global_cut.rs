@@ -100,27 +100,28 @@ pub fn directed_global_min_cut(g: &PlanarGraph, weights: &[Weight]) -> Option<Gl
     })
 }
 
-/// The cycle–cut pipeline proper (shared with the solver): dual labeling at
-/// the augmented lengths, per-dart candidates over the BDD bags, cycle
-/// extraction and bisection. Inputs are pre-validated, `g` has ≥ 2
-/// vertices.
+/// The cycle–cut pipeline proper (shared with the solver): per-dart
+/// candidates over the BDD bags against the **weight-tier** labels (the
+/// dual labeling at the augmented lengths — forward dart = edge weight,
+/// reversal free — which the solver caches per spec and the one-shot
+/// wrapper computes on the fly), then cycle extraction and bisection.
+/// Inputs are pre-validated, `g` has ≥ 2 vertices, and `labels` were
+/// computed at exactly these weights.
 pub(crate) fn run_global_cut(
     engine: &DualSsspEngine<'_>,
+    labels: &DualLabels<'_, '_>,
     cm: &CostModel,
     weights: &[Weight],
     ledger: &mut CostLedger,
 ) -> (Weight, Vec<bool>, Vec<usize>) {
     let g = engine.graph;
 
-    // Dart lengths: forward = edge weight, reversal = 0.
+    // Dart lengths: forward = edge weight, reversal = 0 (the lengths the
+    // caller labeled at).
     let mut lengths = vec![0; g.num_darts()];
     for (e, &w) in weights.iter().enumerate() {
         lengths[Dart::forward(e).index()] = w;
     }
-
-    let labels = engine
-        .labels(&lengths, ledger)
-        .expect("non-negative lengths have no negative cycle");
 
     // Per-dart candidates, each at the bag that owns the dart.
     let mut best: Option<(Weight, Dart)> = None;
@@ -148,7 +149,7 @@ pub(crate) fn run_global_cut(
         } else {
             // Separator darts: avoid-one-arc Dijkstra on the bag's DDG.
             let sep = engine.separator_arcs(bag.id);
-            let (hn, h_arcs, rep) = build_ddg(engine, &labels, bag.id, &lengths);
+            let (hn, h_arcs, rep) = build_ddg(engine, labels, bag.id, &lengths);
             for &(from, to, dart) in sep {
                 if let Some(dist) = dijkstra_avoiding(hn, &h_arcs, rep[&to], rep[&from], dart.rev())
                 {

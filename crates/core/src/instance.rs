@@ -6,8 +6,19 @@
 //! then shared by reference counting. A [`crate::solver::PlanarSolver`]
 //! holds an `Arc<PlanarInstance>`, so solvers (and their clones) can
 //! outlive the stack frame that created the graph and can be queried from
-//! many threads, which the old `&'g PlanarGraph`-borrowing façade could
-//! not.
+//! many threads.
+//!
+//! # Copy-on-write respec
+//!
+//! The graph itself lives behind its own `Arc<PlanarGraph>`, so re-speccing
+//! an instance — same road network, new tariffs; same power grid, new line
+//! ratings — costs one capacity/weight vector, never a graph copy:
+//! [`PlanarInstance::with_capacities`] and
+//! [`PlanarInstance::with_edge_weights`] validate the new spec and return a
+//! new `Arc<PlanarInstance>` that *shares the graph allocation* with the
+//! original. [`crate::solver::PlanarSolver::respec`] recognizes that
+//! sharing and reuses the whole topology substrate (dual graph, BDD, dual
+//! bags) for the new spec.
 
 use crate::error::DualityError;
 use duality_planar::{PlanarGraph, Weight};
@@ -26,17 +37,25 @@ use std::sync::Arc;
 /// ```
 /// use duality_core::instance::PlanarInstance;
 /// use duality_planar::gen;
+/// use std::sync::Arc;
 ///
 /// let g = gen::grid(3, 3).unwrap();
 /// let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 7);
 /// let instance = PlanarInstance::new(g, Some(caps), None).unwrap();
-/// assert_eq!(instance.edge_weights().len(), instance.graph().num_edges());
+/// assert_eq!(instance.edge_weights().len(), instance.m());
+///
+/// // Copy-on-write respec: new capacities, same shared graph.
+/// let respecced = instance.with_capacities(vec![2; instance.graph().num_darts()]).unwrap();
+/// assert!(Arc::ptr_eq(instance.graph_arc(), respecced.graph_arc()));
 /// ```
 #[derive(Debug)]
 pub struct PlanarInstance {
-    graph: PlanarGraph,
+    graph: Arc<PlanarGraph>,
     caps: Vec<Weight>,
     weights: Vec<Weight>,
+    /// Memoized [`crate::pool::InstanceKey`], computed on first keyed-pool
+    /// use so repeat pool lookups skip the `O(n + m)` content hash.
+    pub(crate) cached_key: std::sync::OnceLock<crate::pool::InstanceKey>,
 }
 
 impl PlanarInstance {
@@ -57,27 +76,27 @@ impl PlanarInstance {
         capacities: Option<Vec<Weight>>,
         edge_weights: Option<Vec<Weight>>,
     ) -> Result<Arc<Self>, DualityError> {
+        Self::from_shared(Arc::new(graph), capacities, edge_weights)
+    }
+
+    /// [`PlanarInstance::new`] over an already-shared graph: the instance
+    /// keeps the `Arc` (no copy), so many instances — e.g. one per
+    /// capacity scenario — can share one graph allocation, and solvers
+    /// built over them can share one topology substrate.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PlanarInstance::new`].
+    pub fn from_shared(
+        graph: Arc<PlanarGraph>,
+        capacities: Option<Vec<Weight>>,
+        edge_weights: Option<Vec<Weight>>,
+    ) -> Result<Arc<Self>, DualityError> {
         if let Some(caps) = &capacities {
-            if caps.len() != graph.num_darts() {
-                return Err(DualityError::CapacityLengthMismatch {
-                    expected: graph.num_darts(),
-                    got: caps.len(),
-                });
-            }
-            if let Some(d) = caps.iter().position(|&c| c < 0) {
-                return Err(DualityError::NegativeCapacity { dart: d });
-            }
+            validate_capacities(&graph, caps)?;
         }
         if let Some(w) = &edge_weights {
-            if w.len() != graph.num_edges() {
-                return Err(DualityError::WeightLengthMismatch {
-                    expected: graph.num_edges(),
-                    got: w.len(),
-                });
-            }
-            if let Some(e) = w.iter().position(|&x| x < 0) {
-                return Err(DualityError::NegativeWeight { edge: e });
-            }
+            validate_weights(&graph, w)?;
         }
         let (caps, weights) = match (capacities, edge_weights) {
             (Some(c), Some(w)) => (c, w),
@@ -98,12 +117,76 @@ impl PlanarInstance {
             graph,
             caps,
             weights,
+            cached_key: std::sync::OnceLock::new(),
+        }))
+    }
+
+    /// Copy-on-write respec of the capacity side: a new instance with the
+    /// given per-dart capacities, the **same** per-edge weights, and the
+    /// same shared graph allocation (no graph copy — `Arc::ptr_eq` holds
+    /// between the two instances' [`PlanarInstance::graph_arc`]).
+    ///
+    /// Note the asymmetry with [`PlanarInstance::new`]: a respec replaces
+    /// only the named side. Weights derived from the original capacities
+    /// are kept as they are, not re-derived.
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::CapacityLengthMismatch`] /
+    /// [`DualityError::NegativeCapacity`] on an invalid vector.
+    pub fn with_capacities(&self, capacities: Vec<Weight>) -> Result<Arc<Self>, DualityError> {
+        validate_capacities(&self.graph, &capacities)?;
+        Ok(Arc::new(PlanarInstance {
+            graph: Arc::clone(&self.graph),
+            caps: capacities,
+            weights: self.weights.clone(),
+            cached_key: std::sync::OnceLock::new(),
+        }))
+    }
+
+    /// Copy-on-write respec of the weight side: a new instance with the
+    /// given per-edge weights, the **same** per-dart capacities, and the
+    /// same shared graph allocation. See [`PlanarInstance::with_capacities`]
+    /// for the replace-only-the-named-side contract.
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::WeightLengthMismatch`] /
+    /// [`DualityError::NegativeWeight`] on an invalid vector.
+    pub fn with_edge_weights(&self, edge_weights: Vec<Weight>) -> Result<Arc<Self>, DualityError> {
+        validate_weights(&self.graph, &edge_weights)?;
+        Ok(Arc::new(PlanarInstance {
+            graph: Arc::clone(&self.graph),
+            caps: self.caps.clone(),
+            weights: edge_weights,
+            cached_key: std::sync::OnceLock::new(),
         }))
     }
 
     /// The embedded graph.
     pub fn graph(&self) -> &PlanarGraph {
         &self.graph
+    }
+
+    /// The shared graph allocation. Two instances related by
+    /// [`PlanarInstance::with_capacities`] /
+    /// [`PlanarInstance::with_edge_weights`] compare `Arc::ptr_eq` here —
+    /// the witness [`crate::solver::PlanarSolver::respec`] checks before
+    /// sharing the topology substrate.
+    pub fn graph_arc(&self) -> &Arc<PlanarGraph> {
+        &self.graph
+    }
+
+    /// Number of vertices of the instance (shorthand for
+    /// `graph().num_vertices()`).
+    pub fn n(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of edges of the instance (shorthand for
+    /// `graph().num_edges()`).
+    pub fn m(&self) -> usize {
+        self.graph.num_edges()
     }
 
     /// The validated per-dart capacities (`2 * num_edges` entries).
@@ -115,6 +198,47 @@ impl PlanarInstance {
     pub fn edge_weights(&self) -> &[Weight] {
         &self.weights
     }
+}
+
+impl std::fmt::Display for PlanarInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cap_total: Weight = self.caps.iter().sum();
+        let weight_total: Weight = self.weights.iter().sum();
+        write!(
+            f,
+            "planar instance: {} vertices, {} edges, {} faces \
+             (total capacity {cap_total}, total weight {weight_total})",
+            self.n(),
+            self.m(),
+            self.graph.num_faces()
+        )
+    }
+}
+
+fn validate_capacities(graph: &PlanarGraph, caps: &[Weight]) -> Result<(), DualityError> {
+    if caps.len() != graph.num_darts() {
+        return Err(DualityError::CapacityLengthMismatch {
+            expected: graph.num_darts(),
+            got: caps.len(),
+        });
+    }
+    if let Some(d) = caps.iter().position(|&c| c < 0) {
+        return Err(DualityError::NegativeCapacity { dart: d });
+    }
+    Ok(())
+}
+
+fn validate_weights(graph: &PlanarGraph, weights: &[Weight]) -> Result<(), DualityError> {
+    if weights.len() != graph.num_edges() {
+        return Err(DualityError::WeightLengthMismatch {
+            expected: graph.num_edges(),
+            got: weights.len(),
+        });
+    }
+    if let Some(e) = weights.iter().position(|&x| x < 0) {
+        return Err(DualityError::NegativeWeight { edge: e });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -163,6 +287,66 @@ mod tests {
             assert_eq!(i.capacities()[2 * e], w[e]);
             assert_eq!(i.capacities()[2 * e + 1], 0);
         }
+    }
+
+    #[test]
+    fn respec_shares_the_graph_and_replaces_one_side() {
+        let g = gen::grid(4, 3).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 2);
+        let weights = gen::random_edge_weights(g.num_edges(), 1, 9, 3);
+        let base = PlanarInstance::new(g, Some(caps.clone()), Some(weights.clone())).unwrap();
+
+        let new_caps = vec![4; base.graph().num_darts()];
+        let capped = base.with_capacities(new_caps.clone()).unwrap();
+        assert!(Arc::ptr_eq(base.graph_arc(), capped.graph_arc()));
+        assert_eq!(capped.capacities(), &new_caps[..]);
+        assert_eq!(capped.edge_weights(), &weights[..], "weights kept as-is");
+
+        let new_weights = vec![7; base.m()];
+        let weighted = capped.with_edge_weights(new_weights.clone()).unwrap();
+        assert!(Arc::ptr_eq(base.graph_arc(), weighted.graph_arc()));
+        assert_eq!(weighted.edge_weights(), &new_weights[..]);
+        assert_eq!(weighted.capacities(), &new_caps[..], "caps kept as-is");
+
+        // The original is untouched (copy-on-write, not mutation).
+        assert_eq!(base.capacities(), &caps[..]);
+        assert_eq!(base.edge_weights(), &weights[..]);
+    }
+
+    #[test]
+    fn respec_validates_like_construction() {
+        let g = gen::grid(3, 3).unwrap();
+        let base = PlanarInstance::new(g, None, Some(vec![1; 12])).unwrap();
+        assert!(matches!(
+            base.with_capacities(vec![1; 3]),
+            Err(DualityError::CapacityLengthMismatch { .. })
+        ));
+        let mut caps = vec![1; base.graph().num_darts()];
+        caps[3] = -1;
+        assert_eq!(
+            base.with_capacities(caps).err(),
+            Some(DualityError::NegativeCapacity { dart: 3 })
+        );
+        assert!(matches!(
+            base.with_edge_weights(vec![1; 2]),
+            Err(DualityError::WeightLengthMismatch { .. })
+        ));
+        assert_eq!(
+            base.with_edge_weights(vec![-2; base.m()]).err(),
+            Some(DualityError::NegativeWeight { edge: 0 })
+        );
+    }
+
+    #[test]
+    fn shape_accessors_and_display() {
+        let g = gen::grid(3, 4).unwrap();
+        let i = PlanarInstance::new(g, None, Some(vec![2; 17])).unwrap();
+        assert_eq!(i.n(), 12);
+        assert_eq!(i.m(), 17);
+        let line = i.to_string();
+        assert!(line.contains("12 vertices"));
+        assert!(line.contains("17 edges"));
+        assert!(line.contains("total weight 34"));
     }
 
     #[test]

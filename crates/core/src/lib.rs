@@ -21,14 +21,26 @@
 //! estimate, dual graph, branch decomposition, labeling engine) on every
 //! call. For repeated queries, build a [`solver::PlanarSolver`] once: the
 //! solver owns its validated [`instance::PlanarInstance`] (`Arc`-shared,
-//! `Send + Sync`), the substrate is cached behind the façade, every query
+//! `Send + Sync`), the substrate is cached behind the façade in **two
+//! tiers** — a [`solver::TopoSubstrate`] keyed by the embedding alone and
+//! a weight tier keyed by the current capacities/weights — every query
 //! returns a typed report with a [`duality_congest::RoundReport`] round
-//! split, and all failures surface as the one [`DualityError`] type.
-//! Requests are first-class values ([`solver::Query`] /
-//! [`solver::Outcome`]): [`solver::PlanarSolver::run`] executes one,
+//! split (`substrate_topo` / `substrate_weight` / `query`), and all
+//! failures surface as the one [`DualityError`] type. Requests are
+//! first-class values ([`solver::Query`] / [`solver::Outcome`]):
+//! [`solver::PlanarSolver::run`] executes one,
 //! [`solver::PlanarSolver::run_batch`] executes a deduplicated batch on a
-//! worker pool and merges the round bill. The free functions remain as
-//! thin wrappers over the solver for gradual migration.
+//! worker pool and merges the round bill.
+//!
+//! Re-speccing the same network — new tariffs, new line ratings — is
+//! copy-on-write end to end: [`instance::PlanarInstance::with_capacities`]
+//! / [`instance::PlanarInstance::with_edge_weights`] share the graph
+//! allocation, and [`solver::PlanarSolver::respec`] shares the whole
+//! topology substrate, rebuilding only the weight tier. The
+//! [`pool::SolverPool`] serving layer puts a keyed, LRU-evicting,
+//! respec-aware registry of cached solvers in front of all of it. The
+//! free functions remain as thin wrappers over the solver for gradual
+//! migration.
 
 pub mod approx_flow;
 pub mod error;
@@ -36,6 +48,7 @@ pub mod girth;
 pub mod global_cut;
 pub mod instance;
 pub mod max_flow;
+pub mod pool;
 pub mod smoothing;
 pub mod solver;
 pub mod st_cut;
@@ -43,4 +56,7 @@ pub mod verify;
 
 pub use error::DualityError;
 pub use instance::PlanarInstance;
-pub use solver::{BatchReport, Outcome, PlanarSolver, Query, SolverBuilder, SolverStats};
+pub use pool::{InstanceKey, PoolStats, SolverPool};
+pub use solver::{
+    BatchReport, Outcome, PlanarSolver, Query, SolverBuilder, SolverStats, TopoSubstrate,
+};

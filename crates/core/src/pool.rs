@@ -1,0 +1,572 @@
+//! The keyed serving layer: a thread-safe registry of cached solvers.
+//!
+//! A production deployment serves many instances — one road network per
+//! city, one power grid per region — each re-specced over and over as
+//! tariffs or line ratings move. [`SolverPool`] is the front door for that
+//! workload: it maps a cheap [`InstanceKey`] (graph fingerprint + spec
+//! hash) to a cached [`PlanarSolver`], evicts least-recently-used entries
+//! beyond its capacity, and — the point of the two-tier substrate — admits
+//! a re-specced instance by **respeccing a cached solver of the same
+//! shared graph** ([`PlanarSolver::respec`]), so the new entry reuses the
+//! existing `Arc<TopoSubstrate>` instead of rebuilding the dual graph and
+//! BDD. Hit / miss / respec-reuse / eviction counters
+//! ([`SolverPool::stats`]) make the cache behavior auditable.
+//!
+//! # Example
+//!
+//! ```
+//! use duality_core::pool::SolverPool;
+//! use duality_core::{PlanarInstance, Query};
+//! use duality_planar::gen;
+//!
+//! let g = gen::diag_grid(4, 4, 7).unwrap();
+//! let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 7);
+//! let instance = PlanarInstance::new(g, Some(caps), None).unwrap();
+//!
+//! let pool = SolverPool::new(8);
+//! let flow = pool.run(&instance, Query::MaxFlow { s: 0, t: 15 }).unwrap();
+//!
+//! // A re-specced scenario reuses the cached topology substrate.
+//! let surge = instance.with_capacities(vec![9; instance.graph().num_darts()]).unwrap();
+//! let _ = pool.run(&surge, Query::MaxFlow { s: 0, t: 15 }).unwrap();
+//!
+//! let stats = pool.stats();
+//! // Two misses (each spec admitted once), the second served by respec:
+//! // the dual graph and BDD were built once for both.
+//! assert_eq!((stats.misses, stats.respec_reuses), (2, 1));
+//! assert!(flow.as_max_flow().unwrap().value > 0);
+//! ```
+
+use crate::error::DualityError;
+use crate::instance::PlanarInstance;
+use crate::solver::{BatchReport, Outcome, PlanarSolver, Query};
+use duality_planar::PlanarGraph;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+/// A cheap, copyable identity for a `(graph, spec)` pair: a fingerprint of
+/// the embedding (vertex count plus the full rotation system) and a hash
+/// of the capacity/weight vectors. Keys are `Hash + Eq` so they can index
+/// any map — and they name pool entries without holding the instance
+/// alive. The hash runs once per instance (memoized on it); copying and
+/// comparing keys is `O(1)`.
+///
+/// The fingerprint is content-based, not allocation-based: the same graph
+/// built twice keys identically. It is still a 128-bit *hash* — wherever
+/// an instance is available to compare against, the pool treats the key
+/// as a lookup accelerator and verifies full content equality before
+/// serving a cached solver, and its *respec-reuse* path demands
+/// allocation identity (`Arc::ptr_eq`) before sharing a topology
+/// substrate, so a collision can never splice two different problems
+/// together. Only the by-key entry points ([`SolverPool::get`],
+/// [`SolverPool::run_keyed`]) trust the hash alone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct InstanceKey {
+    topo: u64,
+    spec: u64,
+}
+
+impl InstanceKey {
+    /// The key of an instance. The `O(n + m)` content hash runs once per
+    /// instance and is memoized, so repeat pool lookups are `O(1)`.
+    pub fn of(instance: &PlanarInstance) -> InstanceKey {
+        *instance.cached_key.get_or_init(|| InstanceKey {
+            topo: topo_fingerprint(instance.graph()),
+            spec: spec_hash(instance),
+        })
+    }
+
+    /// The embedding fingerprint: equal for every respec of one graph.
+    pub fn topo_fingerprint(&self) -> u64 {
+        self.topo
+    }
+
+    /// The spec hash (capacities + weights): changes on every respec.
+    pub fn spec_hash(&self) -> u64 {
+        self.spec
+    }
+}
+
+impl std::fmt::Display for InstanceKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}/{:016x}", self.topo, self.spec)
+    }
+}
+
+/// Fingerprints the embedding: vertex count plus, per dart, its tail and
+/// its rotation successor — which together determine the rotation system
+/// (and hence faces, dual, and BDD) completely.
+fn topo_fingerprint(g: &PlanarGraph) -> u64 {
+    let mut h = DefaultHasher::new();
+    g.num_vertices().hash(&mut h);
+    g.num_edges().hash(&mut h);
+    for d in g.darts() {
+        g.tail(d).hash(&mut h);
+        g.next_around_tail(d).index().hash(&mut h);
+    }
+    h.finish()
+}
+
+fn spec_hash(instance: &PlanarInstance) -> u64 {
+    let mut h = DefaultHasher::new();
+    instance.capacities().hash(&mut h);
+    instance.edge_weights().hash(&mut h);
+    h.finish()
+}
+
+/// Full content equality of two instances — the collision guard behind
+/// every hash-keyed hit, so a 128-bit key collision degrades to a miss
+/// instead of silently serving another problem's solver. Shared graph
+/// `Arc`s short-circuit; otherwise the embedding is compared dart by dart
+/// (same `O(n + m)` as the hash itself, paid only on a key match).
+fn same_problem(a: &PlanarInstance, b: &PlanarInstance) -> bool {
+    a.capacities() == b.capacities()
+        && a.edge_weights() == b.edge_weights()
+        && same_embedding(a.graph_arc(), b.graph_arc())
+}
+
+fn same_embedding(a: &Arc<PlanarGraph>, b: &Arc<PlanarGraph>) -> bool {
+    if Arc::ptr_eq(a, b) {
+        return true;
+    }
+    a.num_vertices() == b.num_vertices()
+        && a.num_edges() == b.num_edges()
+        && a.darts()
+            .all(|d| a.tail(d) == b.tail(d) && a.next_around_tail(d) == b.next_around_tail(d))
+}
+
+/// Counters of a [`SolverPool`] (see [`SolverPool::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Lookups answered by a cached solver.
+    pub hits: u64,
+    /// Lookups that had to construct a solver.
+    pub misses: u64,
+    /// Misses served by respeccing a cached solver of the same shared
+    /// graph (topology substrate reused — counted *in addition to* the
+    /// miss).
+    pub respec_reuses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Maximum entries the pool retains.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for PoolStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pool: {}/{} entries, {} hits, {} misses ({} respec-reuses), {} evictions",
+            self.len, self.capacity, self.hits, self.misses, self.respec_reuses, self.evictions
+        )
+    }
+}
+
+struct PoolEntry {
+    key: InstanceKey,
+    solver: PlanarSolver,
+}
+
+/// Everything behind one lock: the LRU list (most recently used last) and
+/// the counters, so a lookup updates both atomically.
+struct PoolInner {
+    entries: Vec<PoolEntry>,
+    hits: u64,
+    misses: u64,
+    respec_reuses: u64,
+    evictions: u64,
+}
+
+/// A `Send + Sync` registry of cached solvers, keyed by [`InstanceKey`],
+/// with LRU eviction — see the [module docs](self) for the serving story.
+///
+/// All entry points are `&self`: share one pool across request-handler
+/// threads (e.g. behind an `Arc`).
+pub struct SolverPool {
+    inner: Mutex<PoolInner>,
+    capacity: usize,
+    leaf_threshold: Option<usize>,
+}
+
+impl SolverPool {
+    /// A pool retaining at most `capacity` solvers (clamped to ≥ 1),
+    /// building them with the default BDD leaf threshold.
+    pub fn new(capacity: usize) -> SolverPool {
+        SolverPool {
+            inner: Mutex::new(PoolInner {
+                entries: Vec::new(),
+                hits: 0,
+                misses: 0,
+                respec_reuses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+            leaf_threshold: None,
+        }
+    }
+
+    /// A pool whose solvers are built with a BDD leaf-threshold override
+    /// (applied to every admitted instance).
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::BadLeafThreshold`] below
+    /// [`crate::solver::MIN_LEAF_THRESHOLD`].
+    pub fn with_leaf_threshold(
+        capacity: usize,
+        leaf_threshold: Option<usize>,
+    ) -> Result<SolverPool, DualityError> {
+        if let Some(t) = leaf_threshold {
+            if t < crate::solver::MIN_LEAF_THRESHOLD {
+                return Err(DualityError::BadLeafThreshold { got: t });
+            }
+        }
+        let mut pool = Self::new(capacity);
+        pool.leaf_threshold = leaf_threshold;
+        Ok(pool)
+    }
+
+    /// Maximum entries the pool retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("pool lock").entries.len()
+    }
+
+    /// `true` when no solver is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.inner.lock().expect("pool lock");
+        PoolStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            respec_reuses: inner.respec_reuses,
+            evictions: inner.evictions,
+            len: inner.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// `true` when a solver is cached under `key` (does not touch recency
+    /// or counters).
+    pub fn contains(&self, key: &InstanceKey) -> bool {
+        self.inner
+            .lock()
+            .expect("pool lock")
+            .entries
+            .iter()
+            .any(|e| e.key == *key)
+    }
+
+    /// The cached solver for `instance`, building (or respec-reusing) and
+    /// admitting one on a miss. This is the get-or-insert primitive behind
+    /// [`SolverPool::run`] / [`SolverPool::run_batch`]; the returned
+    /// solver is an `O(1)` clone sharing the cached substrate, so it stays
+    /// valid (and keeps amortizing) even if the entry is evicted later.
+    pub fn solver(&self, instance: &Arc<PlanarInstance>) -> PlanarSolver {
+        let key = InstanceKey::of(instance);
+        let mut inner = self.inner.lock().expect("pool lock");
+        // A hit requires the key AND full content equality — the hash is a
+        // lookup accelerator, never the authority, so a key collision
+        // degrades to an ordinary miss.
+        if let Some(pos) = inner
+            .entries
+            .iter()
+            .position(|e| e.key == key && same_problem(e.solver.instance(), instance))
+        {
+            inner.hits += 1;
+            // Most recently used goes last.
+            let entry = inner.entries.remove(pos);
+            let solver = entry.solver.clone();
+            inner.entries.push(entry);
+            return solver;
+        }
+        inner.misses += 1;
+        // Respec-reuse: a cached solver over the *same shared graph* (same
+        // fingerprint and `Arc::ptr_eq` — fingerprint alone is not trusted)
+        // donates its topology substrate to the new spec.
+        let donor = inner.entries.iter().find(|e| {
+            e.key.topo == key.topo
+                && Arc::ptr_eq(e.solver.instance().graph_arc(), instance.graph_arc())
+        });
+        let solver = match donor {
+            Some(entry) => {
+                let respecced = entry
+                    .solver
+                    .respec(Arc::clone(instance))
+                    .expect("ptr_eq-checked topology cannot mismatch");
+                inner.respec_reuses += 1;
+                respecced
+            }
+            None => PlanarSolver::from_instance_with_threshold(
+                Arc::clone(instance),
+                self.leaf_threshold,
+            )
+            .expect("pool-validated leaf threshold"),
+        };
+        inner.entries.push(PoolEntry {
+            key,
+            solver: solver.clone(),
+        });
+        if inner.entries.len() > self.capacity {
+            inner.entries.remove(0); // least recently used sits first
+            inner.evictions += 1;
+        }
+        solver
+    }
+
+    /// The cached solver under `key`, by key alone (marks it most recently
+    /// used). `None` when the key was never admitted or has been evicted —
+    /// call [`SolverPool::solver`] with the instance to (re)admit it.
+    ///
+    /// With no instance to compare against, a by-key lookup trusts the
+    /// 128-bit content hash; instance-bearing lookups
+    /// ([`SolverPool::solver`] / [`SolverPool::run`]) verify full content
+    /// equality and are immune to key collisions.
+    pub fn get(&self, key: &InstanceKey) -> Option<PlanarSolver> {
+        let mut inner = self.inner.lock().expect("pool lock");
+        let pos = inner.entries.iter().position(|e| e.key == *key)?;
+        inner.hits += 1;
+        let entry = inner.entries.remove(pos);
+        let solver = entry.solver.clone();
+        inner.entries.push(entry);
+        Some(solver)
+    }
+
+    /// Executes one query against the cached solver for `instance`
+    /// (admitting it on a miss).
+    ///
+    /// # Errors
+    ///
+    /// The per-query conditions of [`PlanarSolver::run`].
+    pub fn run(
+        &self,
+        instance: &Arc<PlanarInstance>,
+        query: Query,
+    ) -> Result<Outcome, DualityError> {
+        self.solver(instance).run(query)
+    }
+
+    /// Executes a deduplicated batch against the cached solver for
+    /// `instance` (admitting it on a miss) — see
+    /// [`PlanarSolver::run_batch`].
+    pub fn run_batch(&self, instance: &Arc<PlanarInstance>, queries: &[Query]) -> BatchReport {
+        self.solver(instance).run_batch(queries)
+    }
+
+    /// Executes one query by key alone.
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::UnknownInstanceKey`] when no solver is cached under
+    /// `key`; otherwise the per-query conditions of [`PlanarSolver::run`].
+    pub fn run_keyed(&self, key: &InstanceKey, query: Query) -> Result<Outcome, DualityError> {
+        self.get(key)
+            .ok_or(DualityError::UnknownInstanceKey)?
+            .run(query)
+    }
+
+    /// Executes a deduplicated batch by key alone.
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::UnknownInstanceKey`] when no solver is cached under
+    /// `key`.
+    pub fn run_batch_keyed(
+        &self,
+        key: &InstanceKey,
+        queries: &[Query],
+    ) -> Result<BatchReport, DualityError> {
+        Ok(self
+            .get(key)
+            .ok_or(DualityError::UnknownInstanceKey)?
+            .run_batch(queries))
+    }
+}
+
+impl std::fmt::Debug for SolverPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("SolverPool")
+            .field("capacity", &self.capacity)
+            .field("leaf_threshold", &self.leaf_threshold)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duality_planar::gen;
+
+    fn instance(seed: u64) -> Arc<PlanarInstance> {
+        let g = gen::diag_grid(4, 4, seed).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, seed);
+        PlanarInstance::new(g, Some(caps), None).unwrap()
+    }
+
+    #[test]
+    fn keys_are_content_based() {
+        let a = instance(3);
+        let b = instance(3); // identical build, different allocation
+        assert_eq!(InstanceKey::of(&a), InstanceKey::of(&b));
+        let c = instance(4);
+        assert_ne!(InstanceKey::of(&a), InstanceKey::of(&c));
+
+        // A respec keeps the topology fingerprint, changes the spec hash.
+        let respec = a.with_capacities(vec![5; a.graph().num_darts()]).unwrap();
+        let (ka, kr) = (InstanceKey::of(&a), InstanceKey::of(&respec));
+        assert_eq!(ka.topo_fingerprint(), kr.topo_fingerprint());
+        assert_ne!(ka.spec_hash(), kr.spec_hash());
+        assert_ne!(ka, kr);
+        assert!(ka.to_string().contains('/'));
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let pool = SolverPool::new(4);
+        let i = instance(1);
+        let a = pool.solver(&i);
+        let b = pool.solver(&i);
+        // Cached: both handles share one substrate.
+        assert!(Arc::ptr_eq(a.topo_substrate(), b.topo_substrate()));
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+        assert!(pool.contains(&InstanceKey::of(&i)));
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn respec_miss_reuses_the_topology_substrate() {
+        let pool = SolverPool::new(4);
+        let i = instance(2);
+        let base = pool.solver(&i);
+        let respec = i.with_capacities(vec![3; i.graph().num_darts()]).unwrap();
+        let other = pool.solver(&respec);
+        assert!(
+            Arc::ptr_eq(base.topo_substrate(), other.topo_substrate()),
+            "the respecced entry shares the cached topology tier"
+        );
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.respec_reuses, 1);
+        assert_eq!(stats.len, 2, "both specs stay cached");
+    }
+
+    #[test]
+    fn equal_but_unshared_graphs_get_fresh_substrates() {
+        let pool = SolverPool::new(4);
+        let a = instance(5);
+        let b = instance(5); // same content, different Arc
+        let sa = pool.solver(&a);
+        // Same key: `b` is a *hit* for `a`'s entry (content-based), so no
+        // new solver is built at all.
+        let sb = pool.solver(&b);
+        assert!(Arc::ptr_eq(sa.topo_substrate(), sb.topo_substrate()));
+        // But a respec of `b` misses and must NOT splice onto `a`'s
+        // substrate: the graphs are equal, not shared.
+        let respec = b.with_capacities(vec![2; b.graph().num_darts()]).unwrap();
+        let sr = pool.solver(&respec);
+        assert!(!Arc::ptr_eq(sa.topo_substrate(), sr.topo_substrate()));
+        assert_eq!(pool.stats().respec_reuses, 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let pool = SolverPool::new(2);
+        let (a, b, c) = (instance(1), instance(2), instance(3));
+        let (ka, kb, kc) = (
+            InstanceKey::of(&a),
+            InstanceKey::of(&b),
+            InstanceKey::of(&c),
+        );
+        pool.solver(&a);
+        pool.solver(&b);
+        pool.solver(&a); // refresh a: b is now coldest
+        pool.solver(&c); // evicts b
+        assert!(pool.contains(&ka));
+        assert!(!pool.contains(&kb));
+        assert!(pool.contains(&kc));
+        let stats = pool.stats();
+        assert_eq!((stats.evictions, stats.len), (1, 2));
+        assert!(stats.to_string().contains("1 evictions"));
+    }
+
+    #[test]
+    fn keyed_lookups_answer_or_reject() {
+        let pool = SolverPool::new(2);
+        let i = instance(7);
+        let key = InstanceKey::of(&i);
+        assert_eq!(
+            pool.run_keyed(&key, Query::Girth).err(),
+            Some(DualityError::UnknownInstanceKey)
+        );
+        let t = i.n() - 1;
+        let by_instance = pool.run(&i, Query::MaxFlow { s: 0, t }).unwrap();
+        let by_key = pool.run_keyed(&key, Query::MaxFlow { s: 0, t }).unwrap();
+        assert_eq!(
+            by_instance.as_max_flow().unwrap().value,
+            by_key.as_max_flow().unwrap().value
+        );
+        let batch = pool
+            .run_batch_keyed(&key, &[Query::MaxFlow { s: 0, t }, Query::Girth])
+            .unwrap();
+        assert!(batch.all_ok());
+        assert_eq!(
+            pool.run_batch_keyed(&InstanceKey::of(&instance(8)), &[Query::Girth])
+                .err(),
+            Some(DualityError::UnknownInstanceKey)
+        );
+    }
+
+    #[test]
+    fn pool_is_shared_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolverPool>();
+
+        let pool = Arc::new(SolverPool::new(4));
+        let i = instance(9);
+        let t = i.n() - 1;
+        let values: Vec<i64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let pool = Arc::clone(&pool);
+                    let i = Arc::clone(&i);
+                    scope.spawn(move || {
+                        pool.run(&i, Query::MaxFlow { s: 0, t })
+                            .unwrap()
+                            .as_max_flow()
+                            .unwrap()
+                            .value
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(values.windows(2).all(|w| w[0] == w[1]));
+        let stats = pool.stats();
+        assert_eq!(stats.hits + stats.misses, 4);
+        assert_eq!(stats.len, 1, "one instance, one entry");
+    }
+
+    #[test]
+    fn bad_leaf_threshold_is_rejected_up_front() {
+        assert!(matches!(
+            SolverPool::with_leaf_threshold(4, Some(1)),
+            Err(DualityError::BadLeafThreshold { got: 1 })
+        ));
+        assert!(SolverPool::with_leaf_threshold(4, Some(8)).is_ok());
+        assert_eq!(SolverPool::new(0).capacity(), 1, "capacity clamps to 1");
+    }
+}

@@ -15,14 +15,27 @@
 //! | embedded dual graph `G*` | first [`Query::Girth`] | girth |
 //! | BDD + dual bags + labeling engine | first flow/cut query | max-flow, min st-cut, global cut |
 //!
+//! The substrate is **two-tier**. [`TopoSubstrate`] holds everything keyed
+//! by the embedding alone — the hop-diameter [`CostModel`], the embedded
+//! dual graph, and the BDD + dual bags + separators of the labeling
+//! engine. The weight tier holds what is keyed by the current
+//! capacities/weights — today, the dual distance labels at the instance
+//! lengths that the global-cut pipeline consumes. The split pays off at
+//! [`PlanarSolver::respec`]: re-speccing the same network with new
+//! capacities or weights returns a new solver that *shares the
+//! `Arc<TopoSubstrate>`* and rebuilds only the weight tier, so a K-scenario
+//! sweep charges the topology rounds once (auditable in every
+//! [`duality_congest::RoundReport`], which now splits `substrate_topo`
+//! from `substrate_weight`).
+//!
 //! The solver owns its instance (an [`Arc<PlanarInstance>`]), is
 //! `Send + Sync`, and clones in `O(1)` by sharing the instance **and** the
 //! caches: artifacts are memoized behind `OnceLock`s, and the rounds
-//! charged while building them accumulate in a mutex-guarded **substrate
-//! ledger** that every query reports alongside its own marginal cost (see
-//! [`duality_congest::RoundReport`]). Build counters
-//! ([`PlanarSolver::stats`]) let tests assert that issuing many queries —
-//! even concurrently — constructs each artifact exactly once.
+//! charged while building them accumulate in mutex-guarded per-tier
+//! **substrate ledgers** that every query reports alongside its own
+//! marginal cost. Build counters ([`PlanarSolver::stats`]) let tests
+//! assert that issuing many queries — even concurrently, even across
+//! respecs — constructs each artifact exactly once.
 //!
 //! # The query layer
 //!
@@ -70,7 +83,7 @@ use crate::error::DualityError;
 use crate::instance::PlanarInstance;
 use crate::{approx_flow, girth, global_cut, max_flow, st_cut};
 use duality_congest::{CostLedger, CostModel, RoundReport};
-use duality_labeling::DualSsspEngine;
+use duality_labeling::{DualLabels, DualSsspEngine};
 use duality_planar::{dual, Dart, FaceId, PlanarGraph, Weight};
 use std::borrow::Cow;
 use std::collections::HashMap;
@@ -165,12 +178,21 @@ pub(crate) fn clamp_legacy_threshold(threshold: Option<usize>) -> Option<usize> 
 }
 
 /// Snapshot of the solver's build counters, for cache-reuse assertions.
+///
+/// `engine_builds` and `dual_builds` live in the shared [`TopoSubstrate`],
+/// so they stay ≤ 1 across *all* solvers derived from one topology via
+/// [`PlanarSolver::respec`]; `label_builds` lives in the per-spec weight
+/// tier (≤ 1 per solver, rebuilt on respec); `queries` is per solver.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SolverStats {
-    /// Times the BDD + dual-bag labeling engine was constructed (≤ 1).
+    /// Times the BDD + dual-bag labeling engine was constructed (≤ 1 per
+    /// topology, shared across respecs).
     pub engine_builds: u32,
-    /// Times the embedded dual graph was constructed (≤ 1).
+    /// Times the embedded dual graph was constructed (≤ 1 per topology,
+    /// shared across respecs).
     pub dual_builds: u32,
+    /// Times the instance-weight dual labels were computed (≤ 1 per spec).
+    pub label_builds: u32,
     /// Queries answered so far (batch duplicates are answered once).
     pub queries: u32,
 }
@@ -389,6 +411,12 @@ impl Query {
     fn needs_dual(&self) -> bool {
         matches!(self, Query::Girth)
     }
+
+    /// Does this query consume the weight tier's cached instance-weight
+    /// dual labels?
+    fn needs_weight_labels(&self) -> bool {
+        matches!(self, Query::GlobalMinCut)
+    }
 }
 
 impl std::fmt::Display for Query {
@@ -554,27 +582,185 @@ impl std::fmt::Display for BatchReport {
     }
 }
 
-/// The state one solver and all its clones share: the owned instance, the
-/// lazily built substrate artifacts, the substrate ledger and the build
-/// counters. Thread-safe throughout (`OnceLock` / `Mutex` / atomics).
-struct SolverShared {
-    // Declared before `instance` so the engine's borrows are dropped
-    // before the `Arc` that keeps the borrowed graph alive.
+/// The **topology tier** of the substrate: every artifact keyed by the
+/// embedding (and the BDD leaf threshold) alone — the hop-diameter
+/// [`CostModel`], the embedded dual graph `G*`, and the labeling engine
+/// (BDD + dual bags + `F_X`/`S_X` separators). None of these read a
+/// capacity or a weight, so *one* `Arc<TopoSubstrate>` serves every spec
+/// of the same network: [`PlanarSolver::respec`] shares it (pointer
+/// equality, see [`PlanarSolver::topo_substrate`]) and the rounds in its
+/// ledger are charged once across the whole respec sweep.
+///
+/// Thread-safe throughout (`OnceLock` / `Mutex` / atomics); artifacts are
+/// built lazily on first use and exactly once.
+pub struct TopoSubstrate {
+    // Declared before `graph` so the engine's borrow is dropped before
+    // the `Arc` that keeps the borrowed graph alive.
     //
     // SAFETY invariant: the `'static` lifetime is an erasure. The engine
-    // borrows `instance.graph()`, whose heap allocation is owned by the
-    // `instance` field below and never moves; the engine is only ever
-    // exposed with its lifetime shrunk back to a borrow of the solver
-    // (covariance), so the borrow cannot outlive the graph.
+    // borrows `*self.graph`, whose heap allocation is pinned by the
+    // `graph` field below for at least as long as this substrate (and
+    // never moves); the engine is only ever exposed with its lifetime
+    // shrunk back to a borrow of the substrate (covariance), so the
+    // borrow cannot outlive the graph.
     engine: OnceLock<DualSsspEngine<'static>>,
     dual: OnceLock<PlanarGraph>,
     cost_model: OnceLock<CostModel>,
-    /// Rounds charged while building substrate artifacts (one-off).
-    substrate: Mutex<CostLedger>,
+    /// Rounds charged while building topology artifacts (one-off per
+    /// embedding).
+    ledger: Mutex<CostLedger>,
     engine_builds: AtomicU32,
     dual_builds: AtomicU32,
-    queries: AtomicU32,
     leaf_threshold: Option<usize>,
+    /// The substrate's own pin on the graph allocation: the engine's
+    /// borrow stays valid even if every instance sharing this topology is
+    /// dropped or re-specced away.
+    graph: Arc<PlanarGraph>,
+}
+
+impl TopoSubstrate {
+    fn new(graph: Arc<PlanarGraph>, leaf_threshold: Option<usize>) -> TopoSubstrate {
+        TopoSubstrate {
+            engine: OnceLock::new(),
+            dual: OnceLock::new(),
+            cost_model: OnceLock::new(),
+            ledger: Mutex::new(CostLedger::new()),
+            engine_builds: AtomicU32::new(0),
+            dual_builds: AtomicU32::new(0),
+            leaf_threshold,
+            graph,
+        }
+    }
+
+    /// The BDD leaf-threshold override this topology was built with.
+    pub fn leaf_threshold(&self) -> Option<usize> {
+        self.leaf_threshold
+    }
+
+    /// Snapshot of the rounds charged for topology-tier construction.
+    pub fn rounds(&self) -> CostLedger {
+        self.ledger.lock().expect("topo substrate lock").clone()
+    }
+
+    /// The CONGEST cost model (measures the hop diameter on first use; the
+    /// BFS-flood charge lands in the topology ledger).
+    fn cost_model(&self) -> CostModel {
+        *self.cost_model.get_or_init(|| {
+            let cm = CostModel::new(self.graph.num_vertices(), self.graph.diameter());
+            // Distributedly the diameter estimate is a BFS flood + upcast.
+            self.ledger
+                .lock()
+                .expect("topo substrate lock")
+                .charge("substrate-diameter", cm.bfs(cm.d) + cm.global_aggregate());
+            cm
+        })
+    }
+
+    fn engine(&self) -> &DualSsspEngine<'_> {
+        let cm = self.cost_model();
+        self.engine.get_or_init(|| {
+            self.engine_builds.fetch_add(1, Ordering::Relaxed);
+            let mut ledger = self.ledger.lock().expect("topo substrate lock");
+            // SAFETY: the reference points into the allocation owned by
+            // `self.graph`; that `Arc` pins it for at least as long as
+            // this substrate (and hence the engine stored next to it)
+            // exists, and `PlanarGraph` has no interior mutability. The
+            // erased `'static` never escapes: every public accessor
+            // shrinks it back to a borrow of the substrate (covariance of
+            // `DualSsspEngine<'g>` in `'g`).
+            let graph: &'static PlanarGraph = unsafe { &*std::ptr::from_ref(self.graph.as_ref()) };
+            DualSsspEngine::new(graph, &cm, self.leaf_threshold, &mut ledger)
+        })
+    }
+
+    fn dual_graph(&self) -> &PlanarGraph {
+        let cm = self.cost_model();
+        self.dual.get_or_init(|| {
+            self.dual_builds.fetch_add(1, Ordering::Relaxed);
+            self.ledger
+                .lock()
+                .expect("topo substrate lock")
+                .charge("substrate-dual", cm.dual_part_wise_aggregation());
+            dual::dual_graph(&self.graph)
+                .expect("the dual of a valid embedding is a valid embedding")
+        })
+    }
+}
+
+/// The **weight tier** of the substrate: artifacts keyed by the current
+/// capacities/weights on top of one topology — today, the dual distance
+/// labels at the instance lengths (forward dart = edge weight, reversal
+/// free) that the global-cut pipeline consumes. Rebuilt per spec
+/// ([`PlanarSolver::respec`] starts a fresh one), amortized across the
+/// queries of that spec.
+struct WeightSubstrate {
+    // Declared before `topo` so the labels' borrow of the engine is
+    // dropped before the `Arc` that keeps the engine's substrate alive.
+    //
+    // SAFETY invariant: the `'static` lifetimes are erasures. The labels
+    // borrow the engine stored inside `*topo` (which in turn borrows the
+    // graph pinned by `*topo`); the `topo` field below keeps that
+    // allocation alive for at least as long as this tier, and the labels
+    // are only ever exposed with their lifetimes shrunk back to a borrow
+    // of the solver (covariance).
+    labels: OnceLock<DualLabels<'static, 'static>>,
+    /// Rounds charged while building weight-tier artifacts (one-off per
+    /// spec).
+    ledger: Mutex<CostLedger>,
+    label_builds: AtomicU32,
+    topo: Arc<TopoSubstrate>,
+}
+
+impl WeightSubstrate {
+    fn new(topo: Arc<TopoSubstrate>) -> WeightSubstrate {
+        WeightSubstrate {
+            labels: OnceLock::new(),
+            ledger: Mutex::new(CostLedger::new()),
+            label_builds: AtomicU32::new(0),
+            topo,
+        }
+    }
+
+    fn rounds(&self) -> CostLedger {
+        self.ledger.lock().expect("weight substrate lock").clone()
+    }
+
+    /// The cached dual distance labels at the instance lengths (forward
+    /// dart = edge weight, reversal dart = 0). The labeling broadcasts are
+    /// charged to the weight-tier ledger exactly once per spec.
+    fn labels(&self, weights: &[Weight]) -> &DualLabels<'static, 'static> {
+        self.labels.get_or_init(|| {
+            self.label_builds.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: same erasure as `TopoSubstrate::engine` — the engine
+            // reference (and its own graph borrow, already `'static`-erased
+            // inside the substrate) points into the `TopoSubstrate`
+            // allocation pinned by `self.topo`, which outlives the labels
+            // stored next to it. The cast only renames the already-erased
+            // inner lifetime.
+            let engine: &'static DualSsspEngine<'static> = unsafe {
+                &*std::ptr::from_ref(self.topo.engine()).cast::<DualSsspEngine<'static>>()
+            };
+            let mut lengths = vec![0; engine.graph.num_darts()];
+            for (e, &w) in weights.iter().enumerate() {
+                lengths[Dart::forward(e).index()] = w;
+            }
+            let mut ledger = self.ledger.lock().expect("weight substrate lock");
+            engine
+                .labels(&lengths, &mut ledger)
+                .expect("non-negative lengths have no negative cycle")
+        })
+    }
+}
+
+/// The state one solver and all its clones share: the owned instance, the
+/// two substrate tiers and the query counter. Thread-safe throughout.
+struct SolverShared {
+    /// Per-spec weight tier (holds its own `Arc` to the topology tier).
+    weight: WeightSubstrate,
+    /// Shared topology tier — `respec` clones this `Arc` into the new
+    /// solver instead of rebuilding.
+    topo: Arc<TopoSubstrate>,
+    queries: AtomicU32,
     instance: Arc<PlanarInstance>,
 }
 
@@ -610,9 +796,10 @@ impl std::fmt::Debug for PlanarSolver {
         f.debug_struct("PlanarSolver")
             .field("vertices", &self.graph().num_vertices())
             .field("edges", &self.graph().num_edges())
-            .field("leaf_threshold", &self.shared.leaf_threshold)
-            .field("engine_cached", &self.shared.engine.get().is_some())
-            .field("dual_cached", &self.shared.dual.get().is_some())
+            .field("leaf_threshold", &self.shared.topo.leaf_threshold)
+            .field("engine_cached", &self.shared.topo.engine.get().is_some())
+            .field("dual_cached", &self.shared.topo.dual.get().is_some())
+            .field("labels_cached", &self.shared.weight.labels.get().is_some())
             .field("stats", &self.stats())
             .finish()
     }
@@ -656,19 +843,103 @@ impl PlanarSolver {
     }
 
     fn new_shared(instance: Arc<PlanarInstance>, leaf_threshold: Option<usize>) -> PlanarSolver {
+        let topo = Arc::new(TopoSubstrate::new(
+            Arc::clone(instance.graph_arc()),
+            leaf_threshold,
+        ));
+        Self::over_substrate(instance, topo)
+    }
+
+    fn over_substrate(instance: Arc<PlanarInstance>, topo: Arc<TopoSubstrate>) -> PlanarSolver {
         PlanarSolver {
             shared: Arc::new(SolverShared {
-                engine: OnceLock::new(),
-                dual: OnceLock::new(),
-                cost_model: OnceLock::new(),
-                substrate: Mutex::new(CostLedger::new()),
-                engine_builds: AtomicU32::new(0),
-                dual_builds: AtomicU32::new(0),
+                weight: WeightSubstrate::new(Arc::clone(&topo)),
+                topo,
                 queries: AtomicU32::new(0),
-                leaf_threshold,
                 instance,
             }),
         }
+    }
+
+    /// Re-specs the solver onto `instance` — same topology, new
+    /// capacities/weights — returning a new solver that **shares this
+    /// solver's `Arc<TopoSubstrate>`** (hop diameter, dual graph, BDD +
+    /// dual bags: everything keyed by the embedding) and rebuilds only the
+    /// weight tier. Across a K-scenario sweep the topology rounds are
+    /// therefore charged once; each report's `substrate_weight` share
+    /// carries the per-spec rebuild.
+    ///
+    /// The instance must share the original graph allocation — build it
+    /// with [`PlanarInstance::with_capacities`] /
+    /// [`PlanarInstance::with_edge_weights`] (or
+    /// [`PlanarInstance::from_shared`] over the same `Arc`).
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::TopologyMismatch`] when `instance` does not share
+    /// this solver's graph allocation (`Arc::ptr_eq`): an equal-looking
+    /// graph from a different allocation gets a fresh solver, not a shared
+    /// substrate.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use duality_core::solver::PlanarSolver;
+    /// use duality_planar::gen;
+    /// use std::sync::Arc;
+    ///
+    /// let g = gen::diag_grid(4, 4, 7).unwrap();
+    /// let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 7);
+    /// let solver = PlanarSolver::builder(&g).capacities(caps).build().unwrap();
+    /// let base = solver.max_flow(0, 15).unwrap();
+    ///
+    /// // Same network, doubled line ratings: the BDD is not rebuilt.
+    /// let doubled: Vec<i64> = solver.capacities().iter().map(|&c| 2 * c).collect();
+    /// let respecced = solver.respec_capacities(doubled).unwrap();
+    /// assert!(Arc::ptr_eq(solver.topo_substrate(), respecced.topo_substrate()));
+    /// assert_eq!(respecced.max_flow(0, 15).unwrap().value, 2 * base.value);
+    /// assert_eq!(respecced.stats().engine_builds, 1, "shared, not rebuilt");
+    /// ```
+    pub fn respec(&self, instance: Arc<PlanarInstance>) -> Result<PlanarSolver, DualityError> {
+        if !Arc::ptr_eq(instance.graph_arc(), &self.shared.topo.graph) {
+            return Err(DualityError::TopologyMismatch);
+        }
+        Ok(Self::over_substrate(
+            instance,
+            Arc::clone(&self.shared.topo),
+        ))
+    }
+
+    /// [`PlanarSolver::respec`] with new per-dart capacities (weights kept
+    /// as they are) — copy-on-write via
+    /// [`PlanarInstance::with_capacities`].
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::CapacityLengthMismatch`] /
+    /// [`DualityError::NegativeCapacity`] on an invalid vector.
+    pub fn respec_capacities(&self, capacities: Vec<Weight>) -> Result<PlanarSolver, DualityError> {
+        self.respec(self.shared.instance.with_capacities(capacities)?)
+    }
+
+    /// [`PlanarSolver::respec`] with new per-edge weights (capacities kept
+    /// as they are) — copy-on-write via
+    /// [`PlanarInstance::with_edge_weights`].
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::WeightLengthMismatch`] /
+    /// [`DualityError::NegativeWeight`] on an invalid vector.
+    pub fn respec_edge_weights(&self, weights: Vec<Weight>) -> Result<PlanarSolver, DualityError> {
+        self.respec(self.shared.instance.with_edge_weights(weights)?)
+    }
+
+    /// The shared topology tier. Two solvers related by
+    /// [`PlanarSolver::respec`] return the *same* `Arc` here
+    /// (`Arc::ptr_eq`) — the auditable witness that the dual graph, BDD
+    /// and dual bags were reused rather than rebuilt.
+    pub fn topo_substrate(&self) -> &Arc<TopoSubstrate> {
+        &self.shared.topo
     }
 
     /// The shared instance (graph + capacities + weights).
@@ -691,58 +962,60 @@ impl PlanarSolver {
         self.shared.instance.edge_weights()
     }
 
-    /// Build counters (cache-reuse evidence), shared with every clone.
+    /// Build counters (cache-reuse evidence), shared with every clone;
+    /// the engine/dual counters are shared with every respec too.
     pub fn stats(&self) -> SolverStats {
         SolverStats {
-            engine_builds: self.shared.engine_builds.load(Ordering::Relaxed),
-            dual_builds: self.shared.dual_builds.load(Ordering::Relaxed),
+            engine_builds: self.shared.topo.engine_builds.load(Ordering::Relaxed),
+            dual_builds: self.shared.topo.dual_builds.load(Ordering::Relaxed),
+            label_builds: self.shared.weight.label_builds.load(Ordering::Relaxed),
             queries: self.shared.queries.load(Ordering::Relaxed),
         }
     }
 
-    /// Snapshot of the rounds charged for substrate construction so far.
+    /// Snapshot of the rounds charged for substrate construction so far,
+    /// both tiers flattened (topology phases first). Use
+    /// [`PlanarSolver::substrate_topo_rounds`] /
+    /// [`PlanarSolver::substrate_weight_rounds`] for the per-tier split.
     pub fn substrate_rounds(&self) -> CostLedger {
-        self.shared
-            .substrate
-            .lock()
-            .expect("substrate lock")
-            .clone()
+        let mut out = self.shared.topo.rounds();
+        out.absorb(&self.shared.weight.rounds());
+        out
+    }
+
+    /// Snapshot of the topology tier's ledger (charged once per embedding,
+    /// shared across respecs).
+    pub fn substrate_topo_rounds(&self) -> CostLedger {
+        self.shared.topo.rounds()
+    }
+
+    /// Snapshot of the weight tier's ledger (charged once per spec,
+    /// rebuilt on respec).
+    pub fn substrate_weight_rounds(&self) -> CostLedger {
+        self.shared.weight.rounds()
     }
 
     /// The CONGEST cost model (measures the hop diameter on first use; the
-    /// BFS-flood charge lands in the substrate ledger).
+    /// BFS-flood charge lands in the topology ledger).
     pub fn cost_model(&self) -> CostModel {
-        *self.shared.cost_model.get_or_init(|| {
-            let g = self.graph();
-            let cm = CostModel::new(g.num_vertices(), g.diameter());
-            // Distributedly the diameter estimate is a BFS flood + upcast.
-            self.shared
-                .substrate
-                .lock()
-                .expect("substrate lock")
-                .charge("substrate-diameter", cm.bfs(cm.d) + cm.global_aggregate());
-            cm
-        })
+        self.shared.topo.cost_model()
     }
 
     /// The cached labeling engine (BDD + dual bags + separators), built on
-    /// first use with its `Õ(D)`-per-level charges in the substrate ledger.
+    /// first use with its `Õ(D)`-per-level charges in the topology ledger.
     fn engine(&self) -> &DualSsspEngine<'_> {
-        let cm = self.cost_model();
-        self.shared.engine.get_or_init(|| {
-            self.shared.engine_builds.fetch_add(1, Ordering::Relaxed);
-            let mut ledger = self.shared.substrate.lock().expect("substrate lock");
-            // SAFETY: the reference points into the `PlanarInstance` owned
-            // by `self.shared.instance`; the `Arc` pins that allocation for
-            // at least as long as `self.shared` (and hence the engine
-            // stored next to it) exists, and `PlanarGraph` has no interior
-            // mutability. The erased `'static` never escapes: every public
-            // accessor shrinks it back to a borrow of `self` (covariance
-            // of `DualSsspEngine<'g>` in `'g`).
-            let graph: &'static PlanarGraph =
-                unsafe { &*std::ptr::from_ref(self.shared.instance.graph()) };
-            DualSsspEngine::new(graph, &cm, self.shared.leaf_threshold, &mut ledger)
-        })
+        self.shared.topo.engine()
+    }
+
+    /// The weight tier's cached dual distance labels at the instance
+    /// lengths, built on first use with the labeling broadcasts charged to
+    /// the weight ledger (once per spec — the global-cut query's biggest
+    /// share, amortized across repeats and rebuilt on respec).
+    fn weight_labels(&self) -> &DualLabels<'_, '_> {
+        self.engine(); // charge the topology tier first, in build order
+        self.shared
+            .weight
+            .labels(self.shared.instance.edge_weights())
     }
 
     /// The cached labeling engine (advanced API): the BDD, dual bags and
@@ -755,17 +1028,7 @@ impl PlanarSolver {
 
     /// The cached embedded dual graph `G*`.
     pub fn dual_graph(&self) -> &PlanarGraph {
-        let cm = self.cost_model();
-        self.shared.dual.get_or_init(|| {
-            self.shared.dual_builds.fetch_add(1, Ordering::Relaxed);
-            self.shared
-                .substrate
-                .lock()
-                .expect("substrate lock")
-                .charge("substrate-dual", cm.dual_part_wise_aggregation());
-            dual::dual_graph(self.graph())
-                .expect("the dual of a valid embedding is a valid embedding")
-        })
+        self.shared.topo.dual_graph()
     }
 
     fn check_endpoints(&self, s: usize, t: usize) -> Result<(), DualityError> {
@@ -818,7 +1081,8 @@ impl PlanarSolver {
     fn report(&self, query: CostLedger) -> RoundReport {
         self.shared.queries.fetch_add(1, Ordering::Relaxed);
         RoundReport {
-            substrate: self.substrate_rounds(),
+            substrate_topo: self.shared.topo.rounds(),
+            substrate_weight: self.shared.weight.rounds(),
             query,
         }
     }
@@ -853,7 +1117,11 @@ impl PlanarSolver {
     }
 
     /// Executes a heterogeneous batch of queries across a pool of
-    /// `threads` `std::thread` workers.
+    /// `threads` `std::thread` workers. `threads` is clamped to
+    /// `1..=unique_queries`, so `threads == 0` runs serially (exactly like
+    /// `threads == 1`) rather than erroring — a batch has no meaningful
+    /// zero-worker execution, and round accounting is thread-count
+    /// independent anyway.
     ///
     /// Identical queries are **deduplicated**: each distinct query runs
     /// once and its outcome is cloned into every input position. Before
@@ -904,6 +1172,9 @@ impl PlanarSolver {
         if viable.iter().any(Query::needs_dual) {
             self.dual_graph();
         }
+        if viable.iter().any(Query::needs_weight_labels) {
+            self.weight_labels();
+        }
 
         let threads = threads.clamp(1, unique.len().max(1));
         let results: Vec<OnceLock<Result<Outcome, DualityError>>> =
@@ -930,7 +1201,8 @@ impl PlanarSolver {
             .collect();
 
         let rounds = RoundReport::batched(
-            self.substrate_rounds(),
+            self.shared.topo.rounds(),
+            self.shared.weight.rounds(),
             results
                 .iter()
                 .filter_map(|r| r.as_ref().ok())
@@ -1131,9 +1403,13 @@ impl PlanarSolver {
         self.precheck(Query::GlobalMinCut)?;
         let cm = self.cost_model();
         let engine = self.engine();
+        // The labels at the instance lengths are a weight-tier artifact:
+        // computed once per spec (charged there), reused by every repeat
+        // of this query, rebuilt on respec.
+        let labels = self.weight_labels();
         let mut query = CostLedger::new();
         let (value, side, cut_edges) =
-            global_cut::run_global_cut(engine, &cm, self.edge_weights(), &mut query);
+            global_cut::run_global_cut(engine, labels, &cm, self.edge_weights(), &mut query);
         Ok(GlobalCutReport {
             value,
             side,
@@ -1345,9 +1621,11 @@ mod tests {
             first.rounds.substrate_total(),
             second.rounds.substrate_total()
         );
-        // The marginal cost excludes the BDD build.
+        // The marginal cost excludes the BDD build, which is charged to
+        // the topology tier (never the weight tier).
         assert_eq!(second.rounds.query.phase_total("bdd-build"), 0);
-        assert!(second.rounds.substrate.phase_total("bdd-build") > 0);
+        assert!(second.rounds.substrate_topo.phase_total("bdd-build") > 0);
+        assert_eq!(second.rounds.substrate_weight.phase_total("bdd-build"), 0);
     }
 
     #[test]
@@ -1586,6 +1864,117 @@ mod tests {
         assert!(batch.outcomes[0].is_err() && batch.outcomes[1].is_ok());
         assert_eq!(solver.stats().engine_builds, 0, "engine not prewarmed");
         assert_eq!(solver.stats().dual_builds, 1);
+    }
+
+    #[test]
+    fn respec_shares_the_topology_tier_and_rebuilds_the_weight_tier() {
+        let g = gen::diag_grid(5, 4, 17).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 17);
+        let solver = PlanarSolver::builder(&g)
+            .capacities(caps.clone())
+            .build()
+            .unwrap();
+        let t = g.num_vertices() - 1;
+        let flow = solver.max_flow(0, t).unwrap();
+        let cut = solver.global_min_cut().unwrap();
+        assert_eq!(solver.stats().label_builds, 1, "weight labels cached");
+
+        // Respec: same topology Arc, weight tier starts empty.
+        let doubled: Vec<Weight> = caps.iter().map(|&c| 2 * c).collect();
+        let respecced = solver.respec_capacities(doubled.clone()).unwrap();
+        assert!(Arc::ptr_eq(
+            solver.topo_substrate(),
+            respecced.topo_substrate()
+        ));
+        assert_eq!(respecced.stats().engine_builds, 1, "shared counter");
+        assert_eq!(respecced.stats().label_builds, 0, "weight tier fresh");
+
+        let flow2 = respecced.max_flow(0, t).unwrap();
+        assert_eq!(flow2.value, 2 * flow.value);
+        // Topology rounds identical (same ledger snapshot — charged once
+        // for the pair); the weight tier was rebuilt for the new spec.
+        assert_eq!(
+            flow2.rounds.substrate_topo.total(),
+            flow.rounds.substrate_topo.total()
+        );
+        let cut2 = respecced.global_min_cut().unwrap();
+        assert_eq!(respecced.stats().label_builds, 1, "rebuilt once per spec");
+        assert_eq!(cut2.value, cut.value, "weights were kept by the respec");
+        assert!(
+            cut2.rounds.substrate_weight.total() > 0,
+            "per-spec labeling charge"
+        );
+
+        // The engine was never rebuilt: one BDD across both solvers.
+        assert_eq!(solver.stats().engine_builds, 1);
+    }
+
+    #[test]
+    fn respec_rejects_a_foreign_topology() {
+        let g = gen::diag_grid(4, 4, 3).unwrap();
+        let solver = grid_solver(&g, 3);
+        // Identical graph content, different allocation: not respecable.
+        let other = PlanarInstance::new(
+            g.clone(),
+            Some(solver.capacities().to_vec()),
+            Some(solver.edge_weights().to_vec()),
+        )
+        .unwrap();
+        assert_eq!(
+            solver.respec(other).err(),
+            Some(DualityError::TopologyMismatch)
+        );
+        // The happy path: a copy-on-write respec of the solver's own
+        // instance shares the allocation and is accepted.
+        let cow = solver
+            .instance()
+            .with_capacities(vec![1; g.num_darts()])
+            .unwrap();
+        assert!(solver.respec(cow).is_ok());
+    }
+
+    #[test]
+    fn zero_threads_clamp_to_serial_execution() {
+        // The documented contract: `threads == 0` is not an error — the
+        // count clamps to 1 and the batch runs serially, with outcomes and
+        // bill identical to an explicit single-thread run.
+        let g = gen::diag_grid(4, 4, 12).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 12);
+        let t = g.num_vertices() - 1;
+        let queries = [Query::MaxFlow { s: 0, t }, Query::Girth];
+
+        let zero = PlanarSolver::builder(&g)
+            .capacities(caps.clone())
+            .build()
+            .unwrap()
+            .run_batch_on(&queries, 0);
+        let one = PlanarSolver::builder(&g)
+            .capacities(caps)
+            .build()
+            .unwrap()
+            .run_batch_on(&queries, 1);
+
+        assert_eq!(zero.threads, 1, "zero workers clamp to one");
+        assert!(zero.all_ok());
+        assert_eq!(zero.rounds.total(), one.rounds.total());
+        assert_eq!(
+            zero.outcomes[0]
+                .as_ref()
+                .unwrap()
+                .as_max_flow()
+                .unwrap()
+                .value,
+            one.outcomes[0]
+                .as_ref()
+                .unwrap()
+                .as_max_flow()
+                .unwrap()
+                .value
+        );
+        assert_eq!(
+            zero.outcomes[1].as_ref().unwrap().as_girth().unwrap().girth,
+            one.outcomes[1].as_ref().unwrap().as_girth().unwrap().girth
+        );
     }
 
     #[test]

@@ -1,10 +1,10 @@
-//! Scenario: bottleneck analysis of a road network.
+//! Scenario: bottleneck analysis of a road network, served from a pool.
 //!
 //! Road networks are the paper's motivating planar workload. We model a
 //! city district as a randomly triangulated grid whose edge capacities are
 //! lane counts, and answer two planning questions distributedly as **one
-//! typed batch on one solver** — both queries share the decomposition, the
-//! merged bill charges it once, and a duplicated query costs nothing:
+//! typed batch** — both queries share the decomposition, the merged bill
+//! charges it once, and a duplicated query costs nothing:
 //!
 //! 1. *What is the worst-case s→t throughput, and which streets form the
 //!    bottleneck?* — exact directed min st-cut (Theorem 6.1).
@@ -12,11 +12,18 @@
 //!    (Theorem 1.5): the cheapest set of one-way closures that cuts some
 //!    part of the city off.
 //!
+//! The serving layer is a [`duality::SolverPool`]: the dashboard backend
+//! hands it instances (keyed by graph fingerprint + spec hash) and the
+//! pool caches solvers with LRU eviction. When rush hour re-specs the
+//! lane counts, the pool admits the new scenario by **respeccing** the
+//! cached solver — the dual graph and decomposition are reused, visible
+//! in the `respec_reuses` counter and the shared `substrate_topo` bill.
+//!
 //! Run with: `cargo run --release --example road_network_cut`
 
 use duality::core::verify;
 use duality::planar::gen;
-use duality::{PlanarSolver, Query};
+use duality::{InstanceKey, PlanarInstance, Query, SolverPool};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // District: 9x7 blocks with diagonal shortcuts; lanes in [1, 4].
@@ -24,24 +31,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lanes = gen::random_edge_weights(g.num_edges(), 1, 4, 99);
 
     // Directed capacities (one-way streets) are derived from the per-edge
-    // lane counts by the builder: forward darts carry the lanes, reversals
-    // are closed.
-    let solver = PlanarSolver::builder(&g).edge_weights(lanes).build()?;
+    // lane counts by the instance: forward darts carry the lanes,
+    // reversals are closed.
+    let weekday = PlanarInstance::new(g.clone(), None, Some(lanes.clone()))?;
+    println!("{}", weekday);
+    let (depot, stadium) = (0, weekday.n() - 1);
 
-    let (depot, stadium) = (0, g.num_vertices() - 1);
-    let batch = solver.run_batch(&[
-        Query::MinStCut {
-            s: depot,
-            t: stadium,
-        },
-        Query::GlobalMinCut,
-        // A dashboard refresh re-asking the same question: deduplicated,
-        // answered from the single execution above.
-        Query::MinStCut {
-            s: depot,
-            t: stadium,
-        },
-    ]);
+    // The serving front door: a keyed pool, as a dashboard backend holds.
+    let pool = SolverPool::new(16);
+    let batch = pool.run_batch(
+        &weekday,
+        &[
+            Query::MinStCut {
+                s: depot,
+                t: stadium,
+            },
+            Query::GlobalMinCut,
+            // A dashboard refresh re-asking the same question: deduplicated,
+            // answered from the single execution above.
+            Query::MinStCut {
+                s: depot,
+                t: stadium,
+            },
+        ],
+    );
     println!("{batch}");
 
     let cut = batch.outcomes[0]
@@ -58,24 +71,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|d| (g.tail(*d), g.head(*d)))
             .collect::<Vec<_>>()
     );
+    let weekday_solver = pool.solver(&weekday);
     assert_eq!(
-        verify::directed_cut_capacity(&g, solver.capacities(), &cut.side),
+        verify::directed_cut_capacity(&g, weekday_solver.capacities(), &cut.side),
         cut.value
     );
 
     // Global fragility: the cheapest directed disconnection anywhere. Same
-    // solver, same cached BDD — only the marginal rounds were new.
+    // pooled solver, same cached BDD — only the marginal rounds were new.
     let global = batch.outcomes[1]
         .as_ref()
         .map_err(Clone::clone)?
         .as_global_min_cut()
         .expect("outcome matches its query");
     println!("global fragility: {global}");
-    assert_eq!(
-        solver.stats().engine_builds,
-        1,
-        "both cut queries shared one decomposition"
-    );
     assert_eq!(batch.duplicates, 1, "the dashboard refresh was free");
+
+    // Rush hour: contraflow doubles every lane. A copy-on-write respec of
+    // the instance (capacities and weights both follow the new lanes, the
+    // graph allocation is shared), admitted to the pool by respeccing the
+    // cached weekday solver.
+    let rush_lanes: Vec<i64> = lanes.iter().map(|&l| 2 * l).collect();
+    let mut rush_caps = vec![0; g.num_darts()];
+    for (e, &l) in rush_lanes.iter().enumerate() {
+        rush_caps[2 * e] = l;
+    }
+    let rush_hour = weekday
+        .with_capacities(rush_caps)?
+        .with_edge_weights(rush_lanes)?;
+    let rush_cut = pool.run(
+        &rush_hour,
+        Query::MinStCut {
+            s: depot,
+            t: stadium,
+        },
+    )?;
+    let rush_cut = rush_cut.as_min_st_cut().expect("outcome matches its query");
+    println!("rush hour depot → stadium: {rush_cut}");
+    assert_eq!(rush_cut.value, 2 * cut.value, "doubled lanes, doubled cut");
+
+    // The audit trail: one cached topology served both scenarios, and both
+    // stay addressable by key.
+    let stats = pool.stats();
+    println!("{stats}");
+    assert_eq!(stats.respec_reuses, 1, "rush hour reused the topology");
+    assert_eq!(
+        weekday_solver.stats().engine_builds,
+        1,
+        "all cut queries of both scenarios shared one decomposition"
+    );
+    assert!(pool.contains(&InstanceKey::of(&weekday)));
+    assert!(pool.contains(&InstanceKey::of(&rush_hour)));
     Ok(())
 }

@@ -16,22 +16,33 @@
 //! * weighted girth in `Õ(D)` rounds.
 //!
 //! All five results are served by one façade, [`PlanarSolver`]: build it
-//! once over an instance and the expensive shared substrate — the dual
-//! graph, the bounded-diameter branch decomposition, and the distance-
-//! labeling engine — is constructed lazily, cached, and amortized across
-//! every query. The solver **owns** its validated instance (an
-//! `Arc`-shared [`PlanarInstance`]), is `Send + Sync`, and clones in
-//! `O(1)`, so it can serve query traffic from many threads while building
-//! each substrate artifact exactly once. Queries are first-class values
-//! ([`Query`] → [`Outcome`] via [`PlanarSolver::run`]), and
-//! [`PlanarSolver::run_batch`] executes a heterogeneous, deduplicated
-//! batch on a worker pool. Every query returns a typed witness plus a
-//! [`RoundReport`](congest::RoundReport) splitting the CONGEST bill into
-//! the one-off substrate share and the marginal query share (batches
-//! merge to one bill that charges the substrate once); every failure is
-//! the single [`DualityError`] type. See `DESIGN.md` for the instance →
-//! substrate → query → batch architecture and `EXPERIMENTS.md` for
-//! reproducing the measurements.
+//! once over an instance and the expensive shared substrate is
+//! constructed lazily, cached, and amortized across every query — in
+//! **two tiers**. The [`TopoSubstrate`] (dual graph, bounded-diameter
+//! branch decomposition, distance-labeling engine) is keyed by the
+//! embedding alone; the weight tier (instance-length distance labels) is
+//! keyed by the current capacities/weights. Re-speccing the same network
+//! — new tariffs, new line ratings — is copy-on-write end to end:
+//! [`PlanarInstance::with_capacities`] /
+//! [`PlanarInstance::with_edge_weights`] share the graph allocation, and
+//! [`PlanarSolver::respec`] returns a solver sharing the
+//! `Arc<TopoSubstrate>`, rebuilding only the weight tier, so a K-scenario
+//! sweep pays the topology rounds once. The solver **owns** its validated
+//! instance (an `Arc`-shared [`PlanarInstance`]), is `Send + Sync`, and
+//! clones in `O(1)`, so it can serve query traffic from many threads
+//! while building each substrate artifact exactly once. Queries are
+//! first-class values ([`Query`] → [`Outcome`] via
+//! [`PlanarSolver::run`]), and [`PlanarSolver::run_batch`] executes a
+//! heterogeneous, deduplicated batch on a worker pool. Every query
+//! returns a typed witness plus a [`RoundReport`](congest::RoundReport)
+//! splitting the CONGEST bill into `substrate_topo` / `substrate_weight`
+//! / marginal `query` shares (batches merge to one bill that charges the
+//! substrate once); every failure is the single [`DualityError`] type.
+//! For serving many instances, [`SolverPool`] maps cheap [`InstanceKey`]s
+//! to cached solvers with LRU eviction and respec-reuse. See `DESIGN.md`
+//! for the instance → topo substrate → weight substrate → query → batch →
+//! pool architecture and `EXPERIMENTS.md` for reproducing the
+//! measurements.
 //!
 //! # Quickstart
 //!
@@ -79,7 +90,10 @@ pub use duality_planar as planar;
 /// The solver subsystem (re-export of [`duality_core::solver`]).
 pub use duality_core::solver;
 
+/// The keyed serving layer (re-export of [`duality_core::pool`]).
+pub use duality_core::pool;
+
 pub use duality_core::{
-    BatchReport, DualityError, Outcome, PlanarInstance, PlanarSolver, Query, SolverBuilder,
-    SolverStats,
+    BatchReport, DualityError, InstanceKey, Outcome, PlanarInstance, PlanarSolver, PoolStats,
+    Query, SolverBuilder, SolverPool, SolverStats, TopoSubstrate,
 };
