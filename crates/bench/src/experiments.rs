@@ -444,6 +444,34 @@ mod tests {
     }
 
     #[test]
+    fn s4_engine_is_bit_for_bit_serial_and_amortizes_substrate() {
+        for row in s4_service_engine(6, true) {
+            assert_eq!(row.value("engine=serial"), Some(1.0), "{}", row.instance);
+            assert_eq!(
+                row.value("completed"),
+                row.value("jobs"),
+                "{}",
+                row.instance
+            );
+            assert_eq!(
+                row.value("engine-query"),
+                row.value("serial-query"),
+                "{}: marginal query rounds are thread/shard independent",
+                row.instance
+            );
+            // The engine's amortized substrate undercuts fresh-per-spec
+            // serial by exactly the (M−1) topo shares respec-reuse saves.
+            assert_eq!(
+                row.value("serial-substrate").unwrap() - row.value("engine-substrate").unwrap(),
+                row.value("topo-saved").unwrap(),
+                "{}",
+                row.instance
+            );
+            assert_eq!(row.value("respec-reuses"), Some(2.0), "{}", row.instance);
+        }
+    }
+
+    #[test]
     fn s1_warm_batches_beat_cold_batches() {
         for row in s1_substrate_reuse(6) {
             assert_eq!(row.value("engine-builds"), Some(1.0), "{}", row.instance);
@@ -778,6 +806,188 @@ pub fn s3_respec_reuse(seed: u64, smoke: bool) -> Vec<Row> {
                 ("respec=fresh".into(), f64::from(u8::from(answers_match))),
             ],
         });
+    }
+    rows
+}
+
+/// A collision-resistant digest of everything the S4 determinism contract
+/// covers: the outcome's witness data plus its marginal query rounds.
+/// Substrate *snapshots* are deliberately excluded — concurrent queries
+/// may observe the lazily built substrate at different stages, which the
+/// engine's contract (and this experiment) does not promise.
+fn outcome_fingerprint(outcome: &duality_core::Outcome) -> u64 {
+    use duality_core::Outcome;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    outcome.rounds().query_total().hash(&mut h);
+    match outcome {
+        Outcome::MaxFlow(r) => {
+            (0u8, r.value, &r.flow, r.probes).hash(&mut h);
+        }
+        Outcome::MinStCut(r) => {
+            (1u8, r.value, &r.side, &r.cut_darts).hash(&mut h);
+        }
+        Outcome::ApproxMaxFlow(r) => {
+            (2u8, r.value_numer, r.denom, &r.flow_numer).hash(&mut h);
+        }
+        Outcome::ApproxMinStCut(r) => {
+            (3u8, r.value, &r.cut_edges).hash(&mut h);
+        }
+        Outcome::GlobalMinCut(r) => {
+            (4u8, r.value, &r.side, &r.cut_edges).hash(&mut h);
+        }
+        Outcome::Girth(r) => {
+            (5u8, r.girth, &r.cycle_edges).hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// S4 — the sharded serving engine vs serial execution: a multi-tenant
+/// workload (K networks × M respec'd specs × four query kinds) replayed
+/// through `ServiceEngine` across a {1,2,4}-worker × {1,2,4}-shard sweep.
+/// The reproducible signals, per combination: every outcome is
+/// **bit-for-bit identical** to serial `PlanarSolver::run` (witnesses and
+/// marginal rounds — `engine=serial = 1`), the engine's summed query
+/// rounds equal the serial sum exactly, and its amortized substrate bill
+/// undercuts the fresh-solver-per-spec serial bill by exactly
+/// `(M−1) × Σ topo` (respec-reuse across shards' pools, `respec-reuses =
+/// K·(M−1)`).
+pub fn s4_service_engine(seed: u64, smoke: bool) -> Vec<Row> {
+    use duality_congest::RoundReport;
+    use duality_core::{Outcome, PlanarInstance};
+    use duality_service::{AdmissionPolicy, ServiceEngine};
+    use std::sync::Arc;
+
+    let (w, h, networks) = if smoke {
+        (5usize, 4usize, 2usize)
+    } else {
+        (8, 6, 3)
+    };
+    let specs_per = 2usize;
+
+    // Tenants: K networks, each with a base spec and a surge respec
+    // (copy-on-write, shared graph allocation — the donor relationship
+    // the engine's shard routing must preserve).
+    let mut tenants: Vec<Arc<PlanarInstance>> = Vec::new();
+    for k in 0..networks as u64 {
+        let g = gen::diag_grid(w, h, seed + k).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, seed + 10 + k);
+        let weights = gen::random_edge_weights(g.num_edges(), 1, 9, seed + 20 + k);
+        let base = PlanarInstance::new(g, Some(caps), Some(weights)).unwrap();
+        let surge: Vec<i64> = base.capacities().iter().map(|&c| 2 * c).collect();
+        let respec = base.with_capacities(surge).unwrap();
+        tenants.push(base);
+        tenants.push(respec);
+    }
+    let queries_of = |i: &PlanarInstance| {
+        let t = i.n() - 1;
+        [
+            Query::MaxFlow { s: 0, t },
+            Query::MinStCut { s: 0, t },
+            Query::GlobalMinCut,
+            Query::Girth,
+        ]
+    };
+
+    // Serial ground truth: one fresh solver per spec, queries in order;
+    // per-spec bills merged across tenants with `RoundReport::absorb`
+    // (each solver legitimately paid its own substrate).
+    let mut serial_bill = RoundReport::default();
+    let mut serial_fingerprints: Vec<u64> = Vec::new();
+    let mut topo_rounds_per_network = 0u64;
+    // The engine sweep below warms each tenant with one girth before its
+    // storm; that known extra is subtracted from the engine's query bill.
+    // Girth marginals are repeat-invariant, so the serial pass's girth
+    // outcomes (last query of each tenant) price the warmup exactly.
+    let mut warmup_query = 0u64;
+    for (ti, i) in tenants.iter().enumerate() {
+        let solver = PlanarSolver::from_instance(Arc::clone(i));
+        let outcomes: Vec<Outcome> = queries_of(i)
+            .into_iter()
+            .map(|q| solver.run(q).unwrap())
+            .collect();
+        serial_fingerprints.extend(outcomes.iter().map(outcome_fingerprint));
+        warmup_query += outcomes.last().unwrap().rounds().query_total();
+        serial_bill.absorb(&RoundReport::batched(
+            solver.substrate_topo_rounds(),
+            solver.substrate_weight_rounds(),
+            outcomes.iter().map(|o| &o.rounds().query),
+        ));
+        if ti % specs_per == 0 {
+            topo_rounds_per_network += solver.substrate_topo_rounds().total();
+        }
+    }
+
+    let mut rows = Vec::new();
+    for shard_count in [1usize, 2, 4] {
+        for workers in [1usize, 2, 4] {
+            let engine = ServiceEngine::builder()
+                .shards(shard_count)
+                .workers(workers)
+                .queue_capacity(32)
+                .admission(AdmissionPolicy::Block)
+                .build()
+                .unwrap();
+            // Deterministic warmup: admit every tenant in order (base
+            // before its respec) so each respec finds its donor solver.
+            for i in &tenants {
+                let _ = engine.run(i, Query::Girth).unwrap();
+            }
+            // The storm: every job submitted up front, outcomes collected
+            // asynchronously via tickets, in submission order.
+            let tickets: Vec<_> = tenants
+                .iter()
+                .flat_map(|i| {
+                    queries_of(i)
+                        .into_iter()
+                        .map(|q| engine.submit(i, q).unwrap())
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let fingerprints: Vec<u64> = tickets
+                .into_iter()
+                .map(|t| outcome_fingerprint(&t.wait().unwrap()))
+                .collect();
+            let matches = fingerprints == serial_fingerprints;
+            let m = engine.shutdown();
+            rows.push(Row {
+                experiment: "S4".into(),
+                instance: format!(
+                    "{networks} nets × {specs_per} specs, {workers} wrk / {shard_count} shd"
+                ),
+                n: tenants[0].n(),
+                d: tenants[0].graph().diameter(),
+                values: vec![
+                    ("jobs".into(), (tenants.len() * 4) as f64),
+                    ("engine=serial".into(), f64::from(u8::from(matches))),
+                    (
+                        "completed".into(),
+                        m.completed as f64 - tenants.len() as f64, // minus warmup
+                    ),
+                    (
+                        "engine-query".into(),
+                        (m.query_rounds() - warmup_query) as f64,
+                    ),
+                    ("serial-query".into(), serial_bill.query_total() as f64),
+                    ("engine-substrate".into(), m.substrate_rounds() as f64),
+                    (
+                        "serial-substrate".into(),
+                        serial_bill.substrate_total() as f64,
+                    ),
+                    (
+                        "topo-saved".into(),
+                        ((specs_per - 1) as u64 * topo_rounds_per_network) as f64,
+                    ),
+                    ("respec-reuses".into(), m.pool_total().respec_reuses as f64),
+                    (
+                        "p99-us".into(),
+                        m.latency.quantile_us(0.99).unwrap_or(0) as f64,
+                    ),
+                ],
+            });
+        }
     }
     rows
 }

@@ -2,9 +2,10 @@
 //!
 //! Usage: `cargo run --release -p duality-bench --bin experiments [ids...]
 //! [--smoke]` with ids among those listed by `registry()` (default: all).
-//! `--smoke` shrinks the workloads to CI-sized instances (currently: S3).
-//! Unknown ids exit 2. Markdown tables go to stdout; raw rows to
-//! `experiments.json` in the current directory.
+//! `--smoke` shrinks the workloads to CI-sized instances (currently: S3,
+//! S4). Unknown ids exit 2. Markdown tables go to stdout; raw rows to
+//! `experiments.json` in the current directory, and each S-series
+//! experiment additionally to its own `BENCH_S*.json` artifact.
 
 use duality_bench::{experiments, Row};
 
@@ -93,6 +94,11 @@ fn registry(smoke: bool) -> Vec<(&'static str, &'static str, Box<dyn Fn(u64) -> 
             "respec reuse: topology tier charged once across a K-spec sweep",
             Box::new(move |s| experiments::s3_respec_reuse(s, smoke)),
         ),
+        (
+            "s4",
+            "serving engine: bit-for-bit vs serial across a worker × shard sweep",
+            Box::new(move |s| experiments::s4_service_engine(s, smoke)),
+        ),
     ]
 }
 
@@ -126,6 +132,14 @@ fn main() {
         let rows = run(seed);
         for r in &rows {
             println!("{}", r.markdown());
+        }
+        // The solver/serving experiments seed the perf trajectory: each
+        // run leaves a per-experiment machine-readable artifact next to
+        // the combined dump, so successive PRs can diff measurements.
+        if id.starts_with('s') {
+            let artifact = format!("BENCH_{}.json", id.to_uppercase());
+            std::fs::write(&artifact, duality_bench::rows_to_json(&rows)).expect("writable cwd");
+            eprintln!("wrote {} rows to {artifact}", rows.len());
         }
         all.extend(rows);
     }

@@ -81,6 +81,37 @@ impl RoundReport {
             + self.query.phase_total(phase)
     }
 
+    /// Merges another report into this one, tier by tier: topology into
+    /// topology, weight into weight, query into query. This is the
+    /// cross-solver (and cross-shard) aggregation primitive — where
+    /// [`RoundReport::batched`] bills many queries of **one** solver
+    /// against one substrate snapshot, `absorb` sums the bills of
+    /// **independent** solvers (different instances, different pool
+    /// shards), each of which legitimately paid its own substrate.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use duality_congest::{CostLedger, RoundReport};
+    ///
+    /// let mut shard0 = RoundReport::default();
+    /// shard0.substrate_topo.charge("bdd-build", 120);
+    /// shard0.query.charge("labeling-broadcast", 300);
+    /// let mut shard1 = RoundReport::default();
+    /// shard1.substrate_topo.charge("bdd-build", 80);
+    /// shard1.query.charge("labeling-broadcast", 100);
+    ///
+    /// let mut fleet = shard0;
+    /// fleet.absorb(&shard1);
+    /// assert_eq!(fleet.substrate_total(), 200);
+    /// assert_eq!(fleet.query_total(), 400);
+    /// ```
+    pub fn absorb(&mut self, other: &RoundReport) {
+        self.substrate_topo.absorb(&other.substrate_topo);
+        self.substrate_weight.absorb(&other.substrate_weight);
+        self.query.absorb(&other.query);
+    }
+
     /// Flattens the report into a single ledger (topology phases first,
     /// then weight, then query), the shape the pre-solver free functions
     /// report.
@@ -203,6 +234,20 @@ mod tests {
         let empty = RoundReport::batched(r1.substrate_topo.clone(), CostLedger::new(), []);
         assert_eq!(empty.query_total(), 0);
         assert_eq!(empty.substrate_total(), 15);
+    }
+
+    #[test]
+    fn absorb_merges_tier_by_tier() {
+        let mut total = report();
+        total.absorb(&report());
+        assert_eq!(total.substrate_topo_total(), 30, "topo summed");
+        assert_eq!(total.substrate_weight_total(), 14, "weight summed");
+        assert_eq!(total.query_total(), 202, "query summed");
+        assert_eq!(total.phase_total("bdd-build"), 22);
+        // Absorbing an empty report is a no-op.
+        let before = total.total();
+        total.absorb(&RoundReport::default());
+        assert_eq!(total.total(), before);
     }
 
     #[test]

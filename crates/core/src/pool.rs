@@ -155,6 +155,30 @@ pub struct PoolStats {
     pub capacity: usize,
 }
 
+impl PoolStats {
+    /// Merges the counters of another pool into this one — the shard
+    /// aggregation primitive: a sharded serving layer sums its per-shard
+    /// stats into one fleet-wide line (`len`/`capacity` sum too, so the
+    /// merged ratio still reads "entries cached / entries retainable").
+    pub fn absorb(&mut self, other: &PoolStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.respec_reuses += other.respec_reuses;
+        self.evictions += other.evictions;
+        self.len += other.len;
+        self.capacity += other.capacity;
+    }
+
+    /// Sums an iterator of per-shard stats into one merged line.
+    pub fn merged<'a>(stats: impl IntoIterator<Item = &'a PoolStats>) -> PoolStats {
+        let mut out = PoolStats::default();
+        for s in stats {
+            out.absorb(s);
+        }
+        out
+    }
+}
+
 impl std::fmt::Display for PoolStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -275,45 +299,62 @@ impl SolverPool {
     /// valid (and keeps amortizing) even if the entry is evicted later.
     pub fn solver(&self, instance: &Arc<PlanarInstance>) -> PlanarSolver {
         let key = InstanceKey::of(instance);
+        // First pass under the lock: serve a hit, or pick a respec donor
+        // (an `O(1)` clone) and release the lock before constructing
+        // anything — a cold admission must never block other callers.
+        let donor = {
+            let mut inner = self.inner.lock().expect("pool lock");
+            if let Some(solver) = Self::lookup(&mut inner, key, instance) {
+                return solver;
+            }
+            inner.misses += 1;
+            // Respec-reuse candidate: a cached solver over the *same
+            // shared graph* (same fingerprint and `Arc::ptr_eq` —
+            // fingerprint alone is not trusted) donates its topology
+            // substrate to the new spec.
+            inner
+                .entries
+                .iter()
+                .find(|e| {
+                    e.key.topo == key.topo
+                        && Arc::ptr_eq(e.solver.instance().graph_arc(), instance.graph_arc())
+                })
+                .map(|e| e.solver.clone())
+        };
+        // Construct outside the lock.
+        let (solver, respecced) = match donor {
+            Some(d) => (
+                d.respec(Arc::clone(instance))
+                    .expect("ptr_eq-checked topology cannot mismatch"),
+                true,
+            ),
+            None => (
+                PlanarSolver::from_instance_with_threshold(
+                    Arc::clone(instance),
+                    self.leaf_threshold,
+                )
+                .expect("pool-validated leaf threshold"),
+                false,
+            ),
+        };
+        // Second pass: another caller may have admitted the same problem
+        // while we were building — serve the cached entry so every caller
+        // shares one substrate (our build is dropped; the miss already
+        // counted stands).
         let mut inner = self.inner.lock().expect("pool lock");
-        // A hit requires the key AND full content equality — the hash is a
-        // lookup accelerator, never the authority, so a key collision
-        // degrades to an ordinary miss.
         if let Some(pos) = inner
             .entries
             .iter()
             .position(|e| e.key == key && same_problem(e.solver.instance(), instance))
         {
-            inner.hits += 1;
-            // Most recently used goes last.
             let entry = inner.entries.remove(pos);
-            let solver = entry.solver.clone();
+            let cached = entry.solver.clone();
             inner.entries.push(entry);
-            return solver;
+            return cached;
         }
-        inner.misses += 1;
-        // Respec-reuse: a cached solver over the *same shared graph* (same
-        // fingerprint and `Arc::ptr_eq` — fingerprint alone is not trusted)
-        // donates its topology substrate to the new spec.
-        let donor = inner.entries.iter().find(|e| {
-            e.key.topo == key.topo
-                && Arc::ptr_eq(e.solver.instance().graph_arc(), instance.graph_arc())
-        });
-        let solver = match donor {
-            Some(entry) => {
-                let respecced = entry
-                    .solver
-                    .respec(Arc::clone(instance))
-                    .expect("ptr_eq-checked topology cannot mismatch");
-                inner.respec_reuses += 1;
-                respecced
-            }
-            None => PlanarSolver::from_instance_with_threshold(
-                Arc::clone(instance),
-                self.leaf_threshold,
-            )
-            .expect("pool-validated leaf threshold"),
-        };
+        if respecced {
+            inner.respec_reuses += 1;
+        }
         inner.entries.push(PoolEntry {
             key,
             solver: solver.clone(),
@@ -323,6 +364,28 @@ impl SolverPool {
             inner.evictions += 1;
         }
         solver
+    }
+
+    /// The locked hit path: key match + full content equality, recency
+    /// refresh, hit counter. `None` on a miss (no counter touched).
+    fn lookup(
+        inner: &mut PoolInner,
+        key: InstanceKey,
+        instance: &Arc<PlanarInstance>,
+    ) -> Option<PlanarSolver> {
+        // A hit requires the key AND full content equality — the hash is a
+        // lookup accelerator, never the authority, so a key collision
+        // degrades to an ordinary miss.
+        let pos = inner
+            .entries
+            .iter()
+            .position(|e| e.key == key && same_problem(e.solver.instance(), instance))?;
+        inner.hits += 1;
+        // Most recently used goes last.
+        let entry = inner.entries.remove(pos);
+        let solver = entry.solver.clone();
+        inner.entries.push(entry);
+        Some(solver)
     }
 
     /// The cached solver under `key`, by key alone (marks it most recently
@@ -558,6 +621,103 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.hits + stats.misses, 4);
         assert_eq!(stats.len, 1, "one instance, one entry");
+    }
+
+    #[test]
+    fn concurrent_cold_misses_converge_on_one_entry() {
+        // The cold path constructs outside the pool mutex; racing callers
+        // may each build, but the insert re-check guarantees exactly one
+        // entry per problem and a consistent counter ledger.
+        let pool = Arc::new(SolverPool::new(8));
+        let i = instance(11);
+        let t = i.n() - 1;
+        let values: Vec<i64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let pool = Arc::clone(&pool);
+                    let i = Arc::clone(&i);
+                    scope.spawn(move || {
+                        pool.run(&i, Query::MaxFlow { s: 0, t })
+                            .unwrap()
+                            .as_max_flow()
+                            .unwrap()
+                            .value
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(values.windows(2).all(|w| w[0] == w[1]));
+        let stats = pool.stats();
+        assert_eq!(stats.len, 1, "racing misses never duplicate an entry");
+        assert_eq!(stats.hits + stats.misses, 8, "every lookup counted once");
+        assert!(stats.misses >= 1);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn contended_mixed_workload_keeps_the_pool_consistent() {
+        // Distinct instances admitted from many threads at once: cold
+        // builds run outside the lock, so no combination of interleavings
+        // may corrupt the LRU list or the counters.
+        let pool = Arc::new(SolverPool::new(4));
+        let instances: Vec<_> = (0..6).map(|s| instance(20 + s)).collect();
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let pool = Arc::clone(&pool);
+                let instances = &instances;
+                scope.spawn(move || {
+                    for round in 0..3 {
+                        for (j, i) in instances.iter().enumerate() {
+                            if (j + worker + round) % 2 == 0 {
+                                let t = i.n() - 1;
+                                let _ = pool.run(i, Query::MaxFlow { s: 0, t }).unwrap();
+                            } else {
+                                let _ = pool.solver(i);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.hits + stats.misses, 4 * 3 * 6);
+        assert!(stats.len <= stats.capacity, "LRU bound holds under races");
+        assert!(stats.evictions > 0, "six instances through four slots");
+        // Every distinct admitted problem appears at most once.
+        let keys: Vec<_> = instances.iter().map(|i| InstanceKey::of(i)).collect();
+        let cached = keys.iter().filter(|k| pool.contains(k)).count();
+        assert_eq!(cached, stats.len);
+    }
+
+    #[test]
+    fn stats_absorb_and_merged_sum_counters() {
+        let a = PoolStats {
+            hits: 3,
+            misses: 2,
+            respec_reuses: 1,
+            evictions: 0,
+            len: 2,
+            capacity: 4,
+        };
+        let b = PoolStats {
+            hits: 1,
+            misses: 4,
+            respec_reuses: 0,
+            evictions: 2,
+            len: 1,
+            capacity: 8,
+        };
+        let merged = PoolStats::merged([&a, &b]);
+        assert_eq!(merged.hits, 4);
+        assert_eq!(merged.misses, 6);
+        assert_eq!(merged.respec_reuses, 1);
+        assert_eq!(merged.evictions, 2);
+        assert_eq!((merged.len, merged.capacity), (3, 12));
+        assert_eq!(PoolStats::merged([]), PoolStats::default());
+        let mut acc = a;
+        acc.absorb(&b);
+        assert_eq!(acc, merged);
     }
 
     #[test]

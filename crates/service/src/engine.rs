@@ -1,0 +1,825 @@
+//! The sharded serving engine: submission, scheduling, execution.
+//!
+//! See the [crate docs](crate) for the architecture; this module holds
+//! the moving parts — [`ServiceEngine`] (shards + queue + workers),
+//! [`Ticket`] (the caller's handle on one in-flight job), and the
+//! admission/lifecycle types.
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot, ShardMetrics};
+use crate::queue::{Bounded, PushError};
+use duality_core::pool::{InstanceKey, PoolStats, SolverPool};
+use duality_core::{DualityError, Outcome, PlanarInstance, PlanarSolver, Query};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// What a full queue does to a new submission.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Refuse immediately with [`SubmitError::QueueFull`] — the caller
+    /// sees backpressure and decides (shed, retry, degrade).
+    Reject,
+    /// Park the submitting thread until space frees up — backpressure
+    /// propagates upstream by blocking. The default: no work is lost out
+    /// of the box.
+    #[default]
+    Block,
+}
+
+/// Why a submission was not admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity ([`AdmissionPolicy::Reject`] only).
+    QueueFull,
+    /// The engine is shutting down; no new work is admitted.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "job queue is full"),
+            SubmitError::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why a submitted job produced no outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The query executed and failed (the solver's own error).
+    Query(DualityError),
+    /// The job's deadline passed before a worker could start it.
+    Expired,
+    /// The job was cancelled via [`Ticket::cancel`] while still queued.
+    Cancelled,
+    /// The worker executing the job panicked. The panic is contained —
+    /// the worker survives and the ticket resolves instead of hanging —
+    /// but the shard's state may be degraded (e.g. a poisoned pool lock
+    /// failing subsequent jobs the same way).
+    ExecutionPanicked,
+    /// The submission itself was refused (only surfaced by the
+    /// submit-and-wait convenience [`ServiceEngine::run`]).
+    NotAdmitted(SubmitError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Query(e) => write!(f, "query failed: {e}"),
+            ServiceError::Expired => write!(f, "deadline passed before execution"),
+            ServiceError::Cancelled => write!(f, "job was cancelled"),
+            ServiceError::ExecutionPanicked => write!(f, "worker panicked executing the job"),
+            ServiceError::NotAdmitted(e) => write!(f, "not admitted: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Query(e) => Some(e),
+            ServiceError::NotAdmitted(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DualityError> for ServiceError {
+    fn from(e: DualityError) -> ServiceError {
+        ServiceError::Query(e)
+    }
+}
+
+/// One job's result slot: the rendezvous between the worker that fills
+/// it and the ticket that waits on it.
+enum JobState {
+    /// Queued; a worker has not claimed it (cancellable).
+    Pending,
+    /// A worker is executing it (no longer cancellable).
+    Running,
+    /// Resolved — outcome, query error, expiry or cancellation.
+    Done(Result<Outcome, ServiceError>),
+}
+
+struct JobSlot {
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+impl JobSlot {
+    fn new() -> JobSlot {
+        JobSlot {
+            state: Mutex::new(JobState::Pending),
+            done: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, result: Result<Outcome, ServiceError>) {
+        *self.state.lock().expect("job slot lock") = JobState::Done(result);
+        self.done.notify_all();
+    }
+}
+
+/// One queued unit of work: `(instance, query)` plus its routing and
+/// lifecycle envelope.
+struct Job {
+    instance: Arc<PlanarInstance>,
+    query: Query,
+    key: InstanceKey,
+    shard: usize,
+    deadline: Option<Instant>,
+    submitted_at: Instant,
+    slot: Arc<JobSlot>,
+}
+
+/// The caller's handle on one submitted job. Obtain the outcome with
+/// [`Ticket::wait`] (blocking) or poll with [`Ticket::try_result`];
+/// cancel a still-queued job with [`Ticket::cancel`]. Dropping a ticket
+/// abandons the result but never the job — a submitted job always runs
+/// (or expires/cancels) and is always counted.
+pub struct Ticket {
+    slot: Arc<JobSlot>,
+    shared: Arc<EngineShared>,
+}
+
+impl Ticket {
+    /// Blocks until the job resolves and returns its result.
+    pub fn wait(self) -> Result<Outcome, ServiceError> {
+        let mut state = self.slot.state.lock().expect("job slot lock");
+        loop {
+            if let JobState::Done(result) = &*state {
+                return result.clone();
+            }
+            state = self.slot.done.wait(state).expect("job slot lock");
+        }
+    }
+
+    /// Non-blocking poll: `None` while the job is queued or running.
+    pub fn try_result(&self) -> Option<Result<Outcome, ServiceError>> {
+        match &*self.slot.state.lock().expect("job slot lock") {
+            JobState::Done(result) => Some(result.clone()),
+            _ => None,
+        }
+    }
+
+    /// Cancels the job if it is still queued. `true` when this call won
+    /// the race (the job will never execute and [`Ticket::wait`] returns
+    /// [`ServiceError::Cancelled`]); `false` when a worker already
+    /// claimed or resolved it — cancellation never tears down running
+    /// work.
+    pub fn cancel(&self) -> bool {
+        let mut state = self.slot.state.lock().expect("job slot lock");
+        if matches!(*state, JobState::Pending) {
+            *state = JobState::Done(Err(ServiceError::Cancelled));
+            self.shared
+                .metrics
+                .cancelled
+                .fetch_add(1, Ordering::Relaxed);
+            self.slot.done.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match &*self.slot.state.lock().expect("job slot lock") {
+            JobState::Pending => "pending",
+            JobState::Running => "running",
+            JobState::Done(Ok(_)) => "done",
+            JobState::Done(Err(_)) => "failed",
+        };
+        f.debug_struct("Ticket").field("state", &state).finish()
+    }
+}
+
+/// Configures and builds a [`ServiceEngine`]. Obtained from
+/// [`ServiceEngine::builder`]; every knob has a serving-sane default.
+#[derive(Clone, Debug)]
+pub struct EngineBuilder {
+    shards: usize,
+    workers: usize,
+    queue_capacity: usize,
+    pool_capacity: usize,
+    policy: AdmissionPolicy,
+    leaf_threshold: Option<usize>,
+    start_paused: bool,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> EngineBuilder {
+        let workers = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
+        EngineBuilder {
+            shards: 2,
+            workers: workers.min(4),
+            queue_capacity: 64,
+            pool_capacity: 16,
+            policy: AdmissionPolicy::default(),
+            leaf_threshold: None,
+            start_paused: false,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Number of independent pool shards (clamped to ≥ 1). Instances are
+    /// hash-partitioned by topology fingerprint, so all specs of one
+    /// network share a shard — and its respec-donor solvers.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Number of worker threads draining the queue (clamped to ≥ 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Capacity of the job queue — the admission-control bound (clamped
+    /// to ≥ 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Per-shard solver-pool capacity (clamped to ≥ 1 by the pool).
+    pub fn pool_capacity(mut self, capacity: usize) -> Self {
+        self.pool_capacity = capacity;
+        self
+    }
+
+    /// What a full queue does to a new submission (default:
+    /// [`AdmissionPolicy::Block`]).
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// BDD leaf-threshold override applied to every solver the shards
+    /// build (default: the paper's `Θ(D)` choice).
+    pub fn leaf_threshold(mut self, threshold: Option<usize>) -> Self {
+        self.leaf_threshold = threshold;
+        self
+    }
+
+    /// Starts the engine with dispatch paused: submissions are admitted
+    /// (and admission control applies) but no worker picks a job up until
+    /// [`ServiceEngine::resume`]. Staged startup — and the lever that
+    /// makes queue-depth and rejection tests deterministic.
+    pub fn start_paused(mut self) -> Self {
+        self.start_paused = true;
+        self
+    }
+
+    /// Builds the engine and spawns its workers.
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::BadLeafThreshold`] when the leaf-threshold
+    /// override is below the decomposition minimum.
+    pub fn build(self) -> Result<ServiceEngine, DualityError> {
+        let shards: Result<Vec<SolverPool>, DualityError> = (0..self.shards)
+            .map(|_| SolverPool::with_leaf_threshold(self.pool_capacity, self.leaf_threshold))
+            .collect();
+        let shared = Arc::new(EngineShared {
+            shards: shards?,
+            queue: Bounded::new(self.queue_capacity, !self.start_paused),
+            metrics: MetricsRegistry::new(self.shards, self.pool_capacity),
+            policy: self.policy,
+        });
+        let workers: Vec<JoinHandle<()>> = (0..self.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("duality-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let worker_count = workers.len();
+        Ok(ServiceEngine {
+            shared,
+            workers,
+            worker_count,
+        })
+    }
+}
+
+/// Everything the workers and tickets share with the engine handle.
+struct EngineShared {
+    shards: Vec<SolverPool>,
+    queue: Bounded<Job>,
+    metrics: MetricsRegistry,
+    policy: AdmissionPolicy,
+}
+
+/// The sharded serving engine — see the [crate docs](crate) for the full
+/// story and the module docs of [`crate::metrics`] for what it measures.
+///
+/// All entry points are `&self`; the engine is `Send + Sync` and is
+/// normally shared behind an `Arc` (or borrowed across a
+/// `std::thread::scope`) by every request-handler thread.
+pub struct ServiceEngine {
+    shared: Arc<EngineShared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Configured worker count — stable across shutdown (the handles in
+    /// `workers` are consumed by the drain).
+    worker_count: usize,
+}
+
+impl ServiceEngine {
+    /// Starts configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Number of pool shards.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Number of worker threads the engine was built with.
+    pub fn worker_count(&self) -> usize {
+        self.worker_count
+    }
+
+    /// The shard a key routes to: `topo_fingerprint mod shards`. Stable
+    /// for the lifetime of the engine, and spec-blind on purpose — every
+    /// respec of one network lands on the shard that holds its
+    /// respec-donor solver.
+    pub fn shard_of(&self, key: &InstanceKey) -> usize {
+        (key.topo_fingerprint() % self.shared.shards.len() as u64) as usize
+    }
+
+    /// Submits one job; the returned [`Ticket`] resolves asynchronously.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] under [`AdmissionPolicy::Reject`] on a
+    /// full queue; [`SubmitError::ShuttingDown`] after shutdown began.
+    pub fn submit(
+        &self,
+        instance: &Arc<PlanarInstance>,
+        query: Query,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_job(instance, query, None)
+    }
+
+    /// Submits one job with a deadline: if no worker has *started* the
+    /// job by `deadline`, it resolves to [`ServiceError::Expired`]
+    /// without executing. A job already running at its deadline runs to
+    /// completion — started work is never torn down.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceEngine::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        instance: &Arc<PlanarInstance>,
+        query: Query,
+        deadline: Instant,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_job(instance, query, Some(deadline))
+    }
+
+    fn submit_job(
+        &self,
+        instance: &Arc<PlanarInstance>,
+        query: Query,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SubmitError> {
+        let key = InstanceKey::of(instance);
+        let slot = Arc::new(JobSlot::new());
+        let job = Job {
+            instance: Arc::clone(instance),
+            query,
+            key,
+            shard: self.shard_of(&key),
+            deadline,
+            submitted_at: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        let block = matches!(self.shared.policy, AdmissionPolicy::Block);
+        // Count the submission *before* the push: the moment the job is in
+        // the queue a worker can complete it, and `completed > submitted`
+        // must be unobservable even in a snapshot taken right then. A
+        // refused push rolls the counter back before returning.
+        self.shared
+            .metrics
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        match self.shared.queue.push(job, block) {
+            Ok(()) => Ok(Ticket {
+                slot,
+                shared: Arc::clone(&self.shared),
+            }),
+            Err(PushError::Full) => {
+                self.shared
+                    .metrics
+                    .submitted
+                    .fetch_sub(1, Ordering::Relaxed);
+                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::QueueFull)
+            }
+            Err(PushError::Closed) => {
+                self.shared
+                    .metrics
+                    .submitted
+                    .fetch_sub(1, Ordering::Relaxed);
+                Err(SubmitError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Submit-and-wait convenience: one query through the whole engine
+    /// (queue, worker, shard pool), blocking for the outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NotAdmitted`] when admission refused the job;
+    /// otherwise whatever the job resolved to.
+    pub fn run(
+        &self,
+        instance: &Arc<PlanarInstance>,
+        query: Query,
+    ) -> Result<Outcome, ServiceError> {
+        self.submit(instance, query)
+            .map_err(ServiceError::NotAdmitted)?
+            .wait()
+    }
+
+    /// The cached solver for `instance` from its home shard (admitting it
+    /// on a miss) — the audit hatch: verification code can inspect the
+    /// exact solver the engine's workers use, without going through the
+    /// queue.
+    pub fn solver(&self, instance: &Arc<PlanarInstance>) -> PlanarSolver {
+        let shard = self.shard_of(&InstanceKey::of(instance));
+        self.shared.shards[shard].solver(instance)
+    }
+
+    /// Per-shard pool counters, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<PoolStats> {
+        self.shared.shards.iter().map(SolverPool::stats).collect()
+    }
+
+    /// The per-shard pool counters merged into one fleet-wide line.
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats::merged(&self.shard_stats())
+    }
+
+    /// Opens the start gate of a [paused](EngineBuilder::start_paused)
+    /// engine. No-op when already running.
+    pub fn resume(&self) {
+        self.shared.queue.resume();
+    }
+
+    /// A point-in-time snapshot of every live metric.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let m = &self.shared.metrics;
+        MetricsSnapshot {
+            submitted: m.submitted.load(Ordering::Relaxed),
+            completed: m.completed.load(Ordering::Relaxed),
+            failed: m.failed.load(Ordering::Relaxed),
+            rejected: m.rejected.load(Ordering::Relaxed),
+            expired: m.expired.load(Ordering::Relaxed),
+            cancelled: m.cancelled.load(Ordering::Relaxed),
+            queue_depth: self.shared.queue.depth(),
+            queue_high_water: self.shared.queue.high_water(),
+            workers: self.worker_count,
+            latency: m.latency_snapshot(),
+            shards: self
+                .shared
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, pool)| {
+                    let (substrate_rounds, query_rounds) = m.shard_rounds(i);
+                    ShardMetrics {
+                        shard: i,
+                        pool: pool.stats(),
+                        substrate_rounds,
+                        query_rounds,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Graceful shutdown: stops admission, **drains** — every job already
+    /// queued still executes (or expires / observes its cancellation) —
+    /// joins the workers, and returns the final metrics snapshot.
+    /// Dropping the engine performs the same drain implicitly; `shutdown`
+    /// exists so callers can sequence after the drain and keep the final
+    /// numbers.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.drain();
+        self.metrics()
+    }
+
+    fn drain(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServiceEngine {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+impl std::fmt::Debug for ServiceEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceEngine")
+            .field("shards", &self.shared.shards.len())
+            .field("workers", &self.worker_count)
+            .field("policy", &self.shared.policy)
+            .field("queue_depth", &self.shared.queue.depth())
+            .finish()
+    }
+}
+
+/// One worker thread: pop → claim → (expire | execute) → resolve, until
+/// the queue closes and drains.
+fn worker_loop(shared: &EngineShared) {
+    while let Some(job) = shared.queue.pop() {
+        {
+            let mut state = job.slot.state.lock().expect("job slot lock");
+            match *state {
+                JobState::Pending => {
+                    if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                        *state = JobState::Done(Err(ServiceError::Expired));
+                        shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
+                        job.slot.done.notify_all();
+                        continue;
+                    }
+                    *state = JobState::Running;
+                }
+                // Cancelled while queued: the waiter was already notified.
+                _ => continue,
+            }
+        }
+        // Contain panics: an unwinding worker must never leave the slot in
+        // `Running` (which would hang the ticket's waiter forever) nor die
+        // silently (which would shrink the fleet until shutdown hangs).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.shards[job.shard].run(&job.instance, job.query)
+        }));
+        let elapsed_us = u64::try_from(job.submitted_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+        shared.metrics.latency.record(elapsed_us);
+        let result = match result {
+            Ok(Ok(outcome)) => {
+                shared.metrics.bill(job.shard, job.key, outcome.rounds());
+                shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                Ok(outcome)
+            }
+            Ok(Err(e)) => {
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::Query(e))
+            }
+            Err(_) => {
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::ExecutionPanicked)
+            }
+        };
+        job.slot.resolve(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duality_planar::gen;
+
+    fn instance(seed: u64) -> Arc<PlanarInstance> {
+        let g = gen::diag_grid(4, 4, seed).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, seed);
+        PlanarInstance::new(g, Some(caps), None).unwrap()
+    }
+
+    #[test]
+    fn engine_is_send_sync_and_clamps_config() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServiceEngine>();
+        assert_send_sync::<Ticket>();
+
+        let engine = ServiceEngine::builder()
+            .shards(0)
+            .workers(0)
+            .queue_capacity(0)
+            .build()
+            .unwrap();
+        assert_eq!(engine.shard_count(), 1);
+        assert_eq!(engine.worker_count(), 1);
+        assert!(matches!(
+            ServiceEngine::builder().leaf_threshold(Some(1)).build(),
+            Err(DualityError::BadLeafThreshold { got: 1 })
+        ));
+    }
+
+    #[test]
+    fn submit_wait_roundtrip_matches_direct_run() {
+        let engine = ServiceEngine::builder()
+            .shards(2)
+            .workers(2)
+            .build()
+            .unwrap();
+        let i = instance(3);
+        let t = i.n() - 1;
+        let ticket = engine.submit(&i, Query::MaxFlow { s: 0, t }).unwrap();
+        let got = ticket.wait().unwrap();
+        let want = PlanarSolver::from_instance(Arc::clone(&i))
+            .run(Query::MaxFlow { s: 0, t })
+            .unwrap();
+        assert_eq!(
+            got.as_max_flow().unwrap().value,
+            want.as_max_flow().unwrap().value
+        );
+        assert_eq!(
+            got.as_max_flow().unwrap().flow,
+            want.as_max_flow().unwrap().flow
+        );
+        let m = engine.shutdown();
+        assert_eq!((m.submitted, m.completed), (1, 1));
+        assert_eq!(m.latency.count, 1);
+        assert!(m.query_rounds() > 0 && m.substrate_rounds() > 0);
+    }
+
+    #[test]
+    fn query_errors_surface_as_service_errors() {
+        let engine = ServiceEngine::builder().workers(1).build().unwrap();
+        let i = instance(4);
+        let err = engine.run(&i, Query::MaxFlow { s: 0, t: 0 }).unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::Query(DualityError::BadEndpoints { s: 0, t: 0, n: 16 })
+        );
+        let m = engine.shutdown();
+        assert_eq!((m.completed, m.failed), (0, 1));
+        assert_eq!(m.query_rounds(), 0, "failed queries bill nothing");
+    }
+
+    #[test]
+    fn reject_policy_refuses_beyond_capacity() {
+        // Paused: nothing drains, so the third submission must bounce.
+        let engine = ServiceEngine::builder()
+            .workers(1)
+            .queue_capacity(2)
+            .admission(AdmissionPolicy::Reject)
+            .start_paused()
+            .build()
+            .unwrap();
+        let i = instance(5);
+        let a = engine.submit(&i, Query::Girth).unwrap();
+        let b = engine.submit(&i, Query::Girth).unwrap();
+        assert_eq!(
+            engine.submit(&i, Query::Girth).unwrap_err(),
+            SubmitError::QueueFull
+        );
+        engine.resume();
+        assert!(a.wait().is_ok() && b.wait().is_ok());
+        let m = engine.shutdown();
+        assert_eq!((m.submitted, m.completed, m.rejected), (2, 2, 1));
+        assert_eq!(m.queue_high_water, 2);
+    }
+
+    #[test]
+    fn deadlines_expire_unstarted_jobs() {
+        let engine = ServiceEngine::builder()
+            .workers(1)
+            .start_paused()
+            .build()
+            .unwrap();
+        let i = instance(6);
+        // Already past due when the worker first sees it.
+        let doomed = engine
+            .submit_with_deadline(&i, Query::Girth, Instant::now())
+            .unwrap();
+        // Generous deadline: executes normally.
+        let fine = engine
+            .submit_with_deadline(
+                &i,
+                Query::Girth,
+                Instant::now() + std::time::Duration::from_secs(600),
+            )
+            .unwrap();
+        engine.resume();
+        assert_eq!(doomed.wait().unwrap_err(), ServiceError::Expired);
+        assert!(fine.wait().is_ok());
+        let m = engine.shutdown();
+        assert_eq!((m.expired, m.completed), (1, 1));
+    }
+
+    #[test]
+    fn cancellation_wins_only_while_queued() {
+        let engine = ServiceEngine::builder()
+            .workers(1)
+            .start_paused()
+            .build()
+            .unwrap();
+        let i = instance(7);
+        let ticket = engine.submit(&i, Query::Girth).unwrap();
+        assert!(ticket.try_result().is_none(), "still queued");
+        assert!(ticket.cancel(), "cancellable while queued");
+        assert!(!ticket.cancel(), "second cancel loses");
+        assert_eq!(
+            ticket.try_result().unwrap().unwrap_err(),
+            ServiceError::Cancelled
+        );
+        let survivor = engine.submit(&i, Query::Girth).unwrap();
+        engine.resume();
+        // Wait for resolution without consuming the ticket, then check
+        // that a resolved ticket can no longer be cancelled.
+        while survivor.try_result().is_none() {
+            std::thread::yield_now();
+        }
+        assert!(!survivor.cancel(), "resolved tickets cannot be cancelled");
+        assert!(survivor.wait().is_ok());
+        let m = engine.shutdown();
+        assert_eq!((m.cancelled, m.completed), (1, 1));
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let engine = ServiceEngine::builder()
+            .shards(2)
+            .workers(2)
+            .start_paused()
+            .build()
+            .unwrap();
+        let (a, b) = (instance(8), instance(9));
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|j| {
+                let i = if j % 2 == 0 { &a } else { &b };
+                engine.submit(i, Query::Girth).unwrap()
+            })
+            .collect();
+        // Shutdown on a *paused* engine: close releases the gate and the
+        // backlog drains before the workers exit.
+        let m = engine.shutdown();
+        assert_eq!((m.submitted, m.completed), (6, 6));
+        assert_eq!(m.queue_depth, 0, "nothing left behind");
+        assert_eq!(m.queue_high_water, 6);
+        for t in tickets {
+            assert!(t.wait().is_ok(), "every ticket resolved by the drain");
+        }
+    }
+
+    #[test]
+    fn submissions_after_shutdown_began_are_refused() {
+        let engine = ServiceEngine::builder().workers(1).build().unwrap();
+        let i = instance(10);
+        // Simulate a racing submitter that arrives once shutdown closed
+        // admission (the engine handle is still alive here, so this is
+        // exactly the post-close, pre-join window).
+        engine.shared.queue.close();
+        assert_eq!(
+            engine.submit(&i, Query::Girth).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        assert_eq!(
+            engine.run(&i, Query::Girth).unwrap_err(),
+            ServiceError::NotAdmitted(SubmitError::ShuttingDown)
+        );
+        let m = engine.shutdown();
+        assert_eq!(m.submitted, 0);
+    }
+
+    #[test]
+    fn sharding_routes_by_topology_and_respecs_stay_home() {
+        let engine = ServiceEngine::builder()
+            .shards(4)
+            .workers(2)
+            .build()
+            .unwrap();
+        let i = instance(11);
+        let respec = i.with_capacities(vec![5; i.graph().num_darts()]).unwrap();
+        let (k, kr) = (InstanceKey::of(&i), InstanceKey::of(&respec));
+        let home = engine.shard_of(&k);
+        assert_eq!(
+            home,
+            engine.shard_of(&kr),
+            "spec changes never move an instance across shards"
+        );
+        let _ = engine.run(&i, Query::Girth).unwrap();
+        let _ = engine.run(&respec, Query::Girth).unwrap();
+        let m = engine.shutdown();
+        assert_eq!(m.pool_total().respec_reuses, 1, "respec found its donor");
+        assert_eq!(m.shards[home].pool.len, 2, "both specs cached at home");
+        for (idx, shard) in m.shards.iter().enumerate() {
+            if idx != home {
+                assert_eq!(shard.pool.len, 0, "other shards never touched");
+            }
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! Lock-light live metrics for the serving engine.
+//!
+//! The registry is written from every worker on every job, so it must
+//! never serialize the fleet: all lifecycle counters and histogram
+//! buckets are plain atomics, and the only mutex guards the per-shard
+//! substrate-amortization maps — touched once per *completed* job, after
+//! the solver work is already done. Reads ([`MetricsSnapshot`]) are
+//! relaxed-ordering samples: each counter is exact, cross-counter skew is
+//! bounded by whatever is in flight at the instant of the snapshot.
+
+use duality_congest::RoundReport;
+use duality_core::pool::{InstanceKey, PoolStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of log₂ latency buckets: bucket `i` holds jobs whose
+/// submit-to-completion latency was in `[2^(i−1), 2^i)` microseconds
+/// (bucket 0: < 1 µs), so the top bucket covers ≈ 34 s and beyond.
+pub const LATENCY_BUCKETS: usize = 26;
+
+/// The log-bucketed latency histogram, shared by all workers.
+pub(crate) struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    pub fn record(&self, us: u64) {
+        let idx = (64 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the latency histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Per-bucket job counts (see [`LATENCY_BUCKETS`] for the geometry).
+    pub buckets: [u64; LATENCY_BUCKETS],
+    /// Jobs recorded.
+    pub count: u64,
+    /// Sum of all recorded latencies, in microseconds.
+    pub sum_us: u64,
+    /// The slowest recorded latency, in microseconds.
+    pub max_us: u64,
+}
+
+impl LatencySnapshot {
+    /// An upper bound (bucket ceiling) on the `q`-quantile latency in
+    /// microseconds, `q ∈ [0, 1]`. `None` when nothing was recorded.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Bucket i holds latencies < 2^i µs; clamp the ceiling to
+                // the observed maximum (also covers the unbounded top
+                // bucket) so a quantile never exceeds the real slowest job.
+                return Some(if i == LATENCY_BUCKETS - 1 {
+                    self.max_us
+                } else {
+                    (1u64 << i).min(self.max_us)
+                });
+            }
+        }
+        Some(self.max_us)
+    }
+
+    /// Mean latency in microseconds (`None` when nothing was recorded).
+    pub fn mean_us(&self) -> Option<u64> {
+        (self.count > 0).then(|| self.sum_us / self.count)
+    }
+}
+
+/// Formats a microsecond latency for humans.
+fn fmt_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+impl std::fmt::Display for LatencySnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.quantile_us(0.5), self.quantile_us(0.99)) {
+            (Some(p50), Some(p99)) => write!(
+                f,
+                "{} jobs, p50 ≤ {}, p99 ≤ {}, max {}",
+                self.count,
+                fmt_us(p50),
+                fmt_us(p99),
+                fmt_us(self.max_us)
+            ),
+            _ => write!(f, "no jobs recorded"),
+        }
+    }
+}
+
+/// The amortized CONGEST bill of one shard. Substrate is billed by
+/// content: each topology fingerprint's topo-tier rounds and each
+/// instance key's weight-tier rounds are charged **once** per shard (the
+/// amortization the pool provides — a respec-reused spec adds no second
+/// topo share), while query rounds are the exact sum of the executed
+/// jobs' marginal ledgers.
+///
+/// The billed-content maps are **bounded** to the shard pool's capacity:
+/// entries beyond what the pool can cache correspond to solvers the pool
+/// has evicted, whose substrate genuinely rebuilds on re-admission — so
+/// dropping their amortization record (and re-billing on return) keeps
+/// the bill honest while keeping memory `O(live set)` on a long-lived
+/// engine instead of `O(every spec ever seen)`.
+struct ShardBill {
+    query_rounds: AtomicU64,
+    substrate_rounds: AtomicU64,
+    billed: Mutex<Billed>,
+}
+
+#[derive(Default)]
+struct Billed {
+    /// Topo-tier rounds already billed, per topology fingerprint.
+    topo: HashMap<u64, u64>,
+    /// Weight-tier rounds already billed, per instance key (spec level).
+    weight: HashMap<InstanceKey, u64>,
+}
+
+/// Caps `map` at `capacity` entries by dropping arbitrary other entries
+/// (amortization records, not correctness state — see [`ShardBill`]),
+/// keeping `keep` itself.
+fn bound_map<K: std::hash::Hash + Eq + Copy>(map: &mut HashMap<K, u64>, keep: K, capacity: usize) {
+    while map.len() > capacity {
+        let Some(&victim) = map.keys().find(|&&k| k != keep) else {
+            break;
+        };
+        map.remove(&victim);
+    }
+}
+
+/// The engine-wide registry: lifecycle counters, the latency histogram
+/// and the per-shard round bills. One instance per engine, shared by all
+/// workers.
+pub(crate) struct MetricsRegistry {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub rejected: AtomicU64,
+    pub expired: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub latency: Histogram,
+    shards: Vec<ShardBill>,
+    /// Bound on each billed-content map — the shard pool's capacity.
+    billed_capacity: usize,
+}
+
+impl MetricsRegistry {
+    pub fn new(shards: usize, billed_capacity: usize) -> MetricsRegistry {
+        MetricsRegistry {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            latency: Histogram::new(),
+            shards: (0..shards)
+                .map(|_| ShardBill {
+                    query_rounds: AtomicU64::new(0),
+                    substrate_rounds: AtomicU64::new(0),
+                    billed: Mutex::new(Billed::default()),
+                })
+                .collect(),
+            billed_capacity: billed_capacity.max(1),
+        }
+    }
+
+    /// Bills one completed job's rounds to its shard: query marginals sum
+    /// exactly; substrate is delta-billed per content so it is charged
+    /// once per (shard, topology) and once per (shard, spec) no matter
+    /// how many jobs share it — and if the lazily built substrate grew
+    /// since the last job on the same content (e.g. a girth query added
+    /// the dual graph), only the growth is billed.
+    pub fn bill(&self, shard: usize, key: InstanceKey, rounds: &RoundReport) {
+        let bill = &self.shards[shard];
+        bill.query_rounds
+            .fetch_add(rounds.query_total(), Ordering::Relaxed);
+        let topo_total = rounds.substrate_topo_total();
+        let weight_total = rounds.substrate_weight_total();
+        let mut billed = bill.billed.lock().expect("bill lock");
+        let seen_topo = billed.topo.entry(key.topo_fingerprint()).or_insert(0);
+        let delta = topo_total.saturating_sub(*seen_topo);
+        *seen_topo = (*seen_topo).max(topo_total);
+        let seen_weight = billed.weight.entry(key).or_insert(0);
+        let delta = delta + weight_total.saturating_sub(*seen_weight);
+        *seen_weight = (*seen_weight).max(weight_total);
+        bound_map(
+            &mut billed.topo,
+            key.topo_fingerprint(),
+            self.billed_capacity,
+        );
+        bound_map(&mut billed.weight, key, self.billed_capacity);
+        drop(billed);
+        if delta > 0 {
+            bill.substrate_rounds.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// The per-shard `(substrate_rounds, query_rounds)` pair.
+    pub fn shard_rounds(&self, shard: usize) -> (u64, u64) {
+        let bill = &self.shards[shard];
+        (
+            bill.substrate_rounds.load(Ordering::Relaxed),
+            bill.query_rounds.load(Ordering::Relaxed),
+        )
+    }
+
+    pub fn latency_snapshot(&self) -> LatencySnapshot {
+        self.latency.snapshot()
+    }
+
+    /// Entries in a shard's billed-content maps (bound verification).
+    #[cfg(test)]
+    fn billed_len(&self, shard: usize) -> (usize, usize) {
+        let billed = self.shards[shard].billed.lock().expect("bill lock");
+        (billed.topo.len(), billed.weight.len())
+    }
+}
+
+/// One shard's slice of a [`MetricsSnapshot`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Shard index (also the hash partition: `topo_fingerprint % shards`).
+    pub shard: usize,
+    /// The shard pool's hit/miss/respec-reuse/eviction counters.
+    pub pool: PoolStats,
+    /// Amortized substrate rounds billed to this shard (topo charged once
+    /// per topology, weight once per spec).
+    pub substrate_rounds: u64,
+    /// Sum of the marginal query rounds of this shard's completed jobs.
+    pub query_rounds: u64,
+}
+
+impl std::fmt::Display for ShardMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {}: {}; rounds: {} substrate + {} query",
+            self.shard, self.pool, self.substrate_rounds, self.query_rounds
+        )
+    }
+}
+
+/// A point-in-time view of a running (or shut-down) engine — every
+/// counter the serving layer maintains, in one displayable value.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Jobs admitted to the queue.
+    pub submitted: u64,
+    /// Jobs that executed and returned an [`Ok` outcome](duality_core::Outcome).
+    pub completed: u64,
+    /// Jobs that executed and returned a query error.
+    pub failed: u64,
+    /// Submissions refused by [`AdmissionPolicy::Reject`](crate::AdmissionPolicy::Reject)
+    /// on a full queue.
+    pub rejected: u64,
+    /// Jobs whose deadline passed before a worker could start them.
+    pub expired: u64,
+    /// Jobs cancelled via [`Ticket::cancel`](crate::Ticket::cancel) while
+    /// still queued.
+    pub cancelled: u64,
+    /// Jobs currently queued.
+    pub queue_depth: usize,
+    /// The deepest the queue has ever been.
+    pub queue_high_water: usize,
+    /// Worker threads the engine runs.
+    pub workers: usize,
+    /// Submit-to-completion latency distribution of executed jobs.
+    pub latency: LatencySnapshot,
+    /// Per-shard pool stats and round bills.
+    pub shards: Vec<ShardMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// The per-shard pool counters merged into one fleet-wide line.
+    pub fn pool_total(&self) -> PoolStats {
+        PoolStats::merged(self.shards.iter().map(|s| &s.pool))
+    }
+
+    /// Amortized substrate rounds across all shards.
+    pub fn substrate_rounds(&self) -> u64 {
+        self.shards.iter().map(|s| s.substrate_rounds).sum()
+    }
+
+    /// Marginal query rounds across all shards.
+    pub fn query_rounds(&self) -> u64 {
+        self.shards.iter().map(|s| s.query_rounds).sum()
+    }
+
+    /// The full amortized CONGEST bill (substrate + query).
+    pub fn total_rounds(&self) -> u64 {
+        self.substrate_rounds() + self.query_rounds()
+    }
+
+    /// Jobs admitted but not yet resolved (executing or still queued).
+    pub fn in_flight(&self) -> u64 {
+        self.submitted
+            .saturating_sub(self.completed + self.failed + self.expired + self.cancelled)
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "engine: {} submitted ({} rejected), {} completed, {} failed, {} expired, {} cancelled, {} in flight",
+            self.submitted,
+            self.rejected,
+            self.completed,
+            self.failed,
+            self.expired,
+            self.cancelled,
+            self.in_flight()
+        )?;
+        writeln!(
+            f,
+            "queue: depth {} (high water {}); {} worker(s) over {} shard(s)",
+            self.queue_depth,
+            self.queue_high_water,
+            self.workers,
+            self.shards.len()
+        )?;
+        writeln!(
+            f,
+            "rounds: {} substrate + {} query = {} total",
+            self.substrate_rounds(),
+            self.query_rounds(),
+            self.total_rounds()
+        )?;
+        writeln!(f, "latency: {}", self.latency)?;
+        writeln!(f, "fleet {}", self.pool_total())?;
+        for shard in &self.shards {
+            writeln!(f, "  {shard}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duality_congest::CostLedger;
+
+    fn report(topo: u64, weight: u64, query: u64) -> RoundReport {
+        let mut r = RoundReport::default();
+        r.substrate_topo.charge("t", topo);
+        r.substrate_weight.charge("w", weight);
+        r.query.charge("q", query);
+        r
+    }
+
+    // `InstanceKey`'s only constructor is content-based, so the billing
+    // tests key off tiny real instances.
+    fn key(topo_seed: u64, spec_seed: u64) -> InstanceKey {
+        use duality_core::PlanarInstance;
+        use duality_planar::gen;
+        let g = gen::diag_grid(3, 3, topo_seed).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, spec_seed);
+        let i = PlanarInstance::new(g, Some(caps), None).unwrap();
+        InstanceKey::of(&i)
+    }
+
+    #[test]
+    fn substrate_is_delta_billed_per_content() {
+        let m = MetricsRegistry::new(2, 16);
+        let k = key(1, 1);
+        // First job on the spec: full substrate + query.
+        m.bill(0, k, &report(100, 30, 7));
+        assert_eq!(m.shard_rounds(0), (130, 7));
+        // Second job, same spec, same snapshot: only the query is new.
+        m.bill(0, k, &report(100, 30, 5));
+        assert_eq!(m.shard_rounds(0), (130, 12));
+        // The substrate grew lazily (a girth query built the dual): only
+        // the growth is billed.
+        m.bill(0, k, &report(140, 30, 2));
+        assert_eq!(m.shard_rounds(0), (170, 14));
+        // A respec of the same topology bills its weight tier, not the
+        // shared topo tier again.
+        let k2 = key(1, 2);
+        assert_eq!(k.topo_fingerprint(), k2.topo_fingerprint());
+        assert_ne!(k, k2);
+        m.bill(0, k2, &report(140, 25, 3));
+        assert_eq!(m.shard_rounds(0), (195, 17));
+        // Shards bill independently.
+        assert_eq!(m.shard_rounds(1), (0, 0));
+    }
+
+    #[test]
+    fn billed_maps_stay_bounded() {
+        // Capacity 2: billing many distinct specs never grows the maps
+        // past the bound, and an evicted spec re-bills on return (its
+        // solver would genuinely rebuild after pool eviction too).
+        let m = MetricsRegistry::new(1, 2);
+        let keys: Vec<InstanceKey> = (0..5).map(|s| key(10 + s, 10 + s)).collect();
+        for k in &keys {
+            m.bill(0, *k, &report(100, 10, 1));
+        }
+        let (topo_len, weight_len) = m.billed_len(0);
+        assert!(topo_len <= 2 && weight_len <= 2, "maps bounded");
+        assert_eq!(m.shard_rounds(0), (5 * 110, 5), "each spec billed once");
+        // Re-billing all five: at least three were evicted from the
+        // 2-entry record and re-charge in full — honest, since the pool
+        // would have rebuilt their substrate after its own eviction —
+        // while any spec still recorded re-bills zero.
+        for k in &keys {
+            m.bill(0, *k, &report(100, 10, 1));
+        }
+        let (substrate, query) = m.shard_rounds(0);
+        assert_eq!(query, 10);
+        assert!(
+            (8 * 110..=10 * 110).contains(&substrate),
+            "≥ 3 evicted specs re-billed, ≤ 2 recorded ones did not: {substrate}"
+        );
+    }
+
+    #[test]
+    fn histogram_quantiles_and_display() {
+        let h = Histogram::new();
+        for us in [0u64, 1, 3, 900, 1_500, 40_000] {
+            h.record(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.max_us, 40_000);
+        assert_eq!(s.mean_us(), Some((1 + 3 + 900 + 1_500 + 40_000) / 6));
+        // p50 of six samples = 3rd smallest (3µs) → bucket ceiling 4µs.
+        assert_eq!(s.quantile_us(0.5), Some(4));
+        assert!(s.quantile_us(1.0).unwrap() >= 40_000);
+        assert!(s.to_string().contains("6 jobs"));
+        assert_eq!(LatencySnapshot::default().quantile_us(0.5), None);
+        assert_eq!(LatencySnapshot::default().to_string(), "no jobs recorded");
+        // Sub-second and second formatting.
+        assert_eq!(fmt_us(999), "999µs");
+        assert_eq!(fmt_us(1_500), "1.5ms");
+        assert_eq!(fmt_us(2_000_000), "2.00s");
+    }
+
+    #[test]
+    fn snapshot_aggregates_across_shards() {
+        let snap = MetricsSnapshot {
+            submitted: 10,
+            completed: 7,
+            failed: 1,
+            expired: 1,
+            cancelled: 1,
+            shards: vec![
+                ShardMetrics {
+                    shard: 0,
+                    substrate_rounds: 100,
+                    query_rounds: 40,
+                    ..Default::default()
+                },
+                ShardMetrics {
+                    shard: 1,
+                    substrate_rounds: 50,
+                    query_rounds: 10,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(snap.substrate_rounds(), 150);
+        assert_eq!(snap.query_rounds(), 50);
+        assert_eq!(snap.total_rounds(), 200);
+        assert_eq!(snap.in_flight(), 0);
+        let text = snap.to_string();
+        assert!(text.contains("10 submitted"));
+        assert!(text.contains("150 substrate + 50 query"));
+        assert!(text.contains("shard 1"));
+    }
+
+    #[test]
+    fn ledger_shapes_flow_through_bill() {
+        // A real multi-phase ledger bills its total, not its phase count.
+        let m = MetricsRegistry::new(1, 16);
+        let mut r = RoundReport::default();
+        let mut q = CostLedger::new();
+        q.charge("labeling-broadcast", 11);
+        q.charge("candidate-scan", 4);
+        r.query = q;
+        m.bill(0, key(2, 3), &r);
+        assert_eq!(m.shard_rounds(0), (0, 15));
+    }
+}

@@ -1,0 +1,224 @@
+//! The bounded MPMC job queue between submitters and workers.
+//!
+//! A plain `Mutex<VecDeque>` + two `Condvar`s: the workspace is
+//! dependency-free by design, and the queue is never the hot path — every
+//! popped job runs a solver query that dwarfs the lock hand-off. The
+//! queue also carries the engine's two lifecycle switches: a **start
+//! gate** (a paused queue buffers jobs without dispatching, which is what
+//! makes admission-control and metrics tests deterministic) and a
+//! **close** flag (no new pushes; pops drain the backlog and then return
+//! `None`, which is how workers learn to exit).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue is at capacity (non-blocking push only).
+    Full,
+    /// The queue has been closed for admission.
+    Closed,
+}
+
+struct Inner<T> {
+    jobs: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+    started: bool,
+    high_water: usize,
+}
+
+pub(crate) struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `capacity` jobs (clamped to ≥ 1). When
+    /// `started` is false, pops park until [`Bounded::resume`] (or
+    /// [`Bounded::close`], which drains).
+    pub fn new(capacity: usize, started: bool) -> Bounded<T> {
+        Bounded {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+                started,
+                high_water: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job. With `block`, a full queue parks the caller until
+    /// space frees up (or the queue closes); without, it returns
+    /// [`PushError::Full`] immediately.
+    pub fn push(&self, job: T, block: bool) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed);
+            }
+            if inner.jobs.len() < inner.capacity {
+                break;
+            }
+            if !block {
+                return Err(PushError::Full);
+            }
+            inner = self.not_full.wait(inner).expect("queue lock");
+        }
+        inner.jobs.push_back(job);
+        inner.high_water = inner.high_water.max(inner.jobs.len());
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest job, parking while the queue is empty (or not
+    /// yet started). `None` once the queue is closed **and** drained —
+    /// the worker exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if inner.started || inner.closed {
+                if let Some(job) = inner.jobs.pop_front() {
+                    drop(inner);
+                    self.not_full.notify_one();
+                    return Some(job);
+                }
+                if inner.closed {
+                    return None;
+                }
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Opens the start gate: parked pops begin dispatching.
+    pub fn resume(&self) {
+        self.inner.lock().expect("queue lock").started = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Closes admission: pending and future pushes fail with
+    /// [`PushError::Closed`]; pops drain the backlog and then observe the
+    /// end of the queue. Idempotent.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Jobs currently queued.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").jobs.len()
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.inner.lock().expect("queue lock").high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_high_water() {
+        let q = Bounded::new(4, true);
+        for i in 0..3 {
+            q.push(i, false).unwrap();
+        }
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.high_water(), 3);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        q.push(9, false).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.high_water(), 3, "high water is a maximum, not a level");
+    }
+
+    #[test]
+    fn nonblocking_push_rejects_when_full() {
+        let q = Bounded::new(2, true);
+        q.push(1, false).unwrap();
+        q.push(2, false).unwrap();
+        assert_eq!(q.push(3, false), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        q.push(3, false).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Bounded::new(4, true);
+        q.push(1, false).unwrap();
+        q.push(2, false).unwrap();
+        q.close();
+        assert_eq!(q.push(3, false), Err(PushError::Closed));
+        assert_eq!(q.push(3, true), Err(PushError::Closed), "blocking too");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "end of queue is sticky");
+    }
+
+    #[test]
+    fn paused_queue_buffers_until_resume_or_close() {
+        // Paused: jobs accumulate (that is what makes admission tests
+        // deterministic); a parked pop wakes on resume.
+        let q = Arc::new(Bounded::new(8, false));
+        q.push(7, false).unwrap();
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        q.resume();
+        assert_eq!(popper.join().unwrap(), Some(7));
+
+        // Close alone also releases the gate — straight into drain mode.
+        let q2: Bounded<i32> = Bounded::new(8, false);
+        q2.push(1, false).unwrap();
+        q2.close();
+        assert_eq!(q2.pop(), Some(1));
+        assert_eq!(q2.pop(), None);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(Bounded::new(1, true));
+        q.push(1, false).unwrap();
+        let pusher = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2, true))
+        };
+        // The blocked pusher completes once the slot frees up.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(pusher.join().unwrap(), Ok(()));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn blocked_pusher_is_released_by_close() {
+        let q = Arc::new(Bounded::new(1, true));
+        q.push(1, false).unwrap();
+        let pusher = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2, true))
+        };
+        q.close();
+        assert_eq!(pusher.join().unwrap(), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let q = Bounded::new(0, true);
+        q.push(1, false).unwrap();
+        assert_eq!(q.push(2, false), Err(PushError::Full));
+    }
+}

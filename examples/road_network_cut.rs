@@ -1,10 +1,8 @@
-//! Scenario: bottleneck analysis of a road network, served from a pool.
+//! Scenario: bottleneck analysis of a road network, served by the engine.
 //!
 //! Road networks are the paper's motivating planar workload. We model a
 //! city district as a randomly triangulated grid whose edge capacities are
-//! lane counts, and answer two planning questions distributedly as **one
-//! typed batch** — both queries share the decomposition, the merged bill
-//! charges it once, and a duplicated query costs nothing:
+//! lane counts, and answer two planning questions distributedly:
 //!
 //! 1. *What is the worst-case s→t throughput, and which streets form the
 //!    bottleneck?* — exact directed min st-cut (Theorem 6.1).
@@ -12,18 +10,22 @@
 //!    (Theorem 1.5): the cheapest set of one-way closures that cuts some
 //!    part of the city off.
 //!
-//! The serving layer is a [`duality::SolverPool`]: the dashboard backend
-//! hands it instances (keyed by graph fingerprint + spec hash) and the
-//! pool caches solvers with LRU eviction. When rush hour re-specs the
-//! lane counts, the pool admits the new scenario by **respeccing** the
-//! cached solver — the dual graph and decomposition are reused, visible
-//! in the `respec_reuses` counter and the shared `substrate_topo` bill.
+//! The serving layer is a [`duality::ServiceEngine`] — what a dashboard
+//! backend actually runs: requests are **submitted** as `(instance,
+//! query)` jobs into a bounded queue, executed by a worker pool over
+//! sharded solver pools, and collected asynchronously via typed
+//! [`Ticket`]s. When rush hour re-specs the lane counts, the new scenario
+//! routes to the same shard (shard routing is by topology fingerprint)
+//! and is admitted by **respeccing** the cached weekday solver — the dual
+//! graph and decomposition are reused, visible in the engine's metrics
+//! snapshot (`respec-reuses`, and one engine build across both
+//! scenarios).
 //!
 //! Run with: `cargo run --release --example road_network_cut`
 
 use duality::core::verify;
 use duality::planar::gen;
-use duality::{InstanceKey, PlanarInstance, Query, SolverPool};
+use duality::{PlanarInstance, Query, ServiceEngine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // District: 9x7 blocks with diagonal shortcuts; lanes in [1, 4].
@@ -37,29 +39,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", weekday);
     let (depot, stadium) = (0, weekday.n() - 1);
 
-    // The serving front door: a keyed pool, as a dashboard backend holds.
-    let pool = SolverPool::new(16);
-    let batch = pool.run_batch(
-        &weekday,
-        &[
-            Query::MinStCut {
-                s: depot,
-                t: stadium,
-            },
-            Query::GlobalMinCut,
-            // A dashboard refresh re-asking the same question: deduplicated,
-            // answered from the single execution above.
-            Query::MinStCut {
-                s: depot,
-                t: stadium,
-            },
-        ],
-    );
-    println!("{batch}");
+    // The serving front door: two shards, two workers, bounded queue.
+    let engine = ServiceEngine::builder().shards(2).workers(2).build()?;
 
-    let cut = batch.outcomes[0]
-        .as_ref()
-        .map_err(Clone::clone)?
+    // The dashboard submits both questions and renders as tickets resolve.
+    let cut_ticket = engine.submit(
+        &weekday,
+        Query::MinStCut {
+            s: depot,
+            t: stadium,
+        },
+    )?;
+    let global_ticket = engine.submit(&weekday, Query::GlobalMinCut)?;
+
+    let cut = cut_ticket
+        .wait()?
         .as_min_st_cut()
         .expect("outcome matches its query")
         .clone();
@@ -71,26 +65,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|d| (g.tail(*d), g.head(*d)))
             .collect::<Vec<_>>()
     );
-    let weekday_solver = pool.solver(&weekday);
+    // The audit hatch exposes the exact pooled solver the worker used.
+    let weekday_solver = engine.solver(&weekday);
     assert_eq!(
         verify::directed_cut_capacity(&g, weekday_solver.capacities(), &cut.side),
         cut.value
     );
 
-    // Global fragility: the cheapest directed disconnection anywhere. Same
-    // pooled solver, same cached BDD — only the marginal rounds were new.
-    let global = batch.outcomes[1]
-        .as_ref()
-        .map_err(Clone::clone)?
+    // Global fragility: the cheapest directed disconnection anywhere.
+    // Same pooled solver, same cached BDD — only the marginal rounds were
+    // new.
+    let global = global_ticket.wait()?;
+    let global = global
         .as_global_min_cut()
         .expect("outcome matches its query");
     println!("global fragility: {global}");
-    assert_eq!(batch.duplicates, 1, "the dashboard refresh was free");
+
+    // A dashboard refresh re-asking the same question: served by the
+    // cached solver (a pool hit), costing only the marginal query rounds.
+    let refresh = engine.run(
+        &weekday,
+        Query::MinStCut {
+            s: depot,
+            t: stadium,
+        },
+    )?;
+    assert_eq!(
+        refresh.as_min_st_cut().expect("matches").value,
+        cut.value,
+        "the refresh answered from the same cached solver"
+    );
 
     // Rush hour: contraflow doubles every lane. A copy-on-write respec of
     // the instance (capacities and weights both follow the new lanes, the
-    // graph allocation is shared), admitted to the pool by respeccing the
-    // cached weekday solver.
+    // graph allocation is shared) routes to the weekday shard and is
+    // admitted by respeccing the cached weekday solver.
     let rush_lanes: Vec<i64> = lanes.iter().map(|&l| 2 * l).collect();
     let mut rush_caps = vec![0; g.num_darts()];
     for (e, &l) in rush_lanes.iter().enumerate() {
@@ -99,7 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rush_hour = weekday
         .with_capacities(rush_caps)?
         .with_edge_weights(rush_lanes)?;
-    let rush_cut = pool.run(
+    let rush_cut = engine.run(
         &rush_hour,
         Query::MinStCut {
             s: depot,
@@ -110,17 +119,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("rush hour depot → stadium: {rush_cut}");
     assert_eq!(rush_cut.value, 2 * cut.value, "doubled lanes, doubled cut");
 
-    // The audit trail: one cached topology served both scenarios, and both
-    // stay addressable by key.
-    let stats = pool.stats();
-    println!("{stats}");
-    assert_eq!(stats.respec_reuses, 1, "rush hour reused the topology");
+    // The audit trail: the engine drained cleanly, one cached topology
+    // served both scenarios, and the live metrics say so.
     assert_eq!(
         weekday_solver.stats().engine_builds,
         1,
         "all cut queries of both scenarios shared one decomposition"
     );
-    assert!(pool.contains(&InstanceKey::of(&weekday)));
-    assert!(pool.contains(&InstanceKey::of(&rush_hour)));
+    let metrics = engine.shutdown();
+    println!("{metrics}");
+    assert_eq!(metrics.completed, 4, "four dashboard queries served");
+    assert_eq!(metrics.in_flight(), 0, "shutdown drained everything");
+    let pool = metrics.pool_total();
+    assert_eq!(pool.respec_reuses, 1, "rush hour reused the topology");
+    assert_eq!(pool.len, 2, "both scenarios stay cached");
     Ok(())
 }

@@ -39,10 +39,14 @@
 //! / marginal `query` shares (batches merge to one bill that charges the
 //! substrate once); every failure is the single [`DualityError`] type.
 //! For serving many instances, [`SolverPool`] maps cheap [`InstanceKey`]s
-//! to cached solvers with LRU eviction and respec-reuse. See `DESIGN.md`
-//! for the instance → topo substrate → weight substrate → query → batch →
-//! pool architecture and `EXPERIMENTS.md` for reproducing the
-//! measurements.
+//! to cached solvers with LRU eviction and respec-reuse — and
+//! [`ServiceEngine`] puts a full serving surface on top: instance keys
+//! hash-partitioned across independent pool shards, a bounded job queue
+//! with `Reject`/`Block` admission control, a worker scheduler with
+//! per-job deadlines and cancellation, graceful drain shutdown, and live
+//! metrics. See `DESIGN.md` for the instance → topo substrate → weight
+//! substrate → query → batch → pool → engine architecture and
+//! `EXPERIMENTS.md` for reproducing the measurements.
 //!
 //! # Quickstart
 //!
@@ -93,7 +97,16 @@ pub use duality_core::solver;
 /// The keyed serving layer (re-export of [`duality_core::pool`]).
 pub use duality_core::pool;
 
+/// The sharded serving engine (re-export of [`duality_service`]): shard
+/// routing over per-shard pools, a bounded job queue with admission
+/// control, a worker scheduler with deadlines and cancellation, graceful
+/// drain shutdown, and live metrics.
+pub use duality_service as service;
+
 pub use duality_core::{
     BatchReport, DualityError, InstanceKey, Outcome, PlanarInstance, PlanarSolver, PoolStats,
     Query, SolverBuilder, SolverPool, SolverStats, TopoSubstrate,
+};
+pub use duality_service::{
+    AdmissionPolicy, MetricsSnapshot, ServiceEngine, ServiceError, SubmitError, Ticket,
 };
