@@ -810,39 +810,10 @@ pub fn s3_respec_reuse(seed: u64, smoke: bool) -> Vec<Row> {
     rows
 }
 
-/// A collision-resistant digest of everything the S4 determinism contract
-/// covers: the outcome's witness data plus its marginal query rounds.
-/// Substrate *snapshots* are deliberately excluded — concurrent queries
-/// may observe the lazily built substrate at different stages, which the
-/// engine's contract (and this experiment) does not promise.
-fn outcome_fingerprint(outcome: &duality_core::Outcome) -> u64 {
-    use duality_core::Outcome;
-    use std::collections::hash_map::DefaultHasher;
-    use std::hash::{Hash, Hasher};
-    let mut h = DefaultHasher::new();
-    outcome.rounds().query_total().hash(&mut h);
-    match outcome {
-        Outcome::MaxFlow(r) => {
-            (0u8, r.value, &r.flow, r.probes).hash(&mut h);
-        }
-        Outcome::MinStCut(r) => {
-            (1u8, r.value, &r.side, &r.cut_darts).hash(&mut h);
-        }
-        Outcome::ApproxMaxFlow(r) => {
-            (2u8, r.value_numer, r.denom, &r.flow_numer).hash(&mut h);
-        }
-        Outcome::ApproxMinStCut(r) => {
-            (3u8, r.value, &r.cut_edges).hash(&mut h);
-        }
-        Outcome::GlobalMinCut(r) => {
-            (4u8, r.value, &r.side, &r.cut_edges).hash(&mut h);
-        }
-        Outcome::Girth(r) => {
-            (5u8, r.girth, &r.cycle_edges).hash(&mut h);
-        }
-    }
-    h.finish()
-}
+// The digest the S4/S5 determinism contracts compare: witness data plus
+// marginal query rounds (shared with the workload driver, which uses the
+// same fingerprint for trace replay).
+use duality_workload::outcome_fingerprint;
 
 /// S4 — the sharded serving engine vs serial execution: a multi-tenant
 /// workload (K networks × M respec'd specs × four query kinds) replayed
@@ -990,6 +961,143 @@ pub fn s4_service_engine(seed: u64, smoke: bool) -> Vec<Row> {
         }
     }
     rows
+}
+
+/// S5 — the scenario workload sweep: preset scenarios recorded to traces
+/// (`duality-workload`), replayed through the serving engine across a
+/// worker × shard sweep, and compared against serial ground truth. The
+/// reproducible signals, per (scenario, configuration): every replayed
+/// outcome is bit-for-bit identical to serial `PlanarSolver::run`
+/// (`replay=serial = 1`), the summed marginal query rounds match the
+/// serial sum exactly, and the engine's pooled substrate bill never
+/// exceeds the fresh-solver-per-spec serial bill. The *measurements* —
+/// wall-clock throughput, latency quantiles, and the substrate-reuse
+/// bills — are the perf trajectory recorded in `BENCH_S5.json`.
+pub fn s5_scenario_sweep(seed: u64, smoke: bool) -> Vec<Row> {
+    use duality_workload::driver::{self, DriverConfig};
+    use duality_workload::{Scenario, PRESET_NAMES};
+
+    // Smoke keeps ≥ 4 scenarios (the acceptance floor) but trims the
+    // configuration sweep to CI size.
+    let names: Vec<&str> = if smoke {
+        vec![
+            "steady-state",
+            "failover-storm",
+            "multi-tenant-skew",
+            "respec-heavy",
+        ]
+    } else {
+        PRESET_NAMES.to_vec()
+    };
+    let configs: Vec<(usize, usize)> = if smoke {
+        vec![(1, 1), (2, 1), (2, 2)]
+    } else {
+        let mut c = Vec::new();
+        for workers in [1usize, 2, 4] {
+            for shards in [1usize, 2, 4] {
+                c.push((workers, shards));
+            }
+        }
+        c
+    };
+
+    let mut rows = Vec::new();
+    for name in names {
+        let scenario = Scenario::preset(name, seed).expect("preset names are valid");
+        let trace = scenario.record().expect("presets record");
+        // Materialize once and reuse across the serial pass and every
+        // engine configuration — the sweep rebuilds no tenant graph.
+        let jobs = trace.materialize().expect("recorded traces materialize");
+        let serial = driver::run_serial_jobs(&jobs).expect("recorded traces replay serially");
+        let (n, d) = (jobs[0].instance.n(), jobs[0].instance.graph().diameter());
+        for &(workers, shards) in &configs {
+            let report = driver::drive_jobs(
+                &jobs,
+                trace.header.arrival,
+                &DriverConfig {
+                    workers,
+                    shards,
+                    ..DriverConfig::default()
+                },
+            )
+            .expect("replay through the engine");
+            let replayed: Vec<Option<u64>> = report.fingerprints.clone();
+            let matches = replayed.len() == serial.fingerprints.len()
+                && replayed
+                    .iter()
+                    .zip(&serial.fingerprints)
+                    .all(|(got, want)| *got == Some(*want));
+            let m = &report.metrics;
+            let pool = m.pool_total();
+            rows.push(Row {
+                experiment: "S5".into(),
+                instance: format!("{name}, {workers} wrk / {shards} shd"),
+                n,
+                d,
+                values: vec![
+                    ("jobs".into(), trace.query_count() as f64),
+                    ("respecs".into(), trace.respec_count() as f64),
+                    ("replay=serial".into(), f64::from(u8::from(matches))),
+                    ("completed".into(), m.completed as f64),
+                    ("throughput-jps".into(), report.throughput_jps()),
+                    (
+                        "p50-us".into(),
+                        m.latency.quantile_us(0.5).unwrap_or(0) as f64,
+                    ),
+                    (
+                        "p99-us".into(),
+                        m.latency.quantile_us(0.99).unwrap_or(0) as f64,
+                    ),
+                    ("engine-substrate".into(), m.substrate_rounds() as f64),
+                    ("engine-query".into(), m.query_rounds() as f64),
+                    ("serial-substrate".into(), serial.substrate_rounds as f64),
+                    ("serial-query".into(), serial.query_rounds as f64),
+                    ("pool-hits".into(), pool.hits as f64),
+                    ("pool-misses".into(), pool.misses as f64),
+                    ("respec-reuses".into(), pool.respec_reuses as f64),
+                ],
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod workload_tests {
+    use super::*;
+
+    #[test]
+    fn s5_replay_is_bit_for_bit_serial_and_amortized() {
+        let rows = s5_scenario_sweep(6, true);
+        assert!(
+            rows.iter()
+                .map(|r| r.instance.split(',').next().unwrap().to_string())
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                >= 4,
+            "the sweep covers at least four preset scenarios"
+        );
+        for row in rows {
+            assert_eq!(row.value("replay=serial"), Some(1.0), "{}", row.instance);
+            assert_eq!(
+                row.value("completed"),
+                row.value("jobs"),
+                "{}: deadline-free replays complete everything",
+                row.instance
+            );
+            assert_eq!(
+                row.value("engine-query"),
+                row.value("serial-query"),
+                "{}: marginal query rounds are config independent",
+                row.instance
+            );
+            assert!(
+                row.value("engine-substrate").unwrap() <= row.value("serial-substrate").unwrap(),
+                "{}: pooling never bills more substrate than fresh solvers",
+                row.instance
+            );
+        }
+    }
 }
 
 /// T6 — calibration of the charged cost formulas against the *executed*

@@ -3,7 +3,7 @@
 //! Usage: `cargo run --release -p duality-bench --bin experiments [ids...]
 //! [--smoke]` with ids among those listed by `registry()` (default: all).
 //! `--smoke` shrinks the workloads to CI-sized instances (currently: S3,
-//! S4). Unknown ids exit 2. Markdown tables go to stdout; raw rows to
+//! S4, S5). Unknown ids exit 2. Markdown tables go to stdout; raw rows to
 //! `experiments.json` in the current directory, and each S-series
 //! experiment additionally to its own `BENCH_S*.json` artifact.
 
@@ -99,6 +99,11 @@ fn registry(smoke: bool) -> Vec<(&'static str, &'static str, Box<dyn Fn(u64) -> 
             "serving engine: bit-for-bit vs serial across a worker × shard sweep",
             Box::new(move |s| experiments::s4_service_engine(s, smoke)),
         ),
+        (
+            "s5",
+            "scenario workloads: trace replay vs serial + throughput/latency sweep",
+            Box::new(move |s| experiments::s5_scenario_sweep(s, smoke)),
+        ),
     ]
 }
 
@@ -135,10 +140,15 @@ fn main() {
         }
         // The solver/serving experiments seed the perf trajectory: each
         // run leaves a per-experiment machine-readable artifact next to
-        // the combined dump, so successive PRs can diff measurements.
+        // the combined dump — a versioned envelope (schema_version, seed,
+        // smoke flag, scenario list) so points stay comparable across PRs.
         if id.starts_with('s') {
             let artifact = format!("BENCH_{}.json", id.to_uppercase());
-            std::fs::write(&artifact, duality_bench::rows_to_json(&rows)).expect("writable cwd");
+            std::fs::write(
+                &artifact,
+                duality_bench::bench_artifact_json(&id.to_uppercase(), seed, smoke, &rows),
+            )
+            .expect("writable cwd");
             eprintln!("wrote {} rows to {artifact}", rows.len());
         }
         all.extend(rows);

@@ -55,9 +55,52 @@ pub fn size_sweep(h: usize, widths: &[usize], seed: u64) -> Vec<Instance> {
         .collect()
 }
 
-/// The correctness suite (T1): mixed small/medium workloads.
+/// Apollonian (stacked-triangulation) family: maximal planar graphs with
+/// typically polylogarithmic diameter — the dense, shallow end of the
+/// workload spectrum, where substrate rounds are dominated by the
+/// polylog(n) factors rather than `D`.
+pub fn apollonian_sweep(sizes: &[usize], seed: u64) -> Vec<Instance> {
+    sizes
+        .iter()
+        .map(|&n| Instance {
+            name: format!("apollonian {n}"),
+            graph: gen::apollonian(n, seed).expect("apollonian networks embed"),
+        })
+        .collect()
+}
+
+/// Outerplanar family (polygon triangulations when `full`, sparser chord
+/// sets otherwise): every vertex on one face, diameter `Θ(log n)` under
+/// full triangulation — the extreme where the whole graph is its own
+/// boundary and every vertex qualifies for the st-planar fast paths.
+pub fn outerplanar_sweep(sizes: &[usize], full: bool, seed: u64) -> Vec<Instance> {
+    sizes
+        .iter()
+        .map(|&n| Instance {
+            name: format!("outerplanar {n}{}", if full { " full" } else { "" }),
+            graph: gen::outerplanar(n, seed, full).expect("outerplanar graphs embed"),
+        })
+        .collect()
+}
+
+/// Sparse-grid family: a `side × side` diagonal grid thinned to each
+/// target edge count while staying connected. Sweeping the density
+/// produces the irregular large-face structures that stress the BDD's
+/// face-part machinery — the opposite regime from [`apollonian_sweep`].
+pub fn sparse_sweep(side: usize, target_ms: &[usize], seed: u64) -> Vec<Instance> {
+    target_ms
+        .iter()
+        .map(|&m| Instance {
+            name: format!("sparse-grid {side}x{side}/{m}"),
+            graph: gen::sparse_grid(side, side, m, seed).expect("sparse grids embed"),
+        })
+        .collect()
+}
+
+/// The correctness suite (T1): mixed small/medium workloads, one
+/// representative of every generator family the harness sweeps.
 pub fn correctness_suite(seed: u64) -> Vec<Instance> {
-    vec![
+    let mut suite = vec![
         Instance {
             name: "grid 5x5".into(),
             graph: gen::grid(5, 5).unwrap(),
@@ -67,16 +110,61 @@ pub fn correctness_suite(seed: u64) -> Vec<Instance> {
             graph: gen::diag_grid(6, 5, seed).unwrap(),
         },
         Instance {
-            name: "apollonian 40".into(),
-            graph: gen::apollonian(40, seed).unwrap(),
-        },
-        Instance {
-            name: "outerplanar 24".into(),
-            graph: gen::outerplanar(24, seed, true).unwrap(),
-        },
-        Instance {
             name: "diag-grid 10x7".into(),
             graph: gen::diag_grid(10, 7, seed + 1).unwrap(),
         },
-    ]
+    ];
+    suite.extend(apollonian_sweep(&[40], seed));
+    suite.extend(outerplanar_sweep(&[24], true, seed));
+    suite.extend(sparse_sweep(5, &[32], seed));
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_sweeps_build_the_requested_members() {
+        let ap = apollonian_sweep(&[10, 20, 40], 3);
+        assert_eq!(ap.len(), 3);
+        for (inst, n) in ap.iter().zip([10usize, 20, 40]) {
+            assert_eq!(inst.graph.num_vertices(), n);
+            assert_eq!(inst.graph.num_edges(), 3 * n - 6, "{}", inst.name);
+        }
+        let op = outerplanar_sweep(&[12, 18], true, 3);
+        assert_eq!(op.len(), 2);
+        for inst in &op {
+            // Full polygon triangulations are maximal outerplanar: 2n−3.
+            assert_eq!(
+                inst.graph.num_edges(),
+                2 * inst.graph.num_vertices() - 3,
+                "{}",
+                inst.name
+            );
+        }
+        let sp = sparse_sweep(5, &[28, 40], 3);
+        assert_eq!(sp.len(), 2);
+        for (inst, m) in sp.iter().zip([28usize, 40]) {
+            assert_eq!(inst.graph.num_vertices(), 25);
+            assert_eq!(inst.graph.num_edges(), m, "{}", inst.name);
+        }
+    }
+
+    #[test]
+    fn correctness_suite_covers_every_family() {
+        let names: Vec<String> = correctness_suite(3).into_iter().map(|i| i.name).collect();
+        for family in [
+            "grid",
+            "diag-grid",
+            "apollonian",
+            "outerplanar",
+            "sparse-grid",
+        ] {
+            assert!(
+                names.iter().any(|n| n.starts_with(family)),
+                "suite is missing {family}: {names:?}"
+            );
+        }
+    }
 }

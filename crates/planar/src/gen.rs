@@ -19,6 +19,14 @@ use rand::{Rng, SeedableRng};
 ///
 /// Returns an error if `w == 0 || h == 0` (propagated as a disconnected /
 /// empty embedding error).
+///
+/// # Examples
+///
+/// ```
+/// let g = duality_planar::gen::grid(4, 3).unwrap();
+/// assert_eq!(g.num_vertices(), 12);
+/// assert_eq!(g.diameter(), 4 + 3 - 2);
+/// ```
 pub fn grid(w: usize, h: usize) -> Result<PlanarGraph, PlanarError> {
     let mut edges = Vec::new();
     let mut coords = Vec::new();
@@ -39,6 +47,19 @@ pub fn grid(w: usize, h: usize) -> Result<PlanarGraph, PlanarError> {
 /// A `w × h` grid where every unit cell additionally receives one random
 /// diagonal — a richly triangulated planar graph with the same diameter
 /// behaviour as [`grid`], used as the main benchmark workload.
+///
+/// # Errors
+///
+/// As [`grid`].
+///
+/// # Examples
+///
+/// ```
+/// // One extra edge per unit cell, deterministic under the seed.
+/// let g = duality_planar::gen::diag_grid(4, 3, 7).unwrap();
+/// assert_eq!(g.num_edges(), (3 * 3 + 2 * 4) + 3 * 2);
+/// assert_eq!(g.num_edges(), duality_planar::gen::diag_grid(4, 3, 7).unwrap().num_edges());
+/// ```
 pub fn diag_grid(w: usize, h: usize, seed: u64) -> Result<PlanarGraph, PlanarError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges = Vec::new();
@@ -75,9 +96,22 @@ pub fn diag_grid(w: usize, h: usize, seed: u64) -> Result<PlanarGraph, PlanarErr
 /// vertex connected to its three corners. Produces maximal planar graphs
 /// with `n ≥ 3` vertices and typically polylogarithmic diameter.
 ///
+/// # Errors
+///
+/// Propagates embedding validation failures (none occur for `n ≥ 3`).
+///
 /// # Panics
 ///
 /// Panics if `n < 3`.
+///
+/// # Examples
+///
+/// ```
+/// // Maximal planar: m = 3n − 6 and (by Euler) f = 2n − 4.
+/// let g = duality_planar::gen::apollonian(20, 1).unwrap();
+/// assert_eq!(g.num_edges(), 3 * 20 - 6);
+/// assert_eq!(g.num_faces(), 2 * 20 - 4);
+/// ```
 pub fn apollonian(n: usize, seed: u64) -> Result<PlanarGraph, PlanarError> {
     assert!(n >= 3, "apollonian networks need at least 3 vertices");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -107,9 +141,25 @@ pub fn apollonian(n: usize, seed: u64) -> Result<PlanarGraph, PlanarError> {
 /// set of chords (a random triangulation of the polygon when `full` is
 /// `true`, a sparser random subset otherwise).
 ///
+/// # Errors
+///
+/// Propagates embedding validation failures (none occur for `n ≥ 3`).
+///
 /// # Panics
 ///
 /// Panics if `n < 3`.
+///
+/// # Examples
+///
+/// ```
+/// // A full triangulation of the polygon is maximal outerplanar: 2n − 3.
+/// let g = duality_planar::gen::outerplanar(12, 5, true).unwrap();
+/// assert_eq!(g.num_edges(), 2 * 12 - 3);
+/// // The sparse variant keeps the cycle but drops some chords.
+/// let sparse = duality_planar::gen::outerplanar(12, 5, false).unwrap();
+/// assert!(sparse.num_edges() <= g.num_edges());
+/// assert!(sparse.num_edges() >= 12);
+/// ```
 pub fn outerplanar(n: usize, seed: u64, full: bool) -> Result<PlanarGraph, PlanarError> {
     assert!(n >= 3, "outerplanar graphs need at least 3 vertices");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -146,6 +196,21 @@ pub fn outerplanar(n: usize, seed: u64, full: bool) -> Result<PlanarGraph, Plana
 
 /// A simple cycle on `n ≥ 3` vertices (two faces; the smallest graphs with a
 /// nontrivial dual).
+///
+/// # Errors
+///
+/// Propagates embedding validation failures (none occur for `n ≥ 3`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+///
+/// # Examples
+///
+/// ```
+/// let g = duality_planar::gen::cycle(8).unwrap();
+/// assert_eq!((g.num_edges(), g.num_faces()), (8, 2));
+/// ```
 pub fn cycle(n: usize) -> Result<PlanarGraph, PlanarError> {
     assert!(n >= 3);
     let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
@@ -159,6 +224,21 @@ pub fn cycle(n: usize) -> Result<PlanarGraph, PlanarError> {
 }
 
 /// A path on `n ≥ 2` vertices (a tree: single face, useful as an edge case).
+///
+/// # Errors
+///
+/// Propagates embedding validation failures (none occur for `n ≥ 2`).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let g = duality_planar::gen::path(6).unwrap();
+/// assert_eq!((g.num_edges(), g.num_faces()), (5, 1));
+/// ```
 pub fn path(n: usize) -> Result<PlanarGraph, PlanarError> {
     assert!(n >= 2);
     let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
@@ -167,6 +247,15 @@ pub fn path(n: usize) -> Result<PlanarGraph, PlanarError> {
 }
 
 /// Uniform random integer weights in `[lo, hi]`, one per edge, from `seed`.
+///
+/// # Examples
+///
+/// ```
+/// let w = duality_planar::gen::random_edge_weights(10, 1, 5, 3);
+/// assert_eq!(w.len(), 10);
+/// assert!(w.iter().all(|&x| (1..=5).contains(&x)));
+/// assert_eq!(w, duality_planar::gen::random_edge_weights(10, 1, 5, 3));
+/// ```
 pub fn random_edge_weights(m: usize, lo: Weight, hi: Weight, seed: u64) -> Vec<Weight> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..m).map(|_| rng.gen_range(lo..=hi)).collect()
@@ -175,6 +264,14 @@ pub fn random_edge_weights(m: usize, lo: Weight, hi: Weight, seed: u64) -> Vec<W
 /// Per-dart capacities for a *directed* instance: forward darts get a random
 /// capacity in `[lo, hi]`, backward darts get capacity 0 (the paper's `G'`
 /// construction assigns reversal darts capacity zero, Section 6.1).
+///
+/// # Examples
+///
+/// ```
+/// let caps = duality_planar::gen::random_directed_capacities(4, 1, 9, 7);
+/// assert_eq!(caps.len(), 2 * 4);
+/// assert!((0..4).all(|e| caps[2 * e] >= 1 && caps[2 * e + 1] == 0));
+/// ```
 pub fn random_directed_capacities(m: usize, lo: Weight, hi: Weight, seed: u64) -> Vec<Weight> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut caps = vec![0; 2 * m];
@@ -186,6 +283,13 @@ pub fn random_directed_capacities(m: usize, lo: Weight, hi: Weight, seed: u64) -
 
 /// Per-dart capacities for an *undirected* instance: both darts of an edge
 /// get the same random capacity in `[lo, hi]`.
+///
+/// # Examples
+///
+/// ```
+/// let caps = duality_planar::gen::random_undirected_capacities(4, 1, 9, 7);
+/// assert!((0..4).all(|e| caps[2 * e] == caps[2 * e + 1]));
+/// ```
 pub fn random_undirected_capacities(m: usize, lo: Weight, hi: Weight, seed: u64) -> Vec<Weight> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut caps = vec![0; 2 * m];
@@ -283,6 +387,21 @@ mod tests {
 /// the graph connected, until `target_m` edges remain (or no more edges
 /// can go). Produces irregular face structures — large faces, low
 /// connectivity — that stress the face-part machinery of the BDD.
+///
+/// # Errors
+///
+/// As [`grid`] (empty dimensions), plus any embedding validation failure
+/// of the thinned edge set (none occur by construction).
+///
+/// # Examples
+///
+/// ```
+/// // 25 vertices thinned to 30 edges, still connected (n − 1 ≤ m).
+/// let g = duality_planar::gen::sparse_grid(5, 5, 30, 3).unwrap();
+/// assert_eq!((g.num_vertices(), g.num_edges()), (25, 30));
+/// let (_, depth) = g.bfs(0);
+/// assert!(depth.iter().all(|&d| d != usize::MAX));
+/// ```
 pub fn sparse_grid(
     w: usize,
     h: usize,

@@ -106,6 +106,56 @@ proptest! {
         }
     }
 
+    /// Every generator family — all seven, including the families the
+    /// grid-centric tests above skip — yields a connected, embeddable
+    /// graph across a seed sweep: Euler's formula holds for the built
+    /// embedding (the generators re-validate it, but the property is
+    /// asserted here independently) and BFS from vertex 0 reaches every
+    /// vertex.
+    #[test]
+    fn all_generators_connected_and_embeddable(
+        family in 0u8..7,
+        a in 2usize..8,
+        b in 2usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let g = match family {
+            0 => gen::grid(a, b).unwrap(),
+            1 => gen::diag_grid(a, b, seed).unwrap(),
+            2 => gen::apollonian(3 + a * b, seed).unwrap(),
+            3 => gen::outerplanar(3 + a + b, seed, seed.is_multiple_of(2)).unwrap(),
+            4 => {
+                // Thin towards (but above) the spanning-tree floor, so the
+                // sweep crosses the whole density range.
+                let full = gen::diag_grid(a, b, seed).unwrap();
+                let target = (a * b - 1) + (seed as usize) % (full.num_edges() - (a * b - 1) + 1);
+                gen::sparse_grid(a, b, target, seed).unwrap()
+            }
+            5 => gen::cycle(3 + a + b).unwrap(),
+            _ => gen::path(a + b).unwrap(),
+        };
+        prop_assert_eq!(
+            g.num_vertices() as i64 - g.num_edges() as i64 + g.num_faces() as i64,
+            2,
+            "Euler's formula must hold for the built embedding"
+        );
+        let (_, depth) = g.bfs(0);
+        prop_assert!(
+            depth.iter().all(|&d| d != usize::MAX),
+            "every generated graph is connected"
+        );
+        // Embeddable also means the rotation system is consistent:
+        // every dart sits on exactly one face walk.
+        let mut seen = vec![false; g.num_darts()];
+        for f in g.faces() {
+            for &d in g.face_darts(f) {
+                prop_assert!(!seen[d.index()]);
+                seen[d.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
     /// `insert_edge_in_face` preserves planarity and splits exactly one
     /// face.
     #[test]

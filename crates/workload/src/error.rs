@@ -1,0 +1,96 @@
+//! The one error type of the workload subsystem.
+
+use duality_core::DualityError;
+use duality_planar::PlanarError;
+use duality_service::SubmitError;
+
+/// Everything that can go wrong recording, parsing, materializing or
+/// driving a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A tenant's graph family failed to build.
+    Planar(PlanarError),
+    /// A tenant's instance (or a mutation's respec) failed validation.
+    Instance(DualityError),
+    /// A trace line failed to parse (1-based line number).
+    Parse {
+        /// 1-based line number of the offending trace line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// Replay rebuilt a different spec than the trace recorded — the
+    /// trace is corrupt or was produced by an incompatible generator.
+    KeyMismatch {
+        /// 0-based index of the offending event.
+        event: usize,
+        /// The instance key the trace recorded.
+        recorded: String,
+        /// The instance key replay rebuilt.
+        rebuilt: String,
+    },
+    /// The engine refused a submission the driver could not absorb.
+    Submit(SubmitError),
+    /// A query failed during serial ground-truth replay (0-based event
+    /// index).
+    Query {
+        /// 0-based index of the failing query event.
+        event: usize,
+        /// The solver's error.
+        error: DualityError,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::Planar(e) => write!(f, "tenant graph failed to build: {e}"),
+            WorkloadError::Instance(e) => write!(f, "instance validation failed: {e}"),
+            WorkloadError::Parse { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
+            WorkloadError::KeyMismatch {
+                event,
+                recorded,
+                rebuilt,
+            } => write!(
+                f,
+                "replay key mismatch at event {event}: recorded {recorded}, rebuilt {rebuilt}"
+            ),
+            WorkloadError::Submit(e) => write!(f, "submission refused: {e}"),
+            WorkloadError::Query { event, error } => {
+                write!(f, "query at event {event} failed: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Planar(e) => Some(e),
+            WorkloadError::Instance(e) => Some(e),
+            WorkloadError::Submit(e) => Some(e),
+            WorkloadError::Query { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanarError> for WorkloadError {
+    fn from(e: PlanarError) -> WorkloadError {
+        WorkloadError::Planar(e)
+    }
+}
+
+impl From<DualityError> for WorkloadError {
+    fn from(e: DualityError) -> WorkloadError {
+        WorkloadError::Instance(e)
+    }
+}
+
+impl From<SubmitError> for WorkloadError {
+    fn from(e: SubmitError) -> WorkloadError {
+        WorkloadError::Submit(e)
+    }
+}

@@ -1,0 +1,42 @@
+//! Outcome fingerprints: the compact form of the determinism contract.
+
+use duality_core::Outcome;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A collision-resistant digest of everything the serving determinism
+/// contract covers: the outcome's witness data plus its marginal query
+/// rounds. Substrate *snapshots* are deliberately excluded — concurrent
+/// queries may observe the lazily built substrate at different stages,
+/// which the engine's contract does not promise.
+///
+/// Two runs (any worker/shard configuration, or serial
+/// [`duality_core::PlanarSolver::run`]) answering the same trace must
+/// produce identical fingerprint sequences; comparing the sequences is
+/// how the replay tests and the `s4`/`s5` experiments check the
+/// contract.
+pub fn outcome_fingerprint(outcome: &Outcome) -> u64 {
+    let mut h = DefaultHasher::new();
+    outcome.rounds().query_total().hash(&mut h);
+    match outcome {
+        Outcome::MaxFlow(r) => {
+            (0u8, r.value, &r.flow, r.probes).hash(&mut h);
+        }
+        Outcome::MinStCut(r) => {
+            (1u8, r.value, &r.side, &r.cut_darts).hash(&mut h);
+        }
+        Outcome::ApproxMaxFlow(r) => {
+            (2u8, r.value_numer, r.denom, &r.flow_numer).hash(&mut h);
+        }
+        Outcome::ApproxMinStCut(r) => {
+            (3u8, r.value, &r.cut_edges).hash(&mut h);
+        }
+        Outcome::GlobalMinCut(r) => {
+            (4u8, r.value, &r.side, &r.cut_edges).hash(&mut h);
+        }
+        Outcome::Girth(r) => {
+            (5u8, r.girth, &r.cycle_edges).hash(&mut h);
+        }
+    }
+    h.finish()
+}

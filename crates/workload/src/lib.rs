@@ -1,0 +1,65 @@
+//! Scenario workloads for the duality serving stack: deterministic
+//! traffic generation, trace record/replay, and a load driver.
+//!
+//! The layers below answer queries ([`duality_core::PlanarSolver`]) and
+//! serve them at scale ([`duality_service::ServiceEngine`]); this crate
+//! generates the *traffic* — reproducibly. Three layers:
+//!
+//! * **[`Scenario`]** ([`scenario`]) — a declarative, seeded description
+//!   of traffic: tenant fleets drawn from the planar generator families,
+//!   spec-mutation streams (diurnal capacity waves, edge failures,
+//!   weight spikes, storm respec bursts — all through the instances'
+//!   copy-on-write respec path, so every derived spec shares its
+//!   tenant's graph allocation and topology substrate), query mixes over
+//!   all six query kinds, and open-/closed-loop arrival schedules on a
+//!   logical clock. A library of six presets ([`Scenario::presets`])
+//!   covers the profiles a serving fleet meets: steady state, rush hour,
+//!   failover storm, multi-tenant skew, cold start, respec-heavy.
+//! * **[`Trace`]** ([`trace`]) — the recorded event history a scenario
+//!   expands into: versioned JSONL in, versioned JSONL out
+//!   ([`Trace::to_jsonl`] / [`Trace::parse_jsonl`]), with every event
+//!   stamped by the [`InstanceKey`](duality_core::InstanceKey) of the
+//!   spec it ran against, so replay ([`Trace::materialize`]) proves it
+//!   rebuilt the recorded problems.
+//! * **[`driver`]** — [`driver::drive`] replays a trace through a
+//!   [`ServiceEngine`](duality_service::ServiceEngine) per the arrival
+//!   schedule and harvests fingerprints + metrics;
+//!   [`driver::run_serial`] is the serial ground truth. For any
+//!   worker/shard configuration the fingerprint sequences must match —
+//!   the engine's per-job determinism contract, extended to whole
+//!   traffic histories.
+//!
+//! # Example
+//!
+//! ```
+//! use duality_workload::{driver, DriverConfig, Scenario, Trace};
+//!
+//! let scenario = Scenario::preset("steady-state", 7).unwrap();
+//! let trace = scenario.record().unwrap();
+//!
+//! // The trace is durable: serialize, parse back, nothing lost.
+//! let parsed = Trace::parse_jsonl(&trace.to_jsonl()).unwrap();
+//! assert_eq!(parsed, trace);
+//!
+//! // Replay through the engine reproduces serial ground truth bit for
+//! // bit, whatever the worker/shard shape.
+//! let serial = driver::run_serial(&trace).unwrap();
+//! let run = driver::drive(&trace, &DriverConfig::default()).unwrap();
+//! let replayed: Vec<u64> = run.fingerprints.iter().map(|f| f.unwrap()).collect();
+//! assert_eq!(replayed, serial.fingerprints);
+//! ```
+
+pub mod driver;
+pub mod error;
+pub mod fingerprint;
+pub mod scenario;
+pub mod trace;
+
+pub use driver::{DriverConfig, RunReport, SerialReport};
+pub use error::WorkloadError;
+pub use fingerprint::outcome_fingerprint;
+pub use scenario::{
+    Arrival, FamilySpec, Mutation, MutationRule, QueryMix, Scenario, TenantSpec, PRESET_NAMES,
+    TRACE_SCHEMA_VERSION,
+};
+pub use trace::{TenantRecord, Trace, TraceEvent, TraceHeader, TraceJob};

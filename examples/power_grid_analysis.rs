@@ -1,91 +1,132 @@
-//! Scenario: resilience analysis of a planar power distribution grid.
+//! Scenario: storm-season resilience drill for a fleet of planar power
+//! distribution grids — run as a **preset failover-storm workload**
+//! through the serving engine.
 //!
-//! Power grids are planar by construction (overhead lines rarely cross).
-//! Three questions, two theorems, **one topology substrate**:
+//! Power grids are planar by construction (overhead lines rarely cross),
+//! and a grid operator's control room does not ask one question at a
+//! time: it serves a season of traffic — routine flow/cut monitoring,
+//! then a storm that derates every line and fails a few, then the
+//! restore. The workload subsystem scripts exactly that drill:
 //!
-//! 1. *How much power can flow from the plant to the substation, quickly,
-//!    if both sit on the network boundary?* — the `(1−ε)`-approximate
-//!    st-planar max flow (Theorem 1.3) runs in `D·n^{o(1)}` rounds, far
-//!    below the exact algorithm's `Õ(D²)`, at an accuracy we control.
-//! 2. *What happens in a storm, when every line is derated to 60%?* — the
-//!    same grid with new capacities. [`duality::PlanarSolver::respec_capacities`]
-//!    answers it **without rebuilding** the diameter measurement, dual
-//!    graph or decomposition: the respecced solver shares the original's
-//!    `Arc<TopoSubstrate>` and the report's `substrate_topo` share is
-//!    charged once across both scenarios.
-//! 3. *What is the cheapest maintenance loop?* — inspecting a cycle of
-//!    lines costs its total length; the weighted girth (Theorem 1.7) finds
-//!    the minimum-weight cycle in near-optimal `Õ(D)` rounds — again on
-//!    the same topology, via a weight-side respec.
+//! 1. `Scenario::preset("failover-storm", seed)` describes a fleet of
+//!    grid tenants, a storm derate + edge-failure burst at landfall, the
+//!    restore when it passes, and a flow/cut-heavy query mix — all under
+//!    one seed.
+//! 2. `Scenario::record` expands it into a durable [`Trace`]: every spec
+//!    mutation rides the copy-on-write respec path (derated scenarios
+//!    share each grid's topology substrate) and every event is stamped
+//!    with the instance key it ran against. The JSONL round-trip below
+//!    is the audit trail a real control room would archive.
+//! 3. The driver replays the trace through a sharded [`ServiceEngine`]
+//!    and the outcomes are checked **bit for bit** against serial
+//!    `PlanarSolver::run` ground truth — the storm answers do not depend
+//!    on how many workers or shards happened to serve them.
 //!
 //! Run with: `cargo run --release --example power_grid_analysis`
 
-use duality::baselines::flow::planar_max_flow_reference;
-use duality::planar::gen;
-use duality::{PlanarSolver, Query};
-use std::sync::Arc;
+use duality::workload::driver::{self, DriverConfig};
+use duality::workload::{Scenario, Trace, TraceEvent};
+use duality::ServiceEngine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Service area: 14x9 blocks, line capacities in MW.
-    let g = gen::diag_grid(14, 9, 7)?;
-    let capacity = gen::random_undirected_capacities(g.num_edges(), 5, 40, 1);
-    // Plant at the north-west corner, substation at the north-east corner:
-    // both on the outer face, so the st-planar fast path applies.
-    let (plant, substation) = (0, 13);
-
-    println!("grid: n = {}, D = {}", g.num_vertices(), g.diameter());
-    let exact = planar_max_flow_reference(&g, &capacity, plant, substation);
-    println!("optimum (centralized reference): {exact} MW\n");
-
-    // Deliverable power at three accuracy settings, batched on one solver:
-    // the instance is validated once, the diameter measured once, and the
-    // queries run concurrently on the worker pool.
-    let solver = PlanarSolver::builder(&g)
-        .capacities(capacity.clone())
-        .build()?;
-    println!("{}\n", solver.instance());
-    let accuracy_sweep: Vec<Query> = [2u64, 8, 0]
-        .into_iter()
-        .map(|k| Query::ApproxMaxFlow {
-            s: plant,
-            t: substation,
-            eps_inverse: k,
-        })
-        .collect();
-    let batch = solver.run_batch(&accuracy_sweep);
-    for (query, outcome) in accuracy_sweep.iter().zip(&batch.outcomes) {
-        println!("{query}: {}", outcome.as_ref().map_err(Clone::clone)?);
+    // The drill script: three grid tenants, storm at tick 4, restore at
+    // tick 8, flow/cut-heavy monitoring traffic throughout.
+    let scenario = Scenario::preset("failover-storm", 7).expect("preset exists");
+    let trace = scenario.record()?;
+    println!(
+        "drill `{}`: {} tenants, {} ticks, {} queries, {} storm respecs",
+        scenario.name,
+        trace.header.tenants.len(),
+        trace.header.ticks,
+        trace.query_count(),
+        trace.respec_count()
+    );
+    for (i, t) in trace.header.tenants.iter().enumerate() {
+        println!("  grid {i}: {}", t.family.label());
     }
-    println!("\n{batch}");
 
-    // Storm scenario: every line derated to 60%. A respec, not a rebuild —
-    // the new solver shares the topology substrate by pointer.
-    let derated: Vec<i64> = capacity.iter().map(|&c| c * 3 / 5).collect();
-    let storm = solver.respec_capacities(derated)?;
-    assert!(Arc::ptr_eq(solver.topo_substrate(), storm.topo_substrate()));
-    let storm_flow = storm.approx_max_flow(plant, substation, 8)?;
-    println!("storm (lines at 60%): {storm_flow}");
+    // The archive: record → serialize → parse back, nothing lost. A
+    // trace on disk is a reproducible incident report.
+    let jsonl = trace.to_jsonl();
+    let restored = Trace::parse_jsonl(&jsonl)?;
+    assert_eq!(restored, trace, "the JSONL round-trip is lossless");
+    println!(
+        "archived {} trace lines ({} bytes)\n",
+        jsonl.lines().count(),
+        jsonl.len()
+    );
 
-    // Cheapest maintenance loop by line length (here: 1 + 200/capacity, so
-    // fat lines are cheap to walk). New weights, same grid: a weight-side
-    // respec; the girth query runs on the shared cached dual graph.
-    let length: Vec<i64> = (0..g.num_edges())
-        .map(|e| 1 + 200 / capacity[2 * e])
+    // Ground truth: the same season answered serially, one fresh solver
+    // per grid spec.
+    let serial = driver::run_serial(&trace)?;
+    println!(
+        "serial ground truth: {} specs solved, {} substrate + {} query rounds",
+        serial.solvers, serial.substrate_rounds, serial.query_rounds
+    );
+
+    // The drill itself: replay through the engine — four workers over
+    // two shards, the storm's derated specs finding their donor solvers
+    // by respec-reuse.
+    let report = driver::drive(
+        &trace,
+        &DriverConfig {
+            workers: 4,
+            shards: 2,
+            ..DriverConfig::default()
+        },
+    )?;
+    let replayed: Vec<u64> = report
+        .fingerprints
+        .iter()
+        .map(|f| f.expect("deadline-free replays complete"))
         .collect();
-    let loop_solver = solver.respec_edge_weights(length)?;
-    let loop_ = loop_solver.girth()?;
-    println!("cheapest maintenance loop: {loop_}");
-
-    // The audit trail: one topology bill for all three scenarios.
     assert_eq!(
-        solver.stats().dual_builds,
-        1,
-        "one dual graph, respecs share it"
+        replayed, serial.fingerprints,
+        "storm answers are bit-for-bit identical to serial ground truth"
     );
     println!(
-        "\ntopology substrate: {} rounds, charged once across {} scenarios",
-        solver.substrate_topo_rounds().total(),
-        3
+        "engine replay: {} jobs at {:.0} jobs/s — outcomes match serial bit for bit",
+        trace.query_count(),
+        report.throughput_jps()
+    );
+    println!(
+        "substrate amortization: engine billed {} rounds vs {} serial ({} respec-reuses)\n",
+        report.metrics.substrate_rounds(),
+        serial.substrate_rounds,
+        report.metrics.pool_total().respec_reuses
+    );
+    println!("{}", report.metrics);
+
+    // The storm is visible in the trace itself: the fleet's serviced
+    // capacity dips while the derate + edge failures are in force.
+    let jobs = trace.materialize()?;
+    assert!(
+        trace
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Respec { .. })),
+        "storms respec"
+    );
+    let caps_of = |j: &duality::workload::TraceJob| -> i64 { j.instance.capacities().iter().sum() };
+    let watched = jobs.first().expect("the drill has jobs").tenant;
+    let pre_storm = caps_of(&jobs[0]);
+    let trough = jobs
+        .iter()
+        .filter(|j| j.tenant == watched)
+        .map(caps_of)
+        .min()
+        .expect("the watched grid is queried");
+    println!("grid {watched} capacity: {pre_storm} MW pre-storm, {trough} MW at the trough");
+    assert!(trough < pre_storm, "the storm derates the fleet");
+
+    // The engine stays available for ad-hoc queries on the same fleet —
+    // e.g. re-checking one grid after the drill.
+    let engine = ServiceEngine::builder().workers(2).shards(2).build()?;
+    let grid0 = &jobs[0].instance;
+    let girth = engine.run(grid0, duality::Query::Girth)?;
+    println!(
+        "post-drill check, grid 0 cheapest loop: {}",
+        girth.as_girth().expect("girth outcome")
     );
     Ok(())
 }

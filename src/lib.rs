@@ -44,9 +44,13 @@
 //! hash-partitioned across independent pool shards, a bounded job queue
 //! with `Reject`/`Block` admission control, a worker scheduler with
 //! per-job deadlines and cancellation, graceful drain shutdown, and live
-//! metrics. See `DESIGN.md` for the instance → topo substrate → weight
-//! substrate → query → batch → pool → engine architecture and
-//! `EXPERIMENTS.md` for reproducing the measurements.
+//! metrics. The [`workload`] subsystem generates the traffic: seeded
+//! [`Scenario`]s expand into replayable [`Trace`]s (versioned JSONL,
+//! instance-key-verified) that the load driver feeds through the engine
+//! and checks bit-for-bit against serial ground truth. See `DESIGN.md`
+//! for the instance → topo substrate → weight substrate → query → batch
+//! → pool → engine → workload architecture and `EXPERIMENTS.md` for
+//! reproducing the measurements.
 //!
 //! # Quickstart
 //!
@@ -103,6 +107,15 @@ pub use duality_core::pool;
 /// drain shutdown, and live metrics.
 pub use duality_service as service;
 
+/// The scenario workload subsystem (re-export of [`duality_workload`]):
+/// declarative seeded [`Scenario`]s (tenant fleets, spec-mutation
+/// streams, query mixes, arrival schedules), versioned JSONL
+/// [`Trace`] record/replay with per-event instance-key verification,
+/// and the open-/closed-loop load driver that replays traces through
+/// [`ServiceEngine`] and checks them bit-for-bit against serial ground
+/// truth.
+pub use duality_workload as workload;
+
 pub use duality_core::{
     BatchReport, DualityError, InstanceKey, Outcome, PlanarInstance, PlanarSolver, PoolStats,
     Query, SolverBuilder, SolverPool, SolverStats, TopoSubstrate,
@@ -110,3 +123,4 @@ pub use duality_core::{
 pub use duality_service::{
     AdmissionPolicy, MetricsSnapshot, ServiceEngine, ServiceError, SubmitError, Ticket,
 };
+pub use duality_workload::{DriverConfig, RunReport, Scenario, Trace, WorkloadError};
