@@ -1100,6 +1100,284 @@ mod workload_tests {
     }
 }
 
+/// S6 — the control plane operating a fleet through its lifecycle:
+/// cold launch, worker scale-up under traffic, a storm derate with SLO
+/// pressure, recovery with stray eviction, and a controller restart
+/// from a hash-verified snapshot. Each phase is one declarative spec
+/// push; the rows record how many observe/diff/execute rounds and
+/// actions the reconciler needed and whether it converged — plus, for
+/// the restart phase, whether the resumed controller reached the same
+/// state and the snapshot round-trips byte-stably.
+pub fn s6_control_plane(seed: u64, smoke: bool) -> Vec<Row> {
+    use duality_control::{Action, FleetSpec, Reconciler, Slo, StateStore, TenantDecl};
+    use duality_core::{InstanceKey, Query};
+    use duality_service::AdmissionPolicy;
+    use duality_workload::{FamilySpec, TenantRecord};
+    use std::sync::Arc;
+
+    let families: Vec<(&str, FamilySpec)> = if smoke {
+        vec![
+            ("grid", FamilySpec::DiagGrid { w: 4, h: 4 }),
+            ("mesh", FamilySpec::Apollonian { n: 8 }),
+            ("ring", FamilySpec::Outerplanar { n: 10, full: true }),
+        ]
+    } else {
+        vec![
+            ("grid", FamilySpec::DiagGrid { w: 7, h: 6 }),
+            ("mesh", FamilySpec::Apollonian { n: 24 }),
+            ("ring", FamilySpec::Outerplanar { n: 30, full: true }),
+            (
+                "sparse",
+                FamilySpec::SparseGrid {
+                    w: 6,
+                    h: 6,
+                    target_m: 70,
+                },
+            ),
+        ]
+    };
+    let surge_workers = if smoke { 2 } else { 4 };
+    let spec = FleetSpec {
+        name: "s6-fleet".into(),
+        revision: 1,
+        workers: 1,
+        shards: 2,
+        queue_capacity: 64,
+        pool_capacity: 16,
+        admission: AdmissionPolicy::Block,
+        tenants: families
+            .iter()
+            .enumerate()
+            .map(|(i, (name, family))| TenantDecl {
+                name: (*name).to_string(),
+                record: TenantRecord {
+                    family: *family,
+                    cap_range: (1, 9),
+                    weight_range: (1, 9),
+                    graph_seed: seed + i as u64,
+                    cap_seed: seed + 100 + i as u64,
+                    weight_seed: seed + 200 + i as u64,
+                },
+                prewarm: true,
+                derate_percent: 100,
+                slo: None,
+            })
+            .collect(),
+    };
+    let store_path = std::env::temp_dir().join(format!(
+        "duality-bench-s6-{seed}-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&store_path);
+
+    let mut rows = Vec::new();
+    let mut phase =
+        |name: &str, tenant0: &Arc<duality_core::PlanarInstance>, values: Vec<(String, f64)>| {
+            rows.push(Row {
+                experiment: "S6".into(),
+                instance: format!("{name}, {} tenants", families.len()),
+                n: tenant0.n(),
+                d: tenant0.graph().diameter(),
+                values,
+            });
+        };
+    let count = |report: &duality_control::ConvergenceReport, pick: fn(&Action) -> bool| {
+        report.actions.iter().filter(|a| pick(a)).count() as f64
+    };
+    let traffic = |fleet: &Reconciler| {
+        for (name, _) in &families {
+            let i = Arc::clone(fleet.instance(name).expect("spec'd tenant"));
+            let t = i.n() - 1;
+            fleet
+                .engine()
+                .run(&i, Query::MaxFlow { s: 0, t })
+                .expect("fleet serves");
+            fleet.engine().run(&i, Query::Girth).expect("fleet serves");
+        }
+    };
+
+    // Phase 1 — cold launch: empty engine to fully warmed roster.
+    let mut fleet = Reconciler::launch(spec).expect("valid spec");
+    fleet.attach_store(StateStore::new(store_path.clone()));
+    let report = fleet.reconcile().expect("reconcile runs");
+    let obs = fleet.observe();
+    let tenant0 = Arc::clone(fleet.instance(families[0].0).unwrap());
+    phase(
+        "cold-launch",
+        &tenant0,
+        vec![
+            ("converged".into(), f64::from(u8::from(report.converged))),
+            ("rounds".into(), report.rounds as f64),
+            ("actions".into(), report.actions.len() as f64),
+            (
+                "prewarms".into(),
+                count(&report, |a| matches!(a, Action::PrewarmTenant { .. })),
+            ),
+            (
+                "resident".into(),
+                obs.tenants.iter().filter(|t| t.resident).count() as f64,
+            ),
+            ("workers".into(), obs.workers_live as f64),
+        ],
+    );
+
+    // Phase 2 — scale-up: surge the worker fleet under live traffic.
+    traffic(&fleet);
+    let mut surge = fleet.spec().clone();
+    surge.revision += 1;
+    surge.workers = surge_workers;
+    let report = fleet.push(surge).expect("push converges");
+    phase(
+        "scale-up",
+        &tenant0,
+        vec![
+            ("converged".into(), f64::from(u8::from(report.converged))),
+            ("rounds".into(), report.rounds as f64),
+            ("actions".into(), report.actions.len() as f64),
+            ("workers".into(), fleet.engine().metrics().workers as f64),
+            (
+                "completed".into(),
+                fleet.engine().metrics().completed as f64,
+            ),
+        ],
+    );
+
+    // Phase 3 — storm: derate every region to 40% through the COW
+    // respec path, under an unsatisfiably tight p99 SLO so the pass
+    // *reports* violations while still converging.
+    let mut storm = fleet.spec().clone();
+    storm.revision += 1;
+    for t in &mut storm.tenants {
+        t.derate_percent = 40;
+    }
+    storm.tenants[0].slo = Some(Slo {
+        max_p99_us: Some(1),
+        max_queue_depth: None,
+    });
+    let report = fleet.push(storm).expect("push converges");
+    traffic(&fleet);
+    let pool = fleet.engine().pool_stats();
+    phase(
+        "storm-derate",
+        &tenant0,
+        vec![
+            ("converged".into(), f64::from(u8::from(report.converged))),
+            ("rounds".into(), report.rounds as f64),
+            ("actions".into(), report.actions.len() as f64),
+            (
+                "derates".into(),
+                count(&report, |a| matches!(a, Action::DerateRegion { .. })),
+            ),
+            ("slo-violations".into(), report.slo_violations as f64),
+            ("respec-reuses".into(), pool.respec_reuses as f64),
+        ],
+    );
+
+    // Phase 4 — recovery: restore full capacity, drop the last tenant,
+    // flip admission. The derated solvers become strays and are evicted.
+    let mut recover = fleet.spec().clone();
+    recover.revision += 1;
+    recover.tenants.pop();
+    for t in &mut recover.tenants {
+        t.derate_percent = 100;
+        t.slo = None;
+    }
+    recover.admission = AdmissionPolicy::Reject;
+    let report = fleet.push(recover).expect("push converges");
+    let obs = fleet.observe();
+    phase(
+        "recover-evict",
+        &tenant0,
+        vec![
+            ("converged".into(), f64::from(u8::from(report.converged))),
+            ("rounds".into(), report.rounds as f64),
+            ("actions".into(), report.actions.len() as f64),
+            (
+                "evictions".into(),
+                count(&report, |a| matches!(a, Action::EvictTenant { .. })),
+            ),
+            (
+                "resident".into(),
+                obs.tenants.iter().filter(|t| t.resident).count() as f64,
+            ),
+        ],
+    );
+
+    // Phase 5 — restart: shut the controller down, resume a new one
+    // from the snapshot alone, and verify it converges to the same
+    // state (same desired keys, same warm set) from a byte-stable file.
+    let keys_before: Vec<(String, InstanceKey, bool)> = obs
+        .tenants
+        .iter()
+        .map(|t| (t.name.clone(), t.desired_key, t.resident))
+        .collect();
+    fleet.shutdown();
+    let text = std::fs::read_to_string(&store_path).expect("snapshot written");
+    let byte_stable = duality_control::Snapshot::parse_jsonl(&text)
+        .expect("snapshot verifies")
+        .to_jsonl()
+        == text;
+    let mut resumed =
+        Reconciler::resume(StateStore::new(store_path.clone())).expect("snapshot resumes");
+    let report = resumed.reconcile().expect("reconcile runs");
+    let obs = resumed.observe();
+    let keys_after: Vec<(String, InstanceKey, bool)> = obs
+        .tenants
+        .iter()
+        .map(|t| (t.name.clone(), t.desired_key, t.resident))
+        .collect();
+    let state_match = keys_after == keys_before && obs.workers_live == surge_workers;
+    phase(
+        "snapshot-restart",
+        &tenant0,
+        vec![
+            ("converged".into(), f64::from(u8::from(report.converged))),
+            ("rounds".into(), report.rounds as f64),
+            ("actions".into(), report.actions.len() as f64),
+            ("state-match".into(), f64::from(u8::from(state_match))),
+            ("byte-stable".into(), f64::from(u8::from(byte_stable))),
+        ],
+    );
+    resumed.shutdown();
+    let _ = std::fs::remove_file(&store_path);
+    rows
+}
+
+#[cfg(test)]
+mod control_tests {
+    use super::*;
+
+    #[test]
+    fn s6_every_phase_converges_and_restart_matches() {
+        let rows = s6_control_plane(6, true);
+        assert_eq!(rows.len(), 5, "five lifecycle phases");
+        for row in &rows {
+            assert_eq!(row.value("converged"), Some(1.0), "{}", row.instance);
+        }
+        let by_phase = |p: &str| {
+            rows.iter()
+                .find(|r| r.instance.starts_with(p))
+                .unwrap_or_else(|| panic!("phase {p}"))
+        };
+        assert!(by_phase("cold-launch").value("prewarms").unwrap() >= 3.0);
+        assert!(by_phase("scale-up").value("workers").unwrap() >= 2.0);
+        let storm = by_phase("storm-derate");
+        assert!(storm.value("derates").unwrap() >= 3.0);
+        assert!(
+            storm.value("slo-violations").unwrap() > 0.0,
+            "the tight SLO reports violations"
+        );
+        assert!(
+            storm.value("respec-reuses").unwrap() >= 1.0,
+            "derates ride the respec-donor path"
+        );
+        assert!(by_phase("recover-evict").value("evictions").unwrap() >= 1.0);
+        let restart = by_phase("snapshot-restart");
+        assert_eq!(restart.value("state-match"), Some(1.0));
+        assert_eq!(restart.value("byte-stable"), Some(1.0));
+    }
+}
+
 /// T6 — calibration of the charged cost formulas against the *executed*
 /// message-passing runtime: BFS flooding and pipelined tree broadcast are
 /// run as real vertex programs and their exact round counts are compared

@@ -3,7 +3,7 @@
 //! Usage: `cargo run --release -p duality-bench --bin experiments [ids...]
 //! [--smoke]` with ids among those listed by `registry()` (default: all).
 //! `--smoke` shrinks the workloads to CI-sized instances (currently: S3,
-//! S4, S5). Unknown ids exit 2. Markdown tables go to stdout; raw rows to
+//! S4, S5, S6). Unknown ids exit 2. Markdown tables go to stdout; raw rows to
 //! `experiments.json` in the current directory, and each S-series
 //! experiment additionally to its own `BENCH_S*.json` artifact.
 
@@ -103,6 +103,11 @@ fn registry(smoke: bool) -> Vec<(&'static str, &'static str, Box<dyn Fn(u64) -> 
             "s5",
             "scenario workloads: trace replay vs serial + throughput/latency sweep",
             Box::new(move |s| experiments::s5_scenario_sweep(s, smoke)),
+        ),
+        (
+            "s6",
+            "control plane: spec-driven fleet lifecycle, convergence, snapshot restart",
+            Box::new(move |s| experiments::s6_control_plane(s, smoke)),
         ),
     ]
 }

@@ -1,0 +1,147 @@
+//! The control plane's single error type.
+
+use duality_core::DualityError;
+use duality_planar::PlanarError;
+
+/// Every way the control plane can fail, in one matchable type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ControlError {
+    /// The spec failed validation before any of it was applied.
+    InvalidSpec {
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// The pushed spec changes a field only an engine rebuild can honor
+    /// (shard count, queue capacity, pool capacity) — the reconciler
+    /// refuses rather than silently restarting the fleet. Launch a fresh
+    /// reconciler to apply it.
+    RequiresRebuild {
+        /// The immutable field the push tried to change.
+        field: &'static str,
+    },
+    /// A serialized spec or snapshot failed to parse.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A loaded snapshot's recorded spec hash does not match the hash
+    /// re-derived from its spec payload — the file was edited or
+    /// corrupted, and the controller refuses to resume from it.
+    HashMismatch {
+        /// The hash the snapshot claims.
+        recorded: u64,
+        /// The hash the parsed spec actually has.
+        computed: u64,
+    },
+    /// Resume was asked for, but the store has no snapshot yet.
+    MissingSnapshot {
+        /// The store path that was probed.
+        path: String,
+    },
+    /// Reading or writing the state store failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error, stringified (keeps the error `Clone + Eq`).
+        reason: String,
+    },
+    /// Building a tenant's instance or the engine failed validation.
+    Build(DualityError),
+    /// A tenant's graph family failed to generate.
+    Planar(PlanarError),
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlError::InvalidSpec { reason } => write!(f, "invalid fleet spec: {reason}"),
+            ControlError::RequiresRebuild { field } => {
+                write!(f, "changing `{field}` requires an engine rebuild")
+            }
+            ControlError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+            ControlError::HashMismatch { recorded, computed } => write!(
+                f,
+                "snapshot spec hash mismatch: recorded {recorded:016x}, computed {computed:016x}"
+            ),
+            ControlError::MissingSnapshot { path } => {
+                write!(f, "no snapshot to resume from at {path}")
+            }
+            ControlError::Io { path, reason } => write!(f, "state store I/O at {path}: {reason}"),
+            ControlError::Build(e) => write!(f, "instance build failed: {e}"),
+            ControlError::Planar(e) => write!(f, "graph generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ControlError::Build(e) => Some(e),
+            ControlError::Planar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DualityError> for ControlError {
+    fn from(e: DualityError) -> ControlError {
+        ControlError::Build(e)
+    }
+}
+
+impl From<PlanarError> for ControlError {
+    fn from(e: PlanarError) -> ControlError {
+        ControlError::Planar(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(ControlError, &str)> = vec![
+            (
+                ControlError::InvalidSpec { reason: "x".into() },
+                "invalid fleet spec",
+            ),
+            (
+                ControlError::RequiresRebuild { field: "shards" },
+                "`shards` requires an engine rebuild",
+            ),
+            (
+                ControlError::Parse {
+                    line: 3,
+                    reason: "y".into(),
+                },
+                "line 3",
+            ),
+            (
+                ControlError::HashMismatch {
+                    recorded: 1,
+                    computed: 2,
+                },
+                "hash mismatch",
+            ),
+            (
+                ControlError::MissingSnapshot { path: "/p".into() },
+                "no snapshot",
+            ),
+            (
+                ControlError::Io {
+                    path: "/p".into(),
+                    reason: "denied".into(),
+                },
+                "I/O at /p",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

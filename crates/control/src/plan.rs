@@ -1,0 +1,138 @@
+//! Typed reconciliation plans: the ordered action list one diff round
+//! produces.
+//!
+//! A [`Plan`] is what the reconciler decides to *do* after comparing a
+//! [`FleetSpec`](crate::FleetSpec) against a live observation. It is
+//! plain data — inspectable, displayable, testable — and execution is a
+//! separate step, so tests can assert on what would happen without an
+//! engine, and convergence reports can show the operator exactly which
+//! actions each round took.
+
+use duality_core::InstanceKey;
+use duality_service::AdmissionPolicy;
+
+/// One reconciliation step against the live engine.
+///
+/// Variants are listed in execution-priority order: policy flips first
+/// (cheap, affects everything queued behind them), then worker scaling,
+/// then per-tenant pool population, then stray eviction last (never
+/// evict before the replacement is warm).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Flip the engine's admission policy.
+    SetAdmission {
+        /// The policy the spec wants.
+        policy: AdmissionPolicy,
+    },
+    /// Scale the worker fleet from `from` live threads to `to`.
+    ScaleWorkers {
+        /// Live worker count at observation time.
+        from: usize,
+        /// Desired worker count.
+        to: usize,
+    },
+    /// Warm the named tenant's desired (possibly derated) solver into
+    /// its home shard pool.
+    PrewarmTenant {
+        /// The tenant's spec name.
+        tenant: String,
+    },
+    /// Install the tenant's derated spec — a copy-on-write respec of its
+    /// base instance — as its serving solver.
+    DerateRegion {
+        /// The tenant's spec name.
+        tenant: String,
+        /// Capacity percentage of the base spec (`< 100` here; 100 is
+        /// expressed as [`Action::PrewarmTenant`]).
+        percent: u32,
+    },
+    /// Evict a resident solver no spec'd tenant wants anymore.
+    EvictTenant {
+        /// The pool key to evict.
+        key: InstanceKey,
+    },
+}
+
+impl std::fmt::Display for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Action::SetAdmission { policy } => write!(f, "set-admission {policy:?}"),
+            Action::ScaleWorkers { from, to } => write!(f, "scale-workers {from} -> {to}"),
+            Action::PrewarmTenant { tenant } => write!(f, "prewarm {tenant}"),
+            Action::DerateRegion { tenant, percent } => {
+                write!(f, "derate {tenant} to {percent}%")
+            }
+            Action::EvictTenant { key } => write!(f, "evict {key}"),
+        }
+    }
+}
+
+/// The ordered action list one diff round produced. An empty plan means
+/// the observation already matches the spec.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Plan {
+    /// Actions in execution order.
+    pub actions: Vec<Action>,
+}
+
+impl Plan {
+    /// The number of actions in the plan.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the plan has nothing to do (the converged state).
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+impl std::fmt::Display for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "plan: converged (nothing to do)");
+        }
+        write!(f, "plan: {} action(s)", self.len())?;
+        for action in &self.actions {
+            write!(f, "\n  - {action}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_read_like_an_operator_log() {
+        let plan = Plan {
+            actions: vec![
+                Action::SetAdmission {
+                    policy: AdmissionPolicy::Reject,
+                },
+                Action::ScaleWorkers { from: 1, to: 4 },
+                Action::PrewarmTenant {
+                    tenant: "grid-a".into(),
+                },
+                Action::DerateRegion {
+                    tenant: "grid-b".into(),
+                    percent: 40,
+                },
+            ],
+        };
+        let text = plan.to_string();
+        for needle in [
+            "4 action(s)",
+            "set-admission Reject",
+            "scale-workers 1 -> 4",
+            "prewarm grid-a",
+            "derate grid-b to 40%",
+        ] {
+            assert!(text.contains(needle), "{text}");
+        }
+        assert_eq!(plan.len(), 4);
+        assert!(Plan::default().is_empty());
+        assert!(Plan::default().to_string().contains("converged"));
+    }
+}

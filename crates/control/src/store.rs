@@ -1,0 +1,278 @@
+//! Durable controller state: versioned, hash-guarded JSONL snapshots.
+//!
+//! A [`StateStore`] persists the reconciler's last converged state — a
+//! [`Snapshot`] holding the spec in force plus convergence bookkeeping —
+//! so a restarted controller resumes from where its predecessor stopped
+//! instead of from nothing. The format follows the trace discipline:
+//! one header line, then the spec's own canonical JSONL, written
+//! atomically (temp file + rename). Loading is paranoid the same way
+//! trace replay is: an unknown `schema_version` is refused, and the
+//! header's recorded `spec_hash` is compared against the hash re-derived
+//! from the parsed spec payload — an edited or corrupted snapshot fails
+//! with [`ControlError::HashMismatch`] rather than silently steering the
+//! fleet somewhere else. (The hash covers the spec payload; header
+//! bookkeeping fields are not self-protected.)
+
+use crate::error::ControlError;
+use crate::spec::FleetSpec;
+use duality_workload::jsonl::{line, Obj, Val};
+use std::path::{Path, PathBuf};
+
+/// Snapshot serialization format version; loading refuses anything
+/// else.
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
+
+/// One persisted controller state: the spec in force and how the pass
+/// that saved it went.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Format version ([`SNAPSHOT_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Monotone save counter — which snapshot generation this is.
+    pub seq: u64,
+    /// Content hash of `spec` ([`FleetSpec::spec_hash`]), re-derived and
+    /// verified on load.
+    pub spec_hash: u64,
+    /// Whether the saving pass converged (always true for snapshots the
+    /// reconciler writes; kept explicit for forensics).
+    pub converged: bool,
+    /// Rounds the saving pass took.
+    pub rounds: u64,
+    /// Actions the saving pass executed.
+    pub actions: u64,
+    /// The spec that was in force.
+    pub spec: FleetSpec,
+}
+
+impl Snapshot {
+    /// Serializes to canonical JSONL: header line, then the spec's
+    /// lines. Byte-stable like the spec serialization it embeds.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        line(
+            &mut out,
+            &[
+                ("kind", Val::s("snapshot")),
+                ("schema_version", Val::n(self.schema_version)),
+                ("seq", Val::n(self.seq)),
+                ("spec_hash", Val::n(self.spec_hash)),
+                ("converged", Val::n(u64::from(self.converged))),
+                ("rounds", Val::n(self.rounds)),
+                ("actions", Val::n(self.actions)),
+            ],
+        );
+        out.push_str(&self.spec.to_jsonl());
+        out
+    }
+
+    /// Parses and *verifies* a snapshot: schema version, spec validity,
+    /// and the recorded-vs-recomputed spec hash.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::Parse`] on malformed input or an unknown
+    /// `schema_version`; [`ControlError::HashMismatch`] when the spec
+    /// payload does not hash to the recorded value;
+    /// [`ControlError::InvalidSpec`] when the embedded spec fails
+    /// validation.
+    pub fn parse_jsonl(text: &str) -> Result<Snapshot, ControlError> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        let fail = |reason: String| ControlError::Parse { line: 1, reason };
+        let obj = Obj::parse(header).map_err(fail)?;
+        if obj.str("kind").map_err(fail)? != "snapshot" {
+            return Err(fail("expected a snapshot header line".into()));
+        }
+        let schema_version = obj.u64("schema_version").map_err(fail)?;
+        if schema_version != SNAPSHOT_SCHEMA_VERSION {
+            return Err(fail(format!(
+                "unsupported schema_version {schema_version} (expected {SNAPSHOT_SCHEMA_VERSION})"
+            )));
+        }
+        let rest: String = lines.map(|l| format!("{l}\n")).collect();
+        let spec = FleetSpec::parse_jsonl(&rest).map_err(|e| match e {
+            // Re-anchor spec line numbers past the header line.
+            ControlError::Parse { line, reason } => ControlError::Parse {
+                line: line + 1,
+                reason,
+            },
+            other => other,
+        })?;
+        spec.validate()?;
+        let recorded = obj.u64("spec_hash").map_err(fail)?;
+        let computed = spec.spec_hash();
+        if recorded != computed {
+            return Err(ControlError::HashMismatch { recorded, computed });
+        }
+        Ok(Snapshot {
+            schema_version,
+            seq: obj.u64("seq").map_err(fail)?,
+            spec_hash: recorded,
+            converged: obj.u64("converged").map_err(fail)? != 0,
+            rounds: obj.u64("rounds").map_err(fail)?,
+            actions: obj.u64("actions").map_err(fail)?,
+            spec,
+        })
+    }
+}
+
+/// A snapshot slot at a filesystem path. Saves are atomic
+/// (write-temp-then-rename), so a crash mid-save leaves the previous
+/// snapshot intact.
+pub struct StateStore {
+    path: PathBuf,
+}
+
+impl StateStore {
+    /// A store at `path`. Nothing is touched until the first save.
+    pub fn new(path: impl Into<PathBuf>) -> StateStore {
+        StateStore { path: path.into() }
+    }
+
+    /// The store's path, for display.
+    pub fn path_display(&self) -> String {
+        self.path.display().to_string()
+    }
+
+    fn io_err(&self, e: &std::io::Error) -> ControlError {
+        ControlError::Io {
+            path: self.path_display(),
+            reason: e.to_string(),
+        }
+    }
+
+    /// Atomically persists `snapshot`, replacing any previous one.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::Io`] when writing or renaming fails.
+    pub fn save(&self, snapshot: &Snapshot) -> Result<(), ControlError> {
+        let tmp = self.path.with_extension("tmp");
+        std::fs::write(&tmp, snapshot.to_jsonl()).map_err(|e| self.io_err(&e))?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| self.io_err(&e))
+    }
+
+    /// Loads and verifies the stored snapshot; `Ok(None)` when the store
+    /// has never been saved to.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::Io`] on read failure, plus everything
+    /// [`Snapshot::parse_jsonl`] refuses.
+    pub fn load(&self) -> Result<Option<Snapshot>, ControlError> {
+        if !Path::exists(&self.path) {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(&self.path).map_err(|e| self.io_err(&e))?;
+        Snapshot::parse_jsonl(&text).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TenantDecl;
+    use duality_service::AdmissionPolicy;
+    use duality_workload::{FamilySpec, TenantRecord};
+
+    fn spec() -> FleetSpec {
+        FleetSpec {
+            name: "store-unit".into(),
+            revision: 3,
+            workers: 2,
+            shards: 2,
+            queue_capacity: 16,
+            pool_capacity: 8,
+            admission: AdmissionPolicy::Reject,
+            tenants: vec![TenantDecl {
+                name: "t0".into(),
+                record: TenantRecord {
+                    family: FamilySpec::Grid { w: 3, h: 3 },
+                    cap_range: (1, 9),
+                    weight_range: (1, 9),
+                    graph_seed: 1,
+                    cap_seed: 2,
+                    weight_seed: 3,
+                },
+                prewarm: true,
+                derate_percent: 100,
+                slo: None,
+            }],
+        }
+    }
+
+    fn snapshot() -> Snapshot {
+        let spec = spec();
+        Snapshot {
+            schema_version: SNAPSHOT_SCHEMA_VERSION,
+            seq: 4,
+            spec_hash: spec.spec_hash(),
+            converged: true,
+            rounds: 2,
+            actions: 5,
+            spec,
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("duality-store-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_round_trip_is_byte_stable() {
+        let snap = snapshot();
+        let text = snap.to_jsonl();
+        let parsed = Snapshot::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.to_jsonl(), text, "byte-stable");
+
+        let store = StateStore::new(temp_path("roundtrip"));
+        assert!(store.load().unwrap().is_none(), "fresh store is empty");
+        store.save(&snap).unwrap();
+        assert_eq!(store.load().unwrap().unwrap(), snap);
+        std::fs::remove_file(temp_path("roundtrip")).unwrap();
+    }
+
+    #[test]
+    fn tampered_snapshots_are_refused() {
+        let snap = snapshot();
+        let text = snap.to_jsonl();
+
+        // Edit the spec payload (derate a tenant): hash check trips.
+        let tampered = text.replacen("\"derate_percent\": 100", "\"derate_percent\": 40", 1);
+        assert!(matches!(
+            Snapshot::parse_jsonl(&tampered).unwrap_err(),
+            ControlError::HashMismatch { .. }
+        ));
+
+        // Unknown snapshot schema version: refused before hashing.
+        let future = text.replacen("\"schema_version\": 1", "\"schema_version\": 99", 1);
+        assert!(matches!(
+            Snapshot::parse_jsonl(&future).unwrap_err(),
+            ControlError::Parse { line: 1, .. }
+        ));
+
+        // Truncated to just the header: no spec payload.
+        let header_only = text.lines().next().unwrap();
+        assert!(Snapshot::parse_jsonl(header_only).is_err());
+
+        // Not a snapshot at all.
+        assert!(Snapshot::parse_jsonl("").is_err());
+        assert!(Snapshot::parse_jsonl("{\"kind\": \"fleet\"}").is_err());
+
+        // Spec line numbers in errors are offset past the header.
+        let broken = format!("{}\nnot json\n", text.lines().next().unwrap());
+        assert!(matches!(
+            Snapshot::parse_jsonl(&broken).unwrap_err(),
+            ControlError::Parse { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn io_errors_name_the_path() {
+        let store = StateStore::new("/nonexistent-dir/snap.jsonl");
+        let err = store.save(&snapshot()).unwrap_err();
+        assert!(matches!(err, ControlError::Io { .. }), "{err}");
+        assert!(err.to_string().contains("nonexistent-dir"));
+    }
+}

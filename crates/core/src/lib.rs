@@ -56,7 +56,7 @@ pub mod verify;
 
 pub use error::DualityError;
 pub use instance::PlanarInstance;
-pub use pool::{InstanceKey, PoolStats, SolverPool};
+pub use pool::{InstanceKey, PoolStats, ResidentEntry, SolverPool};
 pub use solver::{
     BatchReport, Outcome, PlanarSolver, Query, SolverBuilder, SolverStats, TopoSubstrate,
 };

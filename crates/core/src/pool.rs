@@ -189,15 +189,40 @@ impl std::fmt::Display for PoolStats {
     }
 }
 
+/// One cached entry's residency record (see [`SolverPool::residency`]):
+/// which key is cached and how long it has sat untouched. Age is measured
+/// in **lookup ticks** — the pool's logical clock advances once per
+/// instance- or key-bearing lookup, not with wall time — so "cold" means
+/// "many lookups have happened since anyone wanted this entry", which is
+/// exactly the signal an eviction policy wants, independent of traffic
+/// rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResidentEntry {
+    /// The cached entry's key.
+    pub key: InstanceKey,
+    /// The pool's logical clock when this entry was last hit or admitted.
+    pub touched: u64,
+    /// Lookup ticks since then (`clock − touched`): 0 for the entry the
+    /// latest lookup touched, larger for colder entries.
+    pub idle: u64,
+}
+
 struct PoolEntry {
     key: InstanceKey,
     solver: PlanarSolver,
+    /// Logical-clock stamp of the last hit/admission (see
+    /// [`ResidentEntry`]).
+    touched: u64,
 }
 
-/// Everything behind one lock: the LRU list (most recently used last) and
-/// the counters, so a lookup updates both atomically.
+/// Everything behind one lock: the LRU list (most recently used last),
+/// the logical lookup clock and the counters, so a lookup updates all of
+/// them atomically.
 struct PoolInner {
     entries: Vec<PoolEntry>,
+    /// Advances once per instance- or key-bearing lookup; entries stamp
+    /// it into `touched` when hit or admitted.
+    clock: u64,
     hits: u64,
     misses: u64,
     respec_reuses: u64,
@@ -222,6 +247,7 @@ impl SolverPool {
         SolverPool {
             inner: Mutex::new(PoolInner {
                 entries: Vec::new(),
+                clock: 0,
                 hits: 0,
                 misses: 0,
                 respec_reuses: 0,
@@ -304,6 +330,7 @@ impl SolverPool {
         // anything — a cold admission must never block other callers.
         let donor = {
             let mut inner = self.inner.lock().expect("pool lock");
+            inner.clock += 1;
             if let Some(solver) = Self::lookup(&mut inner, key, instance) {
                 return solver;
             }
@@ -347,7 +374,8 @@ impl SolverPool {
             .iter()
             .position(|e| e.key == key && same_problem(e.solver.instance(), instance))
         {
-            let entry = inner.entries.remove(pos);
+            let mut entry = inner.entries.remove(pos);
+            entry.touched = inner.clock;
             let cached = entry.solver.clone();
             inner.entries.push(entry);
             return cached;
@@ -355,9 +383,11 @@ impl SolverPool {
         if respecced {
             inner.respec_reuses += 1;
         }
+        let touched = inner.clock;
         inner.entries.push(PoolEntry {
             key,
             solver: solver.clone(),
+            touched,
         });
         if inner.entries.len() > self.capacity {
             inner.entries.remove(0); // least recently used sits first
@@ -382,7 +412,8 @@ impl SolverPool {
             .position(|e| e.key == key && same_problem(e.solver.instance(), instance))?;
         inner.hits += 1;
         // Most recently used goes last.
-        let entry = inner.entries.remove(pos);
+        let mut entry = inner.entries.remove(pos);
+        entry.touched = inner.clock;
         let solver = entry.solver.clone();
         inner.entries.push(entry);
         Some(solver)
@@ -398,12 +429,46 @@ impl SolverPool {
     /// equality and are immune to key collisions.
     pub fn get(&self, key: &InstanceKey) -> Option<PlanarSolver> {
         let mut inner = self.inner.lock().expect("pool lock");
+        inner.clock += 1;
         let pos = inner.entries.iter().position(|e| e.key == *key)?;
         inner.hits += 1;
-        let entry = inner.entries.remove(pos);
+        let mut entry = inner.entries.remove(pos);
+        entry.touched = inner.clock;
         let solver = entry.solver.clone();
         inner.entries.push(entry);
         Some(solver)
+    }
+
+    /// The residency table: one [`ResidentEntry`] per cached solver, in
+    /// LRU order (coldest first — the next LRU victim leads). Observation
+    /// only: touches neither recency, the clock, nor any counter, so a
+    /// control loop can poll it without keeping cold tenants warm.
+    pub fn residency(&self) -> Vec<ResidentEntry> {
+        let inner = self.inner.lock().expect("pool lock");
+        inner
+            .entries
+            .iter()
+            .map(|e| ResidentEntry {
+                key: e.key,
+                touched: e.touched,
+                idle: inner.clock.saturating_sub(e.touched),
+            })
+            .collect()
+    }
+
+    /// Drops the entry cached under `key`, if any. `true` when an entry
+    /// was removed — counted as an eviction in [`SolverPool::stats`] (it
+    /// is one, just policy-driven rather than capacity-driven). Handles
+    /// already cloned out of the pool remain valid; only the cache entry
+    /// (and its substrate amortization for future callers) is gone.
+    pub fn evict(&self, key: &InstanceKey) -> bool {
+        let mut inner = self.inner.lock().expect("pool lock");
+        let Some(pos) = inner.entries.iter().position(|e| e.key == *key) else {
+            return false;
+        };
+        inner.entries.remove(pos);
+        inner.evictions += 1;
+        true
     }
 
     /// Executes one query against the cached solver for `instance`
@@ -718,6 +783,56 @@ mod tests {
         let mut acc = a;
         acc.absorb(&b);
         assert_eq!(acc, merged);
+    }
+
+    #[test]
+    fn residency_reports_lru_order_and_idle_age() {
+        let pool = SolverPool::new(4);
+        assert!(pool.residency().is_empty());
+        let (a, b) = (instance(30), instance(31));
+        let (ka, kb) = (InstanceKey::of(&a), InstanceKey::of(&b));
+        pool.solver(&a); // tick 1: admit a
+        pool.solver(&b); // tick 2: admit b
+        pool.solver(&a); // tick 3: hit a — b is now the cold one
+        let residency = pool.residency();
+        assert_eq!(residency.len(), 2);
+        assert_eq!(
+            residency[0],
+            ResidentEntry {
+                key: kb,
+                touched: 2,
+                idle: 1
+            }
+        );
+        assert_eq!(
+            residency[1],
+            ResidentEntry {
+                key: ka,
+                touched: 3,
+                idle: 0
+            }
+        );
+        // Observation is free of side effects: polling does not age or
+        // refresh anything.
+        assert_eq!(pool.residency(), residency);
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+    }
+
+    #[test]
+    fn evict_by_key_drops_exactly_one_entry() {
+        let pool = SolverPool::new(4);
+        let (a, b) = (instance(32), instance(33));
+        let (ka, kb) = (InstanceKey::of(&a), InstanceKey::of(&b));
+        let solver = pool.solver(&a);
+        pool.solver(&b);
+        assert!(pool.evict(&ka), "resident entry evicts");
+        assert!(!pool.evict(&ka), "already gone");
+        assert!(!pool.contains(&ka));
+        assert!(pool.contains(&kb), "other entries survive");
+        assert_eq!(pool.stats().evictions, 1, "policy evictions are counted");
+        // A handle cloned out earlier still works after the eviction.
+        assert!(solver.run(Query::Girth).is_ok());
     }
 
     #[test]

@@ -27,11 +27,18 @@
 //! * **graceful shutdown** — [`ServiceEngine::shutdown`] stops admission,
 //!   drains every queued job, joins the workers and returns the final
 //!   metrics snapshot; dropping the engine does the same;
+//! * **live reconfiguration** — the control-plane levers:
+//!   [`ServiceEngine::scale_workers`] grows or cooperatively shrinks the
+//!   worker fleet at runtime, [`ServiceEngine::set_admission`] flips the
+//!   admission policy live, and [`ServiceEngine::shard_residency`] /
+//!   [`ServiceEngine::evict`] observe and prune what each shard pool
+//!   caches;
 //! * **live metrics** — a lock-light registry of atomic counters
 //!   (submitted / completed / failed / rejected / expired / cancelled), a
-//!   log-bucketed latency histogram, queue-depth high-water mark, and
-//!   per-shard pool hit/miss plus amortized CONGEST round bills, all
-//!   snapshot as one [`MetricsSnapshot`] with a human-readable `Display`.
+//!   log-bucketed latency histogram, live queue-depth / running / worker
+//!   gauges plus the queue high-water mark, and per-shard pool hit/miss
+//!   plus amortized CONGEST round bills, all snapshot as one
+//!   [`MetricsSnapshot`] with a human-readable `Display`.
 //!
 //! Determinism contract: every outcome an engine returns is **bit-for-bit
 //! identical** to what a serial [`duality_core::PlanarSolver::run`] would

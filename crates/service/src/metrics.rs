@@ -175,6 +175,16 @@ pub(crate) struct MetricsRegistry {
     pub rejected: AtomicU64,
     pub expired: AtomicU64,
     pub cancelled: AtomicU64,
+    /// Jobs executing on a worker *right now* (claimed, not yet resolved)
+    /// — the instantaneous pressure gauge the control plane reads, as
+    /// opposed to the derived
+    /// [`in_flight`](MetricsSnapshot::in_flight) which also counts the
+    /// queued backlog.
+    pub running: AtomicU64,
+    /// Worker threads currently alive. Incremented at spawn, decremented
+    /// as each worker loop exits — so after a scale-down this converges
+    /// to the target only once the retired threads have actually left.
+    pub live_workers: AtomicU64,
     pub latency: Histogram,
     shards: Vec<ShardBill>,
     /// Bound on each billed-content map — the shard pool's capacity.
@@ -190,6 +200,8 @@ impl MetricsRegistry {
             rejected: AtomicU64::new(0),
             expired: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+            live_workers: AtomicU64::new(0),
             latency: Histogram::new(),
             shards: (0..shards)
                 .map(|_| ShardBill {
@@ -296,11 +308,18 @@ pub struct MetricsSnapshot {
     /// Jobs cancelled via [`Ticket::cancel`](crate::Ticket::cancel) while
     /// still queued.
     pub cancelled: u64,
-    /// Jobs currently queued.
+    /// Jobs currently queued (live gauge).
     pub queue_depth: usize,
     /// The deepest the queue has ever been.
     pub queue_high_water: usize,
-    /// Worker threads the engine runs.
+    /// Jobs executing on a worker at the instant of the snapshot (live
+    /// gauge; the claimed-but-unresolved slice of
+    /// [`in_flight`](MetricsSnapshot::in_flight)).
+    pub running: u64,
+    /// Worker threads currently alive. Tracks
+    /// [`ServiceEngine::scale_workers`](crate::ServiceEngine::scale_workers)
+    /// with a short lag on scale-down (retired threads exit when they next
+    /// visit the queue).
     pub workers: usize,
     /// Submit-to-completion latency distribution of executed jobs.
     pub latency: LatencySnapshot,
@@ -351,9 +370,10 @@ impl std::fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "queue: depth {} (high water {}); {} worker(s) over {} shard(s)",
+            "queue: depth {} (high water {}), {} running; {} worker(s) over {} shard(s)",
             self.queue_depth,
             self.queue_high_water,
+            self.running,
             self.workers,
             self.shards.len()
         )?;

@@ -3,11 +3,14 @@
 //! A plain `Mutex<VecDeque>` + two `Condvar`s: the workspace is
 //! dependency-free by design, and the queue is never the hot path — every
 //! popped job runs a solver query that dwarfs the lock hand-off. The
-//! queue also carries the engine's two lifecycle switches: a **start
+//! queue also carries the engine's lifecycle switches: a **start
 //! gate** (a paused queue buffers jobs without dispatching, which is what
-//! makes admission-control and metrics tests deterministic) and a
+//! makes admission-control and metrics tests deterministic), a
 //! **close** flag (no new pushes; pops drain the backlog and then return
-//! `None`, which is how workers learn to exit).
+//! `None`, which is how workers learn to exit), and a **retire counter**
+//! (each pending retirement is handed to exactly one popping worker as
+//! [`Popped::Retire`] — the scale-down signal, consumed ahead of queued
+//! jobs so shrinking the fleet never waits behind a backlog).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -21,11 +24,22 @@ pub(crate) enum PushError {
     Closed,
 }
 
+/// What a successful pop handed the worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Popped<T> {
+    /// A queued job to execute.
+    Job(T),
+    /// A retirement signal: this worker should exit (scale-down). Each
+    /// [`Bounded::retire`] request is delivered to exactly one worker.
+    Retire,
+}
+
 struct Inner<T> {
     jobs: VecDeque<T>,
     capacity: usize,
     closed: bool,
     started: bool,
+    retiring: usize,
     high_water: usize,
 }
 
@@ -46,6 +60,7 @@ impl<T> Bounded<T> {
                 capacity: capacity.max(1),
                 closed: false,
                 started,
+                retiring: 0,
                 high_water: 0,
             }),
             not_empty: Condvar::new(),
@@ -78,16 +93,22 @@ impl<T> Bounded<T> {
     }
 
     /// Dequeues the oldest job, parking while the queue is empty (or not
-    /// yet started). `None` once the queue is closed **and** drained —
-    /// the worker exit signal.
-    pub fn pop(&self) -> Option<T> {
+    /// yet started). A pending retirement outranks queued work and the
+    /// start gate: scale-down must not wait behind a backlog or a paused
+    /// engine. `None` once the queue is closed **and** drained — the
+    /// worker exit signal.
+    pub fn pop(&self) -> Option<Popped<T>> {
         let mut inner = self.inner.lock().expect("queue lock");
         loop {
+            if inner.retiring > 0 {
+                inner.retiring -= 1;
+                return Some(Popped::Retire);
+            }
             if inner.started || inner.closed {
                 if let Some(job) = inner.jobs.pop_front() {
                     drop(inner);
                     self.not_full.notify_one();
-                    return Some(job);
+                    return Some(Popped::Job(job));
                 }
                 if inner.closed {
                     return None;
@@ -95,6 +116,14 @@ impl<T> Bounded<T> {
             }
             inner = self.not_empty.wait(inner).expect("queue lock");
         }
+    }
+
+    /// Asks `n` workers to exit: the next `n` pops observe
+    /// [`Popped::Retire`] instead of a job. Queued jobs are untouched —
+    /// the survivors drain them.
+    pub fn retire(&self, n: usize) {
+        self.inner.lock().expect("queue lock").retiring += n;
+        self.not_empty.notify_all();
     }
 
     /// Opens the start gate: parked pops begin dispatching.
@@ -136,11 +165,11 @@ mod tests {
         }
         assert_eq!(q.depth(), 3);
         assert_eq!(q.high_water(), 3);
-        assert_eq!(q.pop(), Some(0));
-        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(Popped::Job(0)));
+        assert_eq!(q.pop(), Some(Popped::Job(1)));
         q.push(9, false).unwrap();
-        assert_eq!(q.pop(), Some(2));
-        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.pop(), Some(Popped::Job(2)));
+        assert_eq!(q.pop(), Some(Popped::Job(9)));
         assert_eq!(q.high_water(), 3, "high water is a maximum, not a level");
     }
 
@@ -150,7 +179,7 @@ mod tests {
         q.push(1, false).unwrap();
         q.push(2, false).unwrap();
         assert_eq!(q.push(3, false), Err(PushError::Full));
-        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(Popped::Job(1)));
         q.push(3, false).unwrap();
     }
 
@@ -162,8 +191,8 @@ mod tests {
         q.close();
         assert_eq!(q.push(3, false), Err(PushError::Closed));
         assert_eq!(q.push(3, true), Err(PushError::Closed), "blocking too");
-        assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(Popped::Job(1)));
+        assert_eq!(q.pop(), Some(Popped::Job(2)));
         assert_eq!(q.pop(), None);
         assert_eq!(q.pop(), None, "end of queue is sticky");
     }
@@ -179,13 +208,13 @@ mod tests {
             std::thread::spawn(move || q.pop())
         };
         q.resume();
-        assert_eq!(popper.join().unwrap(), Some(7));
+        assert_eq!(popper.join().unwrap(), Some(Popped::Job(7)));
 
         // Close alone also releases the gate — straight into drain mode.
         let q2: Bounded<i32> = Bounded::new(8, false);
         q2.push(1, false).unwrap();
         q2.close();
-        assert_eq!(q2.pop(), Some(1));
+        assert_eq!(q2.pop(), Some(Popped::Job(1)));
         assert_eq!(q2.pop(), None);
     }
 
@@ -198,9 +227,39 @@ mod tests {
             std::thread::spawn(move || q.push(2, true))
         };
         // The blocked pusher completes once the slot frees up.
-        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(Popped::Job(1)));
         assert_eq!(pusher.join().unwrap(), Ok(()));
-        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(Popped::Job(2)));
+    }
+
+    #[test]
+    fn retire_outranks_queued_jobs_and_the_start_gate() {
+        // Retirement is consumed before queued work...
+        let q = Bounded::new(4, true);
+        q.push(1, false).unwrap();
+        q.retire(1);
+        assert_eq!(q.pop(), Some(Popped::Retire));
+        assert_eq!(q.pop(), Some(Popped::Job(1)), "jobs survive a retire");
+
+        // ...and even through a paused start gate: scale-down of a paused
+        // engine must not deadlock.
+        let q2: Bounded<i32> = Bounded::new(4, false);
+        q2.retire(2);
+        assert_eq!(q2.pop(), Some(Popped::Retire));
+        assert_eq!(q2.pop(), Some(Popped::Retire));
+    }
+
+    #[test]
+    fn retire_wakes_a_parked_popper() {
+        let q: Arc<Bounded<i32>> = Arc::new(Bounded::new(4, true));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the popper a beat to park, then retire it.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        q.retire(1);
+        assert_eq!(popper.join().unwrap(), Some(Popped::Retire));
     }
 
     #[test]

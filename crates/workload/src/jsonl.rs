@@ -1,0 +1,345 @@
+//! The flat JSON-line codec shared by every durable artifact format.
+//!
+//! One object per line; values are strings or integers — all the trace
+//! and control-plane formats need, and all the parser accepts (same
+//! no-serde discipline as the bench harness). The writer is canonical:
+//! fields serialize in the order given, with a fixed `", "` / `": "`
+//! layout, so re-serializing a parsed document is **byte-stable** — the
+//! property the tamper-detection idioms (content hashes over the
+//! serialized form) rely on.
+//!
+//! Extracted from the trace module so `duality-control` can persist its
+//! [`FleetSpec`](https://docs.rs/duality-control) snapshots in the same
+//! format; the trace writer/parser is the original consumer. The tenant
+//! [`FamilySpec`] field encoding lives here too, since both formats
+//! embed tenant generator parameters.
+
+use crate::scenario::FamilySpec;
+
+/// A field value: string or integer (stored wide enough for `u64`).
+pub enum Val {
+    /// A JSON string.
+    S(String),
+    /// A JSON integer (no floats in these formats).
+    N(i128),
+}
+
+impl Val {
+    /// A string value.
+    pub fn s(v: &str) -> Val {
+        Val::S(v.to_string())
+    }
+    /// An unsigned integer value.
+    pub fn n(v: u64) -> Val {
+        Val::N(i128::from(v))
+    }
+    /// A signed integer value.
+    pub fn i(v: i64) -> Val {
+        Val::N(i128::from(v))
+    }
+}
+
+/// Appends one JSON object line built from `fields` (canonical layout —
+/// see the [module docs](self) on byte stability).
+pub fn line(out: &mut String, fields: &[(&str, Val)]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_string(k));
+        out.push_str(": ");
+        match v {
+            Val::S(s) => out.push_str(&json_string(s)),
+            Val::N(n) => out.push_str(&n.to_string()),
+        }
+    }
+    out.push_str("}\n");
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One parsed line: an ordered list of `(key, value)` fields.
+pub struct Obj(Vec<(String, Val)>);
+
+impl Obj {
+    /// Parses one JSON object line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason on malformed input (callers wrap it with
+    /// their own line number).
+    pub fn parse(line: &str) -> Result<Obj, String> {
+        let mut chars = line.trim().chars().peekable();
+        if chars.next() != Some('{') {
+            return Err("expected `{`".into());
+        }
+        let mut fields = Vec::new();
+        loop {
+            skip_ws(&mut chars);
+            match chars.peek() {
+                Some('}') => {
+                    chars.next();
+                    break;
+                }
+                Some('"') => {}
+                _ => return Err("expected `\"` or `}`".into()),
+            }
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next() != Some(':') {
+                return Err(format!("expected `:` after key `{key}`"));
+            }
+            skip_ws(&mut chars);
+            let val = match chars.peek() {
+                Some('"') => Val::S(parse_string(&mut chars)?),
+                Some(c) if c.is_ascii_digit() || *c == '-' => Val::N(parse_number(&mut chars)?),
+                _ => return Err(format!("unsupported value for key `{key}`")),
+            };
+            fields.push((key, val));
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some(',') => {}
+                Some('}') => break,
+                _ => return Err("expected `,` or `}`".into()),
+            }
+        }
+        skip_ws(&mut chars);
+        if chars.next().is_some() {
+            return Err("trailing content after object".into());
+        }
+        Ok(Obj(fields))
+    }
+
+    fn field(&self, key: &str) -> Option<&Val> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The string field `key`.
+    ///
+    /// # Errors
+    ///
+    /// When the field is missing or not a string.
+    pub fn str(&self, key: &str) -> Result<&str, String> {
+        match self.field(key) {
+            Some(Val::S(s)) => Ok(s),
+            Some(Val::N(_)) => Err(format!("field `{key}` is not a string")),
+            None => Err(format!("missing field `{key}`")),
+        }
+    }
+
+    fn num(&self, key: &str) -> Result<i128, String> {
+        match self.field(key) {
+            Some(Val::N(n)) => Ok(*n),
+            Some(Val::S(_)) => Err(format!("field `{key}` is not a number")),
+            None => Err(format!("missing field `{key}`")),
+        }
+    }
+
+    /// The `u64` field `key`.
+    ///
+    /// # Errors
+    ///
+    /// When the field is missing, not a number, or out of range.
+    pub fn u64(&self, key: &str) -> Result<u64, String> {
+        u64::try_from(self.num(key)?).map_err(|_| format!("field `{key}` out of u64 range"))
+    }
+
+    /// The `i64` field `key`.
+    ///
+    /// # Errors
+    ///
+    /// When the field is missing, not a number, or out of range.
+    pub fn i64(&self, key: &str) -> Result<i64, String> {
+        i64::try_from(self.num(key)?).map_err(|_| format!("field `{key}` out of i64 range"))
+    }
+
+    /// The `u64` field `key`, `None` when absent.
+    ///
+    /// # Errors
+    ///
+    /// When the field is present but not a number in range.
+    pub fn opt_u64(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.field(key) {
+            None => Ok(None),
+            Some(_) => self.u64(key).map(Some),
+        }
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected `\"`".into());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                    out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                }
+                other => return Err(format!("unsupported escape `\\{other:?}`")),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn parse_number(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<i128, String> {
+    let mut text = String::new();
+    if chars.peek() == Some(&'-') {
+        text.push('-');
+        chars.next();
+    }
+    while chars.peek().is_some_and(char::is_ascii_digit) {
+        text.push(chars.next().unwrap());
+    }
+    text.parse::<i128>()
+        .map_err(|_| format!("bad number `{text}`"))
+}
+
+// ---------------------------------------------------------------------
+// The tenant-family field encoding, shared by traces and fleet specs.
+
+/// The field encoding of a [`FamilySpec`] (inverse:
+/// [`parse_family`]) — spliced into tenant lines by both the trace and
+/// the fleet-spec formats.
+pub fn family_fields(family: &FamilySpec) -> Vec<(&'static str, Val)> {
+    match *family {
+        FamilySpec::Grid { w, h } => vec![
+            ("family", Val::s("grid")),
+            ("w", Val::n(w as u64)),
+            ("h", Val::n(h as u64)),
+        ],
+        FamilySpec::DiagGrid { w, h } => vec![
+            ("family", Val::s("diag_grid")),
+            ("w", Val::n(w as u64)),
+            ("h", Val::n(h as u64)),
+        ],
+        FamilySpec::Apollonian { n } => {
+            vec![("family", Val::s("apollonian")), ("n", Val::n(n as u64))]
+        }
+        FamilySpec::Outerplanar { n, full } => vec![
+            ("family", Val::s("outerplanar")),
+            ("n", Val::n(n as u64)),
+            ("full", Val::n(u64::from(full))),
+        ],
+        FamilySpec::SparseGrid { w, h, target_m } => vec![
+            ("family", Val::s("sparse_grid")),
+            ("w", Val::n(w as u64)),
+            ("h", Val::n(h as u64)),
+            ("target_m", Val::n(target_m as u64)),
+        ],
+    }
+}
+
+/// Parses the [`FamilySpec`] encoded in `obj` (inverse of
+/// [`family_fields`]).
+///
+/// # Errors
+///
+/// A human-readable reason on an unknown family or missing fields.
+pub fn parse_family(obj: &Obj) -> Result<FamilySpec, String> {
+    Ok(match obj.str("family")? {
+        "grid" => FamilySpec::Grid {
+            w: obj.u64("w")? as usize,
+            h: obj.u64("h")? as usize,
+        },
+        "diag_grid" => FamilySpec::DiagGrid {
+            w: obj.u64("w")? as usize,
+            h: obj.u64("h")? as usize,
+        },
+        "apollonian" => FamilySpec::Apollonian {
+            n: obj.u64("n")? as usize,
+        },
+        "outerplanar" => FamilySpec::Outerplanar {
+            n: obj.u64("n")? as usize,
+            full: obj.u64("full")? != 0,
+        },
+        "sparse_grid" => FamilySpec::SparseGrid {
+            w: obj.u64("w")? as usize,
+            h: obj.u64("h")? as usize,
+            target_m: obj.u64("target_m")? as usize,
+        },
+        other => return Err(format!("unknown family `{other}`")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let tricky = "a\"b\\c\nd\te\u{1}f";
+        let mut out = String::new();
+        line(&mut out, &[("k", Val::S(tricky.to_string()))]);
+        let obj = Obj::parse(out.trim_end()).unwrap();
+        assert_eq!(obj.str("k").unwrap(), tricky);
+    }
+
+    #[test]
+    fn every_family_round_trips() {
+        let families = [
+            FamilySpec::Grid { w: 3, h: 4 },
+            FamilySpec::DiagGrid { w: 5, h: 2 },
+            FamilySpec::Apollonian { n: 7 },
+            FamilySpec::Outerplanar { n: 9, full: true },
+            FamilySpec::SparseGrid {
+                w: 4,
+                h: 4,
+                target_m: 20,
+            },
+        ];
+        for family in families {
+            let mut out = String::new();
+            line(&mut out, &family_fields(&family));
+            let obj = Obj::parse(out.trim_end()).unwrap();
+            assert_eq!(parse_family(&obj).unwrap(), family);
+        }
+    }
+
+    #[test]
+    fn parser_reports_malformed_lines() {
+        assert!(Obj::parse("not json").is_err());
+        assert!(Obj::parse("{\"k\": }").is_err());
+        assert!(Obj::parse("{\"k\": 1} trailing").is_err());
+        assert!(Obj::parse("{\"k\": 1").is_err(), "unterminated object");
+        let obj = Obj::parse("{\"s\": \"x\", \"n\": -3}").unwrap();
+        assert_eq!(obj.str("s").unwrap(), "x");
+        assert_eq!(obj.i64("n").unwrap(), -3);
+        assert!(obj.u64("n").is_err(), "negative is out of u64 range");
+        assert!(obj.str("n").is_err() && obj.u64("s").is_err());
+        assert_eq!(obj.opt_u64("missing").unwrap(), None);
+    }
+}

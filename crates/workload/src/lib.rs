@@ -52,6 +52,7 @@
 pub mod driver;
 pub mod error;
 pub mod fingerprint;
+pub mod jsonl;
 pub mod scenario;
 pub mod trace;
 

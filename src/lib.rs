@@ -47,10 +47,16 @@
 //! metrics. The [`workload`] subsystem generates the traffic: seeded
 //! [`Scenario`]s expand into replayable [`Trace`]s (versioned JSONL,
 //! instance-key-verified) that the load driver feeds through the engine
-//! and checks bit-for-bit against serial ground truth. See `DESIGN.md`
+//! and checks bit-for-bit against serial ground truth. Above it all sits
+//! the [`control`] plane: a content-hashed, durable [`FleetSpec`]
+//! declares the desired fleet (tenants, prewarm set, worker count,
+//! admission, derate levels, SLOs) and a [`Reconciler`] observes the
+//! live engine, diffs observation against spec into a typed plan, and
+//! executes it — with crash recovery from hash-verified
+//! [`StateStore`] snapshots. See `DESIGN.md`
 //! for the instance → topo substrate → weight substrate → query → batch
-//! → pool → engine → workload architecture and `EXPERIMENTS.md` for
-//! reproducing the measurements.
+//! → pool → engine → workload → control architecture and
+//! `EXPERIMENTS.md` for reproducing the measurements.
 //!
 //! # Quickstart
 //!
@@ -116,6 +122,17 @@ pub use duality_service as service;
 /// truth.
 pub use duality_workload as workload;
 
+/// The declarative control plane (re-export of [`duality_control`]):
+/// validated content-hashed [`FleetSpec`]s, the observe → diff → plan →
+/// execute [`Reconciler`] driving a [`ServiceEngine`] toward its spec
+/// within a bounded convergence budget, and versioned hash-guarded
+/// [`StateStore`] snapshots for controller restart.
+pub use duality_control as control;
+
+pub use duality_control::{
+    Action, ControlError, ConvergenceReport, FleetObservation, FleetSpec, Plan, ReconcilePolicy,
+    Reconciler, Slo, StateStore, TenantDecl,
+};
 pub use duality_core::{
     BatchReport, DualityError, InstanceKey, Outcome, PlanarInstance, PlanarSolver, PoolStats,
     Query, SolverBuilder, SolverPool, SolverStats, TopoSubstrate,

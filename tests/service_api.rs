@@ -216,6 +216,95 @@ fn shutdown_drains_a_deep_backlog() {
 }
 
 #[test]
+fn cancellation_races_shutdown_without_losing_a_job() {
+    // A canceller thread races shutdown's drain over a deep paused
+    // backlog. Whatever interleaving happens, the ledger must stay
+    // exact: every job either completed or observed its cancellation —
+    // never both, never neither.
+    use duality::ServiceError;
+    let engine = ServiceEngine::builder()
+        .shards(2)
+        .workers(2)
+        .queue_capacity(64)
+        .start_paused()
+        .build()
+        .unwrap();
+    let i = instance(4, 4, 21);
+    let tickets: Vec<Ticket> = (0..32)
+        .map(|_| engine.submit(&i, Query::Girth).unwrap())
+        .collect();
+    let submitted = tickets.len() as u64;
+
+    let m = std::thread::scope(|scope| {
+        let canceller = scope.spawn(|| {
+            tickets
+                .iter()
+                .rev() // back of the queue first: maximize won races
+                .filter(|t| t.cancel())
+                .count() as u64
+        });
+        engine.resume();
+        let m = engine.shutdown();
+        (m, canceller.join().unwrap())
+    });
+    let (m, cancel_wins) = m;
+
+    assert_eq!(m.cancelled, cancel_wins, "ledger matches won races");
+    assert_eq!(
+        m.completed + m.cancelled,
+        submitted,
+        "no job lost or doubled"
+    );
+    assert_eq!(
+        (m.failed, m.rejected, m.expired, m.in_flight()),
+        (0, 0, 0, 0)
+    );
+    // Every ticket resolved consistently with the ledger.
+    let mut completed = 0u64;
+    let mut cancelled = 0u64;
+    for t in tickets {
+        match t.wait() {
+            Ok(_) => completed += 1,
+            Err(ServiceError::Cancelled) => cancelled += 1,
+            Err(e) => panic!("unexpected resolution: {e}"),
+        }
+    }
+    assert_eq!((completed, cancelled), (m.completed, m.cancelled));
+}
+
+#[test]
+fn start_paused_buffers_until_resume() {
+    // Pause is a hard gate: admission runs, nothing executes.
+    let engine = ServiceEngine::builder()
+        .shards(2)
+        .workers(3)
+        .queue_capacity(32)
+        .start_paused()
+        .build()
+        .unwrap();
+    let i = instance(4, 4, 22);
+    let tickets: Vec<Ticket> = (0..6)
+        .map(|_| engine.submit(&i, Query::Girth).unwrap())
+        .collect();
+    // Give eager workers every chance to (wrongly) start.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let paused = engine.metrics();
+    assert_eq!(paused.completed, 0, "nothing ran while paused");
+    assert_eq!(paused.running, 0, "nothing even claimed");
+    assert_eq!(paused.queue_depth, tickets.len());
+    assert!(tickets.iter().all(|t| t.try_result().is_none()));
+
+    engine.resume();
+    for t in tickets {
+        assert!(t.wait().is_ok());
+    }
+    engine.resume(); // idempotent on a running engine
+    let m = engine.shutdown();
+    assert_eq!(m.completed, 6);
+    assert_eq!(m.queue_depth, 0);
+}
+
+#[test]
 fn respecs_share_their_home_shard_donor() {
     let engine = ServiceEngine::builder()
         .shards(4)
