@@ -974,97 +974,72 @@ pub fn s4_service_engine(seed: u64, smoke: bool) -> Vec<Row> {
 /// wall-clock throughput, latency quantiles, and the substrate-reuse
 /// bills — are the perf trajectory recorded in `BENCH_S5.json`.
 pub fn s5_scenario_sweep(seed: u64, smoke: bool) -> Vec<Row> {
-    use duality_workload::driver::{self, DriverConfig};
-    use duality_workload::{Scenario, PRESET_NAMES};
+    run_lab_spec(S5_SPEC, seed, smoke)
+}
 
-    // Smoke keeps ≥ 4 scenarios (the acceptance floor) but trims the
-    // configuration sweep to CI size.
-    let names: Vec<&str> = if smoke {
-        vec![
-            "steady-state",
-            "failover-storm",
-            "multi-tenant-skew",
-            "respec-heavy",
-        ]
-    } else {
-        PRESET_NAMES.to_vec()
-    };
-    let configs: Vec<(usize, usize)> = if smoke {
-        vec![(1, 1), (2, 1), (2, 2)]
-    } else {
-        let mut c = Vec::new();
-        for workers in [1usize, 2, 4] {
-            for shards in [1usize, 2, 4] {
-                c.push((workers, shards));
-            }
-        }
-        c
-    };
+/// The committed declarative spec behind S5 — `experiments run
+/// experiments/s5-replay.lab.jsonl` regenerates the same sweep.
+pub const S5_SPEC: &str = include_str!("../../../experiments/s5-replay.lab.jsonl");
 
-    let mut rows = Vec::new();
-    for name in names {
-        let scenario = Scenario::preset(name, seed).expect("preset names are valid");
-        let trace = scenario.record().expect("presets record");
-        // Materialize once and reuse across the serial pass and every
-        // engine configuration — the sweep rebuilds no tenant graph.
-        let jobs = trace.materialize().expect("recorded traces materialize");
-        let serial = driver::run_serial_jobs(&jobs).expect("recorded traces replay serially");
-        let (n, d) = (jobs[0].instance.n(), jobs[0].instance.graph().diameter());
-        for &(workers, shards) in &configs {
-            let report = driver::drive_jobs(
-                &jobs,
-                trace.header.arrival,
-                &DriverConfig {
-                    workers,
-                    shards,
-                    ..DriverConfig::default()
-                },
-            )
-            .expect("replay through the engine");
-            let replayed: Vec<Option<u64>> = report.fingerprints.clone();
-            let matches = replayed.len() == serial.fingerprints.len()
-                && replayed
-                    .iter()
-                    .zip(&serial.fingerprints)
-                    .all(|(got, want)| *got == Some(*want));
-            let m = &report.metrics;
-            let pool = m.pool_total();
-            rows.push(Row {
-                experiment: "S5".into(),
-                instance: format!("{name}, {workers} wrk / {shards} shd"),
-                n,
-                d,
-                values: vec![
-                    ("jobs".into(), trace.query_count() as f64),
-                    ("respecs".into(), trace.respec_count() as f64),
-                    ("replay=serial".into(), f64::from(u8::from(matches))),
-                    ("completed".into(), m.completed as f64),
-                    ("throughput-jps".into(), report.throughput_jps()),
-                    (
-                        "p50-us".into(),
-                        m.latency.quantile_us(0.5).unwrap_or(0) as f64,
-                    ),
-                    (
-                        "p99-us".into(),
-                        m.latency.quantile_us(0.99).unwrap_or(0) as f64,
-                    ),
-                    ("engine-substrate".into(), m.substrate_rounds() as f64),
-                    ("engine-query".into(), m.query_rounds() as f64),
-                    ("serial-substrate".into(), serial.substrate_rounds as f64),
-                    ("serial-query".into(), serial.query_rounds as f64),
-                    ("pool-hits".into(), pool.hits as f64),
-                    ("pool-misses".into(), pool.misses as f64),
-                    ("respec-reuses".into(), pool.respec_reuses as f64),
-                ],
-            });
-        }
-    }
-    rows
+/// The committed declarative spec behind S7.
+pub const S7_SPEC: &str = include_str!("../../../experiments/s7-saturation.lab.jsonl");
+
+/// S7 — the saturation probe: per preset × (workers, shards) cell, the
+/// open-loop arrival rate is stepped by `increment_jps` per round until
+/// the engine overloads (achieved rate falls under the sustainability
+/// margin, or the round p99 passes the spec'd ceiling). The artifact
+/// records `max-sustainable-jps` — the capacity the cell can actually
+/// serve — and the knee-of-curve p50/p99, the latency just before
+/// tip-over. This is the instrument for the worker-scaling wall: if
+/// capacity is flat from 1→4 workers, `scaling-efficiency` stays ~1.0
+/// in `BENCH_S7.json` and the wall is in evidence, not in anecdotes.
+pub fn s7_saturation(seed: u64, smoke: bool) -> Vec<Row> {
+    run_lab_spec(S7_SPEC, seed, smoke)
+}
+
+/// Parses a committed lab spec and runs it with the harness seed.
+fn run_lab_spec(text: &str, seed: u64, smoke: bool) -> Vec<Row> {
+    let spec = duality_lab::LabSpec::parse_jsonl(text).expect("committed lab specs parse");
+    duality_lab::run_spec(&spec, smoke, Some(seed))
+        .expect("committed lab specs run")
+        .into_iter()
+        .map(|r| Row {
+            experiment: r.experiment,
+            instance: r.instance,
+            n: r.n,
+            d: r.d,
+            values: r.values,
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod workload_tests {
     use super::*;
+
+    #[test]
+    fn committed_specs_are_canonical_and_smoke_scaled() {
+        use duality_lab::{LabSpec, RunMode};
+        for text in [S5_SPEC, S7_SPEC] {
+            let spec = LabSpec::parse_jsonl(text).unwrap();
+            assert_eq!(spec.to_jsonl(), text, "committed spec is byte-stable");
+            assert_eq!(spec.seed, 42, "specs pin the harness seed");
+            assert!(
+                spec.run_scenarios(true).len() >= 4,
+                "smoke keeps the acceptance floor of four scenarios"
+            );
+            assert_eq!(spec.run_cells(true).len(), 3, "smoke grid is CI-sized");
+            assert_eq!(spec.run_cells(false).len(), 9, "full grid is 3x3");
+        }
+        assert!(matches!(
+            LabSpec::parse_jsonl(S5_SPEC).unwrap().mode,
+            RunMode::Replay
+        ));
+        assert!(matches!(
+            LabSpec::parse_jsonl(S7_SPEC).unwrap().mode,
+            RunMode::Ramp(_)
+        ));
+    }
 
     #[test]
     fn s5_replay_is_bit_for_bit_serial_and_amortized() {

@@ -1,13 +1,27 @@
-//! `experiments` — regenerates every table and figure of `EXPERIMENTS.md`.
+//! `experiments` — regenerates every table and figure of `EXPERIMENTS.md`,
+//! and fronts the lab subsystem's spec/gate/report tooling.
 //!
-//! Usage: `cargo run --release -p duality-bench --bin experiments [ids...]
-//! [--smoke]` with ids among those listed by `registry()` (default: all).
-//! `--smoke` shrinks the workloads to CI-sized instances (currently: S3,
-//! S4, S5, S6). Unknown ids exit 2. Markdown tables go to stdout; raw rows to
-//! `experiments.json` in the current directory, and each S-series
-//! experiment additionally to its own `BENCH_S*.json` artifact.
+//! Usage:
+//!
+//! * `experiments [ids...] [--smoke]` — run registered experiments
+//!   (default: all). `--smoke` shrinks workloads to CI-sized instances
+//!   (currently: S3–S7). Unknown ids exit 2. Markdown tables go to
+//!   stdout; raw rows to `experiments.json`, and each S-series
+//!   experiment additionally to its own `BENCH_S*.json` artifact.
+//! * `experiments run <spec-file> [--smoke] [--seed N] [--out FILE]` —
+//!   run one declarative lab spec (`experiments/*.lab.jsonl`) and write
+//!   its envelope (default `BENCH_<NAME>.json`).
+//! * `experiments compare <committed> <fresh> | --smoke` — the
+//!   regression gate: diff two envelopes row by row (or run the smoke
+//!   sweeps in-process and gate them against `smoke/BENCH_S*.json`).
+//!   Exits 1 on regression. `--tol-throughput P` / `--tol-p99 P`
+//!   override the default tolerances.
+//! * `experiments report [files...] [--out FILE]` — render committed
+//!   envelopes into the trajectory report (default
+//!   `BENCH_TRAJECTORY.md` from all `BENCH_S*.json` in the cwd).
 
-use duality_bench::{experiments, Row};
+use duality_bench::{experiments, to_env_row, Row};
+use duality_lab::{compare, render_trajectory, Envelope, LabSpec, Tolerances};
 
 /// The experiment table: one entry per section, so id validation, the
 /// usage listing, and dispatch can never drift apart.
@@ -109,11 +123,27 @@ fn registry(smoke: bool) -> Vec<(&'static str, &'static str, Box<dyn Fn(u64) -> 
             "control plane: spec-driven fleet lifecycle, convergence, snapshot restart",
             Box::new(move |s| experiments::s6_control_plane(s, smoke)),
         ),
+        (
+            "s7",
+            "saturation probe: max sustainable rate + knee latency per preset × cell",
+            Box::new(move |s| experiments::s7_saturation(s, smoke)),
+        ),
     ]
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        _ => cmd_legacy(args),
+    };
+    std::process::exit(code);
+}
+
+/// `experiments [ids...] [--smoke]` — the original harness behavior.
+fn cmd_legacy(mut args: Vec<String>) -> i32 {
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
     let registry = registry(smoke);
@@ -126,7 +156,7 @@ fn main() {
         }
     }
     if bad {
-        std::process::exit(2);
+        return 2;
     }
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
     let seed = 42;
@@ -137,29 +167,239 @@ fn main() {
             continue;
         }
         println!("\n## {} — {title}\n", id.to_uppercase());
-        println!("| id | instance | n | D | measurements |");
-        println!("|----|----------|---|---|--------------|");
-        let rows = run(seed);
-        for r in &rows {
-            println!("{}", r.markdown());
-        }
-        // The solver/serving experiments seed the perf trajectory: each
-        // run leaves a per-experiment machine-readable artifact next to
-        // the combined dump — a versioned envelope (schema_version, seed,
-        // smoke flag, scenario list) so points stay comparable across PRs.
-        if id.starts_with('s') {
-            let artifact = format!("BENCH_{}.json", id.to_uppercase());
-            std::fs::write(
-                &artifact,
-                duality_bench::bench_artifact_json(&id.to_uppercase(), seed, smoke, &rows),
-            )
-            .expect("writable cwd");
-            eprintln!("wrote {} rows to {artifact}", rows.len());
-        }
-        all.extend(rows);
+        print_markdown(&run(seed), &mut all, id, seed, smoke);
     }
 
     let json = duality_bench::rows_to_json(&all);
     std::fs::write("experiments.json", json).expect("writable cwd");
     eprintln!("\nwrote {} rows to experiments.json", all.len());
+    0
+}
+
+fn print_markdown(rows: &[Row], all: &mut Vec<Row>, id: &str, seed: u64, smoke: bool) {
+    println!("| id | instance | n | D | measurements |");
+    println!("|----|----------|---|---|--------------|");
+    for r in rows {
+        println!("{}", r.markdown());
+    }
+    // The solver/serving experiments seed the perf trajectory: each
+    // run leaves a per-experiment machine-readable artifact next to
+    // the combined dump — a versioned envelope (schema_version, seed,
+    // smoke flag, scenario list) so points stay comparable across PRs.
+    if id.starts_with('s') {
+        let artifact = format!("BENCH_{}.json", id.to_uppercase());
+        std::fs::write(
+            &artifact,
+            duality_bench::bench_artifact_json(&id.to_uppercase(), seed, smoke, rows),
+        )
+        .expect("writable cwd");
+        eprintln!("wrote {} rows to {artifact}", rows.len());
+    }
+    all.extend(rows.iter().cloned());
+}
+
+/// `experiments run <spec-file> [--smoke] [--seed N] [--out FILE]`.
+fn cmd_run(args: &[String]) -> i32 {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = flag_value(args, "--seed").map(|v| v.parse::<u64>());
+    let seed = match seed {
+        None => None,
+        Some(Ok(v)) => Some(v),
+        Some(Err(_)) => {
+            eprintln!("--seed takes an unsigned integer");
+            return 2;
+        }
+    };
+    let out = flag_value(args, "--out").map(String::from);
+    let Some(path) = positional(args).first().copied() else {
+        eprintln!("usage: experiments run <spec-file> [--smoke] [--seed N] [--out FILE]");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read `{path}`: {e}");
+            return 1;
+        }
+    };
+    let spec = match LabSpec::parse_jsonl(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("`{path}`: {e}");
+            return 1;
+        }
+    };
+    let rows = match duality_lab::run_spec(&spec, smoke, seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("running `{path}` failed: {e}");
+            return 1;
+        }
+    };
+    println!("\n## {} — {path}\n", spec.name);
+    println!("| id | instance | n | D | measurements |");
+    println!("|----|----------|---|---|--------------|");
+    for r in &rows {
+        let vals: Vec<String> = r
+            .values
+            .iter()
+            .map(|(k, v)| format!("{k}={v:.0}"))
+            .collect();
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            r.experiment,
+            r.instance,
+            r.n,
+            r.d,
+            vals.join(", ")
+        );
+    }
+    let envelope = Envelope::from_rows(&spec.name, seed.unwrap_or(spec.seed), smoke, rows);
+    let artifact = out.unwrap_or_else(|| format!("BENCH_{}.json", spec.name));
+    std::fs::write(&artifact, envelope.to_json()).expect("writable artifact path");
+    eprintln!("wrote {} rows to {artifact}", envelope.rows.len());
+    0
+}
+
+/// `experiments compare <committed> <fresh> | --smoke`.
+fn cmd_compare(args: &[String]) -> i32 {
+    let mut tol = Tolerances::default();
+    if let Some(v) = flag_value(args, "--tol-throughput") {
+        match v.parse() {
+            Ok(p) => tol.max_throughput_drop_percent = p,
+            Err(_) => {
+                eprintln!("--tol-throughput takes a percentage");
+                return 2;
+            }
+        }
+    }
+    if let Some(v) = flag_value(args, "--tol-p99") {
+        match v.parse() {
+            Ok(p) => tol.max_p99_growth_percent = p,
+            Err(_) => {
+                eprintln!("--tol-p99 takes a percentage");
+                return 2;
+            }
+        }
+    }
+    let pairs: Vec<(Envelope, Envelope)> = if args.iter().any(|a| a == "--smoke") {
+        // Gate mode: run the smoke sweeps in-process and diff them
+        // against the committed smoke baselines.
+        let seed = 42;
+        let mut pairs = Vec::new();
+        for (id, rows) in [
+            ("S5", experiments::s5_scenario_sweep(seed, true)),
+            ("S7", experiments::s7_saturation(seed, true)),
+        ] {
+            let committed = match read_envelope(&format!("smoke/BENCH_{id}.json")) {
+                Ok(e) => e,
+                Err(code) => return code,
+            };
+            let env_rows = rows.iter().map(to_env_row).collect();
+            pairs.push((committed, Envelope::from_rows(id, seed, true, env_rows)));
+        }
+        pairs
+    } else {
+        let paths = positional(args);
+        let [committed, fresh] = paths.as_slice() else {
+            eprintln!(
+                "usage: experiments compare <committed> <fresh> | --smoke \
+                 [--tol-throughput P] [--tol-p99 P]"
+            );
+            return 2;
+        };
+        let (a, b) = match (read_envelope(committed), read_envelope(fresh)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(code), _) | (_, Err(code)) => return code,
+        };
+        vec![(a, b)]
+    };
+    let mut failed = false;
+    for (committed, fresh) in &pairs {
+        println!("## {} — committed vs fresh", committed.experiment);
+        match compare::compare(committed, fresh, &tol) {
+            Ok(report) => {
+                print!("{}", report.render());
+                failed |= !report.passed();
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        }
+    }
+    i32::from(failed)
+}
+
+/// `experiments report [files...] [--out FILE]`.
+fn cmd_report(args: &[String]) -> i32 {
+    let out = flag_value(args, "--out").unwrap_or("BENCH_TRAJECTORY.md");
+    let mut paths: Vec<String> = positional(args).iter().map(|s| s.to_string()).collect();
+    if paths.is_empty() {
+        // Default: every committed S-series artifact in the cwd.
+        let mut found: Vec<String> = std::fs::read_dir(".")
+            .map(|dir| {
+                dir.filter_map(|e| e.ok())
+                    .map(|e| e.file_name().to_string_lossy().into_owned())
+                    .filter(|name| name.starts_with("BENCH_S") && name.ends_with(".json"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        found.sort();
+        paths = found;
+    }
+    if paths.is_empty() {
+        eprintln!("no BENCH_S*.json artifacts found");
+        return 1;
+    }
+    let mut envelopes = Vec::new();
+    for path in &paths {
+        match read_envelope(path) {
+            Ok(e) => envelopes.push(e),
+            Err(code) => return code,
+        }
+    }
+    std::fs::write(out, render_trajectory(&envelopes)).expect("writable report path");
+    eprintln!("rendered {} envelope(s) to {out}", envelopes.len());
+    0
+}
+
+fn read_envelope(path: &str) -> Result<Envelope, i32> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read `{path}`: {e}");
+        1
+    })?;
+    Envelope::parse(&text).map_err(|e| {
+        eprintln!("`{path}`: {e}");
+        1
+    })
+}
+
+/// The value following `flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Arguments that are neither flags nor flag values.
+fn positional(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a == "--smoke" {
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
 }

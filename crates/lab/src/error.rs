@@ -1,0 +1,48 @@
+//! Lab error taxonomy.
+
+use duality_workload::WorkloadError;
+
+/// Everything that can go wrong in the lab layer.
+#[derive(Debug)]
+pub enum LabError {
+    /// A spec or envelope document failed to parse. `line` is 1-based
+    /// (0 for whole-document problems, e.g. truncated JSON).
+    Parse {
+        /// 1-based line of the offending input (0: whole document).
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A well-formed document was refused: unknown schema version or
+    /// kind, failed validation, or two envelopes that are not
+    /// comparable.
+    Schema(String),
+    /// Running the experiment failed in the workload layer.
+    Workload(WorkloadError),
+}
+
+impl std::fmt::Display for LabError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LabError::Parse { line: 0, reason } => write!(f, "parse error: {reason}"),
+            LabError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            LabError::Schema(reason) => write!(f, "schema refused: {reason}"),
+            LabError::Workload(e) => write!(f, "workload failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LabError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LabError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkloadError> for LabError {
+    fn from(e: WorkloadError) -> LabError {
+        LabError::Workload(e)
+    }
+}

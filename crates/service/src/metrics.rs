@@ -97,6 +97,21 @@ impl LatencySnapshot {
     pub fn mean_us(&self) -> Option<u64> {
         (self.count > 0).then(|| self.sum_us / self.count)
     }
+
+    /// The histogram of everything recorded *after* `earlier` was taken
+    /// (per-bucket saturating difference) — how interval consumers like
+    /// the saturation ramp get per-round quantiles out of a cumulative
+    /// histogram. `max_us` keeps this snapshot's value: the true
+    /// interval maximum is not recoverable from two cumulative
+    /// snapshots, so the quantile ceilings stay upper bounds.
+    pub fn delta(&self, earlier: &LatencySnapshot) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            count: self.count.saturating_sub(earlier.count),
+            sum_us: self.sum_us.saturating_sub(earlier.sum_us),
+            max_us: self.max_us,
+        }
+    }
 }
 
 /// Formats a microsecond latency for humans.
@@ -468,6 +483,24 @@ mod tests {
             (8 * 110..=10 * 110).contains(&substrate),
             "≥ 3 evicted specs re-billed, ≤ 2 recorded ones did not: {substrate}"
         );
+    }
+
+    #[test]
+    fn latency_delta_isolates_an_interval() {
+        let h = Histogram::new();
+        for us in [10u64, 20, 30] {
+            h.record(us);
+        }
+        let before = h.snapshot();
+        for us in [1_000u64, 2_000, 4_000] {
+            h.record(us);
+        }
+        let interval = h.snapshot().delta(&before);
+        assert_eq!(interval.count, 3);
+        assert_eq!(interval.sum_us, 7_000);
+        // The interval's p50 reflects only the later, slower jobs.
+        assert!(interval.quantile_us(0.5).unwrap() >= 1_000);
+        assert_eq!(before.delta(&before).count, 0);
     }
 
     #[test]

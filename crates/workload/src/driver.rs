@@ -41,10 +41,13 @@ pub struct DriverConfig {
     /// Full-queue behavior. Under [`AdmissionPolicy::Reject`], shed jobs
     /// are recorded as `None` fingerprints rather than aborting the run.
     pub admission: AdmissionPolicy,
-    /// Real-time length of one virtual tick, used to arm per-job
-    /// deadlines. `None` (the default) ignores trace deadlines — the
-    /// deterministic-replay mode, since expiry depends on wall-clock
-    /// timing.
+    /// Real-time length of one virtual tick. When set, the driver
+    /// *paces* the replay: each job's submission waits until its
+    /// recorded virtual timestamp (`start + vt × tick`), and trace
+    /// deadlines are armed against the same clock. `None` (the default)
+    /// submits in release order as fast as possible and ignores
+    /// deadlines — the deterministic-replay mode, since expiry depends
+    /// on wall-clock timing.
     pub tick: Option<Duration>,
 }
 
@@ -68,23 +71,59 @@ pub struct RunReport {
     /// that did not complete (shed by admission, expired, cancelled, or
     /// failed).
     pub fingerprints: Vec<Option<u64>>,
+    /// Jobs the trace released (attempted submissions, including shed
+    /// ones) — the *offered* load.
+    pub offered: usize,
     /// Jobs that resolved to an error (or were shed at admission).
     pub failed: usize,
     /// The engine's final metrics (taken by the shutdown drain).
     pub metrics: MetricsSnapshot,
-    /// Wall-clock time from first submission to drained shutdown.
+    /// Wall-clock time from first submission to drained shutdown —
+    /// including any pacing sleeps when [`DriverConfig::tick`] is set.
     pub wall: Duration,
+    /// Total time the driver spent *sleeping* to honor the arrival
+    /// schedule (zero for unpaced replays). Subtracting it from `wall`
+    /// gives the busy time the completed work actually occupied.
+    pub paced: Duration,
 }
 
 impl RunReport {
-    /// Completed jobs per wall-clock second.
+    /// Wall time minus pacing sleeps: the driver-side busy time. For an
+    /// unpaced replay this equals [`wall`](RunReport::wall).
+    pub fn busy(&self) -> Duration {
+        self.wall.saturating_sub(self.paced)
+    }
+
+    /// Completed jobs per wall-clock second — the *paced* rate. Under a
+    /// real-time arrival schedule this measures the schedule, not the
+    /// engine; use [`completed_jps`](RunReport::completed_jps) (busy
+    /// time) and [`offered_jps`](RunReport::offered_jps) for honest
+    /// saturation math.
     pub fn throughput_jps(&self) -> f64 {
-        let secs = self.wall.as_secs_f64();
-        if secs > 0.0 {
-            self.metrics.completed as f64 / secs
-        } else {
-            0.0
-        }
+        per_second(self.metrics.completed as f64, self.wall)
+    }
+
+    /// Offered load in jobs per wall-clock second: every release the
+    /// trace attempted, shed or not, over the full paced wall time.
+    pub fn offered_jps(&self) -> f64 {
+        per_second(self.offered as f64, self.wall)
+    }
+
+    /// Completed jobs per *busy* second (wall minus pacing sleeps) — the
+    /// rate the engine actually served at. Equal to
+    /// [`throughput_jps`](RunReport::throughput_jps) when unpaced.
+    pub fn completed_jps(&self) -> f64 {
+        per_second(self.metrics.completed as f64, self.busy())
+    }
+}
+
+/// `count / seconds`, zero on a degenerate (sub-measurable) interval.
+fn per_second(count: f64, interval: Duration) -> f64 {
+    let secs = interval.as_secs_f64();
+    if secs > 0.0 {
+        count / secs
+    } else {
+        0.0
     }
 }
 
@@ -156,7 +195,19 @@ pub fn drive_jobs(
             }
         };
 
+    let mut paced = Duration::ZERO;
     for (i, job) in jobs.iter().enumerate() {
+        if let Some(tick) = config.tick {
+            // Real-time pacing: hold the job until its virtual release
+            // time. The sleep is accounted separately so the report can
+            // split schedule time from busy time.
+            let due = start + tick * u32::try_from(job.vt).unwrap_or(u32::MAX);
+            let wait = due.saturating_duration_since(Instant::now());
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+                paced += wait;
+            }
+        }
         let submitted = match (config.tick, job.deadline) {
             (Some(tick), Some(deadline_vt)) => {
                 // Deadlines are armed relative to the driver's own clock:
@@ -188,9 +239,11 @@ pub fn drive_jobs(
     let wall = start.elapsed();
     Ok(RunReport {
         fingerprints,
+        offered: jobs.len(),
         failed,
         metrics,
         wall,
+        paced,
     })
 }
 

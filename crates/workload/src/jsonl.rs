@@ -1,12 +1,14 @@
 //! The flat JSON-line codec shared by every durable artifact format.
 //!
-//! One object per line; values are strings or integers — all the trace
-//! and control-plane formats need, and all the parser accepts (same
-//! no-serde discipline as the bench harness). The writer is canonical:
-//! fields serialize in the order given, with a fixed `", "` / `": "`
-//! layout, so re-serializing a parsed document is **byte-stable** — the
-//! property the tamper-detection idioms (content hashes over the
-//! serialized form) rely on.
+//! One object per line; values are strings, integers or finite floats —
+//! all the trace, control-plane and lab-spec formats need, and all the
+//! parser accepts (same no-serde discipline as the bench harness). The
+//! writer is canonical: fields serialize in the order given, with a
+//! fixed `", "` / `": "` layout, and floats in their shortest
+//! round-trip form with a forced `.0`/exponent marker — so
+//! re-serializing a parsed document is **byte-stable**, the property
+//! the tamper-detection idioms (content hashes over the serialized
+//! form) rely on.
 //!
 //! Extracted from the trace module so `duality-control` can persist its
 //! [`FleetSpec`](https://docs.rs/duality-control) snapshots in the same
@@ -16,12 +18,16 @@
 
 use crate::scenario::FamilySpec;
 
-/// A field value: string or integer (stored wide enough for `u64`).
+/// A field value: string, integer (stored wide enough for `u64`), or
+/// finite float.
 pub enum Val {
     /// A JSON string.
     S(String),
-    /// A JSON integer (no floats in these formats).
+    /// A JSON integer.
     N(i128),
+    /// A JSON float. Non-finite values are unrepresentable in JSON; the
+    /// writer refuses them (see [`line()`]).
+    F(f64),
 }
 
 impl Val {
@@ -37,10 +43,33 @@ impl Val {
     pub fn i(v: i64) -> Val {
         Val::N(i128::from(v))
     }
+    /// A float value.
+    pub fn f(v: f64) -> Val {
+        Val::F(v)
+    }
+}
+
+/// Canonical float form: Rust's shortest round-trip representation, with
+/// a `.0` appended when it would otherwise read as an integer — so the
+/// parser's int/float distinction survives a round trip and
+/// re-serialization stays byte-stable (`2.0` → `"2.0"` → `2.0`).
+fn float_repr(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
 }
 
 /// Appends one JSON object line built from `fields` (canonical layout —
 /// see the [module docs](self) on byte stability).
+///
+/// # Panics
+///
+/// On a non-finite [`Val::F`]: JSON cannot represent it, and silently
+/// writing `null` would break the byte-stable round trip the durable
+/// formats rely on.
 pub fn line(out: &mut String, fields: &[(&str, Val)]) {
     out.push('{');
     for (i, (k, v)) in fields.iter().enumerate() {
@@ -52,6 +81,10 @@ pub fn line(out: &mut String, fields: &[(&str, Val)]) {
         match v {
             Val::S(s) => out.push_str(&json_string(s)),
             Val::N(n) => out.push_str(&n.to_string()),
+            Val::F(f) => {
+                assert!(f.is_finite(), "non-finite float for field `{k}`");
+                out.push_str(&float_repr(*f));
+            }
         }
     }
     out.push_str("}\n");
@@ -108,7 +141,7 @@ impl Obj {
             skip_ws(&mut chars);
             let val = match chars.peek() {
                 Some('"') => Val::S(parse_string(&mut chars)?),
-                Some(c) if c.is_ascii_digit() || *c == '-' => Val::N(parse_number(&mut chars)?),
+                Some(c) if c.is_ascii_digit() || *c == '-' => parse_number(&mut chars)?,
                 _ => return Err(format!("unsupported value for key `{key}`")),
             };
             fields.push((key, val));
@@ -138,16 +171,54 @@ impl Obj {
     pub fn str(&self, key: &str) -> Result<&str, String> {
         match self.field(key) {
             Some(Val::S(s)) => Ok(s),
-            Some(Val::N(_)) => Err(format!("field `{key}` is not a string")),
+            Some(_) => Err(format!("field `{key}` is not a string")),
             None => Err(format!("missing field `{key}`")),
+        }
+    }
+
+    /// The string field `key`, `None` when absent.
+    ///
+    /// # Errors
+    ///
+    /// When the field is present but not a string.
+    pub fn opt_str(&self, key: &str) -> Result<Option<&str>, String> {
+        match self.field(key) {
+            None => Ok(None),
+            Some(_) => self.str(key).map(Some),
         }
     }
 
     fn num(&self, key: &str) -> Result<i128, String> {
         match self.field(key) {
             Some(Val::N(n)) => Ok(*n),
+            Some(_) => Err(format!("field `{key}` is not an integer")),
+            None => Err(format!("missing field `{key}`")),
+        }
+    }
+
+    /// The float field `key` (integers widen losslessly where they fit).
+    ///
+    /// # Errors
+    ///
+    /// When the field is missing or a string.
+    pub fn f64(&self, key: &str) -> Result<f64, String> {
+        match self.field(key) {
+            Some(Val::F(f)) => Ok(*f),
+            Some(Val::N(n)) => Ok(*n as f64),
             Some(Val::S(_)) => Err(format!("field `{key}` is not a number")),
             None => Err(format!("missing field `{key}`")),
+        }
+    }
+
+    /// The float field `key`, `None` when absent.
+    ///
+    /// # Errors
+    ///
+    /// When the field is present but a string.
+    pub fn opt_f64(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.field(key) {
+            None => Ok(None),
+            Some(_) => self.f64(key).map(Some),
         }
     }
 
@@ -215,17 +286,38 @@ fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<
     }
 }
 
-fn parse_number(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<i128, String> {
+fn parse_number(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Val, String> {
     let mut text = String::new();
+    let mut float = false;
     if chars.peek() == Some(&'-') {
         text.push('-');
         chars.next();
     }
-    while chars.peek().is_some_and(char::is_ascii_digit) {
-        text.push(chars.next().unwrap());
+    while let Some(&c) = chars.peek() {
+        match c {
+            '0'..='9' => {}
+            '.' | 'e' | 'E' => float = true,
+            // Sign inside an exponent (`1e-3`); a bad position fails the
+            // f64 parse below.
+            '+' | '-' if float => {}
+            _ => break,
+        }
+        text.push(c);
+        chars.next();
     }
-    text.parse::<i128>()
-        .map_err(|_| format!("bad number `{text}`"))
+    if float {
+        let v = text
+            .parse::<f64>()
+            .map_err(|_| format!("bad number `{text}`"))?;
+        if !v.is_finite() {
+            return Err(format!("number `{text}` overflows f64"));
+        }
+        Ok(Val::F(v))
+    } else {
+        text.parse::<i128>()
+            .map(Val::N)
+            .map_err(|_| format!("bad number `{text}`"))
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -327,6 +419,36 @@ mod tests {
             let obj = Obj::parse(out.trim_end()).unwrap();
             assert_eq!(parse_family(&obj).unwrap(), family);
         }
+    }
+
+    #[test]
+    fn floats_round_trip_byte_stably() {
+        for v in [2.0f64, -0.0, 0.5, 1.5e300, 1e-8, 123.456] {
+            let mut out = String::new();
+            line(&mut out, &[("v", Val::f(v))]);
+            let obj = Obj::parse(out.trim_end()).unwrap();
+            assert_eq!(obj.f64("v").unwrap().to_bits(), v.to_bits(), "{v}");
+            let mut again = String::new();
+            line(&mut again, &[("v", Val::f(obj.f64("v").unwrap()))]);
+            assert_eq!(again, out, "re-serialization is byte-stable for {v}");
+        }
+        // Integers widen through f64(); floats are refused by u64().
+        let obj = Obj::parse("{\"i\": 7, \"f\": 2.5, \"e\": 2e3}").unwrap();
+        assert_eq!(obj.f64("i").unwrap(), 7.0);
+        assert_eq!(obj.f64("e").unwrap(), 2000.0);
+        assert!(obj.u64("f").is_err());
+        assert_eq!(obj.opt_f64("f").unwrap(), Some(2.5));
+        assert_eq!(obj.opt_f64("missing").unwrap(), None);
+        assert_eq!(obj.opt_str("missing").unwrap(), None);
+        // Overflowing literals are refused, not folded to infinity.
+        assert!(Obj::parse("{\"v\": 1e999}").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn writer_refuses_non_finite_floats() {
+        let mut out = String::new();
+        line(&mut out, &[("v", Val::f(f64::NAN))]);
     }
 
     #[test]

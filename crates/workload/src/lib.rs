@@ -28,6 +28,10 @@
 //!   worker/shard configuration the fingerprint sequences must match —
 //!   the engine's per-job determinism contract, extended to whole
 //!   traffic histories.
+//! * **[`ramp`](mod@ramp)** — the saturation probe: steps the open-loop arrival
+//!   rate round by round until the engine overloads, reporting the
+//!   maximum sustainable rate and the knee-of-curve latency for a given
+//!   worker/shard shape.
 //!
 //! # Example
 //!
@@ -53,12 +57,14 @@ pub mod driver;
 pub mod error;
 pub mod fingerprint;
 pub mod jsonl;
+pub mod ramp;
 pub mod scenario;
 pub mod trace;
 
 pub use driver::{DriverConfig, RunReport, SerialReport};
 pub use error::WorkloadError;
 pub use fingerprint::outcome_fingerprint;
+pub use ramp::{ramp, RampConfig, RampReport, RampRound};
 pub use scenario::{
     Arrival, FamilySpec, Mutation, MutationRule, QueryMix, Scenario, TenantSpec, PRESET_NAMES,
     TRACE_SCHEMA_VERSION,

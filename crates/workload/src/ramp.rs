@@ -1,0 +1,306 @@
+//! Saturation probing: step the open-loop arrival rate until the engine
+//! overloads, and report the knee of the curve.
+//!
+//! [`ramp`] is the instrument the worker-scaling question needs. Where
+//! [`drive`](crate::driver::drive) replays a recorded schedule,
+//! the ramp *generates* schedules: round `r` offers the trace's jobs at
+//! `initial_jps + r × increment_jps` jobs per second (paced by real
+//! sleeps, cycling the job list as needed), harvests every ticket, and
+//! measures the rate the engine actually achieved plus the round's own
+//! latency quantiles. A round is **overloaded** when the achieved rate
+//! falls below a margin of the offered rate (completed < offered, in
+//! rate terms — the driver could not keep the schedule, or harvesting
+//! outlived it) or when the round's p99 passes a configured ceiling.
+//! The ramp stops at the first overloaded round and reports:
+//!
+//! * `max_sustainable_jps` — the achieved rate of the last round that
+//!   was *not* overloaded (the modeled experiment's "maximum capacity"),
+//! * the knee-of-curve p50/p99 — that same round's latency quantiles,
+//!   i.e. what latency looks like just before the system tips over.
+//!
+//! The engine is built once and survives across rounds, and the pools
+//! are warmed (one job per distinct spec) before the first measured
+//! round — so the knee measures steady-state serving, not substrate
+//! construction. Per-round quantiles come from differencing the
+//! engine's cumulative latency histogram
+//! ([`LatencySnapshot::delta`](duality_service::LatencySnapshot::delta)).
+
+use crate::error::WorkloadError;
+use crate::trace::TraceJob;
+use crate::DriverConfig;
+use duality_service::{ServiceEngine, Ticket};
+use std::time::{Duration, Instant};
+
+/// Knobs of one [`ramp`] probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RampConfig {
+    /// Offered rate of round 0, in jobs per second.
+    pub initial_jps: u64,
+    /// Rate step between rounds, in jobs per second (the
+    /// `increment_rps` of the modeled experiment).
+    pub increment_jps: u64,
+    /// Jobs offered per round (the trace's job list is cycled).
+    pub round_jobs: usize,
+    /// Hard cap on rounds, overloaded or not.
+    pub max_rounds: usize,
+    /// Overload ceiling on the round's p99 latency, in microseconds
+    /// (`None`: latency never trips the probe).
+    pub p99_ceiling_us: Option<u64>,
+    /// Sustainability margin in percent: a round is overloaded when
+    /// `achieved < margin% × offered`. 90 is a sensible default — it
+    /// tolerates scheduler jitter without calling a saturated system
+    /// sustainable.
+    pub margin_percent: u32,
+}
+
+impl Default for RampConfig {
+    fn default() -> RampConfig {
+        RampConfig {
+            initial_jps: 100,
+            increment_jps: 100,
+            round_jobs: 64,
+            max_rounds: 24,
+            p99_ceiling_us: None,
+            margin_percent: 90,
+        }
+    }
+}
+
+/// What one ramp round measured.
+#[derive(Clone, Copy, Debug)]
+pub struct RampRound {
+    /// The nominal offered rate, in jobs per second.
+    pub offered_jps: f64,
+    /// `completed / round wall` — the rate the engine actually served
+    /// at, harvest included.
+    pub achieved_jps: f64,
+    /// Jobs offered this round.
+    pub offered: usize,
+    /// Jobs that completed with an outcome.
+    pub completed: usize,
+    /// The round's own p50 latency ceiling, in microseconds.
+    pub p50_us: u64,
+    /// The round's own p99 latency ceiling, in microseconds.
+    pub p99_us: u64,
+    /// Whether this round tripped the overload test.
+    pub overloaded: bool,
+}
+
+/// The full probe: every round, plus the knee summary.
+#[derive(Clone, Debug)]
+pub struct RampReport {
+    /// All measured rounds, in offered-rate order.
+    pub rounds: Vec<RampRound>,
+    /// Achieved rate of the last sustainable round, in jobs per second
+    /// (`0.0` when even the first round overloaded).
+    pub max_sustainable_jps: f64,
+    /// p50 latency at the knee (the last sustainable round), µs.
+    pub knee_p50_us: u64,
+    /// p99 latency at the knee, µs.
+    pub knee_p99_us: u64,
+}
+
+impl RampReport {
+    /// The knee round itself: the last round that was not overloaded.
+    pub fn knee(&self) -> Option<&RampRound> {
+        self.rounds.iter().rev().find(|r| !r.overloaded)
+    }
+}
+
+/// Probes the engine shape in `config` with the given trace jobs: steps
+/// the offered rate per [`RampConfig`] until overload (or the round cap)
+/// and reports the maximum sustainable rate and knee-of-curve latency.
+/// See the [module docs](self) for the overload criterion.
+///
+/// # Errors
+///
+/// [`WorkloadError::Submit`] if the engine shuts down mid-probe (a full
+/// queue under [`AdmissionPolicy::Reject`](duality_service::AdmissionPolicy)
+/// sheds load into the overload signal instead). An empty `jobs` slice
+/// is a degenerate probe and returns an empty report.
+pub fn ramp(
+    jobs: &[TraceJob],
+    config: &RampConfig,
+    driver: &DriverConfig,
+) -> Result<RampReport, WorkloadError> {
+    let empty = RampReport {
+        rounds: Vec::new(),
+        max_sustainable_jps: 0.0,
+        knee_p50_us: 0,
+        knee_p99_us: 0,
+    };
+    if jobs.is_empty() || config.round_jobs == 0 || config.max_rounds == 0 {
+        return Ok(empty);
+    }
+    let engine = ServiceEngine::builder()
+        .shards(driver.shards)
+        .workers(driver.workers)
+        .queue_capacity(driver.queue_capacity)
+        .pool_capacity(driver.pool_capacity)
+        .admission(driver.admission)
+        .build()?;
+
+    // Warm the pools: one recorded job per distinct spec, harvested
+    // before the clock starts, so round 0 does not pay substrate
+    // construction that later rounds amortize away.
+    let mut seen: Vec<*const duality_core::PlanarInstance> = Vec::new();
+    let mut warmups = Vec::new();
+    for job in jobs {
+        let ptr = std::sync::Arc::as_ptr(&job.instance);
+        if !seen.contains(&ptr) {
+            seen.push(ptr);
+            warmups.push(submit(&engine, job)?);
+        }
+    }
+    for ticket in warmups {
+        let _ = ticket.wait();
+    }
+
+    let mut prev_latency = engine.metrics().latency;
+    let mut prev_completed = engine.metrics().completed;
+    let mut rounds = Vec::new();
+    for r in 0..config.max_rounds {
+        let rate = config.initial_jps + r as u64 * config.increment_jps;
+        if rate == 0 {
+            break;
+        }
+        let interval = Duration::from_secs_f64(1.0 / rate as f64);
+        let round_start = Instant::now();
+        let mut tickets = Vec::with_capacity(config.round_jobs);
+        for k in 0..config.round_jobs {
+            let due = round_start + interval * u32::try_from(k).unwrap_or(u32::MAX);
+            let wait = due.saturating_duration_since(Instant::now());
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+            tickets.push(submit(&engine, &jobs[k % jobs.len()])?);
+        }
+        for ticket in tickets {
+            let _ = ticket.wait();
+        }
+        let wall = round_start.elapsed();
+        let m = engine.metrics();
+        let latency = m.latency.delta(&prev_latency);
+        let completed = (m.completed - prev_completed) as usize;
+        prev_latency = m.latency;
+        prev_completed = m.completed;
+
+        let achieved_jps = completed as f64 / wall.as_secs_f64().max(1e-9);
+        let p50_us = latency.quantile_us(0.5).unwrap_or(0);
+        let p99_us = latency.quantile_us(0.99).unwrap_or(0);
+        let sustainable_floor = rate as f64 * f64::from(config.margin_percent.min(100)) / 100.0;
+        let overloaded =
+            achieved_jps < sustainable_floor || config.p99_ceiling_us.is_some_and(|c| p99_us > c);
+        rounds.push(RampRound {
+            offered_jps: rate as f64,
+            achieved_jps,
+            offered: config.round_jobs,
+            completed,
+            p50_us,
+            p99_us,
+            overloaded,
+        });
+        if overloaded {
+            break;
+        }
+    }
+    let _ = engine.shutdown();
+
+    let report = RampReport {
+        max_sustainable_jps: 0.0,
+        knee_p50_us: 0,
+        knee_p99_us: 0,
+        rounds,
+    };
+    Ok(match report.knee().copied() {
+        Some(knee) => RampReport {
+            max_sustainable_jps: knee.achieved_jps,
+            knee_p50_us: knee.p50_us,
+            knee_p99_us: knee.p99_us,
+            ..report
+        },
+        None => report,
+    })
+}
+
+fn submit(engine: &ServiceEngine, job: &TraceJob) -> Result<Ticket, WorkloadError> {
+    Ok(engine.submit(&job.instance, job.query)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+
+    #[test]
+    fn ramp_reports_rounds_and_a_knee() {
+        let trace = Scenario::preset("steady-state", 3)
+            .unwrap()
+            .record()
+            .unwrap();
+        let jobs = trace.materialize().unwrap();
+        let report = ramp(
+            &jobs,
+            &RampConfig {
+                initial_jps: 50,
+                increment_jps: 200,
+                round_jobs: 8,
+                max_rounds: 3,
+                p99_ceiling_us: None,
+                margin_percent: 90,
+            },
+            &DriverConfig::default(),
+        )
+        .unwrap();
+        assert!(!report.rounds.is_empty() && report.rounds.len() <= 3);
+        for (i, round) in report.rounds.iter().enumerate() {
+            assert_eq!(round.offered, 8);
+            assert_eq!(round.offered_jps, 50.0 + 200.0 * i as f64);
+            assert!(round.completed <= round.offered);
+            // Only the final round may be the overloaded one.
+            if i + 1 < report.rounds.len() {
+                assert!(!round.overloaded);
+            }
+        }
+        if let Some(knee) = report.knee() {
+            assert_eq!(report.max_sustainable_jps, knee.achieved_jps);
+            assert_eq!(report.knee_p99_us, knee.p99_us);
+            assert!(report.max_sustainable_jps > 0.0);
+        }
+    }
+
+    #[test]
+    fn a_tight_latency_ceiling_trips_round_one() {
+        let trace = Scenario::preset("steady-state", 4)
+            .unwrap()
+            .record()
+            .unwrap();
+        let jobs = trace.materialize().unwrap();
+        // 1 µs p99 ceiling: no real engine meets it, so the probe must
+        // stop after one overloaded round and report no sustainable rate.
+        let report = ramp(
+            &jobs,
+            &RampConfig {
+                initial_jps: 1_000,
+                increment_jps: 1_000,
+                round_jobs: 4,
+                max_rounds: 5,
+                p99_ceiling_us: Some(1),
+                margin_percent: 90,
+            },
+            &DriverConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.rounds.len(), 1);
+        assert!(report.rounds[0].overloaded);
+        assert!(report.knee().is_none());
+        assert_eq!(report.max_sustainable_jps, 0.0);
+    }
+
+    #[test]
+    fn degenerate_probes_return_empty_reports() {
+        let report = ramp(&[], &RampConfig::default(), &DriverConfig::default()).unwrap();
+        assert!(report.rounds.is_empty());
+        assert_eq!(report.max_sustainable_jps, 0.0);
+    }
+}

@@ -53,7 +53,12 @@
 //! admission, derate levels, SLOs) and a [`Reconciler`] observes the
 //! live engine, diffs observation against spec into a typed plan, and
 //! executes it — with crash recovery from hash-verified
-//! [`StateStore`] snapshots. See `DESIGN.md`
+//! [`StateStore`] snapshots. The evidence layer is the [`lab`]: a
+//! versioned, byte-stable [`LabSpec`] declares an experiment (scenarios
+//! × worker/shard grid × run mode), the runner replays it or probes it
+//! to saturation ([`mod@workload::ramp`]), the results land in versioned
+//! benchmark envelopes, and the lab's regression gate and trajectory
+//! report consume those envelopes back. See `DESIGN.md`
 //! for the instance → topo substrate → weight substrate → query → batch
 //! → pool → engine → workload → control architecture and
 //! `EXPERIMENTS.md` for reproducing the measurements.
@@ -129,6 +134,12 @@ pub use duality_workload as workload;
 /// [`StateStore`] snapshots for controller restart.
 pub use duality_control as control;
 
+/// The experiment subsystem (re-export of [`duality_lab`]): declarative
+/// versioned [`LabSpec`]s, the replay/saturation runner, readable +
+/// writable benchmark [`Envelope`]s, the row-by-row regression gate
+/// with per-metric tolerances, and the markdown trajectory report.
+pub use duality_lab as lab;
+
 pub use duality_control::{
     Action, ControlError, ConvergenceReport, FleetObservation, FleetSpec, Plan, ReconcilePolicy,
     Reconciler, Slo, StateStore, TenantDecl,
@@ -137,7 +148,10 @@ pub use duality_core::{
     BatchReport, DualityError, InstanceKey, Outcome, PlanarInstance, PlanarSolver, PoolStats,
     Query, SolverBuilder, SolverPool, SolverStats, TopoSubstrate,
 };
+pub use duality_lab::{EnvRow, Envelope, LabError, LabSpec, Tolerances};
 pub use duality_service::{
     AdmissionPolicy, MetricsSnapshot, ServiceEngine, ServiceError, SubmitError, Ticket,
 };
-pub use duality_workload::{DriverConfig, RunReport, Scenario, Trace, WorkloadError};
+pub use duality_workload::{
+    DriverConfig, RampConfig, RampReport, RunReport, Scenario, Trace, WorkloadError,
+};

@@ -1,0 +1,145 @@
+//! Integration tests of the experiment subsystem through the public
+//! meta-crate: spec round trips and refusals, replay runs that hold the
+//! determinism contract, the saturation probe, the regression gate's
+//! self-diff and synthetic-regression behavior, and the trajectory
+//! report.
+
+use duality::lab::spec::{GridCell, RampSettings, RunMode, ScenarioRef};
+use duality::lab::{compare, render_trajectory, run_spec, LAB_SCHEMA_VERSION};
+use duality::{EnvRow, Envelope, LabError, LabSpec, Tolerances};
+
+fn replay_spec() -> LabSpec {
+    LabSpec {
+        name: "IT".into(),
+        seed: 11,
+        mode: RunMode::Replay,
+        cells: vec![
+            GridCell {
+                workers: 1,
+                shards: 1,
+                smoke: true,
+            },
+            GridCell {
+                workers: 2,
+                shards: 1,
+                smoke: false,
+            },
+        ],
+        scenarios: vec![
+            ScenarioRef::Preset {
+                name: "steady-state".into(),
+                smoke: true,
+            },
+            ScenarioRef::Preset {
+                name: "failover-storm".into(),
+                smoke: false,
+            },
+        ],
+    }
+}
+
+/// Specs are durable: serialize, parse back, byte-stable re-serialize —
+/// and documents from a future format version are refused, not misread.
+#[test]
+fn specs_round_trip_and_refuse_future_versions() {
+    assert_eq!(LAB_SCHEMA_VERSION, 1);
+    let spec = replay_spec();
+    let text = spec.to_jsonl();
+    let parsed = LabSpec::parse_jsonl(&text).unwrap();
+    assert_eq!(parsed, spec);
+    assert_eq!(parsed.to_jsonl(), text);
+
+    let future = text.replace("\"schema_version\": 1", "\"schema_version\": 2");
+    assert!(matches!(
+        LabSpec::parse_jsonl(&future),
+        Err(LabError::Parse { .. })
+    ));
+}
+
+/// A replay run holds the bit-for-bit determinism contract in every
+/// cell, and the envelope built from it round-trips through the
+/// canonical writer and back.
+#[test]
+fn replay_runs_hold_the_contract_and_envelope_round_trips() {
+    let spec = replay_spec();
+    let rows = run_spec(&spec, false, None).unwrap();
+    assert_eq!(rows.len(), 4, "2 scenarios x 2 cells");
+    for row in &rows {
+        assert_eq!(row.value("replay=serial"), Some(1.0), "{}", row.instance);
+    }
+    let envelope = Envelope::from_rows(&spec.name, spec.seed, false, rows);
+    assert_eq!(envelope.scenarios, ["steady-state", "failover-storm"]);
+    let parsed = Envelope::parse(&envelope.to_json()).unwrap();
+    assert_eq!(parsed, envelope);
+}
+
+/// The saturation probe produces the capacity columns, and the derived
+/// scaling-efficiency is exactly 1.0 on the 1-worker baseline cell.
+#[test]
+fn ramp_runs_report_capacity_and_efficiency() {
+    let mut spec = replay_spec();
+    // A deliberately easy round 0 (20 jps against a generous 50%
+    // margin) so the probe always finds at least one sustainable round,
+    // whatever machine the test runs on.
+    spec.mode = RunMode::Ramp(RampSettings {
+        initial_jps: 20,
+        increment_jps: 500,
+        round_jobs: 8,
+        max_rounds: 2,
+        p99_ceiling_us: None,
+        margin_percent: 50,
+        smoke_round_jobs: None,
+        smoke_max_rounds: None,
+    });
+    let rows = run_spec(&spec, true, None).unwrap();
+    assert_eq!(rows.len(), 1, "smoke keeps one scenario x one cell");
+    let row = &rows[0];
+    assert!(row.value("max-sustainable-jps").is_some());
+    assert!(row.value("knee-p50-us").is_some());
+    assert!(row.value("knee-p99-us").is_some());
+    assert_eq!(row.value("scaling-efficiency"), Some(1.0));
+}
+
+/// The gate passes an envelope against itself and fails the synthetic
+/// −20% throughput / +50% p99 row with a readable verdict.
+#[test]
+fn the_gate_passes_self_and_fails_synthetic_regressions() {
+    let rows = run_spec(&replay_spec(), true, None).unwrap();
+    let committed = Envelope::from_rows("IT", 11, true, rows);
+    let tol = Tolerances::default();
+    let report = compare::compare(&committed, &committed, &tol).unwrap();
+    assert!(report.passed(), "{}", report.render());
+
+    let mut fresh = committed.clone();
+    for (name, v) in &mut fresh.rows[0].values {
+        match name.as_str() {
+            "throughput-jps" => *v *= 0.8,
+            "p99-us" => *v *= 1.5,
+            _ => {}
+        }
+    }
+    let report = compare::compare(&committed, &fresh, &tol).unwrap();
+    assert!(!report.passed());
+    assert_eq!(report.regressions, 2);
+    assert!(report.render().contains("FAIL steady-state, 1 wrk / 1 shd"));
+}
+
+/// The trajectory report tables every envelope it is given.
+#[test]
+fn the_trajectory_report_renders_rows() {
+    let envelope = Envelope::from_rows(
+        "S9",
+        3,
+        false,
+        vec![EnvRow {
+            experiment: "S9".into(),
+            instance: "steady-state, 1 wrk / 1 shd".into(),
+            n: 30,
+            d: 9,
+            values: vec![("max-sustainable-jps".into(), 1234.5)],
+        }],
+    );
+    let text = render_trajectory(&[envelope]);
+    assert!(text.contains("## S9 (seed 3, full run)"));
+    assert!(text.contains("| steady-state, 1 wrk / 1 shd | 30 | 9 | 1234.50 |"));
+}
