@@ -984,6 +984,9 @@ pub const S5_SPEC: &str = include_str!("../../../experiments/s5-replay.lab.jsonl
 /// The committed declarative spec behind S7.
 pub const S7_SPEC: &str = include_str!("../../../experiments/s7-saturation.lab.jsonl");
 
+/// The committed declarative spec behind S8.
+pub const S8_SPEC: &str = include_str!("../../../experiments/s8-autopilot.lab.jsonl");
+
 /// S7 — the saturation probe: per preset × (workers, shards) cell, the
 /// open-loop arrival rate is stepped by `increment_jps` per round until
 /// the engine overloads (achieved rate falls under the sustainability
@@ -995,6 +998,19 @@ pub const S7_SPEC: &str = include_str!("../../../experiments/s7-saturation.lab.j
 /// in `BENCH_S7.json` and the wall is in evidence, not in anecdotes.
 pub fn s7_saturation(seed: u64, smoke: bool) -> Vec<Row> {
     run_lab_spec(S7_SPEC, seed, smoke)
+}
+
+/// S8 — the autopilot closed loop: per (scenario, cell), the trace is
+/// served phase by phase (calm-in, storm burst, calm-out) through a
+/// telemetry-wired reconciler whose autopilot scales the worker fleet on
+/// queue and per-tenant p99 pressure, then once more through a *static*
+/// fleet sized at the surge ceiling. The reproducible signals: every
+/// phase completes all its jobs (exact-gated), the storm phase shows
+/// scale-up decisions and a worker peak above the floor, and the
+/// calm-out phase retires back to the floor — elastic capacity holding
+/// the workload a static peak-sized fleet would hold with idle workers.
+pub fn s8_autopilot(seed: u64, smoke: bool) -> Vec<Row> {
+    run_lab_spec(S8_SPEC, seed, smoke)
 }
 
 /// Parses a committed lab spec and runs it with the harness seed.
@@ -1039,6 +1055,43 @@ mod workload_tests {
             LabSpec::parse_jsonl(S7_SPEC).unwrap().mode,
             RunMode::Ramp(_)
         ));
+    }
+
+    #[test]
+    fn s8_spec_is_canonical_and_the_smoke_run_surges() {
+        use duality_lab::{LabSpec, RunMode};
+        let spec = LabSpec::parse_jsonl(S8_SPEC).unwrap();
+        assert_eq!(spec.to_jsonl(), S8_SPEC, "committed spec is byte-stable");
+        assert_eq!(spec.seed, 42, "specs pin the harness seed");
+        assert!(matches!(spec.mode, RunMode::Autopilot(_)));
+        assert_eq!(spec.run_cells(true).len(), 1, "smoke keeps one cell");
+
+        let rows = s8_autopilot(6, true);
+        for row in &rows {
+            assert_eq!(
+                row.value("completed"),
+                row.value("jobs"),
+                "{}: every phase completes its jobs",
+                row.instance
+            );
+        }
+        let by_phase = |p: &str| {
+            rows.iter()
+                .find(|r| r.instance.contains(p))
+                .unwrap_or_else(|| panic!("phase {p}"))
+        };
+        let storm = by_phase("[storm]");
+        assert!(storm.value("scale-ups").unwrap() >= 1.0, "storm surges");
+        assert!(storm.value("workers-peak").unwrap() > storm.value("workers-start").unwrap());
+        // Fast builds can drain the burst mid-storm, so the retire
+        // decisions may land in the storm row rather than calm-out; the
+        // elastic claim is that *somewhere* after the surge the fleet
+        // stepped back down and ended calm-out on the floor.
+        let downs: f64 = rows.iter().filter_map(|r| r.value("scale-downs")).sum();
+        assert!(downs >= 1.0, "the surge is retired");
+        let out = by_phase("[calm-out]");
+        assert_eq!(out.value("workers-end"), Some(2.0), "retired to the floor");
+        assert_eq!(by_phase("[static-peak]").value("workers-end"), Some(6.0));
     }
 
     #[test]

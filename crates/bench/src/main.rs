@@ -5,7 +5,7 @@
 //!
 //! * `experiments [ids...] [--smoke]` — run registered experiments
 //!   (default: all). `--smoke` shrinks workloads to CI-sized instances
-//!   (currently: S3–S7). Unknown ids exit 2. Markdown tables go to
+//!   (currently: S3–S8). Unknown ids exit 2. Markdown tables go to
 //!   stdout; raw rows to `experiments.json`, and each S-series
 //!   experiment additionally to its own `BENCH_S*.json` artifact.
 //! * `experiments run <spec-file> [--smoke] [--seed N] [--out FILE]` —
@@ -127,6 +127,11 @@ fn registry(smoke: bool) -> Vec<(&'static str, &'static str, Box<dyn Fn(u64) -> 
             "s7",
             "saturation probe: max sustainable rate + knee latency per preset × cell",
             Box::new(move |s| experiments::s7_saturation(s, smoke)),
+        ),
+        (
+            "s8",
+            "autopilot: telemetry-driven worker scaling vs a static peak fleet",
+            Box::new(move |s| experiments::s8_autopilot(s, smoke)),
         ),
     ]
 }
@@ -289,7 +294,9 @@ fn cmd_compare(args: &[String]) -> i32 {
         let mut pairs = Vec::new();
         for (id, rows) in [
             ("S5", experiments::s5_scenario_sweep(seed, true)),
+            ("S6", experiments::s6_control_plane(seed, true)),
             ("S7", experiments::s7_saturation(seed, true)),
+            ("S8", experiments::s8_autopilot(seed, true)),
         ] {
             let committed = match read_envelope(&format!("smoke/BENCH_{id}.json")) {
                 Ok(e) => e,

@@ -21,6 +21,7 @@
 //! derate lands on the shard that holds its respec-donor solver and
 //! reuses its topology substrate.
 
+use crate::autopilot::{Autopilot, AutopilotPolicy};
 use crate::error::ControlError;
 use crate::plan::{Action, Plan};
 use crate::spec::{FleetSpec, TenantDecl};
@@ -28,6 +29,7 @@ use crate::store::{Snapshot, StateStore, SNAPSHOT_SCHEMA_VERSION};
 use duality_core::{InstanceKey, PlanarInstance};
 use duality_planar::gen;
 use duality_service::{AdmissionPolicy, MetricsSnapshot, ServiceEngine};
+use duality_telemetry::Telemetry;
 use duality_workload::{Mutation, TenantRecord};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -98,9 +100,14 @@ pub struct TenantObservation {
     pub resident: bool,
     /// Pool idle age in lookup ticks, when resident.
     pub idle_ticks: Option<u64>,
-    /// Whether the tenant's SLO was violated at observation time
-    /// (checked against the fleet-wide p99 and queue depth — per-tenant
-    /// latency attribution is future work).
+    /// The tenant's own p99 (µs), attributed from the telemetry spine's
+    /// per-tenant ledger. `None` when no telemetry is attached or the
+    /// tenant has executed nothing yet.
+    pub p99_us: Option<u64>,
+    /// Whether the tenant's SLO was violated at observation time. With a
+    /// telemetry spine attached the latency bound is judged against the
+    /// tenant's *own* p99; without one it falls back to the fleet-wide
+    /// p99.
     pub slo_violated: bool,
 }
 
@@ -194,6 +201,11 @@ pub struct Reconciler {
     policy: ReconcilePolicy,
     store: Option<StateStore>,
     seq: u64,
+    telemetry: Option<Arc<Telemetry>>,
+    autopilot: Option<Autopilot>,
+    /// Worker target the autopilot currently steers toward; `None`
+    /// means the spec's own count is in force.
+    autopilot_target: Option<usize>,
 }
 
 impl Reconciler {
@@ -206,27 +218,68 @@ impl Reconciler {
     /// [`ControlError::InvalidSpec`] on a bad spec; build errors from
     /// the graph generators or the engine.
     pub fn launch(spec: FleetSpec) -> Result<Reconciler, ControlError> {
+        Reconciler::launch_inner(spec, None)
+    }
+
+    /// Like [`Reconciler::launch`], but wires the engine's span stream
+    /// into `telemetry` and registers every tenant's name with its
+    /// ledger, so observations (and any enabled
+    /// [autopilot](crate::autopilot)) judge SLOs per tenant.
+    ///
+    /// # Errors
+    ///
+    /// As [`Reconciler::launch`].
+    pub fn launch_with_telemetry(
+        spec: FleetSpec,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<Reconciler, ControlError> {
+        Reconciler::launch_inner(spec, Some(telemetry))
+    }
+
+    fn launch_inner(
+        spec: FleetSpec,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Result<Reconciler, ControlError> {
         spec.validate()?;
-        let engine = ServiceEngine::builder()
+        let mut builder = ServiceEngine::builder()
             .shards(spec.shards)
             .workers(spec.workers)
             .queue_capacity(spec.queue_capacity)
             .pool_capacity(spec.pool_capacity)
-            .admission(spec.admission)
-            .build()?;
+            .admission(spec.admission);
+        if let Some(tel) = &telemetry {
+            builder = builder.span_sink(tel.sink());
+        }
+        let engine = builder.build()?;
         let tenants = spec
             .tenants
             .iter()
             .map(|decl| ManagedTenant::build(decl.clone(), None))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Reconciler {
+        let r = Reconciler {
             engine,
             spec,
             tenants,
             policy: ReconcilePolicy::default(),
             store: None,
             seq: 0,
-        })
+            telemetry,
+            autopilot: None,
+            autopilot_target: None,
+        };
+        r.name_tenants();
+        Ok(r)
+    }
+
+    /// Registers every tenant's spec name with the telemetry ledger,
+    /// keyed by topology fingerprint — the base and its derates share
+    /// one topology, so one registration covers both.
+    fn name_tenants(&self) {
+        if let Some(tel) = &self.telemetry {
+            for t in &self.tenants {
+                tel.name_tenant_key(&InstanceKey::of(&t.base), &t.decl.name);
+            }
+        }
     }
 
     /// Rebuilds a controller from the last snapshot in `store` and
@@ -253,6 +306,53 @@ impl Reconciler {
     pub fn with_policy(mut self, policy: ReconcilePolicy) -> Reconciler {
         self.policy = policy;
         self
+    }
+
+    /// Turns on closed-loop worker scaling: every reconcile round reads
+    /// the pressure signals (queue depth, worst per-tenant windowed p99
+    /// from the telemetry ledger) and may move the worker target between
+    /// the spec's count (the floor) and `policy.max_workers`. Each
+    /// decision is recorded as a telemetry event.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::InvalidSpec`] when no telemetry spine is attached
+    /// (launch with [`Reconciler::launch_with_telemetry`]), when the
+    /// policy is incoherent, or when `policy.max_workers` sits below the
+    /// spec's worker floor.
+    pub fn enable_autopilot(&mut self, policy: AutopilotPolicy) -> Result<(), ControlError> {
+        if self.telemetry.is_none() {
+            return Err(ControlError::InvalidSpec {
+                reason: "autopilot requires a telemetry spine: launch with launch_with_telemetry"
+                    .into(),
+            });
+        }
+        policy
+            .validate()
+            .map_err(|reason| ControlError::InvalidSpec { reason })?;
+        if policy.max_workers < self.spec.workers {
+            return Err(ControlError::InvalidSpec {
+                reason: format!(
+                    "autopilot max_workers {} sits below the spec's worker floor {}",
+                    policy.max_workers, self.spec.workers
+                ),
+            });
+        }
+        self.autopilot = Some(Autopilot::new(policy));
+        self.autopilot_target = None;
+        Ok(())
+    }
+
+    /// The telemetry spine this fleet reports into, when launched with
+    /// one.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// The worker count the controller currently steers toward: the
+    /// autopilot's target when it has made a decision, else the spec's.
+    pub fn desired_workers(&self) -> usize {
+        self.autopilot_target.unwrap_or(self.spec.workers)
     }
 
     /// Attaches a [`StateStore`]; every converged reconcile pass
@@ -318,6 +418,7 @@ impl Reconciler {
             .collect::<Result<Vec<_>, _>>()?;
         self.tenants = tenants;
         self.spec = spec;
+        self.name_tenants();
         self.reconcile()
     }
 
@@ -325,6 +426,7 @@ impl Reconciler {
     pub fn observe(&self) -> FleetObservation {
         let metrics = self.engine.metrics();
         let p99_us = metrics.latency.quantile_us(0.99);
+        let attribution = self.telemetry.as_ref().map(|t| t.snapshot());
         let residency = self.engine.shard_residency();
         let mut wanted: HashSet<InstanceKey> = HashSet::new();
         for t in &self.tenants {
@@ -344,9 +446,18 @@ impl Reconciler {
                     .iter()
                     .find(|e| e.key == desired_key)
                     .map(|e| e.idle);
+                // With telemetry attached, the latency bound is judged
+                // against the tenant's own attributed p99; a tenant that
+                // executed nothing has no latency to violate. Without
+                // telemetry, fall back to the fleet-wide p99.
+                let tenant_p99 = attribution.as_ref().map(|snap| {
+                    snap.tenant(InstanceKey::of(&t.base).topo_fingerprint())
+                        .and_then(|row| row.p99_total_us())
+                });
+                let effective_p99 = tenant_p99.unwrap_or(p99_us);
                 let slo_violated = t.decl.slo.is_some_and(|slo| {
                     slo.max_p99_us
-                        .is_some_and(|bound| p99_us.is_some_and(|p99| p99 > bound))
+                        .is_some_and(|bound| effective_p99.is_some_and(|p99| p99 > bound))
                         || slo
                             .max_queue_depth
                             .is_some_and(|bound| metrics.queue_depth > bound)
@@ -357,6 +468,7 @@ impl Reconciler {
                     desired_key,
                     resident: idle_ticks.is_some(),
                     idle_ticks,
+                    p99_us: tenant_p99.flatten(),
                     slo_violated,
                 }
             })
@@ -390,10 +502,10 @@ impl Reconciler {
                 policy: self.spec.admission,
             });
         }
-        if obs.workers_target != self.spec.workers {
+        if obs.workers_target != self.desired_workers() {
             actions.push(Action::ScaleWorkers {
                 from: obs.workers_live,
-                to: self.spec.workers,
+                to: self.desired_workers(),
             });
         }
         for (t, o) in self.tenants.iter().zip(&obs.tenants) {
@@ -462,12 +574,35 @@ impl Reconciler {
         let mut slo_violations = 0u64;
         let mut converged = false;
         let mut rounds = 0usize;
+        let mut autopilot_judged = false;
         while rounds < self.policy.max_rounds {
             rounds += 1;
             let obs = self.observe();
             slo_violations += obs.slo_violations;
+            // The autopilot judges pressure once per pass, on the first
+            // observation — later rounds of the same pass see the queue
+            // mid-drain, which would make decisions depend on worker
+            // scheduling. One pass, at most one decision; cooldown
+            // counts passes.
+            if !autopilot_judged {
+                autopilot_judged = true;
+                if let (Some(ap), Some(tel)) = (&mut self.autopilot, &self.telemetry) {
+                    let reading = ap.read_pressure(&tel.snapshot(), obs.queue_depth);
+                    let current = self.autopilot_target.unwrap_or(self.spec.workers);
+                    if let Some(decision) = ap.evaluate(&reading, current, self.spec.workers) {
+                        tel.record_event(
+                            decision.label(),
+                            format!(
+                                "{} -> {} workers: {}",
+                                decision.from, decision.to, decision.reason
+                            ),
+                        );
+                        self.autopilot_target = Some(decision.to);
+                    }
+                }
+            }
             let plan = self.diff(&obs);
-            if plan.is_empty() && obs.workers_live == self.spec.workers {
+            if plan.is_empty() && obs.workers_live == self.desired_workers() {
                 converged = true;
                 break;
             }
@@ -687,6 +822,65 @@ mod tests {
                 ..spec()
             })
             .is_err());
+        r.shutdown();
+    }
+
+    #[test]
+    fn autopilot_scales_up_under_pressure_and_retires_when_it_clears() {
+        // No telemetry spine → autopilot is refused.
+        let mut bare = Reconciler::launch(spec()).unwrap();
+        let policy = AutopilotPolicy {
+            queue_high_water: 1000,
+            queue_low_water: 0,
+            p99_high_us: 0,
+            p99_low_us: 0,
+            scale_step: 2,
+            max_workers: 4,
+            cooldown_rounds: 0,
+        };
+        assert!(matches!(
+            bare.enable_autopilot(policy),
+            Err(ControlError::InvalidSpec { .. })
+        ));
+        bare.shutdown();
+
+        let telemetry = Arc::new(Telemetry::new(1024));
+        let mut r = Reconciler::launch_with_telemetry(spec(), Arc::clone(&telemetry)).unwrap();
+        r.reconcile().unwrap();
+        r.enable_autopilot(policy).unwrap();
+
+        // Any executed job trips the (deliberately unreachable-low) p99
+        // high water: the next pass must surge.
+        let instance = Arc::clone(r.instance("a").unwrap());
+        let query = duality_core::Query::MaxFlow { s: 0, t: 5 };
+        r.engine().run(&instance, query).unwrap();
+        let report = r.reconcile().unwrap();
+        assert!(report.converged, "{report:?}");
+        assert!(report
+            .actions
+            .iter()
+            .any(|a| matches!(a, Action::ScaleWorkers { to: 4, .. })));
+        assert_eq!(r.desired_workers(), 4);
+        assert_eq!(r.engine().metrics().workers, 4);
+
+        // No new work: the pressure window is empty, so the next pass
+        // retires back to the spec floor.
+        let report = r.reconcile().unwrap();
+        assert!(report.converged, "{report:?}");
+        assert!(report
+            .actions
+            .iter()
+            .any(|a| matches!(a, Action::ScaleWorkers { to: 2, .. })));
+        assert_eq!(r.engine().metrics().workers, 2);
+
+        // Both decisions landed in the telemetry event log, and the
+        // tenant that ran the job has an attributed p99.
+        let snap = telemetry.snapshot();
+        assert!(snap.events.iter().any(|e| e.label == "scale-up"));
+        assert!(snap.events.iter().any(|e| e.label == "scale-down"));
+        let obs = r.observe();
+        assert!(obs.tenants[0].p99_us.is_some(), "tenant a executed a job");
+        assert_eq!(obs.tenants[1].p99_us, None, "tenant b executed nothing");
         r.shutdown();
     }
 

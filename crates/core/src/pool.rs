@@ -86,6 +86,17 @@ impl InstanceKey {
     pub fn spec_hash(&self) -> u64 {
         self.spec
     }
+
+    /// Reassembles a key from recorded fingerprints (telemetry spans and
+    /// other durable records carry the two halves separately). Such a
+    /// key identifies content for lookups and attribution; it cannot, of
+    /// course, admit an instance it was not computed from.
+    pub fn from_parts(topo_fingerprint: u64, spec_hash: u64) -> InstanceKey {
+        InstanceKey {
+            topo: topo_fingerprint,
+            spec: spec_hash,
+        }
+    }
 }
 
 impl std::fmt::Display for InstanceKey {

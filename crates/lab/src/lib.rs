@@ -13,7 +13,10 @@
 //! * **[`runner`]** — [`runner::run_spec`] executes a spec: replay mode
 //!   reproduces the S5 bit-for-bit-vs-serial sweep; ramp mode runs the
 //!   saturation probe ([`duality_workload::ramp()`]) and reports
-//!   `max-sustainable-jps` plus knee-of-curve latency per cell. Both
+//!   `max-sustainable-jps` plus knee-of-curve latency per cell;
+//!   autopilot mode serves the trace phase by phase through a
+//!   telemetry-wired reconciler with closed-loop worker scaling and
+//!   compares against a static fleet of the surge size. Replay and ramp
 //!   derive `scaling-efficiency` so flat worker scaling shows up in
 //!   the artifact itself.
 //! * **[`envelope`]** — the versioned `BENCH_*.json` artifact, now
@@ -59,4 +62,6 @@ pub use envelope::{EnvRow, Envelope, Json, BENCH_SCHEMA_VERSION};
 pub use error::LabError;
 pub use report::render_trajectory;
 pub use runner::run_spec;
-pub use spec::{GridCell, LabSpec, RampSettings, RunMode, ScenarioRef, LAB_SCHEMA_VERSION};
+pub use spec::{
+    AutopilotSettings, GridCell, LabSpec, RampSettings, RunMode, ScenarioRef, LAB_SCHEMA_VERSION,
+};

@@ -67,6 +67,30 @@ pub struct RampSettings {
     pub smoke_max_rounds: Option<usize>,
 }
 
+/// Autopilot-mode settings: the
+/// [`AutopilotPolicy`](duality_control::AutopilotPolicy) thresholds the
+/// runner hands the reconciler, plus the surge ceiling that doubles as
+/// the static-peak comparison fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AutopilotSettings {
+    /// Scale up when queue depth exceeds this.
+    pub queue_high_water: usize,
+    /// Scale down only at or below this queue depth.
+    pub queue_low_water: usize,
+    /// Scale up when any tenant's windowed p99 exceeds this (µs).
+    pub p99_high_us: u64,
+    /// Scale down only when every tenant's windowed p99 is at or below
+    /// this (µs).
+    pub p99_low_us: u64,
+    /// Workers added or retired per decision.
+    pub scale_step: usize,
+    /// Ceiling on the autopilot's worker target — and the size of the
+    /// static fleet the run measures against for comparison.
+    pub surge_workers: usize,
+    /// Reconcile passes to hold after each decision.
+    pub cooldown_rounds: u64,
+}
+
 /// What the runner does with each (scenario, cell) pair.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RunMode {
@@ -76,6 +100,10 @@ pub enum RunMode {
     /// Step the open-loop arrival rate until overload and report the
     /// maximum sustainable rate and knee latency (the S7 discipline).
     Ramp(RampSettings),
+    /// Serve the scenario through a telemetry-wired reconciler with the
+    /// autopilot enabled, phase by phase, and compare against a static
+    /// fleet of the surge size (the S8 discipline).
+    Autopilot(AutopilotSettings),
 }
 
 /// A scenario the spec wants measured: a preset by name, or a fully
@@ -238,6 +266,29 @@ impl LabSpec {
                 return fail("ramp smoke rounds are empty".into());
             }
         }
+        if let RunMode::Autopilot(a) = &self.mode {
+            if a.scale_step == 0 {
+                return fail("autopilot scale_step is zero".into());
+            }
+            if a.queue_low_water >= a.queue_high_water {
+                return fail(format!(
+                    "autopilot queue_low_water {} must sit below queue_high_water {}",
+                    a.queue_low_water, a.queue_high_water
+                ));
+            }
+            if a.p99_low_us > a.p99_high_us {
+                return fail(format!(
+                    "autopilot p99_low_us {} exceeds p99_high_us {}",
+                    a.p99_low_us, a.p99_high_us
+                ));
+            }
+            if let Some(c) = self.cells.iter().find(|c| c.workers > a.surge_workers) {
+                return fail(format!(
+                    "autopilot surge_workers {} sits below the {}-worker grid cell",
+                    a.surge_workers, c.workers
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -270,6 +321,16 @@ impl LabSpec {
                     if let Some(m) = r.smoke_max_rounds {
                         f.push(("smoke_max_rounds", Val::n(m as u64)));
                     }
+                }
+                RunMode::Autopilot(a) => {
+                    f.push(("mode", Val::s("autopilot")));
+                    f.push(("queue_high_water", Val::n(a.queue_high_water as u64)));
+                    f.push(("queue_low_water", Val::n(a.queue_low_water as u64)));
+                    f.push(("p99_high_us", Val::n(a.p99_high_us)));
+                    f.push(("p99_low_us", Val::n(a.p99_low_us)));
+                    f.push(("scale_step", Val::n(a.scale_step as u64)));
+                    f.push(("surge_workers", Val::n(a.surge_workers as u64)));
+                    f.push(("cooldown_rounds", Val::n(a.cooldown_rounds)));
                 }
             }
             f
@@ -354,6 +415,15 @@ impl LabSpec {
                                 .opt_u64("smoke_max_rounds")
                                 .map_err(&fail)?
                                 .map(|v| v as usize),
+                        }),
+                        "autopilot" => RunMode::Autopilot(AutopilotSettings {
+                            queue_high_water: obj.u64("queue_high_water").map_err(&fail)? as usize,
+                            queue_low_water: obj.u64("queue_low_water").map_err(&fail)? as usize,
+                            p99_high_us: obj.u64("p99_high_us").map_err(&fail)?,
+                            p99_low_us: obj.u64("p99_low_us").map_err(&fail)?,
+                            scale_step: obj.u64("scale_step").map_err(&fail)? as usize,
+                            surge_workers: obj.u64("surge_workers").map_err(&fail)? as usize,
+                            cooldown_rounds: obj.u64("cooldown_rounds").map_err(&fail)?,
                         }),
                         other => return Err(fail(format!("unknown mode `{other}`"))),
                     };
@@ -686,6 +756,40 @@ mod tests {
             r.margin_percent = 140;
         }
         assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn autopilot_specs_round_trip_and_validate() {
+        let settings = AutopilotSettings {
+            queue_high_water: 12,
+            queue_low_water: 2,
+            p99_high_us: 200_000,
+            p99_low_us: 50_000,
+            scale_step: 2,
+            surge_workers: 6,
+            cooldown_rounds: 1,
+        };
+        let spec = LabSpec {
+            mode: RunMode::Autopilot(settings),
+            ..sample_spec()
+        };
+        let text = spec.to_jsonl();
+        let parsed = LabSpec::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.to_jsonl(), text, "canonical form is byte-stable");
+
+        let mut bad = spec.clone();
+        bad.mode = RunMode::Autopilot(AutopilotSettings {
+            queue_low_water: 12,
+            ..settings
+        });
+        assert!(bad.validate().is_err(), "no dead band");
+        let mut bad = spec.clone();
+        bad.mode = RunMode::Autopilot(AutopilotSettings {
+            surge_workers: 2,
+            ..settings
+        });
+        assert!(bad.validate().is_err(), "surge below the 4-worker cell");
     }
 
     #[test]

@@ -7,9 +7,10 @@
 
 use crate::metrics::{MetricsRegistry, MetricsSnapshot, ShardMetrics};
 use crate::queue::{Bounded, Popped, PushError};
+use crate::span::{query_kind, SpanRecord, SpanSink, SpanState};
 use duality_core::pool::{InstanceKey, PoolStats, ResidentEntry, SolverPool};
 use duality_core::{DualityError, Outcome, PlanarInstance, PlanarSolver, Query};
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -130,6 +131,14 @@ enum JobState {
 struct JobSlot {
     state: Mutex<JobState>,
     done: Condvar,
+    /// The admission tick stamp (µs since engine epoch), stored by the
+    /// submitting thread right after the queue push returns — the only
+    /// lifecycle stamp the worker cannot take itself (under
+    /// [`AdmissionPolicy::Block`] the submitter parks *inside* the push,
+    /// so admission can be far later than submission). `u64::MAX` means
+    /// "not stamped yet": a job resolved faster than the submitter's
+    /// store reports admit = submit in its span.
+    admitted_us: AtomicU64,
 }
 
 impl JobSlot {
@@ -137,6 +146,7 @@ impl JobSlot {
         JobSlot {
             state: Mutex::new(JobState::Pending),
             done: Condvar::new(),
+            admitted_us: AtomicU64::new(u64::MAX),
         }
     }
 
@@ -223,7 +233,7 @@ impl std::fmt::Debug for Ticket {
 
 /// Configures and builds a [`ServiceEngine`]. Obtained from
 /// [`ServiceEngine::builder`]; every knob has a serving-sane default.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct EngineBuilder {
     shards: usize,
     workers: usize,
@@ -232,6 +242,7 @@ pub struct EngineBuilder {
     policy: AdmissionPolicy,
     leaf_threshold: Option<usize>,
     start_paused: bool,
+    sink: Option<Arc<dyn SpanSink>>,
 }
 
 impl Default for EngineBuilder {
@@ -245,7 +256,23 @@ impl Default for EngineBuilder {
             policy: AdmissionPolicy::default(),
             leaf_threshold: None,
             start_paused: false,
+            sink: None,
         }
+    }
+}
+
+impl std::fmt::Debug for EngineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineBuilder")
+            .field("shards", &self.shards)
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("pool_capacity", &self.pool_capacity)
+            .field("policy", &self.policy)
+            .field("leaf_threshold", &self.leaf_threshold)
+            .field("start_paused", &self.start_paused)
+            .field("span_sink", &self.sink.is_some())
+            .finish()
     }
 }
 
@@ -300,6 +327,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Attaches a span sink: every job the engine resolves — completed,
+    /// failed, expired, cancelled, or rejected at admission — emits
+    /// exactly one [`SpanRecord`] into `sink` (see [`crate::span`] for
+    /// the lifecycle-stamp semantics). No sink is attached by default;
+    /// without one, span assembly is skipped entirely.
+    pub fn span_sink(mut self, sink: Arc<dyn SpanSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
     /// Builds the engine and spawns its workers.
     ///
     /// # Errors
@@ -315,6 +352,8 @@ impl EngineBuilder {
             queue: Bounded::new(self.queue_capacity, !self.start_paused),
             metrics: MetricsRegistry::new(self.shards, self.pool_capacity),
             policy: AtomicU8::new(self.policy.encode()),
+            epoch: Instant::now(),
+            sink: self.sink,
         });
         let workers: Vec<JoinHandle<()>> = (0..self.workers)
             .map(|i| spawn_worker(&shared, i))
@@ -337,7 +376,7 @@ fn spawn_worker(shared: &Arc<EngineShared>, id: usize) -> JoinHandle<()> {
     let shared = Arc::clone(shared);
     std::thread::Builder::new()
         .name(format!("duality-worker-{id}"))
-        .spawn(move || worker_loop(&shared))
+        .spawn(move || worker_loop(&shared, id))
         .expect("spawn worker thread")
 }
 
@@ -349,6 +388,50 @@ struct EngineShared {
     /// Runtime-switchable admission policy ([`AdmissionPolicy::encode`]),
     /// read per submission — the control plane flips it live.
     policy: AtomicU8,
+    /// The zero point of every span tick stamp (engine creation).
+    epoch: Instant,
+    /// Where resolved jobs emit their lifecycle span, if anywhere.
+    sink: Option<Arc<dyn SpanSink>>,
+}
+
+impl EngineShared {
+    /// Microseconds since the engine epoch (saturating both ways).
+    fn stamp(&self, t: Instant) -> u64 {
+        u64::try_from(t.saturating_duration_since(self.epoch).as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Assembles and emits the terminal span of `job` — one per job, at
+    /// its terminal transition, outside every engine lock. No-op (and no
+    /// span assembly) without an attached sink.
+    fn emit_job_span(
+        &self,
+        job: &Job,
+        worker: usize,
+        state: SpanState,
+        dequeued_at: Instant,
+        started_us: Option<u64>,
+    ) {
+        let Some(sink) = &self.sink else { return };
+        let submitted_us = self.stamp(job.submitted_at);
+        let admitted = job.slot.admitted_us.load(Ordering::Relaxed);
+        sink.record(SpanRecord {
+            tenant: job.key.topo_fingerprint(),
+            spec: job.key.spec_hash(),
+            query: query_kind(&job.query),
+            shard: job.shard,
+            worker: Some(worker),
+            state,
+            submitted_us,
+            admitted_us: Some(if admitted == u64::MAX {
+                submitted_us
+            } else {
+                admitted
+            }),
+            dequeued_us: Some(self.stamp(dequeued_at)),
+            started_us,
+            finished_us: self.stamp(Instant::now()),
+        });
+    }
 }
 
 /// The sharded serving engine — see the [crate docs](crate) for the full
@@ -476,13 +559,15 @@ impl ServiceEngine {
     ) -> Result<Ticket, SubmitError> {
         let key = InstanceKey::of(instance);
         let slot = Arc::new(JobSlot::new());
+        let shard = self.shard_of(&key);
+        let submitted_at = Instant::now();
         let job = Job {
             instance: Arc::clone(instance),
             query,
             key,
-            shard: self.shard_of(&key),
+            shard,
             deadline,
-            submitted_at: Instant::now(),
+            submitted_at,
             slot: Arc::clone(&slot),
         };
         let block = matches!(self.admission(), AdmissionPolicy::Block);
@@ -495,16 +580,40 @@ impl ServiceEngine {
             .submitted
             .fetch_add(1, Ordering::Relaxed);
         match self.shared.queue.push(job, block) {
-            Ok(()) => Ok(Ticket {
-                slot,
-                shared: Arc::clone(&self.shared),
-            }),
+            Ok(()) => {
+                // The admission stamp (post-push: a blocked submitter was
+                // parked inside the push). The worker reads it when the
+                // job resolves; see `JobSlot::admitted_us` for the race.
+                slot.admitted_us
+                    .store(self.shared.stamp(Instant::now()), Ordering::Relaxed);
+                Ok(Ticket {
+                    slot,
+                    shared: Arc::clone(&self.shared),
+                })
+            }
             Err(PushError::Full) => {
                 self.shared
                     .metrics
                     .submitted
                     .fetch_sub(1, Ordering::Relaxed);
                 self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some(sink) = &self.shared.sink {
+                    // Rejected jobs never reach a worker, so the
+                    // submitter emits their span.
+                    sink.record(SpanRecord {
+                        tenant: key.topo_fingerprint(),
+                        spec: key.spec_hash(),
+                        query: query_kind(&query),
+                        shard,
+                        worker: None,
+                        state: SpanState::Rejected,
+                        submitted_us: self.shared.stamp(submitted_at),
+                        admitted_us: None,
+                        dequeued_us: None,
+                        started_us: None,
+                        finished_us: self.shared.stamp(Instant::now()),
+                    });
+                }
                 Err(SubmitError::QueueFull)
             }
             Err(PushError::Closed) => {
@@ -657,17 +766,31 @@ impl std::fmt::Debug for ServiceEngine {
     }
 }
 
+/// What the claim block decided about a popped job (the span is emitted
+/// after the slot lock is released, never under it).
+enum Claim {
+    Run,
+    Expired,
+    Cancelled,
+}
+
 /// One worker thread: pop → claim → (expire | execute) → resolve, until
 /// the queue closes and drains (or a retirement signal tells this worker
 /// specifically to exit — scale-down). Either way the live-worker gauge
 /// is decremented on the way out.
-fn worker_loop(shared: &EngineShared) {
+///
+/// Span emission piggybacks on the drain discipline: every admitted job
+/// — including one cancelled while queued — is eventually popped by
+/// exactly one worker, so emitting each job's span here (and only here)
+/// yields exactly one span per admitted job with no cancel/expire race.
+fn worker_loop(shared: &EngineShared, worker: usize) {
     loop {
         let job = match shared.queue.pop() {
             Some(Popped::Job(job)) => job,
             Some(Popped::Retire) | None => break,
         };
-        {
+        let dequeued_at = Instant::now();
+        let claim = {
             let mut state = job.slot.state.lock().expect("job slot lock");
             match *state {
                 JobState::Pending => {
@@ -675,15 +798,29 @@ fn worker_loop(shared: &EngineShared) {
                         *state = JobState::Done(Err(ServiceError::Expired));
                         shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
                         job.slot.done.notify_all();
-                        continue;
+                        Claim::Expired
+                    } else {
+                        *state = JobState::Running;
+                        Claim::Run
                     }
-                    *state = JobState::Running;
                 }
                 // Cancelled while queued: the waiter was already notified.
-                _ => continue,
+                _ => Claim::Cancelled,
             }
+        };
+        match claim {
+            Claim::Expired => {
+                shared.emit_job_span(&job, worker, SpanState::Expired, dequeued_at, None);
+                continue;
+            }
+            Claim::Cancelled => {
+                shared.emit_job_span(&job, worker, SpanState::Cancelled, dequeued_at, None);
+                continue;
+            }
+            Claim::Run => {}
         }
         shared.metrics.running.fetch_add(1, Ordering::Relaxed);
+        let started_at = Instant::now();
         // Contain panics: an unwinding worker must never leave the slot in
         // `Running` (which would hang the ticket's waiter forever) nor die
         // silently (which would shrink the fleet until shutdown hangs).
@@ -692,6 +829,10 @@ fn worker_loop(shared: &EngineShared) {
         }));
         let elapsed_us = u64::try_from(job.submitted_at.elapsed().as_micros()).unwrap_or(u64::MAX);
         shared.metrics.latency.record(elapsed_us);
+        let span_state = match &result {
+            Ok(Ok(_)) => SpanState::Completed,
+            _ => SpanState::Failed,
+        };
         let result = match result {
             Ok(Ok(outcome)) => {
                 shared.metrics.bill(job.shard, job.key, outcome.rounds());
@@ -708,6 +849,15 @@ fn worker_loop(shared: &EngineShared) {
             }
         };
         shared.metrics.running.fetch_sub(1, Ordering::Relaxed);
+        // Emit the span before resolving the slot so that once a caller
+        // observes the job's outcome, its span is already in the sink.
+        shared.emit_job_span(
+            &job,
+            worker,
+            span_state,
+            dequeued_at,
+            Some(shared.stamp(started_at)),
+        );
         job.slot.resolve(result);
     }
     shared.metrics.live_workers.fetch_sub(1, Ordering::Relaxed);
@@ -1027,6 +1177,101 @@ mod tests {
         assert!(!engine.evict(&ka), "second evict finds nothing");
         assert!(!engine.resident(&ka));
         assert!(engine.resident(&kb), "other tenants untouched");
+    }
+
+    /// A test sink that never drops: appends every span under a mutex
+    /// (contention is irrelevant at test scale).
+    #[derive(Default)]
+    struct CollectSink(Mutex<Vec<crate::span::SpanRecord>>);
+
+    impl crate::span::SpanSink for CollectSink {
+        fn record(&self, span: crate::span::SpanRecord) {
+            self.0.lock().expect("collect sink").push(span);
+        }
+    }
+
+    #[test]
+    fn every_terminal_state_emits_exactly_one_span() {
+        use crate::span::SpanState;
+        let sink = Arc::new(CollectSink::default());
+        let engine = ServiceEngine::builder()
+            .workers(1)
+            .queue_capacity(3)
+            .admission(AdmissionPolicy::Reject)
+            .start_paused()
+            .span_sink(Arc::clone(&sink) as Arc<dyn crate::span::SpanSink>)
+            .build()
+            .unwrap();
+        let i = instance(30);
+        let ok = engine.submit(&i, Query::Girth).unwrap();
+        let doomed = engine
+            .submit_with_deadline(&i, Query::Girth, Instant::now())
+            .unwrap();
+        let axed = engine.submit(&i, Query::Girth).unwrap();
+        assert!(axed.cancel());
+        // Queue full (capacity 3, all slots held): rejected at admission.
+        assert_eq!(
+            engine.submit(&i, Query::Girth).unwrap_err(),
+            SubmitError::QueueFull
+        );
+        engine.resume();
+        assert!(ok.wait().is_ok());
+        assert_eq!(doomed.wait().unwrap_err(), ServiceError::Expired);
+        let m = engine.shutdown();
+        assert_eq!(
+            (m.submitted, m.completed, m.expired, m.cancelled, m.rejected),
+            (3, 1, 1, 1, 1)
+        );
+
+        let spans = sink.0.lock().unwrap();
+        let count = |s: SpanState| spans.iter().filter(|r| r.state == s).count() as u64;
+        // Exactly one span per job; admitted spans reconcile with
+        // `submitted`, the rejection with `rejected`.
+        assert_eq!(spans.len() as u64, m.submitted + m.rejected);
+        assert_eq!(count(SpanState::Completed), m.completed);
+        assert_eq!(count(SpanState::Expired), m.expired);
+        assert_eq!(count(SpanState::Cancelled), m.cancelled);
+        assert_eq!(count(SpanState::Rejected), m.rejected);
+
+        for span in spans.iter() {
+            assert_eq!(span.tenant, InstanceKey::of(&i).topo_fingerprint());
+            assert_eq!(span.query, "girth");
+            assert!(span.finished_us >= span.submitted_us);
+            match span.state {
+                SpanState::Completed => {
+                    assert!(span.worker.is_some() && span.started_us.is_some());
+                    let total = span.total_us();
+                    assert_eq!(span.wait_us() + span.service_us().unwrap(), total);
+                }
+                SpanState::Rejected => {
+                    assert!(span.worker.is_none() && span.admitted_us.is_none());
+                    assert_eq!(span.service_us(), None);
+                }
+                _ => {
+                    assert!(span.worker.is_some());
+                    assert_eq!(span.started_us, None, "never executed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failed_queries_emit_failed_spans_with_service_time() {
+        use crate::span::SpanState;
+        let sink = Arc::new(CollectSink::default());
+        let engine = ServiceEngine::builder()
+            .workers(1)
+            .span_sink(Arc::clone(&sink) as Arc<dyn crate::span::SpanSink>)
+            .build()
+            .unwrap();
+        let i = instance(31);
+        let _ = engine.run(&i, Query::MaxFlow { s: 0, t: 0 }).unwrap_err();
+        engine.shutdown();
+        let spans = sink.0.lock().unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].state, SpanState::Failed);
+        assert_eq!(spans[0].query, "max-flow");
+        assert!(spans[0].service_us().is_some(), "it did execute");
     }
 
     #[test]

@@ -38,7 +38,14 @@
 //!   log-bucketed latency histogram, live queue-depth / running / worker
 //!   gauges plus the queue high-water mark, and per-shard pool hit/miss
 //!   plus amortized CONGEST round bills, all snapshot as one
-//!   [`MetricsSnapshot`] with a human-readable `Display`.
+//!   [`MetricsSnapshot`] with a human-readable `Display`;
+//! * **telemetry spans** — with a sink attached
+//!   ([`EngineBuilder::span_sink`](engine::EngineBuilder::span_sink)),
+//!   every resolved job emits one [`SpanRecord`] carrying its lifecycle
+//!   tick stamps and routing identity, decomposing latency into
+//!   queue-wait vs service-time per job (see [`span`]); the
+//!   `duality-telemetry` crate provides the ring-buffer sink and the
+//!   per-tenant ledger that consume them.
 //!
 //! Determinism contract: every outcome an engine returns is **bit-for-bit
 //! identical** to what a serial [`duality_core::PlanarSolver::run`] would
@@ -83,8 +90,10 @@
 pub mod engine;
 pub mod metrics;
 mod queue;
+pub mod span;
 
 pub use engine::{
     AdmissionPolicy, EngineBuilder, ServiceEngine, ServiceError, SubmitError, Ticket,
 };
 pub use metrics::{LatencySnapshot, MetricsSnapshot, ShardMetrics};
+pub use span::{query_kind, SpanRecord, SpanSink, SpanState};

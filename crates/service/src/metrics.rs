@@ -504,6 +504,42 @@ mod tests {
     }
 
     #[test]
+    fn delta_edge_cases_stay_well_defined() {
+        // Empty minus empty: still empty, quantiles still None.
+        let empty = LatencySnapshot::default();
+        let d = empty.delta(&empty);
+        assert_eq!(d, LatencySnapshot::default());
+        assert_eq!(d.quantile_us(0.99), None);
+        assert_eq!(d.mean_us(), None);
+
+        // Identical non-empty snapshots: a zero-count window whose
+        // quantiles are None even though max_us carries over.
+        let h = Histogram::new();
+        for us in [5u64, 50, 500] {
+            h.record(us);
+        }
+        let s = h.snapshot();
+        let d = s.delta(&s);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.sum_us, 0);
+        assert_eq!(d.max_us, s.max_us, "max is not interval-recoverable");
+        assert_eq!(d.quantile_us(0.5), None);
+
+        // A window landing entirely in the unbounded top bucket: the
+        // quantile ceiling clamps to the observed maximum instead of a
+        // power of two.
+        let h = Histogram::new();
+        let huge = 1u64 << 40; // beyond the last finite bucket boundary
+        let before = h.snapshot();
+        h.record(huge + 123);
+        let d = h.snapshot().delta(&before);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.buckets[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(d.quantile_us(0.99), Some(huge + 123));
+        assert_eq!(d.quantile_us(0.0), Some(huge + 123));
+    }
+
+    #[test]
     fn histogram_quantiles_and_display() {
         let h = Histogram::new();
         for us in [0u64, 1, 3, 900, 1_500, 40_000] {
@@ -557,6 +593,27 @@ mod tests {
         assert!(text.contains("10 submitted"));
         assert!(text.contains("150 substrate + 50 query"));
         assert!(text.contains("shard 1"));
+    }
+
+    #[test]
+    fn display_renders_the_live_gauges() {
+        // Operator dumps must show the live fleet shape, not just the
+        // lifetime counters: the running-jobs gauge and the current
+        // worker count both render.
+        let snap = MetricsSnapshot {
+            submitted: 4,
+            completed: 1,
+            running: 3,
+            workers: 5,
+            queue_depth: 2,
+            queue_high_water: 9,
+            ..Default::default()
+        };
+        let text = snap.to_string();
+        assert!(text.contains("3 running"), "{text}");
+        assert!(text.contains("5 worker(s)"), "{text}");
+        assert!(text.contains("depth 2 (high water 9)"), "{text}");
+        assert_eq!(snap.in_flight(), 3);
     }
 
     #[test]

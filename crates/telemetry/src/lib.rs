@@ -1,0 +1,234 @@
+//! Telemetry spine for the duality serving stack: job lifecycle spans
+//! in, per-tenant truth out.
+//!
+//! The serving engine measures itself in aggregate — one fleet-wide
+//! latency histogram, one set of lifecycle counters
+//! ([`duality_service::MetricsSnapshot`]). That is enough to see *that*
+//! the fleet is slow, and structurally unable to say *who* is slow or
+//! *where* the time went. This crate closes both gaps on top of the
+//! engine's span emission hooks
+//! ([`duality_service::span`]):
+//!
+//! * **[`RingSink`]** ([`ring`]) — the hot-path buffer: a fixed-capacity
+//!   overwrite-oldest ring the engine's workers record
+//!   [`SpanRecord`](duality_service::SpanRecord)s into. Never blocks:
+//!   contention and overflow drop spans (counted, reported in every
+//!   snapshot) rather than stall a worker.
+//! * **[`TenantLedger`]** ([`ledger`]) — attribution: folds spans into
+//!   per-tenant lifecycle counters and three log₂ histograms —
+//!   queue-wait, service-time, end-to-end — so p50/p99/max exist per
+//!   tenant and per phase of a job's life, plus per-shard occupancy and
+//!   a control-event log (autopilot decisions land here).
+//! * **[`TelemetrySnapshot`]** ([`snapshot`]) — the export: displayable,
+//!   and serialized as versioned byte-stable JSONL through the shared
+//!   [`duality_workload::jsonl`] codec.
+//! * **[`Telemetry`]** — the handle tying them together: owns the ring
+//!   and the ledger, polls one into the other, and is what the control
+//!   plane attaches to judge per-tenant SLOs and drive the autopilot.
+//!
+//! # Example
+//!
+//! ```
+//! use duality_core::{PlanarInstance, Query};
+//! use duality_planar::gen;
+//! use duality_service::ServiceEngine;
+//! use duality_telemetry::Telemetry;
+//!
+//! let telemetry = Telemetry::new(1024);
+//! let engine = ServiceEngine::builder()
+//!     .workers(2)
+//!     .span_sink(telemetry.sink())
+//!     .build()
+//!     .unwrap();
+//!
+//! let g = gen::diag_grid(4, 4, 7).unwrap();
+//! let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 7);
+//! let instance = PlanarInstance::new(g, Some(caps), None).unwrap();
+//! telemetry.name_tenant(&instance, "demo");
+//!
+//! engine.run(&instance, Query::Girth).unwrap();
+//! engine.shutdown();
+//!
+//! let snap = telemetry.snapshot();
+//! let tenant = snap.by_name("demo").unwrap();
+//! assert_eq!(tenant.stats.completed, 1);
+//! assert!(tenant.stats.wait.count == 1 && tenant.stats.service.count == 1);
+//! println!("{snap}");
+//! ```
+
+pub mod ledger;
+pub mod ring;
+pub mod snapshot;
+
+pub use ledger::{TelemetryEvent, TenantLedger, TenantStats};
+pub use ring::RingSink;
+pub use snapshot::{TelemetryError, TelemetrySnapshot, TenantTelemetry, TELEMETRY_SCHEMA_VERSION};
+
+use duality_core::pool::InstanceKey;
+use duality_core::PlanarInstance;
+use duality_service::span::SpanSink;
+use std::sync::{Arc, Mutex};
+
+/// The telemetry handle: a shareable ring sink (give [`Telemetry::sink`]
+/// to the engine builder) plus the ledger it drains into. All methods
+/// take `&self`; the ledger sits behind a mutex touched only by
+/// telemetry consumers — never by the engine's workers, whose sole
+/// telemetry surface is the ring's `try_lock`.
+pub struct Telemetry {
+    ring: Arc<RingSink>,
+    ledger: Mutex<TenantLedger>,
+}
+
+impl Telemetry {
+    /// A telemetry spine whose ring buffers at most `ring_capacity`
+    /// spans between polls. Size it to the burst you expect between
+    /// control-loop rounds; overflow is dropped-and-counted, never
+    /// blocking.
+    pub fn new(ring_capacity: usize) -> Telemetry {
+        Telemetry {
+            ring: Arc::new(RingSink::new(ring_capacity)),
+            ledger: Mutex::new(TenantLedger::new()),
+        }
+    }
+
+    /// The sink to attach via
+    /// [`EngineBuilder::span_sink`](duality_service::EngineBuilder::span_sink).
+    pub fn sink(&self) -> Arc<dyn SpanSink> {
+        Arc::clone(&self.ring) as Arc<dyn SpanSink>
+    }
+
+    /// The underlying ring (drop accounting, capacity).
+    pub fn ring(&self) -> &RingSink {
+        &self.ring
+    }
+
+    /// Drains the ring into the ledger; returns how many spans were
+    /// folded. Call on the control plane's cadence.
+    pub fn poll(&self) -> usize {
+        let spans = self.ring.drain();
+        let mut ledger = self.ledger.lock().expect("telemetry ledger lock");
+        for span in &spans {
+            ledger.fold(span);
+        }
+        spans.len()
+    }
+
+    /// Registers a display name for the tenant owning `instance`'s
+    /// topology (every respec shares it).
+    pub fn name_tenant(&self, instance: &Arc<PlanarInstance>, name: &str) {
+        self.name_tenant_key(&InstanceKey::of(instance), name);
+    }
+
+    /// As [`Telemetry::name_tenant`], from an already-computed key.
+    pub fn name_tenant_key(&self, key: &InstanceKey, name: &str) {
+        self.ledger
+            .lock()
+            .expect("telemetry ledger lock")
+            .name_tenant(key.topo_fingerprint(), name);
+    }
+
+    /// Records one control event (autopilot decisions, SLO judgements);
+    /// returns its sequence number.
+    pub fn record_event(&self, label: &str, detail: String) -> u64 {
+        self.ledger
+            .lock()
+            .expect("telemetry ledger lock")
+            .record_event(label, detail)
+    }
+
+    /// Polls the ring, then snapshots the ledger.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.poll();
+        let ledger = self.ledger.lock().expect("telemetry ledger lock");
+        TelemetrySnapshot {
+            spans: ledger.spans(),
+            dropped: self.ring.dropped(),
+            shard_jobs: ledger.shard_jobs().to_vec(),
+            tenants: ledger
+                .tenants()
+                .map(|(tenant, name, stats)| TenantTelemetry {
+                    tenant,
+                    name: name.map(String::from),
+                    stats: stats.clone(),
+                })
+                .collect(),
+            events: ledger.events().to_vec(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("ring_capacity", &self.ring.capacity())
+            .field("seen", &self.ring.seen())
+            .field("dropped", &self.ring.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duality_core::Query;
+    use duality_planar::gen;
+    use duality_service::ServiceEngine;
+
+    fn instance(seed: u64) -> Arc<PlanarInstance> {
+        let g = gen::diag_grid(4, 4, seed).unwrap();
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, seed);
+        PlanarInstance::new(g, Some(caps), None).unwrap()
+    }
+
+    #[test]
+    fn engine_spans_land_in_the_ledger() {
+        let telemetry = Telemetry::new(64);
+        let engine = ServiceEngine::builder()
+            .shards(2)
+            .workers(2)
+            .span_sink(telemetry.sink())
+            .build()
+            .unwrap();
+        let (a, b) = (instance(1), instance(2));
+        telemetry.name_tenant(&a, "alpha");
+        for _ in 0..3 {
+            engine.run(&a, Query::Girth).unwrap();
+        }
+        engine.run(&b, Query::Girth).unwrap();
+        let m = engine.shutdown();
+
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.spans, m.submitted, "one span per admitted job");
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(snap.by_name("alpha").unwrap().stats.completed, 3);
+        assert_eq!(snap.tenants.len(), 2);
+        assert_eq!(snap.fleet_total().count, m.latency.count);
+        assert_eq!(
+            snap.shard_jobs.iter().sum::<u64>(),
+            m.completed,
+            "occupancy covers every executed job"
+        );
+        // Export round trip.
+        let parsed = TelemetrySnapshot::parse_jsonl(&snap.to_jsonl()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn snapshot_is_cumulative_across_polls() {
+        let telemetry = Telemetry::new(4);
+        let engine = ServiceEngine::builder()
+            .workers(1)
+            .span_sink(telemetry.sink())
+            .build()
+            .unwrap();
+        let i = instance(3);
+        engine.run(&i, Query::Girth).unwrap();
+        assert_eq!(telemetry.poll(), 1);
+        engine.run(&i, Query::Girth).unwrap();
+        engine.shutdown();
+        telemetry.record_event("note", "shutdown".into());
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.spans, 2, "second poll added the second span");
+        assert_eq!(snap.events.len(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! The bounded ring-buffer span sink — the only telemetry component on
+//! the engine's hot path, so its contract is absolute: **never block**.
+//!
+//! [`RingSink::record`] takes the buffer lock with `try_lock` only; a
+//! contended lock drops the span (counted). A full ring overwrites its
+//! oldest span (also counted as a drop — the span existed and was
+//! lost). Consumers ([`RingSink::drain`]) may block on the lock; they
+//! run on the control plane's cadence, not the workers'.
+
+use duality_service::span::{SpanRecord, SpanSink};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Fixed-capacity overwrite-oldest span buffer. Cheap to share: hand
+/// `Arc<RingSink>` to
+/// [`EngineBuilder::span_sink`](duality_service::EngineBuilder::span_sink)
+/// and keep a clone for draining.
+pub struct RingSink {
+    capacity: usize,
+    ring: Mutex<VecDeque<SpanRecord>>,
+    /// Spans offered to the sink ([`SpanSink::record`] calls).
+    seen: AtomicU64,
+    /// Spans lost: lock contention on the hot path, or overwritten by a
+    /// later span before any consumer drained them.
+    dropped: AtomicU64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` spans (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> RingSink {
+        let capacity = capacity.max(1);
+        RingSink {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            seen: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes every buffered span, oldest first.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        self.ring.lock().expect("ring lock").drain(..).collect()
+    }
+
+    /// Spans offered to the sink so far.
+    pub fn seen(&self) -> u64 {
+        self.seen.load(Ordering::Relaxed)
+    }
+
+    /// Spans lost (contention + overwrite). `seen - dropped` is what a
+    /// prompt consumer collects.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("ring lock").len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl SpanSink for RingSink {
+    fn record(&self, span: SpanRecord) {
+        self.seen.fetch_add(1, Ordering::Relaxed);
+        // Never block a worker: a contended lock means a consumer (or
+        // another producer) holds the ring — drop this span, counted.
+        let Ok(mut ring) = self.ring.try_lock() else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duality_service::span::SpanState;
+
+    fn span(i: u64) -> SpanRecord {
+        SpanRecord {
+            tenant: 1,
+            spec: i,
+            query: "girth",
+            shard: 0,
+            worker: Some(0),
+            state: SpanState::Completed,
+            submitted_us: i,
+            admitted_us: Some(i),
+            dequeued_us: Some(i + 1),
+            started_us: Some(i + 2),
+            finished_us: i + 5,
+        }
+    }
+
+    #[test]
+    fn overflow_overwrites_oldest_and_counts_drops() {
+        let ring = RingSink::new(3);
+        for i in 0..5 {
+            ring.record(span(i));
+        }
+        assert_eq!(ring.seen(), 5);
+        assert_eq!(ring.dropped(), 2, "two oldest overwritten");
+        let drained = ring.drain();
+        let specs: Vec<u64> = drained.iter().map(|s| s.spec).collect();
+        assert_eq!(specs, vec![2, 3, 4], "newest survive, oldest first");
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 2, "drain is not a drop");
+    }
+
+    #[test]
+    fn contention_drops_instead_of_blocking() {
+        let ring = RingSink::new(8);
+        let guard = ring.ring.lock().unwrap();
+        ring.record(span(0));
+        drop(guard);
+        assert_eq!((ring.seen(), ring.dropped()), (1, 1));
+        assert!(ring.is_empty(), "the contended span was never buffered");
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let ring = RingSink::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.record(span(0));
+        ring.record(span(1));
+        assert_eq!(ring.drain().len(), 1);
+        assert_eq!(ring.dropped(), 1);
+    }
+}

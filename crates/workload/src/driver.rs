@@ -176,6 +176,27 @@ pub fn drive_jobs(
         .pool_capacity(config.pool_capacity)
         .admission(config.admission)
         .build()?;
+    let mut report = drive_jobs_on(&engine, jobs, arrival, config.tick)?;
+    // The drained shutdown gives the authoritative final metrics.
+    report.metrics = engine.shutdown();
+    Ok(report)
+}
+
+/// [`drive_jobs`] against a *prebuilt* engine the caller owns — one that
+/// carries a telemetry sink, belongs to a reconciler, or serves several
+/// phases of one long run. The engine is left running (no shutdown):
+/// [`RunReport::metrics`] is a live snapshot, cumulative across every
+/// phase the engine has served.
+///
+/// # Errors
+///
+/// As [`drive_jobs`].
+pub fn drive_jobs_on(
+    engine: &ServiceEngine,
+    jobs: &[TraceJob],
+    arrival: Arrival,
+    tick: Option<Duration>,
+) -> Result<RunReport, WorkloadError> {
     let max_in_flight = match arrival {
         Arrival::ClosedLoop { max_in_flight, .. } => Some(max_in_flight.max(1)),
         Arrival::OpenLoop { .. } => None,
@@ -197,7 +218,7 @@ pub fn drive_jobs(
 
     let mut paced = Duration::ZERO;
     for (i, job) in jobs.iter().enumerate() {
-        if let Some(tick) = config.tick {
+        if let Some(tick) = tick {
             // Real-time pacing: hold the job until its virtual release
             // time. The sleep is accounted separately so the report can
             // split schedule time from busy time.
@@ -208,7 +229,7 @@ pub fn drive_jobs(
                 paced += wait;
             }
         }
-        let submitted = match (config.tick, job.deadline) {
+        let submitted = match (tick, job.deadline) {
             (Some(tick), Some(deadline_vt)) => {
                 // Deadlines are armed relative to the driver's own clock:
                 // `deadline_vt` ticks after the run started.
@@ -235,7 +256,7 @@ pub fn drive_jobs(
     while let Some(slot) = in_flight.pop_front() {
         harvest(Some(slot), &mut fingerprints, &mut failed);
     }
-    let metrics = engine.shutdown();
+    let metrics = engine.metrics();
     let wall = start.elapsed();
     Ok(RunReport {
         fingerprints,

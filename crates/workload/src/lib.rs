@@ -12,9 +12,10 @@
 //!   copy-on-write respec path, so every derived spec shares its
 //!   tenant's graph allocation and topology substrate), query mixes over
 //!   all six query kinds, and open-/closed-loop arrival schedules on a
-//!   logical clock. A library of six presets ([`Scenario::presets`])
+//!   logical clock. A library of seven presets ([`Scenario::presets`])
 //!   covers the profiles a serving fleet meets: steady state, rush hour,
-//!   failover storm, multi-tenant skew, cold start, respec-heavy.
+//!   failover storm, multi-tenant skew, cold start, respec-heavy, and a
+//!   cancellation storm.
 //! * **[`Trace`]** ([`trace`]) — the recorded event history a scenario
 //!   expands into: versioned JSONL in, versioned JSONL out
 //!   ([`Trace::to_jsonl`] / [`Trace::parse_jsonl`]), with every event

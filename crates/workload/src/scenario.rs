@@ -496,14 +496,15 @@ pub struct Scenario {
     pub deadline_ticks: Option<u64>,
 }
 
-/// Names of the six preset scenarios, in presentation order.
-pub const PRESET_NAMES: [&str; 6] = [
+/// Names of the seven preset scenarios, in presentation order.
+pub const PRESET_NAMES: [&str; 7] = [
     "steady-state",
     "rush-hour",
     "failover-storm",
     "multi-tenant-skew",
     "cold-start",
     "respec-heavy",
+    "cancellation-storm",
 ];
 
 impl Scenario {
@@ -522,6 +523,15 @@ impl Scenario {
     ///   pool miss, measuring uncached substrate cost.
     /// * `respec-heavy` — closed-loop weight-query traffic under a fast
     ///   wave plus weight spikes: the respec-reuse stressor.
+    /// * `cancellation-storm` — a front-loaded open-loop burst sized to
+    ///   pile jobs deep into the queue. The trace schema has no cancel
+    ///   event — cancellation is an act on a live
+    ///   [`Ticket`](duality_service::Ticket) (its `cancel` method), not
+    ///   part of recorded traffic — so this preset supplies the
+    ///   adversarial *substrate*:
+    ///   drive it, then cancel a slice of the queued tickets mid-flight
+    ///   to stress the cancelled terminal path (span emission, metrics
+    ///   reconciliation, queue skip-and-drop).
     pub fn preset(name: &str, seed: u64) -> Option<Scenario> {
         let diag = |w, h| TenantSpec::of(FamilySpec::DiagGrid { w, h });
         let s = match name {
@@ -633,12 +643,25 @@ impl Scenario {
                 tenant_skew: 1,
                 deadline_ticks: None,
             },
+            "cancellation-storm" => Scenario {
+                name: name.into(),
+                seed,
+                tenants: vec![diag(6, 5), diag(5, 5)],
+                ticks: 4,
+                arrival: Arrival::OpenLoop {
+                    queries_per_tick: 8,
+                },
+                mix: QueryMix::uniform(),
+                mutations: vec![],
+                tenant_skew: 1,
+                deadline_ticks: None,
+            },
             _ => return None,
         };
         Some(s)
     }
 
-    /// All six presets, in [`PRESET_NAMES`] order.
+    /// All seven presets, in [`PRESET_NAMES`] order.
     pub fn presets(seed: u64) -> Vec<Scenario> {
         PRESET_NAMES
             .iter()

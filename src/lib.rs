@@ -53,15 +53,24 @@
 //! admission, derate levels, SLOs) and a [`Reconciler`] observes the
 //! live engine, diffs observation against spec into a typed plan, and
 //! executes it — with crash recovery from hash-verified
-//! [`StateStore`] snapshots. The evidence layer is the [`lab`]: a
+//! [`StateStore`] snapshots. The [`telemetry`] spine makes the fleet
+//! observable *per tenant*: every engine job emits a compact span
+//! (queue-wait vs service-time, tenant topology fingerprint, outcome)
+//! into a bounded never-blocking ring, a [`TenantLedger`] folds spans
+//! into per-tenant latency histograms and outcome counters, and the
+//! versioned [`TelemetrySnapshot`] feeds both operators (JSONL export)
+//! and the control plane's autopilot — a pressure-driven
+//! [`Autopilot`](control::Autopilot) that scales the worker fleet up
+//! under queue or per-tenant p99 pressure and cooperatively retires it
+//! when pressure clears. The evidence layer is the [`lab`]: a
 //! versioned, byte-stable [`LabSpec`] declares an experiment (scenarios
 //! × worker/shard grid × run mode), the runner replays it or probes it
 //! to saturation ([`mod@workload::ramp`]), the results land in versioned
 //! benchmark envelopes, and the lab's regression gate and trajectory
 //! report consume those envelopes back. See `DESIGN.md`
 //! for the instance → topo substrate → weight substrate → query → batch
-//! → pool → engine → workload → control architecture and
-//! `EXPERIMENTS.md` for reproducing the measurements.
+//! → pool → engine → workload → telemetry → control → lab architecture
+//! and `EXPERIMENTS.md` for reproducing the measurements.
 //!
 //! # Quickstart
 //!
@@ -127,11 +136,20 @@ pub use duality_service as service;
 /// truth.
 pub use duality_workload as workload;
 
+/// The telemetry spine (re-export of [`duality_telemetry`]): per-job
+/// span records from the engine into a bounded overwrite-oldest ring
+/// sink, a [`TenantLedger`] attributing latency (queue-wait vs
+/// service-time) and outcomes to tenants, and the versioned JSONL
+/// [`TelemetrySnapshot`] the control plane's autopilot consumes.
+pub use duality_telemetry as telemetry;
+
 /// The declarative control plane (re-export of [`duality_control`]):
 /// validated content-hashed [`FleetSpec`]s, the observe → diff → plan →
 /// execute [`Reconciler`] driving a [`ServiceEngine`] toward its spec
-/// within a bounded convergence budget, and versioned hash-guarded
-/// [`StateStore`] snapshots for controller restart.
+/// within a bounded convergence budget, the telemetry-fed
+/// [`Autopilot`](control::Autopilot) originating worker-scaling
+/// decisions, and versioned hash-guarded [`StateStore`] snapshots for
+/// controller restart.
 pub use duality_control as control;
 
 /// The experiment subsystem (re-export of [`duality_lab`]): declarative
@@ -152,6 +170,7 @@ pub use duality_lab::{EnvRow, Envelope, LabError, LabSpec, Tolerances};
 pub use duality_service::{
     AdmissionPolicy, MetricsSnapshot, ServiceEngine, ServiceError, SubmitError, Ticket,
 };
+pub use duality_telemetry::{Telemetry, TelemetrySnapshot, TenantLedger};
 pub use duality_workload::{
     DriverConfig, RampConfig, RampReport, RunReport, Scenario, Trace, WorkloadError,
 };

@@ -1,0 +1,225 @@
+//! Integration tests of the telemetry spine through the public
+//! meta-crate:
+//!
+//! (a) span/counter reconciliation: every admitted job emits exactly one
+//!     span, and per-tenant lifecycle counters sum back to the engine's
+//!     own metrics even when a cancel storm races the queue;
+//! (b) ring overflow is dropped-and-counted, never blocking a worker;
+//! (c) attribution: per-tenant p99 diverges from the fleet-wide p99
+//!     under skewed tenants, and the worst tenant is identified;
+//! (d) the autopilot closed loop: telemetry pressure scales the worker
+//!     fleet up, and a clear window retires it back to the spec floor.
+
+use duality::control::AutopilotPolicy;
+use duality::service::{SpanRecord, SpanState};
+use duality::telemetry::TenantStats;
+use duality::workload::{FamilySpec, Scenario, TenantRecord};
+use duality::{
+    AdmissionPolicy, FleetSpec, PlanarInstance, Query, Reconciler, ServiceEngine, Telemetry,
+    TenantDecl,
+};
+use std::sync::Arc;
+
+fn instance(seed: u64) -> Arc<PlanarInstance> {
+    let g = duality::planar::gen::diag_grid(4, 4, seed).unwrap();
+    let caps = duality::planar::gen::random_undirected_capacities(g.num_edges(), 1, 9, seed);
+    PlanarInstance::new(g, Some(caps), None).unwrap()
+}
+
+/// (a) The `cancellation-storm` preset piles a burst deep into a paused
+/// queue; a quarter of the tickets are cancelled before the single
+/// worker starts. Every admitted job must resolve to exactly one span,
+/// and the per-tenant ledger must sum back to the engine's counters —
+/// no lost spans, no double counts, on any terminal path.
+#[test]
+fn spans_reconcile_with_engine_counters_under_a_cancel_storm() {
+    let scenario = Scenario::preset("cancellation-storm", 11).unwrap();
+    let trace = scenario.record().unwrap();
+    let jobs = trace.materialize().unwrap();
+    let telemetry = Telemetry::new(jobs.len() * 2 + 16);
+    let engine = ServiceEngine::builder()
+        .shards(2)
+        .workers(1)
+        .queue_capacity(jobs.len().max(16))
+        .admission(AdmissionPolicy::Block)
+        .span_sink(telemetry.sink())
+        .start_paused()
+        .build()
+        .unwrap();
+
+    // Everything queues behind the start gate, so the cancel slice is
+    // deterministic: those jobs are still queued, every cancel wins.
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|j| engine.submit(&j.instance, j.query).unwrap())
+        .collect();
+    let to_cancel = tickets.len() / 4;
+    let won: usize = tickets
+        .iter()
+        .rev()
+        .take(to_cancel)
+        .filter(|t| t.cancel())
+        .count();
+    assert_eq!(won, to_cancel, "queued jobs always lose to cancel");
+    engine.resume();
+    for t in tickets {
+        let _ = t.wait();
+    }
+    let m = engine.shutdown();
+    let snap = telemetry.snapshot();
+
+    assert_eq!(snap.spans, m.submitted, "one span per admitted job");
+    assert_eq!(snap.dropped, 0, "the sized ring loses nothing");
+    let sum =
+        |pick: fn(&TenantStats) -> u64| snap.tenants.iter().map(|t| pick(&t.stats)).sum::<u64>();
+    assert_eq!(sum(|s| s.completed), m.completed);
+    assert_eq!(sum(|s| s.cancelled), m.cancelled);
+    assert_eq!(sum(|s| s.failed), m.failed);
+    assert_eq!(sum(|s| s.expired), m.expired);
+    assert_eq!(sum(|s| s.spans()), snap.spans, "no span double-counts");
+    assert_eq!(m.cancelled as usize, to_cancel, "each cancel resolves once");
+    assert_eq!(
+        sum(|s| s.service.count),
+        m.completed + m.failed,
+        "service time exists only for jobs that actually ran"
+    );
+    assert_eq!(
+        sum(|s| s.wait.count),
+        m.submitted,
+        "every admitted job waited, even the cancelled ones"
+    );
+}
+
+/// (b) A two-slot ring under five jobs: the engine never blocks, the
+/// overflow is counted, and kept + dropped reconciles with admissions.
+#[test]
+fn ring_overflow_drops_are_counted_never_blocking() {
+    let telemetry = Telemetry::new(2);
+    let engine = ServiceEngine::builder()
+        .workers(1)
+        .span_sink(telemetry.sink())
+        .build()
+        .unwrap();
+    let i = instance(5);
+    for _ in 0..5 {
+        engine.run(&i, Query::Girth).unwrap();
+    }
+    let m = engine.shutdown();
+    assert_eq!(m.completed, 5, "a saturated ring never blocks the engine");
+
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.spans, 2, "the ring keeps the newest spans");
+    assert_eq!(snap.dropped, 3, "overflow is dropped and counted");
+    assert_eq!(snap.spans + snap.dropped, m.submitted);
+    assert_eq!(telemetry.ring().seen(), 5);
+}
+
+/// (c) Nine fast spans for tenant A and one slow span for tenant B: the
+/// fleet-wide p99 is pinned by B while A's own p99 stays orders of
+/// magnitude lower — the attribution the aggregate histogram cannot
+/// make.
+#[test]
+fn per_tenant_p99_diverges_from_the_fleet_under_skew() {
+    let telemetry = Telemetry::new(64);
+    let sink = telemetry.sink();
+    let span = |tenant: u64, total_us: u64| SpanRecord {
+        tenant,
+        spec: 1,
+        query: "girth",
+        shard: 0,
+        worker: Some(0),
+        state: SpanState::Completed,
+        submitted_us: 0,
+        admitted_us: Some(0),
+        dequeued_us: Some(0),
+        started_us: Some(0),
+        finished_us: total_us,
+    };
+    for _ in 0..9 {
+        sink.record(span(0xA, 100));
+    }
+    sink.record(span(0xB, 1_000_000));
+
+    let snap = telemetry.snapshot();
+    let fleet = snap.fleet_total().quantile_us(0.99).unwrap();
+    let a = snap.tenant(0xA).unwrap().p99_total_us().unwrap();
+    let b = snap.tenant(0xB).unwrap().p99_total_us().unwrap();
+    assert_eq!(fleet, 1_000_000, "the fleet p99 is pinned by the slow job");
+    assert_eq!(b, fleet);
+    assert!(a <= 128, "the fast tenant's own p99 stays fast: {a}µs");
+    assert_eq!(snap.max_tenant_p99_us(), Some((0xB, b)), "B is the worst");
+}
+
+/// (d) The closed loop through the public surface: one completed job
+/// puts latency pressure in the autopilot's window (p99 band at zero),
+/// the next reconcile pass surges the fleet to the ceiling, and the
+/// pass after — its window clear — retires back to the spec floor, with
+/// both decisions on the telemetry event log.
+#[test]
+fn autopilot_scales_on_pressure_and_retires_when_clear() {
+    let spec = FleetSpec {
+        name: "autopilot-int".into(),
+        revision: 1,
+        workers: 1,
+        shards: 1,
+        queue_capacity: 16,
+        pool_capacity: 4,
+        admission: AdmissionPolicy::Block,
+        tenants: vec![TenantDecl {
+            name: "grid".into(),
+            record: TenantRecord {
+                family: FamilySpec::DiagGrid { w: 4, h: 4 },
+                cap_range: (1, 9),
+                weight_range: (1, 9),
+                graph_seed: 7,
+                cap_seed: 8,
+                weight_seed: 9,
+            },
+            prewarm: true,
+            derate_percent: 100,
+            slo: None,
+        }],
+    };
+    let telemetry = Arc::new(Telemetry::new(256));
+    let mut fleet = Reconciler::launch_with_telemetry(spec, Arc::clone(&telemetry)).unwrap();
+    fleet.reconcile().unwrap();
+    fleet
+        .enable_autopilot(AutopilotPolicy {
+            queue_high_water: 1000, // queue never hot: pressure is p99-driven
+            queue_low_water: 0,
+            p99_high_us: 0, // any completed job trips the band
+            p99_low_us: 0,
+            scale_step: 2,
+            max_workers: 3,
+            cooldown_rounds: 0,
+        })
+        .unwrap();
+
+    let i = Arc::clone(fleet.instance("grid").unwrap());
+    fleet.engine().run(&i, Query::Girth).unwrap();
+    fleet.reconcile().unwrap();
+    assert_eq!(fleet.desired_workers(), 3, "pressure surged to the ceiling");
+
+    let obs = fleet.observe();
+    assert!(
+        obs.tenants[0].p99_us.is_some(),
+        "the tenant's SLO judgement runs on its own attributed latency"
+    );
+
+    fleet.reconcile().unwrap();
+    assert_eq!(
+        fleet.desired_workers(),
+        1,
+        "a clear window retires the surge"
+    );
+
+    let labels: Vec<String> = telemetry
+        .snapshot()
+        .events
+        .iter()
+        .map(|e| e.label.clone())
+        .collect();
+    assert!(labels.iter().any(|l| l == "scale-up"), "{labels:?}");
+    assert!(labels.iter().any(|l| l == "scale-down"), "{labels:?}");
+    fleet.shutdown();
+}
