@@ -987,6 +987,9 @@ pub const S7_SPEC: &str = include_str!("../../../experiments/s7-saturation.lab.j
 /// The committed declarative spec behind S8.
 pub const S8_SPEC: &str = include_str!("../../../experiments/s8-autopilot.lab.jsonl");
 
+/// The committed declarative spec behind S9.
+pub const S9_SPEC: &str = include_str!("../../../experiments/s9-stealing.lab.jsonl");
+
 /// S7 — the saturation probe: per preset × (workers, shards) cell, the
 /// open-loop arrival rate is stepped by `increment_jps` per round until
 /// the engine overloads (achieved rate falls under the sustainability
@@ -1011,6 +1014,18 @@ pub fn s7_saturation(seed: u64, smoke: bool) -> Vec<Row> {
 /// the workload a static peak-sized fleet would hold with idle workers.
 pub fn s8_autopilot(seed: u64, smoke: bool) -> Vec<Row> {
     run_lab_spec(S8_SPEC, seed, smoke)
+}
+
+/// S9 — the stealing probe: the S7 saturation instrument pointed at the
+/// work-stealing scheduler, ramping two compute-bound presets over a
+/// 1→8 worker sweep at a fixed two shards. The artifact's
+/// `scaling-efficiency` column (capacity at N workers ÷ capacity at 1
+/// worker) is the direct witness for the worker-scaling wall this
+/// scheduler exists to smash: per-worker deques take the single hot
+/// mutex + condvar thundering herd off the dispatch path, so capacity
+/// should now climb with the fleet instead of flattening at ~1–2×.
+pub fn s9_stealing(seed: u64, smoke: bool) -> Vec<Row> {
+    run_lab_spec(S9_SPEC, seed, smoke)
 }
 
 /// Parses a committed lab spec and runs it with the harness seed.
@@ -1092,6 +1107,33 @@ mod workload_tests {
         let out = by_phase("[calm-out]");
         assert_eq!(out.value("workers-end"), Some(2.0), "retired to the floor");
         assert_eq!(by_phase("[static-peak]").value("workers-end"), Some(6.0));
+    }
+
+    #[test]
+    fn s9_spec_is_canonical_and_sweeps_the_worker_axis() {
+        use duality_lab::{LabSpec, RunMode};
+        let spec = LabSpec::parse_jsonl(S9_SPEC).unwrap();
+        assert_eq!(spec.to_jsonl(), S9_SPEC, "committed spec is byte-stable");
+        assert_eq!(spec.seed, 42, "specs pin the harness seed");
+        assert!(matches!(spec.mode, RunMode::Ramp(_)));
+
+        let full = spec.run_cells(false);
+        assert_eq!(
+            full.iter().map(|c| c.workers).collect::<Vec<_>>(),
+            [1, 2, 4, 8],
+            "the full grid walks the worker axis"
+        );
+        assert!(
+            full.iter().all(|c| c.shards == 2),
+            "shards pinned so the sweep isolates the scheduler"
+        );
+        let smoke = spec.run_cells(true);
+        assert_eq!(
+            smoke.iter().map(|c| c.workers).collect::<Vec<_>>(),
+            [1, 8],
+            "smoke keeps the endpoints the efficiency ratio needs"
+        );
+        assert_eq!(spec.run_scenarios(true).len(), 2, "both presets in smoke");
     }
 
     #[test]

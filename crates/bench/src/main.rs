@@ -133,6 +133,11 @@ fn registry(smoke: bool) -> Vec<(&'static str, &'static str, Box<dyn Fn(u64) -> 
             "autopilot: telemetry-driven worker scaling vs a static peak fleet",
             Box::new(move |s| experiments::s8_autopilot(s, smoke)),
         ),
+        (
+            "s9",
+            "stealing probe: saturation capacity across a 1-8 worker sweep",
+            Box::new(move |s| experiments::s9_stealing(s, smoke)),
+        ),
     ]
 }
 
@@ -297,6 +302,7 @@ fn cmd_compare(args: &[String]) -> i32 {
             ("S6", experiments::s6_control_plane(seed, true)),
             ("S7", experiments::s7_saturation(seed, true)),
             ("S8", experiments::s8_autopilot(seed, true)),
+            ("S9", experiments::s9_stealing(seed, true)),
         ] {
             let committed = match read_envelope(&format!("smoke/BENCH_{id}.json")) {
                 Ok(e) => e,

@@ -28,7 +28,7 @@ use crate::spec::{FleetSpec, TenantDecl};
 use crate::store::{Snapshot, StateStore, SNAPSHOT_SCHEMA_VERSION};
 use duality_core::{InstanceKey, PlanarInstance};
 use duality_planar::gen;
-use duality_service::{AdmissionPolicy, MetricsSnapshot, ServiceEngine};
+use duality_service::{AdmissionPolicy, MetricsSnapshot, SchedStats, ServiceEngine};
 use duality_telemetry::Telemetry;
 use duality_workload::{Mutation, TenantRecord};
 use std::collections::HashSet;
@@ -124,6 +124,10 @@ pub struct FleetObservation {
     pub queue_depth: usize,
     /// Jobs claimed by workers, not yet resolved.
     pub running: u64,
+    /// The scheduler's cumulative activity ledger (steals, injector
+    /// overflows, parks/unparks) — how the fleet is reaching its jobs,
+    /// alongside how many jobs there are.
+    pub scheduler: SchedStats,
     /// Fleet-wide p99 latency, when any job has completed.
     pub p99_us: Option<u64>,
     /// Per-tenant observations, in spec order.
@@ -485,6 +489,7 @@ impl Reconciler {
             admission: self.engine.admission(),
             queue_depth: metrics.queue_depth,
             running: metrics.running,
+            scheduler: metrics.scheduler,
             p99_us,
             tenants,
             strays,

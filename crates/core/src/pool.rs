@@ -9,7 +9,7 @@
 //! a re-specced instance by **respeccing a cached solver of the same
 //! shared graph** ([`PlanarSolver::respec`]), so the new entry reuses the
 //! existing `Arc<TopoSubstrate>` instead of rebuilding the dual graph and
-//! BDD. Hit / miss / respec-reuse / eviction counters
+//! BDD. Hit / miss / respec-reuse / eviction / lock-contention counters
 //! ([`SolverPool::stats`]) make the cache behavior auditable.
 //!
 //! # Example
@@ -43,7 +43,8 @@ use crate::solver::{BatchReport, Outcome, PlanarSolver, Query};
 use duality_planar::PlanarGraph;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 
 /// A cheap, copyable identity for a `(graph, spec)` pair: a fingerprint of
 /// the embedding (vertex count plus the full rotation system) and a hash
@@ -160,6 +161,11 @@ pub struct PoolStats {
     pub respec_reuses: u64,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
+    /// Lock acquisitions that found the pool mutex held and had to wait
+    /// — the shard-contention signal: a sharded serving layer whose
+    /// per-shard pools show this climbing needs more shards, not more
+    /// workers.
+    pub lock_contended: u64,
     /// Entries currently cached.
     pub len: usize,
     /// Maximum entries the pool retains.
@@ -176,6 +182,7 @@ impl PoolStats {
         self.misses += other.misses;
         self.respec_reuses += other.respec_reuses;
         self.evictions += other.evictions;
+        self.lock_contended += other.lock_contended;
         self.len += other.len;
         self.capacity += other.capacity;
     }
@@ -194,8 +201,14 @@ impl std::fmt::Display for PoolStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "pool: {}/{} entries, {} hits, {} misses ({} respec-reuses), {} evictions",
-            self.len, self.capacity, self.hits, self.misses, self.respec_reuses, self.evictions
+            "pool: {}/{} entries, {} hits, {} misses ({} respec-reuses), {} evictions, {} lock waits",
+            self.len,
+            self.capacity,
+            self.hits,
+            self.misses,
+            self.respec_reuses,
+            self.evictions,
+            self.lock_contended
         )
     }
 }
@@ -247,6 +260,10 @@ struct PoolInner {
 /// threads (e.g. behind an `Arc`).
 pub struct SolverPool {
     inner: Mutex<PoolInner>,
+    /// Lock acquisitions that could not take `inner` uncontended (see
+    /// [`PoolStats::lock_contended`]). Outside the mutex so counting a
+    /// wait never lengthens it.
+    contended: AtomicU64,
     capacity: usize,
     leaf_threshold: Option<usize>,
 }
@@ -264,6 +281,7 @@ impl SolverPool {
                 respec_reuses: 0,
                 evictions: 0,
             }),
+            contended: AtomicU64::new(0),
             capacity: capacity.max(1),
             leaf_threshold: None,
         }
@@ -295,9 +313,24 @@ impl SolverPool {
         self.capacity
     }
 
+    /// Takes the pool mutex, counting the acquisition as contended when
+    /// the uncontended `try_lock` fast path fails — every lock site goes
+    /// through here, so [`PoolStats::lock_contended`] observes the whole
+    /// surface.
+    fn lock_inner(&self) -> MutexGuard<'_, PoolInner> {
+        match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                self.inner.lock().expect("pool lock")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("pool lock poisoned"),
+        }
+    }
+
     /// Entries currently cached.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("pool lock").entries.len()
+        self.lock_inner().entries.len()
     }
 
     /// `true` when no solver is cached.
@@ -307,12 +340,13 @@ impl SolverPool {
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> PoolStats {
-        let inner = self.inner.lock().expect("pool lock");
+        let inner = self.lock_inner();
         PoolStats {
             hits: inner.hits,
             misses: inner.misses,
             respec_reuses: inner.respec_reuses,
             evictions: inner.evictions,
+            lock_contended: self.contended.load(Ordering::Relaxed),
             len: inner.entries.len(),
             capacity: self.capacity,
         }
@@ -339,11 +373,26 @@ impl SolverPool {
         // First pass under the lock: serve a hit, or pick a respec donor
         // (an `O(1)` clone) and release the lock before constructing
         // anything — a cold admission must never block other callers.
-        let donor = {
-            let mut inner = self.inner.lock().expect("pool lock");
+        //
+        // The hit path holds the lock only for the `O(len)` key scan and
+        // the recency splice; the `O(n + m)` content-equality guard runs
+        // on the candidate clone *after* the lock drops. A mismatch (a
+        // 128-bit key collision) demotes the optimistic hit to a miss, so
+        // a collision still degrades to a rebuild, never a wrong solver.
+        let candidate = {
+            let mut inner = self.lock_inner();
             inner.clock += 1;
-            if let Some(solver) = Self::lookup(&mut inner, key, instance) {
-                return solver;
+            Self::lookup(&mut inner, key)
+        };
+        let demote = match candidate {
+            Some(solver) if same_problem(solver.instance(), instance) => return solver,
+            Some(_) => true,
+            None => false,
+        };
+        let donor = {
+            let mut inner = self.lock_inner();
+            if demote {
+                inner.hits -= 1; // the optimistic hit was an impostor
             }
             inner.misses += 1;
             // Respec-reuse candidate: a cached solver over the *same
@@ -379,7 +428,7 @@ impl SolverPool {
         // while we were building — serve the cached entry so every caller
         // shares one substrate (our build is dropped; the miss already
         // counted stands).
-        let mut inner = self.inner.lock().expect("pool lock");
+        let mut inner = self.lock_inner();
         if let Some(pos) = inner
             .entries
             .iter()
@@ -407,20 +456,13 @@ impl SolverPool {
         solver
     }
 
-    /// The locked hit path: key match + full content equality, recency
-    /// refresh, hit counter. `None` on a miss (no counter touched).
-    fn lookup(
-        inner: &mut PoolInner,
-        key: InstanceKey,
-        instance: &Arc<PlanarInstance>,
-    ) -> Option<PlanarSolver> {
-        // A hit requires the key AND full content equality — the hash is a
-        // lookup accelerator, never the authority, so a key collision
-        // degrades to an ordinary miss.
-        let pos = inner
-            .entries
-            .iter()
-            .position(|e| e.key == key && same_problem(e.solver.instance(), instance))?;
+    /// The locked hit path: key scan, recency refresh, hit counter.
+    /// `None` on a miss (no counter touched). The key is only a lookup
+    /// accelerator — [`SolverPool::solver`] verifies full content
+    /// equality on the returned clone with the lock released, and
+    /// demotes the hit if the match was a key collision.
+    fn lookup(inner: &mut PoolInner, key: InstanceKey) -> Option<PlanarSolver> {
+        let pos = inner.entries.iter().position(|e| e.key == key)?;
         inner.hits += 1;
         // Most recently used goes last.
         let mut entry = inner.entries.remove(pos);
@@ -439,7 +481,7 @@ impl SolverPool {
     /// ([`SolverPool::solver`] / [`SolverPool::run`]) verify full content
     /// equality and are immune to key collisions.
     pub fn get(&self, key: &InstanceKey) -> Option<PlanarSolver> {
-        let mut inner = self.inner.lock().expect("pool lock");
+        let mut inner = self.lock_inner();
         inner.clock += 1;
         let pos = inner.entries.iter().position(|e| e.key == *key)?;
         inner.hits += 1;
@@ -455,7 +497,7 @@ impl SolverPool {
     /// only: touches neither recency, the clock, nor any counter, so a
     /// control loop can poll it without keeping cold tenants warm.
     pub fn residency(&self) -> Vec<ResidentEntry> {
-        let inner = self.inner.lock().expect("pool lock");
+        let inner = self.lock_inner();
         inner
             .entries
             .iter()
@@ -473,7 +515,7 @@ impl SolverPool {
     /// already cloned out of the pool remain valid; only the cache entry
     /// (and its substrate amortization for future callers) is gone.
     pub fn evict(&self, key: &InstanceKey) -> bool {
-        let mut inner = self.inner.lock().expect("pool lock");
+        let mut inner = self.lock_inner();
         let Some(pos) = inner.entries.iter().position(|e| e.key == *key) else {
             return false;
         };
@@ -767,12 +809,41 @@ mod tests {
     }
 
     #[test]
+    fn contended_locks_are_counted_uncontended_ones_are_not() {
+        let pool = Arc::new(SolverPool::new(2));
+        let i = instance(40);
+        let _ = pool.solver(&i);
+        let _ = pool.solver(&i);
+        assert_eq!(
+            pool.stats().lock_contended,
+            0,
+            "a single caller always takes the try_lock fast path"
+        );
+
+        // Hold the pool mutex while another thread looks up: that thread
+        // must fall off the fast path and count the wait.
+        let guard = pool.inner.lock().unwrap();
+        let waiter = {
+            let pool = Arc::clone(&pool);
+            let i = Arc::clone(&i);
+            std::thread::spawn(move || pool.solver(&i))
+        };
+        while pool.contended.load(Ordering::Relaxed) == 0 {
+            std::thread::yield_now();
+        }
+        drop(guard);
+        waiter.join().unwrap();
+        assert!(pool.stats().lock_contended >= 1);
+    }
+
+    #[test]
     fn stats_absorb_and_merged_sum_counters() {
         let a = PoolStats {
             hits: 3,
             misses: 2,
             respec_reuses: 1,
             evictions: 0,
+            lock_contended: 5,
             len: 2,
             capacity: 4,
         };
@@ -781,6 +852,7 @@ mod tests {
             misses: 4,
             respec_reuses: 0,
             evictions: 2,
+            lock_contended: 1,
             len: 1,
             capacity: 8,
         };
@@ -789,6 +861,7 @@ mod tests {
         assert_eq!(merged.misses, 6);
         assert_eq!(merged.respec_reuses, 1);
         assert_eq!(merged.evictions, 2);
+        assert_eq!(merged.lock_contended, 6);
         assert_eq!((merged.len, merged.capacity), (3, 12));
         assert_eq!(PoolStats::merged([]), PoolStats::default());
         let mut acc = a;

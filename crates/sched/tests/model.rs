@@ -1,0 +1,117 @@
+//! Model tests for the stealing deque: the sequential behaviour matches
+//! a reference double-ended queue exactly, and under real concurrent
+//! interleavings of owner push/pop with competing thieves nothing is
+//! lost and nothing is duplicated.
+
+use duality_sched::StealDeque;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequential model equivalence: any op sequence (owner push, owner
+    /// pop, single steal, batch steal) agrees with a reference
+    /// `VecDeque` that models the bound, the LIFO owner end and the
+    /// FIFO thief end.
+    #[test]
+    fn deque_matches_the_reference_model(
+        capacity in 1usize..6,
+        ops in prop::collection::vec(0u8..4, 40),
+    ) {
+        let deque = StealDeque::new(capacity);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut next = 0u32;
+        for op in ops {
+            match op {
+                0 => {
+                    let pushed = deque.push(next);
+                    if model.len() < capacity {
+                        prop_assert_eq!(pushed, Ok(()), "model has room");
+                        model.push_back(next);
+                    } else {
+                        prop_assert_eq!(pushed, Err(next), "full deque bounces");
+                    }
+                    next += 1;
+                }
+                1 => prop_assert_eq!(deque.pop(), model.pop_back(), "owner end is LIFO"),
+                2 => prop_assert_eq!(deque.steal(), model.pop_front(), "thief end is FIFO"),
+                _ => {
+                    let batch = deque.steal_batch(2);
+                    let take = model.len().div_ceil(2).min(2);
+                    let expected: Vec<u32> = model.drain(..take).collect();
+                    prop_assert_eq!(batch, expected, "batch steals the cold half");
+                }
+            }
+            prop_assert_eq!(deque.len(), model.len());
+        }
+    }
+
+    /// Concurrency conservation: an owner interleaving pushes and pops
+    /// with two live thieves stealing (singly and in batches) neither
+    /// loses nor duplicates a job, and each thief observes strictly
+    /// increasing values — the FIFO cold end never reorders.
+    #[test]
+    fn concurrent_steals_lose_nothing_and_duplicate_nothing(
+        capacity in 1usize..8,
+        script in prop::collection::vec(0u8..3, 60),
+    ) {
+        let deque: Arc<StealDeque<u32>> = Arc::new(StealDeque::new(capacity));
+        let done = Arc::new(AtomicBool::new(false));
+        let thieves: Vec<_> = (0..2)
+            .map(|thief| {
+                let deque = Arc::clone(&deque);
+                let done = Arc::clone(&done);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        if thief == 0 {
+                            got.extend(deque.steal_batch(3));
+                        } else if let Some(job) = deque.steal() {
+                            got.push(job);
+                        }
+                        if done.load(Ordering::SeqCst) && deque.is_empty() {
+                            return got;
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let mut pushed = 0u32;
+        let mut owner_got = Vec::new();
+        for op in script {
+            if op < 2 {
+                // Push twice as often as popping so the thieves see work.
+                if deque.push(pushed).is_ok() {
+                    pushed += 1;
+                }
+            } else if let Some(job) = deque.pop() {
+                owner_got.push(job);
+            }
+        }
+        done.store(true, Ordering::SeqCst);
+        let stolen: Vec<Vec<u32>> = thieves
+            .into_iter()
+            .map(|thief| thief.join().unwrap())
+            .collect();
+
+        for seq in &stolen {
+            prop_assert!(
+                seq.windows(2).all(|pair| pair[0] < pair[1]),
+                "a thief's haul is strictly increasing (FIFO cold end): {:?}",
+                seq
+            );
+        }
+        let mut all: Vec<u32> = owner_got;
+        for seq in stolen {
+            all.extend(seq);
+        }
+        all.sort_unstable();
+        let expected: Vec<u32> = (0..pushed).collect();
+        prop_assert_eq!(all, expected, "every pushed job claimed exactly once");
+    }
+}

@@ -12,10 +12,14 @@
 //!   fingerprint across N independent [`SolverPool`](duality_core::pool::SolverPool)
 //!   shards, so there is no global pool lock and respecs of one network
 //!   always land on the shard holding their donor solver;
-//! * **scheduling** — submissions enter a bounded MPMC job queue drained
-//!   by a pool of `std::thread` workers; callers get a typed [`Ticket`]
-//!   back immediately and collect the [`Outcome`](duality_core::Outcome)
-//!   asynchronously;
+//! * **scheduling** — submissions enter a bounded work-stealing
+//!   scheduler ([`duality_sched::Scheduler`]): per-worker stealing
+//!   deques with a global overflow injector, drained by a pool of
+//!   `std::thread` workers that pop their own deque LIFO and steal from
+//!   siblings FIFO, with exactly one idle worker woken per submit;
+//!   callers get a typed [`Ticket`] back immediately and collect the
+//!   [`Outcome`](duality_core::Outcome) asynchronously — or push many
+//!   queries through the amortized [`ServiceEngine::run_batch`] path;
 //! * **admission control** — the queue is bounded, and a full queue
 //!   either rejects ([`AdmissionPolicy::Reject`] →
 //!   [`SubmitError::QueueFull`]) or applies backpressure by blocking the
@@ -36,7 +40,10 @@
 //! * **live metrics** — a lock-light registry of atomic counters
 //!   (submitted / completed / failed / rejected / expired / cancelled), a
 //!   log-bucketed latency histogram, live queue-depth / running / worker
-//!   gauges plus the queue high-water mark, and per-shard pool hit/miss
+//!   gauges plus the queue high-water mark (exact: admission maintains
+//!   the depth counter itself, across deques *and* injector), scheduler
+//!   activity counters ([`SchedStats`]: steals, steal-fails, injector
+//!   overflows, parks/unparks), and per-shard pool hit/miss
 //!   plus amortized CONGEST round bills, all snapshot as one
 //!   [`MetricsSnapshot`] with a human-readable `Display`;
 //! * **telemetry spans** — with a sink attached
@@ -89,9 +96,9 @@
 
 pub mod engine;
 pub mod metrics;
-mod queue;
 pub mod span;
 
+pub use duality_sched::{DequeueSource, SchedStats};
 pub use engine::{
     AdmissionPolicy, EngineBuilder, ServiceEngine, ServiceError, SubmitError, Ticket,
 };

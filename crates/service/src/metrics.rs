@@ -10,6 +10,7 @@
 
 use duality_congest::RoundReport;
 use duality_core::pool::{InstanceKey, PoolStats};
+use duality_sched::SchedStats;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -323,10 +324,16 @@ pub struct MetricsSnapshot {
     /// Jobs cancelled via [`Ticket::cancel`](crate::Ticket::cancel) while
     /// still queued.
     pub cancelled: u64,
-    /// Jobs currently queued (live gauge).
+    /// Jobs currently queued (live gauge). Exact across the scheduler's
+    /// per-worker deques *and* the overflow injector: admission itself
+    /// maintains the counter, so it is summed at submit time rather than
+    /// sampled from the containers.
     pub queue_depth: usize,
-    /// The deepest the queue has ever been.
+    /// The deepest the queue has ever been, recorded at admission time.
     pub queue_high_water: usize,
+    /// Work-stealing scheduler activity: steals, steal-fails, injector
+    /// overflows, parks/unparks (see [`SchedStats`]).
+    pub scheduler: SchedStats,
     /// Jobs executing on a worker at the instant of the snapshot (live
     /// gauge; the claimed-but-unresolved slice of
     /// [`in_flight`](MetricsSnapshot::in_flight)).
@@ -392,6 +399,7 @@ impl std::fmt::Display for MetricsSnapshot {
             self.workers,
             self.shards.len()
         )?;
+        writeln!(f, "sched: {}", self.scheduler)?;
         writeln!(
             f,
             "rounds: {} substrate + {} query = {} total",
@@ -614,6 +622,35 @@ mod tests {
         assert!(text.contains("5 worker(s)"), "{text}");
         assert!(text.contains("depth 2 (high water 9)"), "{text}");
         assert_eq!(snap.in_flight(), 3);
+    }
+
+    #[test]
+    fn display_pins_the_scheduler_gauge_line() {
+        // The scheduler line is part of the operator-facing format;
+        // pin it verbatim so gauge renames are deliberate.
+        let snap = MetricsSnapshot {
+            submitted: 6,
+            completed: 6,
+            scheduler: SchedStats {
+                steals: 12,
+                steal_fails: 3,
+                injector_overflows: 2,
+                parks: 9,
+                unparks: 8,
+            },
+            ..Default::default()
+        };
+        let text = snap.to_string();
+        assert!(
+            text.contains("sched: 12 steals (3 failed), 2 injector overflows, 9 parks / 8 unparks"),
+            "{text}"
+        );
+        // The empty default still renders the line (all zeros).
+        let empty = MetricsSnapshot::default().to_string();
+        assert!(
+            empty.contains("sched: 0 steals (0 failed), 0 injector overflows, 0 parks / 0 unparks"),
+            "{empty}"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use duality_core::pool::InstanceKey;
 use duality_core::Query;
+use duality_sched::DequeueSource;
 
 /// How a job's lifecycle ended — one terminal state per span, mirroring
 /// the engine's lifecycle counters exactly.
@@ -122,6 +123,11 @@ pub struct SpanRecord {
     pub started_us: Option<u64>,
     /// When the terminal state was reached.
     pub finished_us: u64,
+    /// Where the resolving worker found the job — its own deque, the
+    /// overflow injector, or stolen from a sibling. `None` when no
+    /// worker dequeued it (rejected at admission). Keeps dequeue
+    /// attribution exact under work stealing.
+    pub source: Option<DequeueSource>,
 }
 
 impl SpanRecord {
@@ -195,6 +201,7 @@ mod tests {
             dequeued_us: Some(150),
             started_us: Some(160),
             finished_us: 460,
+            source: Some(DequeueSource::Local),
         }
     }
 

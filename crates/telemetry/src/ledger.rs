@@ -203,6 +203,7 @@ mod tests {
             dequeued_us: Some(100 + wait),
             started_us: started.then_some(100 + wait),
             finished_us: 100 + wait + if started { service } else { 0 },
+            source: Some(duality_service::DequeueSource::Local),
         }
     }
 

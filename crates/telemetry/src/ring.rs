@@ -105,6 +105,7 @@ mod tests {
             dequeued_us: Some(i + 1),
             started_us: Some(i + 2),
             finished_us: i + 5,
+            source: Some(duality_service::DequeueSource::Local),
         }
     }
 

@@ -496,8 +496,8 @@ pub struct Scenario {
     pub deadline_ticks: Option<u64>,
 }
 
-/// Names of the seven preset scenarios, in presentation order.
-pub const PRESET_NAMES: [&str; 7] = [
+/// Names of the eight preset scenarios, in presentation order.
+pub const PRESET_NAMES: [&str; 8] = [
     "steady-state",
     "rush-hour",
     "failover-storm",
@@ -505,6 +505,7 @@ pub const PRESET_NAMES: [&str; 7] = [
     "cold-start",
     "respec-heavy",
     "cancellation-storm",
+    "deadline-pressure",
 ];
 
 impl Scenario {
@@ -532,6 +533,11 @@ impl Scenario {
     ///   drive it, then cancel a slice of the queued tickets mid-flight
     ///   to stress the cancelled terminal path (span emission, metrics
     ///   reconciliation, queue skip-and-drop).
+    /// * `deadline-pressure` — open-loop bursts under a one-tick
+    ///   deadline: most of each burst expires before a worker reaches
+    ///   it, stressing the expired terminal path (past-due refusal at
+    ///   dequeue, span emission, metrics reconciliation) rather than
+    ///   throughput.
     pub fn preset(name: &str, seed: u64) -> Option<Scenario> {
         let diag = |w, h| TenantSpec::of(FamilySpec::DiagGrid { w, h });
         let s = match name {
@@ -656,12 +662,25 @@ impl Scenario {
                 tenant_skew: 1,
                 deadline_ticks: None,
             },
+            "deadline-pressure" => Scenario {
+                name: name.into(),
+                seed,
+                tenants: vec![diag(6, 5), diag(5, 5), diag(5, 4)],
+                ticks: 6,
+                arrival: Arrival::OpenLoop {
+                    queries_per_tick: 6,
+                },
+                mix: QueryMix::flow_heavy(),
+                mutations: vec![],
+                tenant_skew: 2,
+                deadline_ticks: Some(1),
+            },
             _ => return None,
         };
         Some(s)
     }
 
-    /// All seven presets, in [`PRESET_NAMES`] order.
+    /// All eight presets, in [`PRESET_NAMES`] order.
     pub fn presets(seed: u64) -> Vec<Scenario> {
         PRESET_NAMES
             .iter()
@@ -878,6 +897,21 @@ mod tests {
             );
         }
         assert!(Scenario::preset("no-such-preset", 1).is_none());
+    }
+
+    #[test]
+    fn deadline_pressure_stamps_every_query_one_tick_out() {
+        let scenario = Scenario::preset("deadline-pressure", 5).unwrap();
+        assert_eq!(scenario.deadline_ticks, Some(1));
+        let trace = scenario.record().unwrap();
+        let mut queries = 0;
+        for e in &trace.events {
+            if let TraceEvent::Query { vt, deadline, .. } = e {
+                assert_eq!(*deadline, Some(vt + 1), "every query is due next tick");
+                queries += 1;
+            }
+        }
+        assert_eq!(queries, 6 * 6, "six bursts of six");
     }
 
     #[test]

@@ -41,9 +41,10 @@
 //! For serving many instances, [`SolverPool`] maps cheap [`InstanceKey`]s
 //! to cached solvers with LRU eviction and respec-reuse — and
 //! [`ServiceEngine`] puts a full serving surface on top: instance keys
-//! hash-partitioned across independent pool shards, a bounded job queue
-//! with `Reject`/`Block` admission control, a worker scheduler with
-//! per-job deadlines and cancellation, graceful drain shutdown, and live
+//! hash-partitioned across independent pool shards, a bounded
+//! work-stealing scheduler ([`sched`]: per-worker deques with a global
+//! overflow injector) with `Reject`/`Block` admission control, per-job
+//! deadlines and cancellation, graceful drain shutdown, and live
 //! metrics. The [`workload`] subsystem generates the traffic: seeded
 //! [`Scenario`]s expand into replayable [`Trace`]s (versioned JSONL,
 //! instance-key-verified) that the load driver feeds through the engine
@@ -53,7 +54,14 @@
 //! admission, derate levels, SLOs) and a [`Reconciler`] observes the
 //! live engine, diffs observation against spec into a typed plan, and
 //! executes it — with crash recovery from hash-verified
-//! [`StateStore`] snapshots. The [`telemetry`] spine makes the fleet
+//! [`StateStore`] snapshots. Underneath the engine sits the [`sched`]
+//! crate: per-worker bounded stealing deques (owners pop LIFO for cache
+//! warmth, thieves steal FIFO batches from the cold end) with a global
+//! overflow injector, exact admission accounting, and a parker that
+//! wakes exactly one idle worker per submit — dissolving the
+//! single-mutex dispatch bottleneck while keeping the bounded-queue
+//! admission semantics and the determinism contract intact. The
+//! [`telemetry`] spine makes the fleet
 //! observable *per tenant*: every engine job emits a compact span
 //! (queue-wait vs service-time, tenant topology fingerprint, outcome)
 //! into a bounded never-blocking ring, a [`TenantLedger`] folds spans
@@ -69,8 +77,8 @@
 //! benchmark envelopes, and the lab's regression gate and trajectory
 //! report consume those envelopes back. See `DESIGN.md`
 //! for the instance → topo substrate → weight substrate → query → batch
-//! → pool → engine → workload → telemetry → control → lab architecture
-//! and `EXPERIMENTS.md` for reproducing the measurements.
+//! → pool → sched → engine → workload → telemetry → control → lab
+//! architecture and `EXPERIMENTS.md` for reproducing the measurements.
 //!
 //! # Quickstart
 //!
@@ -121,9 +129,17 @@ pub use duality_core::solver;
 /// The keyed serving layer (re-export of [`duality_core::pool`]).
 pub use duality_core::pool;
 
+/// The work-stealing scheduler (re-export of [`duality_sched`]):
+/// per-worker bounded stealing deques (LIFO owner pop, FIFO steal) with
+/// a global overflow injector, exact depth/high-water admission
+/// accounting, one-wakeup-per-submit parking, pause/resume and
+/// drain-on-close lifecycle, and cooperative retire credits for
+/// scale-down.
+pub use duality_sched as sched;
+
 /// The sharded serving engine (re-export of [`duality_service`]): shard
-/// routing over per-shard pools, a bounded job queue with admission
-/// control, a worker scheduler with deadlines and cancellation, graceful
+/// routing over per-shard pools, a bounded work-stealing scheduler with
+/// admission control, per-job deadlines and cancellation, graceful
 /// drain shutdown, and live metrics.
 pub use duality_service as service;
 

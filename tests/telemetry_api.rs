@@ -90,6 +90,75 @@ fn spans_reconcile_with_engine_counters_under_a_cancel_storm() {
     );
 }
 
+/// (a′) The same cancel-storm reconciliation as (a), with the stealing
+/// paths in play: the paused backlog spreads round-robin across
+/// per-worker deques, so once the fleet resumes, jobs reach workers by
+/// local pops, injector drains and steals — and cancels race all three.
+/// The ledger must still reconcile exactly, span for span.
+///
+/// `DUALITY_STRESS_WORKERS` (default 4) sizes the fleet, so CI can
+/// re-run this suite as a stress pass at a wider worker count.
+#[test]
+fn spans_reconcile_while_stealing_workers_race_the_cancel_storm() {
+    let workers: usize = std::env::var("DUALITY_STRESS_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let scenario = Scenario::preset("cancellation-storm", 23).unwrap();
+    let trace = scenario.record().unwrap();
+    let jobs = trace.materialize().unwrap();
+    let telemetry = Telemetry::new(jobs.len() * 2 + 16);
+    let engine = ServiceEngine::builder()
+        .shards(2)
+        .workers(workers)
+        .queue_capacity(jobs.len().max(16))
+        .admission(AdmissionPolicy::Block)
+        .span_sink(telemetry.sink())
+        .start_paused()
+        .build()
+        .unwrap();
+
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|j| engine.submit(&j.instance, j.query).unwrap())
+        .collect();
+    let to_cancel = tickets.len() / 4;
+    let won: usize = tickets
+        .iter()
+        .rev()
+        .take(to_cancel)
+        .filter(|t| t.cancel())
+        .count();
+    assert_eq!(won, to_cancel, "paused jobs always lose to cancel");
+    engine.resume();
+    for t in tickets {
+        let _ = t.wait();
+    }
+    let m = engine.shutdown();
+    let snap = telemetry.snapshot();
+
+    assert_eq!(snap.spans, m.submitted, "one span per admitted job");
+    assert_eq!(snap.dropped, 0, "the sized ring loses nothing");
+    let sum =
+        |pick: fn(&TenantStats) -> u64| snap.tenants.iter().map(|t| pick(&t.stats)).sum::<u64>();
+    assert_eq!(sum(|s| s.completed), m.completed);
+    assert_eq!(sum(|s| s.cancelled), m.cancelled);
+    assert_eq!(sum(|s| s.failed), m.failed);
+    assert_eq!(sum(|s| s.expired), m.expired);
+    assert_eq!(sum(|s| s.spans()), snap.spans, "no span double-counts");
+    assert_eq!(m.cancelled as usize, to_cancel, "each cancel resolves once");
+    assert_eq!(sum(|s| s.service.count), m.completed + m.failed);
+    assert_eq!(sum(|s| s.wait.count), m.submitted);
+    // The drain itself must have exercised the scheduler: a worker that
+    // empties its own deque while siblings still hold backlog steals,
+    // and one that finds the whole engine drained parks.
+    assert!(
+        m.scheduler.steals + m.scheduler.parks > 0,
+        "a multi-worker drain never runs entirely on local pops: {}",
+        m.scheduler
+    );
+}
+
 /// (b) A two-slot ring under five jobs: the engine never blocks, the
 /// overflow is counted, and kept + dropped reconciles with admissions.
 #[test]
@@ -134,6 +203,7 @@ fn per_tenant_p99_diverges_from_the_fleet_under_skew() {
         dequeued_us: Some(0),
         started_us: Some(0),
         finished_us: total_us,
+        source: Some(duality::service::DequeueSource::Local),
     };
     for _ in 0..9 {
         sink.record(span(0xA, 100));
