@@ -990,6 +990,9 @@ pub const S8_SPEC: &str = include_str!("../../../experiments/s8-autopilot.lab.js
 /// The committed declarative spec behind S9.
 pub const S9_SPEC: &str = include_str!("../../../experiments/s9-stealing.lab.jsonl");
 
+/// The committed declarative spec behind S10.
+pub const S10_SPEC: &str = include_str!("../../../experiments/s10-memory.lab.jsonl");
+
 /// S7 — the saturation probe: per preset × (workers, shards) cell, the
 /// open-loop arrival rate is stepped by `increment_jps` per round until
 /// the engine overloads (achieved rate falls under the sustainability
@@ -1026,6 +1029,20 @@ pub fn s8_autopilot(seed: u64, smoke: bool) -> Vec<Row> {
 /// should now climb with the fleet instead of flattening at ~1–2×.
 pub fn s9_stealing(seed: u64, smoke: bool) -> Vec<Row> {
     run_lab_spec(S9_SPEC, seed, smoke)
+}
+
+/// S10 — the memory/profiling probe: an instance-size ramp (small →
+/// medium → large tenant grids) served through a telemetry-wired
+/// engine, reporting where the substrate build spends its time
+/// (per-phase µs: embed / dual / bdd / weight-tier / labeling, summed
+/// as `substrate-build-us`) and what the solver pool holds while doing
+/// it (byte-accurate `resident-bytes` / `peak-resident-bytes` /
+/// `evicted-bytes` from the `HeapSize` accounting). The reproducible
+/// signal is `completed = jobs` (exact-gated, Block admission); the
+/// byte and phase gauges are the trajectory `BENCH_S10.json` records —
+/// the evidence base for pool budget sizing.
+pub fn s10_memory(seed: u64, smoke: bool) -> Vec<Row> {
+    run_lab_spec(S10_SPEC, seed, smoke)
 }
 
 /// Parses a committed lab spec and runs it with the harness seed.
@@ -1134,6 +1151,56 @@ mod workload_tests {
             "smoke keeps the endpoints the efficiency ratio needs"
         );
         assert_eq!(spec.run_scenarios(true).len(), 2, "both presets in smoke");
+    }
+
+    #[test]
+    fn s10_spec_is_canonical_and_reports_phases_and_bytes() {
+        use duality_lab::{LabSpec, RunMode, SUBSTRATE_PHASES};
+        let spec = LabSpec::parse_jsonl(S10_SPEC).unwrap();
+        assert_eq!(spec.to_jsonl(), S10_SPEC, "committed spec is byte-stable");
+        assert_eq!(spec.seed, 42, "specs pin the harness seed");
+        assert!(matches!(spec.mode, RunMode::Memory(_)));
+        assert_eq!(
+            spec.run_scenarios(true).len(),
+            2,
+            "smoke keeps the small and medium rungs of the ramp"
+        );
+
+        let rows = s10_memory(6, true);
+        for row in &rows {
+            assert_eq!(
+                row.value("completed"),
+                row.value("jobs"),
+                "{}: Block admission completes everything",
+                row.instance
+            );
+            let split: f64 = SUBSTRATE_PHASES
+                .iter()
+                .filter_map(|p| row.value(&format!("phase-{p}-us")))
+                .sum();
+            assert_eq!(
+                row.value("substrate-build-us"),
+                Some(split),
+                "{}: the phase split sums to the build total",
+                row.instance
+            );
+            assert!(
+                row.value("peak-resident-bytes") >= row.value("resident-bytes"),
+                "{}: peak is a high-water mark",
+                row.instance
+            );
+        }
+        // The ramp's point: bigger instances, bigger pool footprint.
+        let peak = |name: &str| {
+            rows.iter()
+                .filter(|r| r.instance.starts_with(name))
+                .filter_map(|r| r.value("peak-resident-bytes"))
+                .fold(0.0, f64::max)
+        };
+        assert!(
+            peak("mem-medium") > peak("mem-small"),
+            "the size ramp shows up in the byte gauges"
+        );
     }
 
     #[test]

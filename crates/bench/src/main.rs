@@ -19,6 +19,13 @@
 //! * `experiments report [files...] [--out FILE]` — render committed
 //!   envelopes into the trajectory report (default
 //!   `BENCH_TRAJECTORY.md` from all `BENCH_S*.json` in the cwd).
+//! * `experiments trace <spec-file> [--smoke] [--seed N] [--out FILE]`
+//!   — run a spec's scenarios through a span-wired engine and write the
+//!   individual profiling spans (substrate build phases + job
+//!   lifecycles) as a chrome://tracing / Perfetto `trace.json`.
+//! * `experiments dashboard [files...] [--out FILE]` — render committed
+//!   envelopes plus a live telemetry snapshot into the self-contained
+//!   `BENCH_DASHBOARD.html` (default: all `BENCH_S*.json` in the cwd).
 
 use duality_bench::{experiments, to_env_row, Row};
 use duality_lab::{compare, render_trajectory, Envelope, LabSpec, Tolerances};
@@ -138,6 +145,11 @@ fn registry(smoke: bool) -> Vec<(&'static str, &'static str, Box<dyn Fn(u64) -> 
             "stealing probe: saturation capacity across a 1-8 worker sweep",
             Box::new(move |s| experiments::s9_stealing(s, smoke)),
         ),
+        (
+            "s10",
+            "memory probe: per-phase substrate µs + pool byte gauges on a size ramp",
+            Box::new(move |s| experiments::s10_memory(s, smoke)),
+        ),
     ]
 }
 
@@ -147,6 +159,8 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("dashboard") => cmd_dashboard(&args[1..]),
         _ => cmd_legacy(args),
     };
     std::process::exit(code);
@@ -303,6 +317,7 @@ fn cmd_compare(args: &[String]) -> i32 {
             ("S7", experiments::s7_saturation(seed, true)),
             ("S8", experiments::s8_autopilot(seed, true)),
             ("S9", experiments::s9_stealing(seed, true)),
+            ("S10", experiments::s10_memory(seed, true)),
         ] {
             let committed = match read_envelope(&format!("smoke/BENCH_{id}.json")) {
                 Ok(e) => e,
@@ -375,6 +390,126 @@ fn cmd_report(args: &[String]) -> i32 {
     std::fs::write(out, render_trajectory(&envelopes)).expect("writable report path");
     eprintln!("rendered {} envelope(s) to {out}", envelopes.len());
     0
+}
+
+/// `experiments trace <spec-file> [--smoke] [--seed N] [--out FILE]`.
+fn cmd_trace(args: &[String]) -> i32 {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = match flag_value(args, "--seed").map(|v| v.parse::<u64>()) {
+        None => None,
+        Some(Ok(v)) => Some(v),
+        Some(Err(_)) => {
+            eprintln!("--seed takes an unsigned integer");
+            return 2;
+        }
+    };
+    let out = flag_value(args, "--out").unwrap_or("trace.json");
+    let Some(path) = positional(args).first().copied() else {
+        eprintln!("usage: experiments trace <spec-file> [--smoke] [--seed N] [--out FILE]");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read `{path}`: {e}");
+            return 1;
+        }
+    };
+    let spec = match LabSpec::parse_jsonl(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("`{path}`: {e}");
+            return 1;
+        }
+    };
+    let slices = match duality_lab::capture_trace(&spec, smoke, seed) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tracing `{path}` failed: {e}");
+            return 1;
+        }
+    };
+    std::fs::write(out, duality_lab::to_chrome_json(&slices)).expect("writable trace path");
+    eprintln!(
+        "wrote {} slices to {out} (open in chrome://tracing or ui.perfetto.dev)",
+        slices.len()
+    );
+    0
+}
+
+/// `experiments dashboard [files...] [--out FILE]`.
+fn cmd_dashboard(args: &[String]) -> i32 {
+    let out = flag_value(args, "--out").unwrap_or("BENCH_DASHBOARD.html");
+    let mut paths: Vec<String> = positional(args).iter().map(|s| s.to_string()).collect();
+    if paths.is_empty() {
+        let mut found: Vec<String> = std::fs::read_dir(".")
+            .map(|dir| {
+                dir.filter_map(|e| e.ok())
+                    .map(|e| e.file_name().to_string_lossy().into_owned())
+                    .filter(|name| name.starts_with("BENCH_S") && name.ends_with(".json"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        found.sort();
+        paths = found;
+    }
+    let mut envelopes = Vec::new();
+    for path in &paths {
+        match read_envelope(path) {
+            Ok(e) => envelopes.push(e),
+            Err(code) => return code,
+        }
+    }
+    let snapshot = live_fleet_snapshot();
+    std::fs::write(
+        out,
+        duality_lab::render_dashboard(&envelopes, Some(&snapshot)),
+    )
+    .expect("writable dashboard path");
+    eprintln!("rendered {} envelope(s) to {out}", envelopes.len());
+    0
+}
+
+/// A small in-process engine burst, so the dashboard's live-fleet
+/// section (memory gauges, phase profile, per-tenant attribution) shows
+/// the current build's behavior rather than canned numbers.
+fn live_fleet_snapshot() -> duality_telemetry::TelemetrySnapshot {
+    use duality_core::{PlanarInstance, Query};
+    use duality_planar::gen;
+
+    let telemetry = duality_telemetry::Telemetry::new(256);
+    let engine = duality_service::ServiceEngine::builder()
+        .workers(2)
+        .shards(2)
+        .span_sink(telemetry.sink())
+        .build()
+        .expect("fleet config is static");
+    for (i, name) in ["alpha", "beta", "gamma"].iter().enumerate() {
+        let side = 4 + i;
+        let seed = 7 + i as u64;
+        let g = gen::diag_grid(side, side, seed).expect("static grid dims");
+        let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, seed);
+        let instance = PlanarInstance::new(g, Some(caps), None).expect("static instance");
+        telemetry.name_tenant(&instance, name);
+        let t = side * side - 1;
+        // All three queries together touch every substrate phase:
+        // max-flow (embed/dual/bdd), girth (dual), global cut
+        // (weight-tier/labeling).
+        for query in [
+            Query::MaxFlow { s: 0, t },
+            Query::Girth,
+            Query::GlobalMinCut,
+        ] {
+            let _ = engine.run(&instance, query);
+        }
+    }
+    let metrics = engine.shutdown();
+    telemetry.set_pool_bytes(
+        metrics.resident_bytes(),
+        metrics.peak_resident_bytes(),
+        metrics.evicted_bytes(),
+    );
+    telemetry.snapshot()
 }
 
 fn read_envelope(path: &str) -> Result<Envelope, i32> {

@@ -1,6 +1,7 @@
 //! The round ledger: accumulates charges with a per-phase breakdown.
 
 use crate::Rounds;
+use std::time::Instant;
 
 /// Accumulates CONGEST round charges, grouped by phase label.
 ///
@@ -8,6 +9,13 @@ use crate::Rounds;
 /// communication step charges rounds under a descriptive label, so the
 /// experiment harness can report both the total and the breakdown (e.g. how
 /// much of a max-flow run went into label broadcasts vs. BDD construction).
+///
+/// Alongside the *model* cost (rounds), a ledger carries an optional
+/// **wall-clock track**: microseconds charged per phase via
+/// [`CostLedger::charge_us`] (usually through a [`PhaseTimer`]). The two
+/// tracks are independent — rounds are deterministic and participate in
+/// the replay/equality contracts, while elapsed µs are measurements and
+/// are never compared for equality.
 ///
 /// # Example
 ///
@@ -20,11 +28,17 @@ use crate::Rounds;
 /// ledger.charge("bfs", 31);
 /// assert_eq!(ledger.total(), 182);
 /// assert_eq!(ledger.phase_total("bfs"), 62);
+/// ledger.charge_us("bfs", 40);
+/// assert_eq!(ledger.elapsed_us(), 40);
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct CostLedger {
     total: Rounds,
     phases: Vec<(String, Rounds)>,
+    /// Wall-clock microseconds per phase, in first-charge order. Kept
+    /// separate from `phases` so deterministic round accounting and
+    /// nondeterministic timing never mix.
+    elapsed: Vec<(String, u64)>,
 }
 
 impl CostLedger {
@@ -62,10 +76,42 @@ impl CostLedger {
         &self.phases
     }
 
-    /// Merges another ledger into this one (phase-wise).
+    /// Charges `us` wall-clock microseconds under `phase` (the timing
+    /// track; independent of the round track).
+    pub fn charge_us(&mut self, phase: &str, us: u64) {
+        if let Some(entry) = self.elapsed.iter_mut().rev().find(|(p, _)| p == phase) {
+            entry.1 += us;
+        } else {
+            self.elapsed.push((phase.to_string(), us));
+        }
+    }
+
+    /// Total wall-clock microseconds charged so far.
+    pub fn elapsed_us(&self) -> u64 {
+        self.elapsed.iter().map(|(_, us)| us).sum()
+    }
+
+    /// Wall-clock microseconds charged under `phase` (0 if never timed).
+    pub fn phase_us(&self, phase: &str) -> u64 {
+        self.elapsed
+            .iter()
+            .filter(|(p, _)| p == phase)
+            .map(|(_, us)| us)
+            .sum()
+    }
+
+    /// The wall-clock breakdown, in first-charge order.
+    pub fn phases_us(&self) -> &[(String, u64)] {
+        &self.elapsed
+    }
+
+    /// Merges another ledger into this one (phase-wise, both tracks).
     pub fn absorb(&mut self, other: &CostLedger) {
         for (phase, rounds) in &other.phases {
             self.charge(phase, *rounds);
+        }
+        for (phase, us) in &other.elapsed {
+            self.charge_us(phase, *us);
         }
     }
 }
@@ -77,6 +123,47 @@ impl std::fmt::Display for CostLedger {
             writeln!(f, "  {phase}: {rounds}")?;
         }
         Ok(())
+    }
+}
+
+/// A wall-clock stopwatch for one build phase: start it where the phase
+/// begins, [`stop`](PhaseTimer::stop) it into the ledger where the phase
+/// ends. The measured microseconds land on the ledger's timing track
+/// ([`CostLedger::charge_us`]) under the phase name — the instrument the
+/// solver substrate uses to attribute build time to embed / dual / BDD /
+/// labeling / weight-tier phases.
+///
+/// # Example
+///
+/// ```
+/// use duality_congest::{CostLedger, PhaseTimer};
+///
+/// let mut ledger = CostLedger::new();
+/// let timer = PhaseTimer::start("embed");
+/// // ... the phase's work ...
+/// timer.stop(&mut ledger);
+/// assert_eq!(ledger.phases_us().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct PhaseTimer {
+    phase: &'static str,
+    start: Instant,
+}
+
+impl PhaseTimer {
+    /// Starts timing `phase` now.
+    pub fn start(phase: &'static str) -> PhaseTimer {
+        PhaseTimer {
+            phase,
+            start: Instant::now(),
+        }
+    }
+
+    /// Stops the clock and charges the elapsed microseconds to `ledger`
+    /// under the timer's phase name.
+    pub fn stop(self, ledger: &mut CostLedger) {
+        let us = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        ledger.charge_us(self.phase, us);
     }
 }
 
@@ -107,6 +194,41 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.total(), 8);
         assert_eq!(a.phase_total("x"), 7);
+    }
+
+    #[test]
+    fn wall_clock_track_accumulates_and_merges() {
+        let mut l = CostLedger::new();
+        l.charge_us("embed", 10);
+        l.charge_us("dual", 5);
+        l.charge_us("embed", 2);
+        assert_eq!(l.elapsed_us(), 17);
+        assert_eq!(l.phase_us("embed"), 12);
+        assert_eq!(l.phase_us("missing"), 0);
+        assert_eq!(
+            l.phases_us(),
+            &[("embed".to_string(), 12), ("dual".to_string(), 5)]
+        );
+        // The timing track never leaks into the round track.
+        assert_eq!(l.total(), 0);
+
+        let mut other = CostLedger::new();
+        other.charge_us("dual", 1);
+        other.charge("dual", 4);
+        l.absorb(&other);
+        assert_eq!(l.phase_us("dual"), 6);
+        assert_eq!(l.total(), 4);
+    }
+
+    #[test]
+    fn phase_timer_charges_its_phase() {
+        let mut l = CostLedger::new();
+        let t = PhaseTimer::start("bdd");
+        t.stop(&mut l);
+        assert_eq!(l.phases_us().len(), 1);
+        assert_eq!(l.phases_us()[0].0, "bdd");
+        // Rounds stay untouched by timing.
+        assert_eq!(l.total(), 0);
     }
 
     #[test]

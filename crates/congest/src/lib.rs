@@ -24,7 +24,7 @@ pub mod primitives;
 pub mod report;
 pub mod runtime;
 
-pub use ledger::CostLedger;
+pub use ledger::{CostLedger, PhaseTimer};
 pub use model::CostModel;
 pub use report::RoundReport;
 

@@ -74,6 +74,23 @@ impl RoundReport {
         self.substrate_weight.total()
     }
 
+    /// Wall-clock microseconds spent building the substrate (both tiers),
+    /// as measured by the [`crate::PhaseTimer`]s inside the build. Zero
+    /// when the build was never timed (e.g. hand-assembled reports).
+    pub fn substrate_elapsed_us(&self) -> u64 {
+        self.substrate_topo.elapsed_us() + self.substrate_weight.elapsed_us()
+    }
+
+    /// The substrate's wall-clock breakdown: topology-tier phases first,
+    /// then weight-tier phases, in first-charge order.
+    pub fn substrate_phases_us(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self.substrate_topo.phases_us().to_vec();
+        for (phase, us) in self.substrate_weight.phases_us() {
+            out.push((phase.clone(), *us));
+        }
+        out
+    }
+
     /// Total rounds charged under `phase` across all three shares.
     pub fn phase_total(&self, phase: &str) -> Rounds {
         self.substrate_topo.phase_total(phase)
@@ -248,6 +265,24 @@ mod tests {
         let before = total.total();
         total.absorb(&RoundReport::default());
         assert_eq!(total.total(), before);
+    }
+
+    #[test]
+    fn substrate_wall_clock_spans_both_tiers() {
+        let mut r = report();
+        r.substrate_topo.charge_us("embed", 30);
+        r.substrate_topo.charge_us("bdd", 20);
+        r.substrate_weight.charge_us("labeling", 9);
+        r.query.charge_us("query", 100); // query time is not substrate time
+        assert_eq!(r.substrate_elapsed_us(), 59);
+        assert_eq!(
+            r.substrate_phases_us(),
+            vec![
+                ("embed".to_string(), 30),
+                ("bdd".to_string(), 20),
+                ("labeling".to_string(), 9)
+            ]
+        );
     }
 
     #[test]

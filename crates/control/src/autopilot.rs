@@ -358,6 +358,10 @@ mod tests {
             spans: total.count,
             dropped: 0,
             shard_jobs: vec![total.count],
+            phase_us: vec![],
+            resident_bytes: 0,
+            peak_resident_bytes: 0,
+            evicted_bytes: 0,
             tenants: vec![TenantTelemetry {
                 tenant: 9,
                 name: None,

@@ -130,6 +130,16 @@ pub struct FleetObservation {
     pub scheduler: SchedStats,
     /// Fleet-wide p99 latency, when any job has completed.
     pub p99_us: Option<u64>,
+    /// Solver bytes resident across every shard pool (measured at
+    /// observation time via [`duality_core::HeapSize`]).
+    pub resident_bytes: u64,
+    /// High-water resident bytes across the fleet's pools.
+    pub peak_resident_bytes: u64,
+    /// Cumulative bytes freed by pool evictions.
+    pub evicted_bytes: u64,
+    /// Amortized substrate build µs billed across the fleet (each build
+    /// charged once, summed over its phases).
+    pub substrate_build_us: u64,
     /// Per-tenant observations, in spec order.
     pub tenants: Vec<TenantObservation>,
     /// Resident solvers no spec'd tenant wants: not any tenant's desired
@@ -426,10 +436,21 @@ impl Reconciler {
         self.reconcile()
     }
 
-    /// Takes one side-effect-free observation of the fleet.
+    /// Takes one side-effect-free observation of the fleet. (Measuring
+    /// pool bytes takes the pool locks briefly but never touches LRU
+    /// order, so observation still cannot keep a cold tenant warm.)
     pub fn observe(&self) -> FleetObservation {
         let metrics = self.engine.metrics();
         let p99_us = metrics.latency.quantile_us(0.99);
+        // Push the pulled byte gauges into the telemetry spine, so its
+        // exported snapshots carry memory truth alongside attribution.
+        if let Some(tel) = &self.telemetry {
+            tel.set_pool_bytes(
+                metrics.resident_bytes(),
+                metrics.peak_resident_bytes(),
+                metrics.evicted_bytes(),
+            );
+        }
         let attribution = self.telemetry.as_ref().map(|t| t.snapshot());
         let residency = self.engine.shard_residency();
         let mut wanted: HashSet<InstanceKey> = HashSet::new();
@@ -491,6 +512,10 @@ impl Reconciler {
             running: metrics.running,
             scheduler: metrics.scheduler,
             p99_us,
+            resident_bytes: metrics.resident_bytes(),
+            peak_resident_bytes: metrics.peak_resident_bytes(),
+            evicted_bytes: metrics.evicted_bytes(),
+            substrate_build_us: metrics.substrate_us(),
             tenants,
             strays,
             slo_violations,
@@ -886,6 +911,29 @@ mod tests {
         let obs = r.observe();
         assert!(obs.tenants[0].p99_us.is_some(), "tenant a executed a job");
         assert_eq!(obs.tenants[1].p99_us, None, "tenant b executed nothing");
+        r.shutdown();
+    }
+
+    #[test]
+    fn observations_carry_fleet_byte_gauges() {
+        let telemetry = Arc::new(Telemetry::new(64));
+        let mut r = Reconciler::launch_with_telemetry(spec(), Arc::clone(&telemetry)).unwrap();
+        r.reconcile().unwrap();
+        let obs = r.observe();
+        assert!(obs.resident_bytes > 0, "prewarmed solvers occupy bytes");
+        assert!(obs.peak_resident_bytes >= obs.resident_bytes);
+        assert_eq!(obs.evicted_bytes, 0, "nothing evicted yet");
+        // A query bills its substrate build; the next observation sees it.
+        let instance = Arc::clone(r.instance("a").unwrap());
+        r.engine()
+            .run(&instance, duality_core::Query::Girth)
+            .unwrap();
+        let obs = r.observe();
+        assert!(obs.substrate_build_us > 0 || !telemetry.snapshot().phase_us.is_empty());
+        // Observing stamped the gauges into the telemetry spine.
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.resident_bytes, obs.resident_bytes);
+        assert!(snap.peak_resident_bytes >= obs.resident_bytes);
         r.shutdown();
     }
 

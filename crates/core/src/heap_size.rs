@@ -1,0 +1,143 @@
+//! Byte accounting for the serving layer: the [`HeapSize`] trait.
+//!
+//! A size-aware [`crate::pool::SolverPool`] needs to know how many bytes
+//! each cached solver keeps resident — without a heap profiler and without
+//! external crates. `HeapSize` reports the heap bytes a value owns (or
+//! pins, for `Arc`-shared structure), **exact where the layout makes it
+//! cheap** (flat vectors sized by the graph counts) and **estimated where
+//! it does not** (hash maps and the label store, whose exact footprint
+//! depends on allocator and load-factor details that are not observable).
+//!
+//! Two conventions keep the numbers comparable across the fleet:
+//!
+//! * **Shared structure is billed per holder.** An `Arc<PlanarGraph>`
+//!   shared by five respecs of one network is counted in each holder's
+//!   bytes — a deliberate upper bound: eviction decisions must stay safe
+//!   if the sharing ever goes away, and an estimate that can only shrink
+//!   reality never hides pressure.
+//! * **Inline size is excluded.** `heap_bytes` is what the value adds to
+//!   the heap beyond `size_of::<Self>()`, so nesting never double-counts
+//!   the container's own struct.
+//!
+//! # Example
+//!
+//! ```
+//! use duality_core::heap_size::HeapSize;
+//! use duality_core::PlanarInstance;
+//! use duality_planar::gen;
+//!
+//! let g = gen::grid(4, 4).unwrap();
+//! let i = PlanarInstance::new(g, None, Some(vec![1; 24])).unwrap();
+//! // A bigger graph reports more bytes.
+//! let g2 = gen::grid(8, 8).unwrap();
+//! let big = PlanarInstance::new(g2, None, Some(vec![1; 112])).unwrap();
+//! assert!(big.heap_bytes() > i.heap_bytes());
+//! ```
+
+use crate::instance::PlanarInstance;
+use duality_planar::{Dart, FaceId, PlanarGraph};
+
+/// Heap bytes owned (or pinned) by a value — see the [module docs](self)
+/// for the exact-vs-estimated and shared-structure conventions.
+pub trait HeapSize {
+    /// Heap bytes beyond `size_of::<Self>()`.
+    fn heap_bytes(&self) -> usize;
+}
+
+/// The allocator-visible header of one `Vec`/`String` (pointer, length,
+/// capacity) — charged for every *nested* vector, whose header lives on
+/// the heap inside its parent's allocation.
+pub(crate) const VEC_HEADER: usize = std::mem::size_of::<Vec<u8>>();
+
+/// Estimated heap bytes per occupied `std::collections` hash-table slot
+/// beyond the entry payload itself: control bytes plus the slack of the
+/// ~7/8 maximum load factor, rounded up to a conservative constant.
+pub(crate) const HASH_SLOT_OVERHEAD: usize = 8;
+
+/// Estimated heap bytes of a hash map/set holding `entries` values of
+/// `entry_bytes` each (payload + per-slot overhead; the table's growth
+/// slack is folded into [`HASH_SLOT_OVERHEAD`]).
+pub(crate) fn hash_table_bytes(entries: usize, entry_bytes: usize) -> usize {
+    entries * (entry_bytes + HASH_SLOT_OVERHEAD)
+}
+
+impl HeapSize for PlanarGraph {
+    /// Exact from the counts: every field of the rotation-system
+    /// representation is a flat vector sized by `n`, `m` (edges), `2m`
+    /// (darts) or `F` (faces), so the footprint follows from the shape
+    /// alone in `O(1)` — no traversal.
+    fn heap_bytes(&self) -> usize {
+        let n = self.num_vertices();
+        let m = self.num_edges();
+        let darts = self.num_darts();
+        let faces = self.num_faces();
+        let dart = std::mem::size_of::<Dart>();
+        // tails + heads: one u32 per edge each.
+        let edge_vecs = 2 * m * std::mem::size_of::<u32>();
+        // rot: one nested Vec<Dart> per vertex, 2m darts total.
+        let rot = n * VEC_HEADER + darts * dart;
+        // rot_pos (u32 per dart) + face_of (FaceId per dart).
+        let per_dart = darts * (std::mem::size_of::<u32>() + std::mem::size_of::<FaceId>());
+        // face_darts: one nested Vec<Dart> per face, 2m darts total.
+        let face_darts = faces * VEC_HEADER + darts * dart;
+        edge_vecs + rot + per_dart + face_darts
+    }
+}
+
+impl HeapSize for PlanarInstance {
+    /// Exact: the pinned graph plus the two flat spec vectors. Respecs
+    /// share the graph allocation, so a derived spec reports the same
+    /// topology bytes as its donor and only its own spec vectors on top.
+    fn heap_bytes(&self) -> usize {
+        self.graph().heap_bytes()
+            + std::mem::size_of_val(self.capacities())
+            + std::mem::size_of_val(self.edge_weights())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duality_planar::{gen, Weight};
+
+    #[test]
+    fn graph_bytes_grow_with_the_graph() {
+        let small = gen::grid(3, 3).unwrap();
+        let large = gen::grid(9, 9).unwrap();
+        assert!(small.heap_bytes() > 0);
+        assert!(large.heap_bytes() > small.heap_bytes());
+        // Exactness sanity: the flat per-dart vectors alone are counted.
+        assert!(small.heap_bytes() >= small.num_darts() * 4);
+    }
+
+    #[test]
+    fn instance_counts_graph_and_spec_vectors() {
+        let g = gen::grid(4, 4).unwrap();
+        let graph_bytes = g.heap_bytes();
+        let m = g.num_edges();
+        let darts = g.num_darts();
+        let i = PlanarInstance::new(g, None, Some(vec![1; m])).unwrap();
+        assert_eq!(
+            i.heap_bytes(),
+            graph_bytes + (darts + m) * std::mem::size_of::<Weight>()
+        );
+    }
+
+    #[test]
+    fn respec_shares_topology_bytes_exactly() {
+        let g = gen::grid(5, 5).unwrap();
+        let m = g.num_edges();
+        let base = PlanarInstance::new(g, None, Some(vec![2; m])).unwrap();
+        let respec = base
+            .with_capacities(vec![7; base.graph().num_darts()])
+            .unwrap();
+        // Same graph allocation, same spec-vector lengths: identical bill.
+        assert_eq!(base.heap_bytes(), respec.heap_bytes());
+    }
+
+    #[test]
+    fn hash_estimate_scales_linearly() {
+        assert_eq!(hash_table_bytes(0, 16), 0);
+        assert_eq!(hash_table_bytes(10, 16), 10 * (16 + HASH_SLOT_OVERHEAD));
+    }
+}

@@ -46,6 +46,7 @@ pub mod approx_flow;
 pub mod error;
 pub mod girth;
 pub mod global_cut;
+pub mod heap_size;
 pub mod instance;
 pub mod max_flow;
 pub mod pool;
@@ -55,6 +56,7 @@ pub mod st_cut;
 pub mod verify;
 
 pub use error::DualityError;
+pub use heap_size::HeapSize;
 pub use instance::PlanarInstance;
 pub use pool::{InstanceKey, PoolStats, ResidentEntry, SolverPool};
 pub use solver::{

@@ -38,6 +38,7 @@
 //! ```
 
 use crate::error::DualityError;
+use crate::heap_size::HeapSize;
 use crate::instance::PlanarInstance;
 use crate::solver::{BatchReport, Outcome, PlanarSolver, Query};
 use duality_planar::PlanarGraph;
@@ -170,6 +171,18 @@ pub struct PoolStats {
     pub len: usize,
     /// Maximum entries the pool retains.
     pub capacity: usize,
+    /// Estimated heap bytes of the cached solvers right now (see
+    /// [`crate::heap_size`] for the accounting conventions). Refreshed on
+    /// every [`SolverPool::stats`] call and admission, so lazily built
+    /// substrate growth is observed, not just admission-time size.
+    pub resident_bytes: u64,
+    /// High-water mark of `resident_bytes` over the pool's lifetime.
+    pub peak_resident_bytes: u64,
+    /// Cumulative bytes released by evictions (capacity-, budget- and
+    /// policy-driven alike).
+    pub evicted_bytes: u64,
+    /// The byte budget admissions are held to (0 = count-capped only).
+    pub byte_budget: u64,
 }
 
 impl PoolStats {
@@ -185,6 +198,10 @@ impl PoolStats {
         self.lock_contended += other.lock_contended;
         self.len += other.len;
         self.capacity += other.capacity;
+        self.resident_bytes += other.resident_bytes;
+        self.peak_resident_bytes += other.peak_resident_bytes;
+        self.evicted_bytes += other.evicted_bytes;
+        self.byte_budget += other.byte_budget;
     }
 
     /// Sums an iterator of per-shard stats into one merged line.
@@ -201,14 +218,18 @@ impl std::fmt::Display for PoolStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "pool: {}/{} entries, {} hits, {} misses ({} respec-reuses), {} evictions, {} lock waits",
+            "pool: {}/{} entries, {} hits, {} misses ({} respec-reuses), {} evictions, {} lock waits, \
+             {} B resident (peak {} B, evicted {} B)",
             self.len,
             self.capacity,
             self.hits,
             self.misses,
             self.respec_reuses,
             self.evictions,
-            self.lock_contended
+            self.lock_contended,
+            self.resident_bytes,
+            self.peak_resident_bytes,
+            self.evicted_bytes
         )
     }
 }
@@ -237,6 +258,9 @@ struct PoolEntry {
     /// Logical-clock stamp of the last hit/admission (see
     /// [`ResidentEntry`]).
     touched: u64,
+    /// Estimated heap bytes of `solver` as of the last remeasure —
+    /// substrate tiers build lazily, so this grows after admission.
+    bytes: u64,
 }
 
 /// Everything behind one lock: the LRU list (most recently used last),
@@ -251,6 +275,38 @@ struct PoolInner {
     misses: u64,
     respec_reuses: u64,
     evictions: u64,
+    /// Sum of the entries' `bytes` (kept in lockstep with every insert,
+    /// eviction and remeasure).
+    resident_bytes: u64,
+    /// High-water mark of `resident_bytes`.
+    peak_resident_bytes: u64,
+    /// Cumulative bytes released by evictions.
+    evicted_bytes: u64,
+}
+
+impl PoolInner {
+    /// Re-measures every cached solver ([`crate::HeapSize`]) and refreshes
+    /// the resident/peak gauges — lazily built substrates grow *after*
+    /// admission, so sizes must be observed, not just recorded once.
+    /// `O(entries × structure)`; called on admission and on
+    /// [`SolverPool::stats`], never on the hit fast path.
+    fn remeasure(&mut self) {
+        let mut resident = 0;
+        for entry in &mut self.entries {
+            entry.bytes = entry.solver.heap_bytes() as u64;
+            resident += entry.bytes;
+        }
+        self.resident_bytes = resident;
+        self.peak_resident_bytes = self.peak_resident_bytes.max(resident);
+    }
+
+    /// Removes the LRU entry (index 0) and books the eviction.
+    fn evict_coldest(&mut self) {
+        let victim = self.entries.remove(0);
+        self.evictions += 1;
+        self.evicted_bytes += victim.bytes;
+        self.resident_bytes = self.resident_bytes.saturating_sub(victim.bytes);
+    }
 }
 
 /// A `Send + Sync` registry of cached solvers, keyed by [`InstanceKey`],
@@ -265,12 +321,17 @@ pub struct SolverPool {
     /// wait never lengthens it.
     contended: AtomicU64,
     capacity: usize,
+    /// Byte budget admissions are held to (`None` = count-capped only).
+    /// Enforced by LRU eviction down to — but never below — one entry, so
+    /// a single oversized solver still serves rather than thrashing.
+    byte_budget: Option<u64>,
     leaf_threshold: Option<usize>,
 }
 
 impl SolverPool {
     /// A pool retaining at most `capacity` solvers (clamped to ≥ 1),
-    /// building them with the default BDD leaf threshold.
+    /// building them with the default BDD leaf threshold and no byte
+    /// budget.
     pub fn new(capacity: usize) -> SolverPool {
         SolverPool {
             inner: Mutex::new(PoolInner {
@@ -280,11 +341,27 @@ impl SolverPool {
                 misses: 0,
                 respec_reuses: 0,
                 evictions: 0,
+                resident_bytes: 0,
+                peak_resident_bytes: 0,
+                evicted_bytes: 0,
             }),
             contended: AtomicU64::new(0),
             capacity: capacity.max(1),
+            byte_budget: None,
             leaf_threshold: None,
         }
+    }
+
+    /// A size-aware pool: at most `capacity` solvers **and** at most
+    /// `byte_budget` estimated resident heap bytes — whichever bound is
+    /// hit first evicts the LRU entry (never below one entry). Budgets
+    /// are enforced against *measured* sizes: substrates built after
+    /// admission are re-measured on the next admission, so a cold entry
+    /// that grew large is the first to go.
+    pub fn with_byte_budget(capacity: usize, byte_budget: u64) -> SolverPool {
+        let mut pool = Self::new(capacity);
+        pool.byte_budget = Some(byte_budget);
+        pool
     }
 
     /// A pool whose solvers are built with a BDD leaf-threshold override
@@ -298,12 +375,28 @@ impl SolverPool {
         capacity: usize,
         leaf_threshold: Option<usize>,
     ) -> Result<SolverPool, DualityError> {
+        Self::with_limits(capacity, None, leaf_threshold)
+    }
+
+    /// The fully general constructor: count cap, optional byte budget,
+    /// optional BDD leaf-threshold override.
+    ///
+    /// # Errors
+    ///
+    /// [`DualityError::BadLeafThreshold`] below
+    /// [`crate::solver::MIN_LEAF_THRESHOLD`].
+    pub fn with_limits(
+        capacity: usize,
+        byte_budget: Option<u64>,
+        leaf_threshold: Option<usize>,
+    ) -> Result<SolverPool, DualityError> {
         if let Some(t) = leaf_threshold {
             if t < crate::solver::MIN_LEAF_THRESHOLD {
                 return Err(DualityError::BadLeafThreshold { got: t });
             }
         }
         let mut pool = Self::new(capacity);
+        pool.byte_budget = byte_budget;
         pool.leaf_threshold = leaf_threshold;
         Ok(pool)
     }
@@ -311,6 +404,12 @@ impl SolverPool {
     /// Maximum entries the pool retains.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The byte budget admissions are held to (`None` = count-capped
+    /// only).
+    pub fn byte_budget(&self) -> Option<u64> {
+        self.byte_budget
     }
 
     /// Takes the pool mutex, counting the acquisition as contended when
@@ -338,9 +437,12 @@ impl SolverPool {
         self.len() == 0
     }
 
-    /// Snapshot of the counters.
+    /// Snapshot of the counters. Re-measures the cached solvers first, so
+    /// `resident_bytes` (and the peak high-water) reflect substrate built
+    /// since admission, not stale admission-time sizes.
     pub fn stats(&self) -> PoolStats {
-        let inner = self.lock_inner();
+        let mut inner = self.lock_inner();
+        inner.remeasure();
         PoolStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -349,6 +451,10 @@ impl SolverPool {
             lock_contended: self.contended.load(Ordering::Relaxed),
             len: inner.entries.len(),
             capacity: self.capacity,
+            resident_bytes: inner.resident_bytes,
+            peak_resident_bytes: inner.peak_resident_bytes,
+            evicted_bytes: inner.evicted_bytes,
+            byte_budget: self.byte_budget.unwrap_or(0),
         }
     }
 
@@ -424,6 +530,9 @@ impl SolverPool {
                 false,
             ),
         };
+        // Size the new solver outside the lock (it reads only the
+        // already-built substrate, no pool state).
+        let bytes = solver.heap_bytes() as u64;
         // Second pass: another caller may have admitted the same problem
         // while we were building — serve the cached entry so every caller
         // shares one substrate (our build is dropped; the miss already
@@ -448,10 +557,21 @@ impl SolverPool {
             key,
             solver: solver.clone(),
             touched,
+            bytes,
         });
+        inner.resident_bytes += bytes;
+        inner.peak_resident_bytes = inner.peak_resident_bytes.max(inner.resident_bytes);
         if inner.entries.len() > self.capacity {
-            inner.entries.remove(0); // least recently used sits first
-            inner.evictions += 1;
+            inner.evict_coldest(); // least recently used sits first
+        }
+        if let Some(budget) = self.byte_budget {
+            // Budget pressure judges *measured* sizes: entries whose
+            // substrate grew after admission must carry their real weight
+            // before the LRU picks victims, so every admission re-measures.
+            inner.remeasure();
+            while inner.resident_bytes > budget && inner.entries.len() > 1 {
+                inner.evict_coldest();
+            }
         }
         solver
     }
@@ -519,8 +639,10 @@ impl SolverPool {
         let Some(pos) = inner.entries.iter().position(|e| e.key == *key) else {
             return false;
         };
-        inner.entries.remove(pos);
+        let victim = inner.entries.remove(pos);
         inner.evictions += 1;
+        inner.evicted_bytes += victim.bytes;
+        inner.resident_bytes = inner.resident_bytes.saturating_sub(victim.bytes);
         true
     }
 
@@ -846,6 +968,10 @@ mod tests {
             lock_contended: 5,
             len: 2,
             capacity: 4,
+            resident_bytes: 1000,
+            peak_resident_bytes: 1500,
+            evicted_bytes: 0,
+            byte_budget: 4096,
         };
         let b = PoolStats {
             hits: 1,
@@ -855,6 +981,10 @@ mod tests {
             lock_contended: 1,
             len: 1,
             capacity: 8,
+            resident_bytes: 200,
+            peak_resident_bytes: 700,
+            evicted_bytes: 500,
+            byte_budget: 0,
         };
         let merged = PoolStats::merged([&a, &b]);
         assert_eq!(merged.hits, 4);
@@ -863,6 +993,10 @@ mod tests {
         assert_eq!(merged.evictions, 2);
         assert_eq!(merged.lock_contended, 6);
         assert_eq!((merged.len, merged.capacity), (3, 12));
+        assert_eq!(merged.resident_bytes, 1200);
+        assert_eq!(merged.peak_resident_bytes, 2200);
+        assert_eq!(merged.evicted_bytes, 500);
+        assert_eq!(merged.byte_budget, 4096);
         assert_eq!(PoolStats::merged([]), PoolStats::default());
         let mut acc = a;
         acc.absorb(&b);
@@ -917,6 +1051,79 @@ mod tests {
         assert_eq!(pool.stats().evictions, 1, "policy evictions are counted");
         // A handle cloned out earlier still works after the eviction.
         assert!(solver.run(Query::Girth).is_ok());
+    }
+
+    #[test]
+    fn byte_gauges_track_residency_and_growth() {
+        let pool = SolverPool::new(4);
+        let i = instance(50);
+        pool.solver(&i);
+        let cold = pool.stats();
+        assert!(cold.resident_bytes > 0, "the instance alone has heap bytes");
+        assert_eq!(cold.byte_budget, 0, "no budget configured");
+        // Run a query: the substrate builds lazily, so the *same* entry
+        // must now measure larger — stats() observes growth.
+        let t = i.n() - 1;
+        pool.run(&i, Query::MaxFlow { s: 0, t }).unwrap();
+        let warm = pool.stats();
+        assert!(
+            warm.resident_bytes > cold.resident_bytes,
+            "substrate built after admission is re-measured ({} vs {})",
+            warm.resident_bytes,
+            cold.resident_bytes
+        );
+        assert!(warm.peak_resident_bytes >= warm.resident_bytes);
+        assert_eq!(warm.evicted_bytes, 0);
+        assert!(warm.to_string().contains("B resident"));
+    }
+
+    #[test]
+    fn byte_budget_evicts_large_cold_entries_before_small_hot_ones() {
+        // A budget generous enough for several small warm solvers but not
+        // for a large warm one alongside them.
+        let small: Vec<_> = (0..3).map(instance).collect();
+        let large = {
+            let g = gen::diag_grid(9, 9, 99).unwrap();
+            let caps = gen::random_undirected_capacities(g.num_edges(), 1, 9, 99);
+            PlanarInstance::new(g, Some(caps), None).unwrap()
+        };
+        // Find a budget between "all small warm" and "large warm": measure
+        // one warm solver of each size through throwaway pools.
+        let probe = SolverPool::new(1);
+        probe.run(&small[0], Query::Girth).unwrap();
+        let small_warm = probe.stats().resident_bytes;
+        let probe = SolverPool::new(1);
+        let t = large.n() - 1;
+        probe.run(&large, Query::MaxFlow { s: 0, t }).unwrap();
+        let large_warm = probe.stats().resident_bytes;
+        assert!(large_warm > 3 * small_warm, "the large solver dominates");
+
+        let pool = SolverPool::with_byte_budget(16, 4 * small_warm);
+        assert_eq!(pool.byte_budget(), Some(4 * small_warm));
+        pool.run(&large, Query::MaxFlow { s: 0, t }).unwrap(); // warm + large
+        for i in &small {
+            pool.run(i, Query::Girth).unwrap(); // each keeps the LRU fresher
+        }
+        // Admitting one more small entry forces the budget check: the
+        // *large cold* entry must go, every small hot one must stay —
+        // count-based LRU with capacity 16 would have evicted nothing.
+        let extra = instance(7);
+        pool.run(&extra, Query::Girth).unwrap();
+        assert!(
+            !pool.contains(&InstanceKey::of(&large)),
+            "the large cold entry is the budget victim"
+        );
+        for i in &small {
+            assert!(pool.contains(&InstanceKey::of(i)), "small hot entries stay");
+        }
+        assert!(pool.contains(&InstanceKey::of(&extra)));
+        let stats = pool.stats();
+        assert!(stats.evictions >= 1);
+        assert!(
+            stats.evicted_bytes >= large_warm / 2,
+            "the victim's real weight is booked"
+        );
+        assert!(stats.resident_bytes <= 4 * small_warm || stats.len == 1);
     }
 
     #[test]

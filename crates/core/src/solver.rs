@@ -80,9 +80,10 @@
 
 use crate::approx_flow::StPlanarError;
 use crate::error::DualityError;
+use crate::heap_size::{hash_table_bytes, HeapSize, VEC_HEADER};
 use crate::instance::PlanarInstance;
 use crate::{approx_flow, girth, global_cut, max_flow, st_cut};
-use duality_congest::{CostLedger, CostModel, RoundReport};
+use duality_congest::{CostLedger, CostModel, PhaseTimer, RoundReport};
 use duality_labeling::{DualLabels, DualSsspEngine};
 use duality_planar::{dual, Dart, FaceId, PlanarGraph, Weight};
 use std::borrow::Cow;
@@ -646,12 +647,12 @@ impl TopoSubstrate {
     /// BFS-flood charge lands in the topology ledger).
     fn cost_model(&self) -> CostModel {
         *self.cost_model.get_or_init(|| {
+            let timer = PhaseTimer::start("embed");
             let cm = CostModel::new(self.graph.num_vertices(), self.graph.diameter());
             // Distributedly the diameter estimate is a BFS flood + upcast.
-            self.ledger
-                .lock()
-                .expect("topo substrate lock")
-                .charge("substrate-diameter", cm.bfs(cm.d) + cm.global_aggregate());
+            let mut ledger = self.ledger.lock().expect("topo substrate lock");
+            ledger.charge("substrate-diameter", cm.bfs(cm.d) + cm.global_aggregate());
+            timer.stop(&mut ledger);
             cm
         })
     }
@@ -660,6 +661,7 @@ impl TopoSubstrate {
         let cm = self.cost_model();
         self.engine.get_or_init(|| {
             self.engine_builds.fetch_add(1, Ordering::Relaxed);
+            let timer = PhaseTimer::start("bdd");
             let mut ledger = self.ledger.lock().expect("topo substrate lock");
             // SAFETY: the reference points into the allocation owned by
             // `self.graph`; that `Arc` pins it for at least as long as
@@ -669,7 +671,9 @@ impl TopoSubstrate {
             // shrinks it back to a borrow of the substrate (covariance of
             // `DualSsspEngine<'g>` in `'g`).
             let graph: &'static PlanarGraph = unsafe { &*std::ptr::from_ref(self.graph.as_ref()) };
-            DualSsspEngine::new(graph, &cm, self.leaf_threshold, &mut ledger)
+            let engine = DualSsspEngine::new(graph, &cm, self.leaf_threshold, &mut ledger);
+            timer.stop(&mut ledger);
+            engine
         })
     }
 
@@ -677,12 +681,13 @@ impl TopoSubstrate {
         let cm = self.cost_model();
         self.dual.get_or_init(|| {
             self.dual_builds.fetch_add(1, Ordering::Relaxed);
-            self.ledger
-                .lock()
-                .expect("topo substrate lock")
-                .charge("substrate-dual", cm.dual_part_wise_aggregation());
-            dual::dual_graph(&self.graph)
-                .expect("the dual of a valid embedding is a valid embedding")
+            let timer = PhaseTimer::start("dual");
+            let dual = dual::dual_graph(&self.graph)
+                .expect("the dual of a valid embedding is a valid embedding");
+            let mut ledger = self.ledger.lock().expect("topo substrate lock");
+            ledger.charge("substrate-dual", cm.dual_part_wise_aggregation());
+            timer.stop(&mut ledger);
+            dual
         })
     }
 }
@@ -731,6 +736,7 @@ impl WeightSubstrate {
     fn labels(&self, weights: &[Weight]) -> &DualLabels<'static, 'static> {
         self.labels.get_or_init(|| {
             self.label_builds.fetch_add(1, Ordering::Relaxed);
+            let prep_timer = PhaseTimer::start("weight-tier");
             // SAFETY: same erasure as `TopoSubstrate::engine` — the engine
             // reference (and its own graph borrow, already `'static`-erased
             // inside the substrate) points into the `TopoSubstrate`
@@ -745,10 +751,105 @@ impl WeightSubstrate {
                 lengths[Dart::forward(e).index()] = w;
             }
             let mut ledger = self.ledger.lock().expect("weight substrate lock");
-            engine
+            prep_timer.stop(&mut ledger);
+            let label_timer = PhaseTimer::start("labeling");
+            let labels = engine
                 .labels(&lengths, &mut ledger)
-                .expect("non-negative lengths have no negative cycle")
+                .expect("non-negative lengths have no negative cycle");
+            label_timer.stop(&mut ledger);
+            labels
         })
+    }
+}
+
+/// Estimated heap bytes of a labeling engine: the flat bag/dual vectors
+/// are summed exactly from the public fields; the private index maps
+/// (`fx_index`, `child_of_node`, separator arcs) are estimated from the
+/// node counts they mirror. `O(total bag size)` — proportional to the
+/// structure being measured, never to a rebuild.
+fn engine_heap_bytes(engine: &DualSsspEngine<'_>) -> usize {
+    let dart = std::mem::size_of::<Dart>();
+    let face = std::mem::size_of::<FaceId>();
+    let mut bytes = 0;
+    for bag in &engine.bdd.bags {
+        bytes += std::mem::size_of_val(bag) + VEC_HEADER;
+        bytes += bag.edges.len() * std::mem::size_of::<usize>();
+        bytes += bag.children.len() * std::mem::size_of::<usize>();
+        bytes += hash_table_bytes(bag.dart_in.len(), dart);
+        let dual = &engine.duals[bag.id];
+        bytes += std::mem::size_of_val(dual) + VEC_HEADER;
+        bytes += dual.nodes.len() * face;
+        bytes += hash_table_bytes(dual.node_index.len(), face + std::mem::size_of::<usize>());
+        bytes += dual.arcs.len() * std::mem::size_of::<duality_bdd::dual_bags::DualArc>();
+        // fx + the fx_index / child_of_node / separator-arc mirrors.
+        let fx = engine.fx[bag.id].len();
+        bytes += VEC_HEADER + fx * face + hash_table_bytes(fx, face + std::mem::size_of::<usize>());
+        bytes += hash_table_bytes(dual.nodes.len(), face + std::mem::size_of::<usize>());
+    }
+    bytes
+}
+
+/// Estimated heap bytes of a built label store, derived from the engine
+/// structure the labels mirror: non-leaf bags hold two `|F_X|`-long weight
+/// vectors per node, leaf bags hold two `|nodes|`-long APSP rows per node.
+fn labels_heap_bytes(engine: &DualSsspEngine<'_>) -> usize {
+    let w = std::mem::size_of::<Weight>();
+    let face = std::mem::size_of::<FaceId>();
+    let mut bytes = 0;
+    for bag in &engine.bdd.bags {
+        let nodes = engine.duals[bag.id].nodes.len();
+        if bag.is_leaf() {
+            // leaf_apsp: (row, col) weight vectors per node.
+            bytes += hash_table_bytes(nodes, face + 2 * VEC_HEADER) + nodes * 2 * nodes * w;
+        } else {
+            let fx = engine.fx[bag.id].len();
+            // to_fx + from_fx: one |F_X|-long vector per node each.
+            bytes += 2 * (hash_table_bytes(nodes, face + VEC_HEADER) + nodes * fx * w);
+        }
+        // label_words: one u64 per node.
+        bytes += hash_table_bytes(nodes, face + std::mem::size_of::<u64>());
+    }
+    bytes
+}
+
+impl HeapSize for TopoSubstrate {
+    /// The pinned graph (exact) plus whatever topology artifacts have
+    /// been built so far: the dual graph (exact) and the labeling engine
+    /// (estimated — see [`crate::heap_size`]). Lazily built artifacts
+    /// that do not exist yet cost nothing, so a substrate's bill grows as
+    /// it warms up.
+    fn heap_bytes(&self) -> usize {
+        let mut bytes = self.graph.heap_bytes();
+        if let Some(dual) = self.dual.get() {
+            bytes += dual.heap_bytes() + std::mem::size_of::<PlanarGraph>();
+        }
+        if let Some(engine) = self.engine.get() {
+            bytes += engine_heap_bytes(engine);
+        }
+        bytes
+    }
+}
+
+impl WeightSubstrate {
+    /// Estimated heap bytes of this tier's own artifacts (the label
+    /// store); the shared topology tier is billed by its holder.
+    fn heap_bytes(&self) -> usize {
+        match self.labels.get() {
+            Some(labels) => labels_heap_bytes(labels.engine()),
+            None => 0,
+        }
+    }
+}
+
+impl HeapSize for PlanarSolver {
+    /// The full residency bill of one cached solver: instance + topology
+    /// tier + weight tier. Shared structure (the graph `Arc`, a respec'd
+    /// `Arc<TopoSubstrate>`) is billed per holder — a deliberate upper
+    /// bound; see [`crate::heap_size`].
+    fn heap_bytes(&self) -> usize {
+        self.shared.instance.heap_bytes()
+            + self.shared.topo.heap_bytes()
+            + self.shared.weight.heap_bytes()
     }
 }
 

@@ -29,6 +29,16 @@
 //! * **[`report`]** — [`report::render_trajectory`] renders every
 //!   committed envelope into `BENCH_TRAJECTORY.md`, the human-readable
 //!   performance history.
+//! * **[`trace`]** — [`trace::capture_trace`] keeps the *individual*
+//!   profiling spans (substrate build phases, job lifecycles) a run
+//!   emits and [`trace::to_chrome_json`] writes them as a
+//!   chrome://tracing / Perfetto `trace.json`.
+//! * **[`dashboard`]** — [`dashboard::render_dashboard`] renders all
+//!   committed envelopes plus a live
+//!   [`TelemetrySnapshot`](duality_telemetry::TelemetrySnapshot) into
+//!   one self-contained `BENCH_DASHBOARD.html` (inline SVG sparklines
+//!   and phase bars, per-tenant attribution, memory gauges — zero
+//!   external assets).
 //!
 //! # Example
 //!
@@ -51,17 +61,22 @@
 //! ```
 
 pub mod compare;
+pub mod dashboard;
 pub mod envelope;
 pub mod error;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod trace;
 
 pub use compare::{CompareReport, Tolerances};
+pub use dashboard::render_dashboard;
 pub use envelope::{EnvRow, Envelope, Json, BENCH_SCHEMA_VERSION};
 pub use error::LabError;
 pub use report::render_trajectory;
-pub use runner::run_spec;
+pub use runner::{run_spec, SUBSTRATE_PHASES};
 pub use spec::{
-    AutopilotSettings, GridCell, LabSpec, RampSettings, RunMode, ScenarioRef, LAB_SCHEMA_VERSION,
+    AutopilotSettings, GridCell, LabSpec, MemorySettings, RampSettings, RunMode, ScenarioRef,
+    LAB_SCHEMA_VERSION,
 };
+pub use trace::{capture_trace, parse_chrome_json, to_chrome_json, TraceSlice};

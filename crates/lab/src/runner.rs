@@ -15,7 +15,7 @@
 
 use crate::envelope::EnvRow;
 use crate::error::LabError;
-use crate::spec::{AutopilotSettings, GridCell, LabSpec, RampSettings, RunMode};
+use crate::spec::{AutopilotSettings, GridCell, LabSpec, MemorySettings, RampSettings, RunMode};
 use duality_control::{AutopilotPolicy, ControlError, FleetSpec, Reconciler, TenantDecl};
 use duality_service::{AdmissionPolicy, ServiceEngine, Ticket};
 use duality_telemetry::Telemetry;
@@ -129,6 +129,20 @@ pub fn run_spec(spec: &LabSpec, smoke: bool, seed: Option<u64>) -> Result<Vec<En
             RunMode::Autopilot(settings) => {
                 for cell in &cells {
                     run_autopilot_cell(spec, &trace, &jobs, *cell, settings, n, d, &mut rows)?;
+                }
+            }
+            RunMode::Memory(settings) => {
+                for cell in &cells {
+                    run_memory_cell(
+                        spec,
+                        &scenario.name,
+                        &jobs,
+                        *cell,
+                        settings,
+                        n,
+                        d,
+                        &mut rows,
+                    )?;
                 }
             }
         }
@@ -328,6 +342,84 @@ fn run_autopilot_cell(
     Ok(())
 }
 
+/// The five substrate build phases, in first-charge order. Memory rows
+/// report every phase (zero when unexercised) so row shape never
+/// drifts with the query mix.
+pub const SUBSTRATE_PHASES: [&str; 5] = ["embed", "dual", "bdd", "weight-tier", "labeling"];
+
+/// Runs the S10 discipline for one grid cell: the whole trace is
+/// driven through a byte-budgeted, telemetry-wired engine, and the row
+/// records where the substrate build time went (per-phase µs from the
+/// profiling spans) and what it cost to keep (resident / peak /
+/// evicted pool bytes from the size-aware pool).
+#[allow(clippy::too_many_arguments)]
+fn run_memory_cell(
+    spec: &LabSpec,
+    scenario: &str,
+    jobs: &[TraceJob],
+    cell: GridCell,
+    settings: &MemorySettings,
+    n: usize,
+    d: usize,
+    rows: &mut Vec<EnvRow>,
+) -> Result<(), LabError> {
+    // Phase spans arrive in bursts of up to five per substrate build;
+    // size the ring so none are dropped and the µs totals stay exact.
+    let telemetry = Telemetry::new((jobs.len() * 8 + 64).max(256));
+    let budget = (settings.pool_byte_budget > 0).then_some(settings.pool_byte_budget);
+    let engine = ServiceEngine::builder()
+        .workers(cell.workers)
+        .shards(cell.shards)
+        .queue_capacity(jobs.len().max(16))
+        .admission(AdmissionPolicy::Block)
+        .pool_byte_budget(budget)
+        .span_sink(telemetry.sink())
+        .build()
+        .map_err(|e| LabError::Workload(WorkloadError::from(e)))?;
+    harvest(submit_all(&engine, jobs.iter())?);
+    let m = engine.shutdown();
+    telemetry.set_pool_bytes(
+        m.resident_bytes(),
+        m.peak_resident_bytes(),
+        m.evicted_bytes(),
+    );
+    let snap = telemetry.snapshot();
+    let pool = m.pool_total();
+    let mut values = vec![
+        ("jobs".into(), jobs.len() as f64),
+        ("completed".into(), m.completed as f64),
+    ];
+    for phase in SUBSTRATE_PHASES {
+        let us = snap
+            .phase_us
+            .iter()
+            .find(|(p, _)| p == phase)
+            .map_or(0, |(_, us)| *us);
+        values.push((format!("phase-{phase}-us"), us as f64));
+    }
+    values.extend([
+        (
+            "substrate-build-us".into(),
+            snap.phase_us.iter().map(|(_, us)| us).sum::<u64>() as f64,
+        ),
+        ("resident-bytes".into(), m.resident_bytes() as f64),
+        ("peak-resident-bytes".into(), m.peak_resident_bytes() as f64),
+        ("evicted-bytes".into(), m.evicted_bytes() as f64),
+        ("byte-budget".into(), settings.pool_byte_budget as f64),
+        ("pool-hits".into(), pool.hits as f64),
+        ("pool-misses".into(), pool.misses as f64),
+        ("pool-evictions".into(), pool.evictions as f64),
+    ]);
+    rows.push(EnvRow {
+        experiment: spec.name.clone(),
+        instance: instance_label(scenario, cell.workers, cell.shards),
+        n,
+        d,
+        values,
+    });
+    Ok(())
+}
+
 fn control_err(e: ControlError) -> LabError {
     LabError::Schema(format!("autopilot fleet: {e}"))
 }
@@ -363,10 +455,12 @@ pub fn instance_label(scenario: &str, workers: usize, shards: usize) -> String {
     format!("{scenario}, {workers} wrk / {shards} shd")
 }
 
-/// The rate metric worker scaling is judged by in each mode.
+/// The rate metric worker scaling is judged by in each mode. Memory
+/// rows carry no rate metric at all, so the efficiency derivation
+/// finds no baseline and leaves them untouched.
 pub fn headline_metric(mode: &RunMode) -> &'static str {
     match mode {
-        RunMode::Replay | RunMode::Autopilot(_) => "throughput-jps",
+        RunMode::Replay | RunMode::Autopilot(_) | RunMode::Memory(_) => "throughput-jps",
         RunMode::Ramp(_) => "max-sustainable-jps",
     }
 }
@@ -573,6 +667,49 @@ mod tests {
         let peak = by("static-peak");
         assert_eq!(peak.value("workers-end"), Some(6.0));
         assert_eq!(peak.value("completed"), peak.value("jobs"));
+    }
+
+    #[test]
+    fn memory_mode_reports_phase_splits_and_byte_gauges() {
+        let mut spec = replay_spec();
+        spec.mode = RunMode::Memory(MemorySettings {
+            pool_byte_budget: 0,
+        });
+        spec.cells.truncate(1);
+        let rows = run_spec(&spec, false, None).unwrap();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.value("completed"), row.value("jobs"));
+        let phase_sum: f64 = SUBSTRATE_PHASES
+            .iter()
+            .map(|p| row.value(&format!("phase-{p}-us")).unwrap())
+            .sum();
+        assert_eq!(
+            Some(phase_sum),
+            row.value("substrate-build-us"),
+            "the five phases account for the whole build"
+        );
+        assert!(row.value("resident-bytes").unwrap() > 0.0);
+        assert!(row.value("peak-resident-bytes").unwrap() >= row.value("resident-bytes").unwrap());
+        assert_eq!(
+            row.value("evicted-bytes"),
+            Some(0.0),
+            "unbounded: no evictions"
+        );
+        assert_eq!(
+            row.value("scaling-efficiency"),
+            None,
+            "memory rows carry no rate metric"
+        );
+
+        // A starvation-level byte budget forces size-aware eviction:
+        // three tenants through one shard cannot all stay resident.
+        spec.mode = RunMode::Memory(MemorySettings {
+            pool_byte_budget: 1,
+        });
+        let tight = run_spec(&spec, false, None).unwrap();
+        assert!(tight[0].value("evicted-bytes").unwrap() > 0.0);
+        assert_eq!(tight[0].value("completed"), tight[0].value("jobs"));
     }
 
     #[test]

@@ -91,6 +91,16 @@ pub struct AutopilotSettings {
     pub cooldown_rounds: u64,
 }
 
+/// Memory-mode settings: the byte budget handed to the engine's
+/// solver pool, so the run exercises size-aware eviction while the
+/// telemetry spine reports phase timings and byte gauges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemorySettings {
+    /// Byte budget for the solver pool (0 = unbounded: gauges are
+    /// still measured, nothing is evicted for size).
+    pub pool_byte_budget: u64,
+}
+
 /// What the runner does with each (scenario, cell) pair.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RunMode {
@@ -104,6 +114,10 @@ pub enum RunMode {
     /// autopilot enabled, phase by phase, and compare against a static
     /// fleet of the surge size (the S8 discipline).
     Autopilot(AutopilotSettings),
+    /// Drive the scenario through a byte-budgeted, telemetry-wired
+    /// engine and report per-phase substrate build time plus resident
+    /// / peak / evicted pool bytes (the S10 discipline).
+    Memory(MemorySettings),
 }
 
 /// A scenario the spec wants measured: a preset by name, or a fully
@@ -332,6 +346,10 @@ impl LabSpec {
                     f.push(("surge_workers", Val::n(a.surge_workers as u64)));
                     f.push(("cooldown_rounds", Val::n(a.cooldown_rounds)));
                 }
+                RunMode::Memory(m) => {
+                    f.push(("mode", Val::s("memory")));
+                    f.push(("pool_byte_budget", Val::n(m.pool_byte_budget)));
+                }
             }
             f
         });
@@ -424,6 +442,9 @@ impl LabSpec {
                             scale_step: obj.u64("scale_step").map_err(&fail)? as usize,
                             surge_workers: obj.u64("surge_workers").map_err(&fail)? as usize,
                             cooldown_rounds: obj.u64("cooldown_rounds").map_err(&fail)?,
+                        }),
+                        "memory" => RunMode::Memory(MemorySettings {
+                            pool_byte_budget: obj.u64("pool_byte_budget").map_err(&fail)?,
                         }),
                         other => return Err(fail(format!("unknown mode `{other}`"))),
                     };
@@ -526,6 +547,11 @@ fn write_inline(out: &mut String, s: &Scenario, smoke: bool) {
     ]);
     if let Some(d) = s.deadline_ticks {
         f.push(("deadline_ticks", Val::n(d)));
+    }
+    // Only the non-default stride is written, so pre-existing spec
+    // files stay byte-stable through their round trip.
+    if s.tenant_seed_stride != 3 {
+        f.push(("seed_stride", Val::n(s.tenant_seed_stride)));
     }
     line(out, &f);
     for t in &s.tenants {
@@ -640,6 +666,7 @@ fn parse_scenario_line(obj: &Obj) -> Result<Scenario, String> {
         mutations: Vec::new(),
         tenant_skew: obj.u64("tenant_skew")? as u32,
         deadline_ticks: obj.opt_u64("deadline_ticks")?,
+        tenant_seed_stride: obj.opt_u64("seed_stride")?.unwrap_or(3),
     })
 }
 

@@ -119,6 +119,12 @@ impl From<DualityError> for ServiceError {
 
 /// One job's result slot: the rendezvous between the worker that fills
 /// it and the ticket that waits on it.
+//
+// `Done` dwarfs the other variants, but each `JobState` lives alone
+// inside a per-job heap-allocated `JobSlot` — never in a dense
+// collection — so boxing the payload would only add a second
+// allocation on the resolve path.
+#[allow(clippy::large_enum_variant)]
 enum JobState {
     /// Queued; a worker has not claimed it (cancellable).
     Pending,
@@ -239,6 +245,7 @@ pub struct EngineBuilder {
     workers: usize,
     queue_capacity: usize,
     pool_capacity: usize,
+    pool_byte_budget: Option<u64>,
     policy: AdmissionPolicy,
     leaf_threshold: Option<usize>,
     start_paused: bool,
@@ -253,6 +260,7 @@ impl Default for EngineBuilder {
             workers: workers.min(4),
             queue_capacity: 64,
             pool_capacity: 16,
+            pool_byte_budget: None,
             policy: AdmissionPolicy::default(),
             leaf_threshold: None,
             start_paused: false,
@@ -268,6 +276,7 @@ impl std::fmt::Debug for EngineBuilder {
             .field("workers", &self.workers)
             .field("queue_capacity", &self.queue_capacity)
             .field("pool_capacity", &self.pool_capacity)
+            .field("pool_byte_budget", &self.pool_byte_budget)
             .field("policy", &self.policy)
             .field("leaf_threshold", &self.leaf_threshold)
             .field("start_paused", &self.start_paused)
@@ -301,6 +310,16 @@ impl EngineBuilder {
     /// Per-shard solver-pool capacity (clamped to ≥ 1 by the pool).
     pub fn pool_capacity(mut self, capacity: usize) -> Self {
         self.pool_capacity = capacity;
+        self
+    }
+
+    /// Per-shard solver-pool **byte budget**: each shard's pool measures
+    /// its resident solvers ([`duality_core::HeapSize`]) and evicts
+    /// coldest-first until resident bytes fit the budget, in addition to
+    /// the entry-count cap. `None` (the default) disables byte-based
+    /// eviction.
+    pub fn pool_byte_budget(mut self, budget: Option<u64>) -> Self {
+        self.pool_byte_budget = budget;
         self
     }
 
@@ -345,7 +364,13 @@ impl EngineBuilder {
     /// override is below the decomposition minimum.
     pub fn build(self) -> Result<ServiceEngine, DualityError> {
         let shards: Result<Vec<SolverPool>, DualityError> = (0..self.shards)
-            .map(|_| SolverPool::with_leaf_threshold(self.pool_capacity, self.leaf_threshold))
+            .map(|_| {
+                SolverPool::with_limits(
+                    self.pool_capacity,
+                    self.pool_byte_budget,
+                    self.leaf_threshold,
+                )
+            })
             .collect();
         let shared = Arc::new(EngineShared {
             shards: shards?,
@@ -835,6 +860,7 @@ impl ServiceEngine {
                         pool: pool.stats(),
                         substrate_rounds,
                         query_rounds,
+                        substrate_phase_us: m.shard_phase_us(i),
                     }
                 })
                 .collect(),
@@ -959,8 +985,27 @@ fn worker_loop(shared: &EngineShared, worker: usize) {
         };
         let result = match result {
             Ok(Ok(outcome)) => {
-                shared.metrics.bill(job.shard, job.key, outcome.rounds());
+                let fresh = shared.metrics.bill(job.shard, job.key, outcome.rounds());
                 shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                // This job was the first to bill one or more substrate
+                // build phases: emit their profiling spans (outside
+                // every lock — the bill already committed the charge).
+                if !fresh.is_empty() {
+                    if let Some(sink) = &shared.sink {
+                        let finished_us = shared.stamp(Instant::now());
+                        for (phase, us) in fresh {
+                            sink.record_phase(crate::span::PhaseSpan {
+                                tenant: job.key.topo_fingerprint(),
+                                spec: job.key.spec_hash(),
+                                phase,
+                                shard: job.shard,
+                                worker,
+                                us,
+                                finished_us,
+                            });
+                        }
+                    }
+                }
                 Ok(outcome)
             }
             Ok(Err(e)) => {
@@ -1377,6 +1422,49 @@ mod tests {
                     assert_eq!(span.started_us, None, "never executed");
                 }
             }
+        }
+    }
+
+    /// A phase-only sink: ignores job spans, collects build-phase spans.
+    #[derive(Default)]
+    struct PhaseCollectSink(Mutex<Vec<crate::span::PhaseSpan>>);
+
+    impl crate::span::SpanSink for PhaseCollectSink {
+        fn record(&self, _span: crate::span::SpanRecord) {}
+        fn record_phase(&self, span: crate::span::PhaseSpan) {
+            self.0.lock().expect("phase sink").push(span);
+        }
+    }
+
+    #[test]
+    fn substrate_build_phases_emit_profiling_spans_exactly_once() {
+        let sink = Arc::new(PhaseCollectSink::default());
+        let engine = ServiceEngine::builder()
+            .shards(1)
+            .workers(1)
+            .span_sink(Arc::clone(&sink) as Arc<dyn crate::span::SpanSink>)
+            .build()
+            .unwrap();
+        let i = instance(50);
+        // Two jobs sharing one substrate: the build phases are emitted by
+        // whichever job billed them first, and never again.
+        let _ = engine.run(&i, Query::Girth).unwrap();
+        let _ = engine.run(&i, Query::Girth).unwrap();
+        engine.shutdown();
+        let spans = sink.0.lock().unwrap();
+        assert!(!spans.is_empty(), "the substrate build emitted phase spans");
+        let mut names: Vec<&str> = spans.iter().map(|s| s.phase.as_str()).collect();
+        names.sort_unstable();
+        let mut unique = names.clone();
+        unique.dedup();
+        assert_eq!(names, unique, "each phase emitted exactly once: {names:?}");
+        assert!(names.contains(&"embed"), "the embed phase always runs");
+        for span in spans.iter() {
+            assert_eq!(span.tenant, InstanceKey::of(&i).topo_fingerprint());
+            assert_eq!(span.shard, 0);
+            assert!(span
+                .to_string()
+                .starts_with(&format!("phase {}", span.phase)));
         }
     }
 

@@ -103,4 +103,4 @@ pub use engine::{
     AdmissionPolicy, EngineBuilder, ServiceEngine, ServiceError, SubmitError, Ticket,
 };
 pub use metrics::{LatencySnapshot, MetricsSnapshot, ShardMetrics};
-pub use span::{query_kind, SpanRecord, SpanSink, SpanState};
+pub use span::{query_kind, PhaseSpan, SpanRecord, SpanSink, SpanState};

@@ -167,6 +167,31 @@ struct Billed {
     topo: HashMap<u64, u64>,
     /// Weight-tier rounds already billed, per instance key (spec level).
     weight: HashMap<InstanceKey, u64>,
+    /// Timed topo-tier build phases already billed, per topology
+    /// fingerprint — the wall-clock twin of `topo`. A phase *count*, not
+    /// a µs total: phases append in first-charge order and each is timed
+    /// exactly once, so the count pins the fresh suffix even when a
+    /// phase measured 0µs.
+    topo_us: HashMap<u64, u64>,
+    /// Timed weight-tier build phases already billed, per instance key.
+    weight_us: HashMap<InstanceKey, u64>,
+    /// Shard-wide substrate build µs per phase (embed / dual / bdd /
+    /// weight-tier / labeling), accumulated from the freshly billed
+    /// deltas. At most a handful of keys — never bounded away.
+    phase_us: HashMap<String, u64>,
+}
+
+/// The suffix of `phases` past the first `seen` entries. Each substrate
+/// phase is timed exactly once per build (`OnceLock`) and the ledger
+/// appends in first-charge order, so the already-billed share is always
+/// a prefix — the seen *count* identifies where the fresh suffix starts
+/// (robust to phases that measured 0µs, unlike a µs watermark).
+fn fresh_phases(phases: &[(String, u64)], seen: u64) -> Vec<(String, u64)> {
+    phases
+        .iter()
+        .skip(usize::try_from(seen).unwrap_or(usize::MAX))
+        .cloned()
+        .collect()
 }
 
 /// Caps `map` at `capacity` entries by dropping arbitrary other entries
@@ -236,12 +261,20 @@ impl MetricsRegistry {
     /// how many jobs share it — and if the lazily built substrate grew
     /// since the last job on the same content (e.g. a girth query added
     /// the dual graph), only the growth is billed.
-    pub fn bill(&self, shard: usize, key: InstanceKey, rounds: &RoundReport) {
+    ///
+    /// Substrate build *microseconds* are delta-billed the same way, per
+    /// phase: the returned list holds exactly the phases this job's
+    /// report introduced (empty for jobs served off an already-billed
+    /// substrate) — ready to emit as profiling spans without
+    /// double-counting a build that many jobs shared.
+    pub fn bill(&self, shard: usize, key: InstanceKey, rounds: &RoundReport) -> Vec<(String, u64)> {
         let bill = &self.shards[shard];
         bill.query_rounds
             .fetch_add(rounds.query_total(), Ordering::Relaxed);
         let topo_total = rounds.substrate_topo_total();
         let weight_total = rounds.substrate_weight_total();
+        let topo_phase_count = rounds.substrate_topo.phases_us().len() as u64;
+        let weight_phase_count = rounds.substrate_weight.phases_us().len() as u64;
         let mut billed = bill.billed.lock().expect("bill lock");
         let seen_topo = billed.topo.entry(key.topo_fingerprint()).or_insert(0);
         let delta = topo_total.saturating_sub(*seen_topo);
@@ -249,16 +282,50 @@ impl MetricsRegistry {
         let seen_weight = billed.weight.entry(key).or_insert(0);
         let delta = delta + weight_total.saturating_sub(*seen_weight);
         *seen_weight = (*seen_weight).max(weight_total);
+        // Wall-clock twin: the seen-phase-count watermark identifies the
+        // fresh phase suffix of each tier's timing track.
+        let seen_topo_us = billed.topo_us.entry(key.topo_fingerprint()).or_insert(0);
+        let mut fresh = fresh_phases(rounds.substrate_topo.phases_us(), *seen_topo_us);
+        *seen_topo_us = (*seen_topo_us).max(topo_phase_count);
+        let seen_weight_us = billed.weight_us.entry(key).or_insert(0);
+        fresh.extend(fresh_phases(
+            rounds.substrate_weight.phases_us(),
+            *seen_weight_us,
+        ));
+        *seen_weight_us = (*seen_weight_us).max(weight_phase_count);
+        for (phase, us) in &fresh {
+            *billed.phase_us.entry(phase.clone()).or_insert(0) += us;
+        }
         bound_map(
             &mut billed.topo,
             key.topo_fingerprint(),
             self.billed_capacity,
         );
         bound_map(&mut billed.weight, key, self.billed_capacity);
+        bound_map(
+            &mut billed.topo_us,
+            key.topo_fingerprint(),
+            self.billed_capacity,
+        );
+        bound_map(&mut billed.weight_us, key, self.billed_capacity);
         drop(billed);
         if delta > 0 {
             bill.substrate_rounds.fetch_add(delta, Ordering::Relaxed);
         }
+        fresh
+    }
+
+    /// The shard's substrate build µs per phase, sorted by phase name for
+    /// a deterministic snapshot shape.
+    pub fn shard_phase_us(&self, shard: usize) -> Vec<(String, u64)> {
+        let billed = self.shards[shard].billed.lock().expect("bill lock");
+        let mut out: Vec<(String, u64)> = billed
+            .phase_us
+            .iter()
+            .map(|(p, us)| (p.clone(), *us))
+            .collect();
+        out.sort();
+        out
     }
 
     /// The per-shard `(substrate_rounds, query_rounds)` pair.
@@ -283,25 +350,42 @@ impl MetricsRegistry {
 }
 
 /// One shard's slice of a [`MetricsSnapshot`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ShardMetrics {
     /// Shard index (also the hash partition: `topo_fingerprint % shards`).
     pub shard: usize,
-    /// The shard pool's hit/miss/respec-reuse/eviction counters.
+    /// The shard pool's hit/miss/respec-reuse/eviction counters and byte
+    /// gauges (resident / peak / evicted bytes).
     pub pool: PoolStats,
     /// Amortized substrate rounds billed to this shard (topo charged once
     /// per topology, weight once per spec).
     pub substrate_rounds: u64,
     /// Sum of the marginal query rounds of this shard's completed jobs.
     pub query_rounds: u64,
+    /// Amortized substrate build µs billed to this shard, per phase
+    /// (embed / dual / bdd / weight-tier / labeling), sorted by phase
+    /// name. Delta-billed like the rounds: each build charged once no
+    /// matter how many jobs shared it.
+    pub substrate_phase_us: Vec<(String, u64)>,
+}
+
+impl ShardMetrics {
+    /// Total substrate build µs billed to this shard.
+    pub fn substrate_us(&self) -> u64 {
+        self.substrate_phase_us.iter().map(|(_, us)| us).sum()
+    }
 }
 
 impl std::fmt::Display for ShardMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "shard {}: {}; rounds: {} substrate + {} query",
-            self.shard, self.pool, self.substrate_rounds, self.query_rounds
+            "shard {}: {}; rounds: {} substrate + {} query; build {}µs",
+            self.shard,
+            self.pool,
+            self.substrate_rounds,
+            self.query_rounds,
+            self.substrate_us()
         )
     }
 }
@@ -370,6 +454,45 @@ impl MetricsSnapshot {
         self.substrate_rounds() + self.query_rounds()
     }
 
+    /// Fleet-wide substrate build µs per phase (per-shard bills merged,
+    /// sorted by phase name).
+    pub fn substrate_phase_us(&self) -> Vec<(String, u64)> {
+        let mut merged: HashMap<&str, u64> = HashMap::new();
+        for shard in &self.shards {
+            for (phase, us) in &shard.substrate_phase_us {
+                *merged.entry(phase).or_insert(0) += us;
+            }
+        }
+        let mut out: Vec<(String, u64)> = merged
+            .into_iter()
+            .map(|(p, us)| (p.to_string(), us))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Fleet-wide substrate build µs (all phases, all shards).
+    pub fn substrate_us(&self) -> u64 {
+        self.shards.iter().map(ShardMetrics::substrate_us).sum()
+    }
+
+    /// Estimated heap bytes resident across every shard pool right now.
+    pub fn resident_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.pool.resident_bytes).sum()
+    }
+
+    /// Sum of the per-shard peak-residency high-water marks — an upper
+    /// bound on fleet-wide peak residency (shards may not have peaked at
+    /// the same instant).
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.pool.peak_resident_bytes).sum()
+    }
+
+    /// Cumulative heap bytes released by pool evictions across the fleet.
+    pub fn evicted_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.pool.evicted_bytes).sum()
+    }
+
     /// Jobs admitted but not yet resolved (executing or still queued).
     pub fn in_flight(&self) -> u64 {
         self.submitted
@@ -406,6 +529,18 @@ impl std::fmt::Display for MetricsSnapshot {
             self.substrate_rounds(),
             self.query_rounds(),
             self.total_rounds()
+        )?;
+        write!(f, "build: {}µs substrate", self.substrate_us())?;
+        for (phase, us) in self.substrate_phase_us() {
+            write!(f, ", {phase} {us}µs")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "memory: {} B resident (peak {} B, evicted {} B)",
+            self.resident_bytes(),
+            self.peak_resident_bytes(),
+            self.evicted_bytes()
         )?;
         writeln!(f, "latency: {}", self.latency)?;
         writeln!(f, "fleet {}", self.pool_total())?;
@@ -490,6 +625,81 @@ mod tests {
         assert!(
             (8 * 110..=10 * 110).contains(&substrate),
             "≥ 3 evicted specs re-billed, ≤ 2 recorded ones did not: {substrate}"
+        );
+    }
+
+    #[test]
+    fn substrate_build_us_is_delta_billed_per_phase() {
+        let m = MetricsRegistry::new(1, 16);
+        let k = key(4, 4);
+        let mut r = report(100, 30, 7);
+        r.substrate_topo.charge_us("embed", 50);
+        r.substrate_topo.charge_us("bdd", 200);
+        r.substrate_weight.charge_us("labeling", 80);
+        let fresh = m.bill(0, k, &r);
+        assert_eq!(
+            fresh,
+            vec![
+                ("embed".to_string(), 50),
+                ("bdd".to_string(), 200),
+                ("labeling".to_string(), 80)
+            ],
+            "the first job on a substrate returns every timed phase"
+        );
+        // The same snapshot again: the build is already billed.
+        assert!(m.bill(0, k, &r).is_empty());
+        // The substrate grew lazily (the dual built later): exactly the
+        // new phase comes back.
+        let mut r2 = r.clone();
+        r2.substrate_topo.charge_us("dual", 30);
+        assert_eq!(m.bill(0, k, &r2), vec![("dual".to_string(), 30)]);
+        // The shard aggregate holds each phase once, sorted by name.
+        assert_eq!(
+            m.shard_phase_us(0),
+            vec![
+                ("bdd".to_string(), 200),
+                ("dual".to_string(), 30),
+                ("embed".to_string(), 50),
+                ("labeling".to_string(), 80)
+            ]
+        );
+    }
+
+    #[test]
+    fn snapshot_surfaces_bytes_and_build_us_fleet_wide() {
+        let mut shard0 = ShardMetrics {
+            shard: 0,
+            substrate_phase_us: vec![("bdd".to_string(), 100), ("embed".to_string(), 10)],
+            ..Default::default()
+        };
+        shard0.pool.resident_bytes = 1_000;
+        shard0.pool.peak_resident_bytes = 1_500;
+        shard0.pool.evicted_bytes = 300;
+        let shard1 = ShardMetrics {
+            shard: 1,
+            substrate_phase_us: vec![("bdd".to_string(), 50)],
+            ..Default::default()
+        };
+        let snap = MetricsSnapshot {
+            shards: vec![shard0, shard1],
+            ..Default::default()
+        };
+        assert_eq!(snap.substrate_us(), 160);
+        assert_eq!(
+            snap.substrate_phase_us(),
+            vec![("bdd".to_string(), 150), ("embed".to_string(), 10)]
+        );
+        assert_eq!(snap.resident_bytes(), 1_000);
+        assert_eq!(snap.peak_resident_bytes(), 1_500);
+        assert_eq!(snap.evicted_bytes(), 300);
+        let text = snap.to_string();
+        assert!(
+            text.contains("build: 160µs substrate, bdd 150µs, embed 10µs"),
+            "{text}"
+        );
+        assert!(
+            text.contains("memory: 1000 B resident (peak 1500 B, evicted 300 B)"),
+            "{text}"
         );
     }
 

@@ -174,6 +174,41 @@ impl std::fmt::Display for SpanRecord {
     }
 }
 
+/// One substrate build phase's profiling span, emitted when a worker's
+/// completed job is the first to bill that phase of its solver's
+/// substrate (the metrics registry's delta-billing guarantees each build
+/// is emitted exactly once per shard, no matter how many jobs shared
+/// it). `us` is the measured wall-clock build time of the phase; the
+/// `finished_us` engine-epoch stamp anchors it on the session timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Tenant topology fingerprint (same grain as [`SpanRecord::tenant`]).
+    pub tenant: u64,
+    /// Spec hash of the instance whose substrate built.
+    pub spec: u64,
+    /// Phase name: `embed`, `dual`, `bdd`, `weight-tier` or `labeling`.
+    pub phase: String,
+    /// The shard whose pool hosts the built substrate.
+    pub shard: usize,
+    /// The worker whose job first billed the phase.
+    pub worker: usize,
+    /// Measured wall-clock build time of the phase, in microseconds.
+    pub us: u64,
+    /// Engine-epoch stamp (µs) of the billing job's completion — when
+    /// the phase was *attributed*, an upper bound on when it ran.
+    pub finished_us: u64,
+}
+
+impl std::fmt::Display for PhaseSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "phase {} {}µs tenant {:016x} shard {}",
+            self.phase, self.us, self.tenant, self.shard
+        )
+    }
+}
+
 /// Where the engine delivers spans. Implementations must be lock-light:
 /// [`SpanSink::record`] runs on the worker threads (and on submitter
 /// threads for rejections) after every job, and must **never block** —
@@ -182,6 +217,13 @@ impl std::fmt::Display for SpanRecord {
 pub trait SpanSink: Send + Sync {
     /// Accepts one span, or drops it (counted) — never blocks.
     fn record(&self, span: SpanRecord);
+
+    /// Accepts one substrate-build profiling span, or drops it — never
+    /// blocks. Defaults to dropping silently so sinks that only consume
+    /// job lifecycles need no change.
+    fn record_phase(&self, span: PhaseSpan) {
+        let _ = span;
+    }
 }
 
 #[cfg(test)]

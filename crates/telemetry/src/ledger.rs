@@ -16,7 +16,7 @@
 //! submissions never waited in the queue and only count.
 
 use duality_service::metrics::LATENCY_BUCKETS;
-use duality_service::span::{SpanRecord, SpanState};
+use duality_service::span::{PhaseSpan, SpanRecord, SpanState};
 use duality_service::LatencySnapshot;
 use std::collections::BTreeMap;
 
@@ -106,6 +106,9 @@ pub struct TenantLedger {
     shard_jobs: Vec<u64>,
     spans: u64,
     events: Vec<TelemetryEvent>,
+    /// Fleet-wide substrate build µs per phase (embed / dual / bdd /
+    /// weight-tier / labeling), accumulated from build-phase spans.
+    phase_us: BTreeMap<String, u64>,
 }
 
 impl TenantLedger {
@@ -137,6 +140,19 @@ impl TenantLedger {
             }
             self.shard_jobs[span.shard] += 1;
         }
+    }
+
+    /// Accumulates one substrate build-phase span into the fleet-wide
+    /// per-phase build-time account. Phase spans are already amortized at
+    /// the source (the engine bills each build exactly once), so this is
+    /// a plain sum.
+    pub fn fold_phase(&mut self, span: &PhaseSpan) {
+        *self.phase_us.entry(span.phase.clone()).or_insert(0) += span.us;
+    }
+
+    /// Fleet-wide substrate build µs per phase, in phase-name order.
+    pub fn phases(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.phase_us.iter().map(|(p, &us)| (p.as_str(), us))
     }
 
     /// Registers a display name for a tenant fingerprint (the control
@@ -253,6 +269,31 @@ mod tests {
         assert_eq!(rows[0].1, Some("grid-a"));
         assert_eq!(ledger.events()[1].label, "scale-down");
         assert!(ledger.events()[0].to_string().contains("scale-up"));
+    }
+
+    #[test]
+    fn phase_spans_accumulate_per_phase_without_counting_as_jobs() {
+        let mut ledger = TenantLedger::new();
+        let phase = |name: &str, us: u64| PhaseSpan {
+            tenant: 1,
+            spec: 1,
+            phase: name.to_string(),
+            shard: 0,
+            worker: 0,
+            us,
+            finished_us: 0,
+        };
+        ledger.fold_phase(&phase("embed", 50));
+        ledger.fold_phase(&phase("bdd", 200));
+        ledger.fold_phase(&phase("embed", 30));
+        assert_eq!(ledger.spans(), 0, "phase spans are not job spans");
+        let phases: Vec<(String, u64)> =
+            ledger.phases().map(|(p, us)| (p.to_string(), us)).collect();
+        assert_eq!(
+            phases,
+            vec![("bdd".to_string(), 200), ("embed".to_string(), 80)],
+            "summed per phase, phase-name order"
+        );
     }
 
     #[test]

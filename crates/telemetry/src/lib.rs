@@ -67,6 +67,7 @@ pub use snapshot::{TelemetryError, TelemetrySnapshot, TenantTelemetry, TELEMETRY
 use duality_core::pool::InstanceKey;
 use duality_core::PlanarInstance;
 use duality_service::span::SpanSink;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The telemetry handle: a shareable ring sink (give [`Telemetry::sink`]
@@ -77,6 +78,12 @@ use std::sync::{Arc, Mutex};
 pub struct Telemetry {
     ring: Arc<RingSink>,
     ledger: Mutex<TenantLedger>,
+    /// Pool byte gauges, stamped by whoever polls the engine's metrics
+    /// ([`Telemetry::set_pool_bytes`]) — the engine pushes spans but the
+    /// pool gauges are pulled, so the spine carries them alongside.
+    resident_bytes: AtomicU64,
+    peak_resident_bytes: AtomicU64,
+    evicted_bytes: AtomicU64,
 }
 
 impl Telemetry {
@@ -88,6 +95,9 @@ impl Telemetry {
         Telemetry {
             ring: Arc::new(RingSink::new(ring_capacity)),
             ledger: Mutex::new(TenantLedger::new()),
+            resident_bytes: AtomicU64::new(0),
+            peak_resident_bytes: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
         }
     }
 
@@ -102,15 +112,29 @@ impl Telemetry {
         &self.ring
     }
 
-    /// Drains the ring into the ledger; returns how many spans were
-    /// folded. Call on the control plane's cadence.
+    /// Drains both rings into the ledger; returns how many spans (job +
+    /// build-phase) were folded. Call on the control plane's cadence.
     pub fn poll(&self) -> usize {
         let spans = self.ring.drain();
+        let phases = self.ring.drain_phases();
         let mut ledger = self.ledger.lock().expect("telemetry ledger lock");
         for span in &spans {
             ledger.fold(span);
         }
-        spans.len()
+        for span in &phases {
+            ledger.fold_phase(span);
+        }
+        spans.len() + phases.len()
+    }
+
+    /// Stamps the fleet-wide pool byte gauges (typically from
+    /// [`duality_service::MetricsSnapshot`]'s merged pool stats) so the
+    /// next snapshot exports them. Gauges, not counters: each call
+    /// overwrites; the peak is kept monotone across stamps.
+    pub fn set_pool_bytes(&self, resident: u64, peak: u64, evicted: u64) {
+        self.resident_bytes.store(resident, Ordering::Relaxed);
+        self.peak_resident_bytes.fetch_max(peak, Ordering::Relaxed);
+        self.evicted_bytes.store(evicted, Ordering::Relaxed);
     }
 
     /// Registers a display name for the tenant owning `instance`'s
@@ -144,6 +168,10 @@ impl Telemetry {
             spans: ledger.spans(),
             dropped: self.ring.dropped(),
             shard_jobs: ledger.shard_jobs().to_vec(),
+            phase_us: ledger.phases().map(|(p, us)| (p.to_string(), us)).collect(),
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+            peak_resident_bytes: self.peak_resident_bytes.load(Ordering::Relaxed),
+            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
             tenants: ledger
                 .tenants()
                 .map(|(tenant, name, stats)| TenantTelemetry {
@@ -200,6 +228,10 @@ mod tests {
         let snap = telemetry.snapshot();
         assert_eq!(snap.spans, m.submitted, "one span per admitted job");
         assert_eq!(snap.dropped, 0);
+        assert!(
+            !snap.phase_us.is_empty(),
+            "the substrate builds emitted phase spans"
+        );
         assert_eq!(snap.by_name("alpha").unwrap().stats.completed, 3);
         assert_eq!(snap.tenants.len(), 2);
         assert_eq!(snap.fleet_total().count, m.latency.count);
@@ -223,12 +255,26 @@ mod tests {
             .unwrap();
         let i = instance(3);
         engine.run(&i, Query::Girth).unwrap();
-        assert_eq!(telemetry.poll(), 1);
+        assert!(
+            telemetry.poll() >= 1,
+            "first poll folds the job span (plus its build-phase spans)"
+        );
         engine.run(&i, Query::Girth).unwrap();
         engine.shutdown();
         telemetry.record_event("note", "shutdown".into());
         let snap = telemetry.snapshot();
         assert_eq!(snap.spans, 2, "second poll added the second span");
         assert_eq!(snap.events.len(), 1);
+    }
+
+    #[test]
+    fn pool_byte_gauges_stamp_into_snapshots() {
+        let telemetry = Telemetry::new(8);
+        telemetry.set_pool_bytes(1_000, 1_500, 0);
+        telemetry.set_pool_bytes(800, 1_200, 300);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.resident_bytes, 800, "gauge overwrites");
+        assert_eq!(snap.peak_resident_bytes, 1_500, "peak stays monotone");
+        assert_eq!(snap.evicted_bytes, 300);
     }
 }

@@ -7,7 +7,7 @@
 //! lost). Consumers ([`RingSink::drain`]) may block on the lock; they
 //! run on the control plane's cadence, not the workers'.
 
-use duality_service::span::{SpanRecord, SpanSink};
+use duality_service::span::{PhaseSpan, SpanRecord, SpanSink};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -16,13 +16,22 @@ use std::sync::Mutex;
 /// `Arc<RingSink>` to
 /// [`EngineBuilder::span_sink`](duality_service::EngineBuilder::span_sink)
 /// and keep a clone for draining.
+///
+/// Job spans and substrate build-phase spans buffer in **separate
+/// rings** (each of `capacity`) so a burst of one kind never evicts the
+/// other; both obey the same never-block / drop-and-count contract and
+/// share the drop counter.
 pub struct RingSink {
     capacity: usize,
     ring: Mutex<VecDeque<SpanRecord>>,
-    /// Spans offered to the sink ([`SpanSink::record`] calls).
+    /// Substrate build-phase profiling spans (the rarer kind: one per
+    /// phase per build, not one per job).
+    phase_ring: Mutex<VecDeque<PhaseSpan>>,
+    /// Spans offered to the sink ([`SpanSink::record`] +
+    /// [`SpanSink::record_phase`] calls).
     seen: AtomicU64,
     /// Spans lost: lock contention on the hot path, or overwritten by a
-    /// later span before any consumer drained them.
+    /// later span before any consumer drained them (either kind).
     dropped: AtomicU64,
 }
 
@@ -33,6 +42,7 @@ impl RingSink {
         RingSink {
             capacity,
             ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            phase_ring: Mutex::new(VecDeque::new()),
             seen: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
         }
@@ -41,6 +51,15 @@ impl RingSink {
     /// Takes every buffered span, oldest first.
     pub fn drain(&self) -> Vec<SpanRecord> {
         self.ring.lock().expect("ring lock").drain(..).collect()
+    }
+
+    /// Takes every buffered build-phase span, oldest first.
+    pub fn drain_phases(&self) -> Vec<PhaseSpan> {
+        self.phase_ring
+            .lock()
+            .expect("phase ring lock")
+            .drain(..)
+            .collect()
     }
 
     /// Spans offered to the sink so far.
@@ -76,6 +95,20 @@ impl SpanSink for RingSink {
         // Never block a worker: a contended lock means a consumer (or
         // another producer) holds the ring — drop this span, counted.
         let Ok(mut ring) = self.ring.try_lock() else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(span);
+    }
+
+    fn record_phase(&self, span: PhaseSpan) {
+        self.seen.fetch_add(1, Ordering::Relaxed);
+        // Same contract as `record`: contention drops, counted.
+        let Ok(mut ring) = self.phase_ring.try_lock() else {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         };
@@ -132,6 +165,31 @@ mod tests {
         drop(guard);
         assert_eq!((ring.seen(), ring.dropped()), (1, 1));
         assert!(ring.is_empty(), "the contended span was never buffered");
+    }
+
+    #[test]
+    fn phase_spans_buffer_separately_with_shared_drop_accounting() {
+        let ring = RingSink::new(2);
+        let phase = |i: u64| PhaseSpan {
+            tenant: 1,
+            spec: 1,
+            phase: format!("phase-{i}"),
+            shard: 0,
+            worker: 0,
+            us: i,
+            finished_us: i,
+        };
+        for i in 0..3 {
+            ring.record_phase(phase(i));
+        }
+        ring.record(span(9));
+        assert_eq!(ring.seen(), 4, "both kinds count as offered");
+        assert_eq!(ring.dropped(), 1, "oldest phase span overwritten");
+        assert_eq!(ring.len(), 1, "job ring untouched by the phase burst");
+        let phases = ring.drain_phases();
+        let names: Vec<&str> = phases.iter().map(|p| p.phase.as_str()).collect();
+        assert_eq!(names, vec!["phase-1", "phase-2"]);
+        assert!(ring.drain_phases().is_empty());
     }
 
     #[test]

@@ -57,12 +57,24 @@ impl TenantTelemetry {
 pub struct TelemetrySnapshot {
     /// Spans folded into the ledger.
     pub spans: u64,
-    /// Spans the ring sink lost (contention + overwrite) — honesty
-    /// metadata: attribution below is exact over `spans`, not over every
-    /// job the engine ever ran.
+    /// Spans the ring sink lost (contention + overwrite, job and
+    /// build-phase spans alike) — honesty metadata: attribution below is
+    /// exact over `spans`, not over every job the engine ever ran.
     pub dropped: u64,
     /// Executed jobs per shard (index = shard).
     pub shard_jobs: Vec<u64>,
+    /// Fleet-wide substrate build µs per phase (embed / dual / bdd /
+    /// weight-tier / labeling), in phase-name order — aggregated from
+    /// build-phase spans, each build billed exactly once.
+    pub phase_us: Vec<(String, u64)>,
+    /// Fleet-wide solver-pool resident bytes, as last stamped via
+    /// [`Telemetry::set_pool_bytes`](crate::Telemetry::set_pool_bytes)
+    /// (a gauge: 0 until someone stamps it).
+    pub resident_bytes: u64,
+    /// High-water resident bytes across the fleet's pools.
+    pub peak_resident_bytes: u64,
+    /// Cumulative bytes freed by pool evictions.
+    pub evicted_bytes: u64,
     /// Per-tenant rows, in fingerprint order.
     pub tenants: Vec<TenantTelemetry>,
     /// Recorded control events, in sequence order.
@@ -128,6 +140,25 @@ impl TelemetrySnapshot {
                 ("dropped", Val::n(self.dropped)),
             ],
         );
+        line(
+            &mut out,
+            &[
+                ("kind", Val::s("memory")),
+                ("resident_bytes", Val::n(self.resident_bytes)),
+                ("peak_bytes", Val::n(self.peak_resident_bytes)),
+                ("evicted_bytes", Val::n(self.evicted_bytes)),
+            ],
+        );
+        for (phase, us) in &self.phase_us {
+            line(
+                &mut out,
+                &[
+                    ("kind", Val::s("phase")),
+                    ("phase", Val::s(phase)),
+                    ("us", Val::n(*us)),
+                ],
+            );
+        }
         for (shard, &jobs) in self.shard_jobs.iter().enumerate() {
             line(
                 &mut out,
@@ -201,6 +232,15 @@ impl TelemetrySnapshot {
                     snap.dropped = obj.u64("dropped").map_err(fail)?;
                     saw_header = true;
                 }
+                "memory" => {
+                    snap.resident_bytes = obj.u64("resident_bytes").map_err(fail)?;
+                    snap.peak_resident_bytes = obj.u64("peak_bytes").map_err(fail)?;
+                    snap.evicted_bytes = obj.u64("evicted_bytes").map_err(fail)?;
+                }
+                "phase" => snap.phase_us.push((
+                    obj.str("phase").map_err(fail)?.to_string(),
+                    obj.u64("us").map_err(fail)?,
+                )),
                 "shard" => {
                     let shard = obj.u64("shard").map_err(fail)? as usize;
                     if snap.shard_jobs.len() <= shard {
@@ -321,6 +361,21 @@ impl std::fmt::Display for TelemetrySnapshot {
                 .collect();
             writeln!(f, "shard occupancy (executed jobs): {}", jobs.join(", "))?;
         }
+        if !self.phase_us.is_empty() {
+            let phases: Vec<String> = self
+                .phase_us
+                .iter()
+                .map(|(p, us)| format!("{p} {us}µs"))
+                .collect();
+            writeln!(f, "substrate build: {}", phases.join(", "))?;
+        }
+        if self.resident_bytes != 0 || self.peak_resident_bytes != 0 || self.evicted_bytes != 0 {
+            writeln!(
+                f,
+                "pool memory: {} B resident (peak {} B, evicted {} B)",
+                self.resident_bytes, self.peak_resident_bytes, self.evicted_bytes
+            )?;
+        }
         for t in &self.tenants {
             write!(
                 f,
@@ -374,6 +429,10 @@ mod tests {
             spans: 4,
             dropped: 1,
             shard_jobs: vec![2, 0],
+            phase_us: vec![("bdd".into(), 1_900), ("embed".into(), 120)],
+            resident_bytes: 48_000,
+            peak_resident_bytes: 64_000,
+            evicted_bytes: 16_000,
             tenants: vec![
                 TenantTelemetry {
                     tenant: 0xabcd,
@@ -442,9 +501,40 @@ mod tests {
     #[test]
     fn display_is_operator_readable() {
         let text = sample().to_string();
-        assert!(text.contains("4 span(s) attributed, 1 dropped"));
+        // The drop counter's surface is pinned: operators (and the drop
+        // accounting test in `tests/telemetry_api.rs`) grep this line.
+        assert_eq!(
+            text.lines().next().unwrap(),
+            "telemetry: 4 span(s) attributed, 1 dropped; 2 tenant(s)"
+        );
         assert!(text.contains("grid-a: 2 ok"));
         assert!(text.contains("shard occupancy"));
+        assert!(text.contains("substrate build: bdd 1900µs, embed 120µs"));
+        assert!(text.contains("pool memory: 48000 B resident (peak 64000 B, evicted 16000 B)"));
         assert!(text.contains("scale-up"));
+    }
+
+    #[test]
+    fn snapshots_without_memory_or_phase_lines_still_parse() {
+        // Pre-profiling artifacts (schema v1 without the new line kinds)
+        // must keep parsing: the gauges default to zero.
+        let mut old = String::new();
+        for l in sample().to_jsonl().lines() {
+            if !l.contains("\"memory\"") && !l.contains("\"phase\"") {
+                old.push_str(l);
+                old.push('\n');
+            }
+        }
+        let parsed = TelemetrySnapshot::parse_jsonl(&old).unwrap();
+        assert_eq!(parsed.phase_us, Vec::new());
+        assert_eq!(
+            (
+                parsed.resident_bytes,
+                parsed.peak_resident_bytes,
+                parsed.evicted_bytes
+            ),
+            (0, 0, 0)
+        );
+        assert_eq!(parsed.tenants, sample().tenants);
     }
 }

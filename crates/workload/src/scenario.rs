@@ -494,10 +494,16 @@ pub struct Scenario {
     pub tenant_skew: u32,
     /// Per-query deadline in ticks after release (`None`: no deadline).
     pub deadline_ticks: Option<u64>,
+    /// Stride between consecutive tenants' derived graph seeds
+    /// (default 3, the historical derivation). Stride 0 hands every
+    /// tenant the *same* derived seeds: content-identical instances in
+    /// distinct allocations, so the whole fleet collides on one
+    /// [`InstanceKey`] — the `key-collision` adversarial preset.
+    pub tenant_seed_stride: u64,
 }
 
-/// Names of the eight preset scenarios, in presentation order.
-pub const PRESET_NAMES: [&str; 8] = [
+/// Names of the nine preset scenarios, in presentation order.
+pub const PRESET_NAMES: [&str; 9] = [
     "steady-state",
     "rush-hour",
     "failover-storm",
@@ -506,6 +512,7 @@ pub const PRESET_NAMES: [&str; 8] = [
     "respec-heavy",
     "cancellation-storm",
     "deadline-pressure",
+    "key-collision",
 ];
 
 impl Scenario {
@@ -538,6 +545,11 @@ impl Scenario {
     ///   it, stressing the expired terminal path (past-due refusal at
     ///   dequeue, span emission, metrics reconciliation) rather than
     ///   throughput.
+    /// * `key-collision` — four content-identical tenants (seed stride
+    ///   0) under a per-tenant weight-spike stream: every tenant
+    ///   fingerprints to the same topology, so pool lookups from the
+    ///   whole fleet collide on one key, and each spike forces the
+    ///   near-miss path — topology hit, weight-tier miss.
     pub fn preset(name: &str, seed: u64) -> Option<Scenario> {
         let diag = |w, h| TenantSpec::of(FamilySpec::DiagGrid { w, h });
         let s = match name {
@@ -553,6 +565,7 @@ impl Scenario {
                 mutations: vec![],
                 tenant_skew: 1,
                 deadline_ticks: None,
+                tenant_seed_stride: 3,
             },
             "rush-hour" => Scenario {
                 name: name.into(),
@@ -569,6 +582,7 @@ impl Scenario {
                 }],
                 tenant_skew: 1,
                 deadline_ticks: Some(8),
+                tenant_seed_stride: 3,
             },
             "failover-storm" => Scenario {
                 name: name.into(),
@@ -589,6 +603,7 @@ impl Scenario {
                 ],
                 tenant_skew: 1,
                 deadline_ticks: None,
+                tenant_seed_stride: 3,
             },
             "multi-tenant-skew" => Scenario {
                 name: name.into(),
@@ -611,6 +626,7 @@ impl Scenario {
                 mutations: vec![],
                 tenant_skew: 6,
                 deadline_ticks: None,
+                tenant_seed_stride: 3,
             },
             "cold-start" => Scenario {
                 name: name.into(),
@@ -624,6 +640,7 @@ impl Scenario {
                 mutations: vec![],
                 tenant_skew: 1,
                 deadline_ticks: None,
+                tenant_seed_stride: 3,
             },
             "respec-heavy" => Scenario {
                 name: name.into(),
@@ -648,6 +665,7 @@ impl Scenario {
                 ],
                 tenant_skew: 1,
                 deadline_ticks: None,
+                tenant_seed_stride: 3,
             },
             "cancellation-storm" => Scenario {
                 name: name.into(),
@@ -661,6 +679,7 @@ impl Scenario {
                 mutations: vec![],
                 tenant_skew: 1,
                 deadline_ticks: None,
+                tenant_seed_stride: 3,
             },
             "deadline-pressure" => Scenario {
                 name: name.into(),
@@ -674,13 +693,32 @@ impl Scenario {
                 mutations: vec![],
                 tenant_skew: 2,
                 deadline_ticks: Some(1),
+                tenant_seed_stride: 3,
+            },
+            "key-collision" => Scenario {
+                name: name.into(),
+                seed,
+                tenants: vec![diag(6, 5); 4],
+                ticks: 8,
+                arrival: Arrival::OpenLoop {
+                    queries_per_tick: 4,
+                },
+                mix: QueryMix::weight_heavy(),
+                mutations: vec![MutationRule::RandomWeightSpikes {
+                    every: 2,
+                    count: 2,
+                    factor: 3,
+                }],
+                tenant_skew: 1,
+                deadline_ticks: None,
+                tenant_seed_stride: 0,
             },
             _ => return None,
         };
         Some(s)
     }
 
-    /// All eight presets, in [`PRESET_NAMES`] order.
+    /// All nine presets, in [`PRESET_NAMES`] order.
     pub fn presets(seed: u64) -> Vec<Scenario> {
         PRESET_NAMES
             .iter()
@@ -705,7 +743,10 @@ impl Scenario {
         for (i, spec) in self.tenants.iter().enumerate() {
             // Seeds are derived, not drawn, so adding rules or mixes to a
             // scenario never reshuffles which graphs its tenants run on.
-            let graph_seed = self.seed.wrapping_mul(31).wrapping_add(1 + 3 * i as u64);
+            let graph_seed = self
+                .seed
+                .wrapping_mul(31)
+                .wrapping_add(1u64.wrapping_add(self.tenant_seed_stride.wrapping_mul(i as u64)));
             let record = TenantRecord {
                 family: spec.family,
                 cap_range: spec.cap_range,
@@ -912,6 +953,46 @@ mod tests {
             }
         }
         assert_eq!(queries, 6 * 6, "six bursts of six");
+    }
+
+    #[test]
+    fn key_collision_aliases_the_fleet_onto_one_key_until_spikes_diverge() {
+        let scenario = Scenario::preset("key-collision", 9).unwrap();
+        assert_eq!(scenario.tenant_seed_stride, 0);
+        let trace = scenario.record().unwrap();
+        // Stride 0 derives identical seeds for every tenant …
+        let seeds: Vec<u64> = trace.header.tenants.iter().map(|t| t.graph_seed).collect();
+        assert!(
+            seeds.windows(2).all(|w| w[0] == w[1]),
+            "stride 0 must alias every tenant's seeds: {seeds:?}"
+        );
+        // … so before the first spike fires (tick 2), every query from
+        // every tenant carries the same InstanceKey: a fleet-wide pool
+        // collision on one fingerprint.
+        let mut base_keys = std::collections::BTreeSet::new();
+        let mut all_keys = std::collections::BTreeSet::new();
+        for e in &trace.events {
+            if let TraceEvent::Query { vt, key, .. } = e {
+                if *vt < 2 {
+                    base_keys.insert(key.clone());
+                }
+                all_keys.insert(key.clone());
+            }
+        }
+        assert_eq!(base_keys.len(), 1, "one shared key pre-spike");
+        // The weight spikes then split keys on the weight tier only —
+        // near-misses that share the topology fingerprint.
+        assert!(
+            all_keys.len() > 1,
+            "spikes must produce diverged keys: {all_keys:?}"
+        );
+        let topo_of = |k: &String| k.split('/').next().unwrap().to_string();
+        let topos: std::collections::BTreeSet<String> = all_keys.iter().map(topo_of).collect();
+        assert_eq!(
+            topos.len(),
+            1,
+            "every diverged key still shares the topology half: {topos:?}"
+        );
     }
 
     #[test]

@@ -179,8 +179,8 @@ pub use duality_control::{
     Reconciler, Slo, StateStore, TenantDecl,
 };
 pub use duality_core::{
-    BatchReport, DualityError, InstanceKey, Outcome, PlanarInstance, PlanarSolver, PoolStats,
-    Query, SolverBuilder, SolverPool, SolverStats, TopoSubstrate,
+    BatchReport, DualityError, HeapSize, InstanceKey, Outcome, PlanarInstance, PlanarSolver,
+    PoolStats, Query, ResidentEntry, SolverBuilder, SolverPool, SolverStats, TopoSubstrate,
 };
 pub use duality_lab::{EnvRow, Envelope, LabError, LabSpec, Tolerances};
 pub use duality_service::{

@@ -160,7 +160,8 @@ fn spans_reconcile_while_stealing_workers_race_the_cancel_storm() {
 }
 
 /// (b) A two-slot ring under five jobs: the engine never blocks, the
-/// overflow is counted, and kept + dropped reconciles with admissions.
+/// overflow is counted, and kept + dropped reconciles with everything
+/// offered to the sink — job spans and build-phase spans alike.
 #[test]
 fn ring_overflow_drops_are_counted_never_blocking() {
     let telemetry = Telemetry::new(2);
@@ -177,10 +178,24 @@ fn ring_overflow_drops_are_counted_never_blocking() {
     assert_eq!(m.completed, 5, "a saturated ring never blocks the engine");
 
     let snap = telemetry.snapshot();
-    assert_eq!(snap.spans, 2, "the ring keeps the newest spans");
-    assert_eq!(snap.dropped, 3, "overflow is dropped and counted");
-    assert_eq!(snap.spans + snap.dropped, m.submitted);
-    assert_eq!(telemetry.ring().seen(), 5);
+    assert_eq!(snap.spans, 2, "the ring keeps the newest job spans");
+    assert!(
+        snap.dropped >= 3,
+        "job-span overflow is dropped and counted"
+    );
+    // The first job's substrate build also emitted phase spans (capped at
+    // the same ring capacity); kept + dropped reconciles with offered.
+    let phase_kept = snap.phase_us.len() as u64;
+    assert!(phase_kept <= 2, "the phase ring obeys the same capacity");
+    assert_eq!(
+        snap.spans + phase_kept + snap.dropped,
+        telemetry.ring().seen()
+    );
+    // The drop counter is surfaced on the snapshot's display line, so an
+    // operator sees span loss without touching the API.
+    assert!(snap
+        .to_string()
+        .contains(&format!("{} dropped", snap.dropped)));
 }
 
 /// (c) Nine fast spans for tenant A and one slow span for tenant B: the
